@@ -1,0 +1,164 @@
+// The bench harness regenerates every table and figure of the paper's
+// evaluation at the quick scale, reporting the headline numbers as
+// benchmark metrics:
+//
+//	go test -bench=. -benchmem
+//
+// The shapes to compare against the paper are catalogued in
+// EXPERIMENTS.md; the full-scale runs live behind cmd/pabstsim.
+package pabst_test
+
+import (
+	"testing"
+
+	"pabst"
+	"pabst/internal/exp"
+)
+
+func BenchmarkTable3Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := pabst.Default32Config()
+		if err := cfg.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		_ = exp.Table3(cfg)
+	}
+}
+
+func BenchmarkFig1SourceVsTarget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results, err := exp.Fig1(exp.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			b.ReportMetric(r.Error, r.Mix.String()+"/"+r.Mode.String()+"/err%")
+		}
+	}
+}
+
+func BenchmarkFig5ProportionalAllocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig5(exp.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SteadyShares[0], "share-hi")
+		b.ReportMetric(r.SteadyShares[1], "share-lo")
+		b.ReportMetric(float64(r.ConvergedAt), "converged-cycle")
+	}
+}
+
+func BenchmarkFig6WorkConservation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig6(exp.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ConstShareActive, "const-share-active")
+		b.ReportMetric(r.ConstBpcIdle/r.PeakBpc, "const-idle-frac-of-peak")
+	}
+}
+
+func BenchmarkFig7Pabst(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results, err := exp.Fig7(exp.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Mode == pabst.ModePABST {
+				b.ReportMetric(r.Error, r.Mix.String()+"/pabst/err%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig8ExcessDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig8(exp.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ShareHi, "share-ddr50")
+		b.ReportMetric(r.ShareLo, "share-ddr25")
+		b.ReportMetric(r.ShareL3, "share-l3res")
+	}
+}
+
+func BenchmarkFig9Memcached(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig9(exp.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Colocated.Mean/r.Isolated.Mean, "colocated-mean-x")
+		b.ReportMetric(r.PABST.Mean/r.Isolated.Mean, "pabst-mean-x")
+		b.ReportMetric(float64(r.PABST.P99)/float64(r.Isolated.P99), "pabst-p99-x")
+	}
+}
+
+// fig10Workloads keeps the bench grid to one bandwidth-limited and one
+// latency-limited proxy; the CLI runs all eight.
+var fig10Workloads = []string{"libquantum", "sphinx3"}
+
+func BenchmarkFig10Isolation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig10(exp.Quick(), fig10Workloads)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range r.Workloads {
+			b.ReportMetric(r.Cells[w][pabst.ModeNone].WeightedSlowdown, w+"/none-slowdown")
+			b.ReportMetric(r.Cells[w][pabst.ModePABST].WeightedSlowdown, w+"/pabst-slowdown")
+		}
+	}
+}
+
+func BenchmarkFig11IaaS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := exp.Fig11(exp.Quick(), []string{"sphinx3"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			b.ReportMetric(c.Improvement, c.Workload+"/improve%")
+		}
+	}
+}
+
+func BenchmarkFig12Efficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig10(exp.Quick(), []string{"libquantum"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Cells["libquantum"][pabst.ModeNone].Efficiency, "none-eff")
+		b.ReportMetric(r.Cells["libquantum"][pabst.ModePABST].Efficiency, "pabst-eff")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
+// cycles per wall second for the 32-core system under full PABST load.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := pabst.Default32Config()
+	cfg.PABST.EpochCycles = 2000
+	bl := pabst.NewBuilder(cfg, pabst.ModePABST)
+	hi := bl.AddClass("hi", 7, cfg.L3Ways/2)
+	lo := bl.AddClass("lo", 3, cfg.L3Ways/2)
+	for i := 0; i < 16; i++ {
+		bl.Attach(i, hi, pabst.Stream("hi", pabst.TileRegion(i), 128, false))
+		bl.Attach(16+i, lo, pabst.Stream("lo", pabst.TileRegion(16+i), 128, false))
+	}
+	sys, err := bl.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Warmup(20_000)
+	b.ResetTimer()
+	const chunk = 10_000
+	for i := 0; i < b.N; i++ {
+		sys.Run(chunk)
+	}
+	b.ReportMetric(float64(chunk*b.N)/b.Elapsed().Seconds(), "sim-cycles/s")
+}

@@ -1,0 +1,213 @@
+// Command pabstsim reproduces the tables and figures of the PABST paper's
+// evaluation (HPCA 2017, Section IV). Each experiment prints the same
+// rows or series the paper reports.
+//
+// Usage:
+//
+//	pabstsim [-scale quick|full] [-series] [-spec name,name,...] <experiment>...
+//	pabstsim -list
+//
+// Experiments: table3, fig1, fig5, fig6, fig7, fig8, fig9, fig10, fig11,
+// fig12, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pabst"
+	"pabst/internal/exp"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+}{
+	{"table3", "system configuration"},
+	{"fig1", "source-only vs target-only allocation error"},
+	{"fig5", "proportional allocation, two stream classes at 7:3"},
+	{"fig6", "work conservation with a periodic streamer"},
+	{"fig7", "PABST vs single-sided regulators"},
+	{"fig8", "proportional distribution of excess bandwidth"},
+	{"fig9", "memcached service times under co-location"},
+	{"fig10", "weighted slowdown vs a stream aggressor (SPEC proxies)"},
+	{"fig11", "work-conserving fairness vs static allocation (IaaS)"},
+	{"fig12", "memory efficiency cost of QoS"},
+	{"ext-static", "extension: PABST vs a static (non-work-conserving) source limiter"},
+	{"ext-skew", "extension: per-MC governors under channel-skewed traffic (Sec III-C1)"},
+	{"ext-hetero", "extension: demand-weighted intra-class allocation (Sec V-B)"},
+	{"ext-noc", "extension: contention-modeled mesh vs the paper's latency-only fabric"},
+}
+
+func main() {
+	scaleName := flag.String("scale", "full", "experiment scale: quick or full")
+	list := flag.Bool("list", false, "list experiments and exit")
+	series := flag.Bool("series", false, "print full time series for fig5/fig6")
+	jsonOut := flag.Bool("json", false, "emit result tables as JSON instead of text")
+	specs := flag.String("spec", "", "comma-separated SPEC proxy subset for fig10-12 (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-8s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	var scale exp.Scale
+	switch *scaleName {
+	case "quick":
+		scale = exp.Quick()
+	case "full":
+		scale = exp.Full()
+	default:
+		fatalf("unknown scale %q (want quick or full)", *scaleName)
+	}
+
+	var workloads []string
+	if *specs != "" {
+		workloads = strings.Split(*specs, ",")
+		for _, w := range workloads {
+			if _, err := pabst.SpecProxy(w, pabst.TileRegion(0), 1); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fatalf("no experiment given; try -list")
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = nil
+		for _, e := range experiments {
+			args = append(args, e.name)
+		}
+	}
+
+	// fig10 and fig12 share the same simulations; run them once.
+	var isolation *exp.IsolationResult
+	getIsolation := func() *exp.IsolationResult {
+		if isolation == nil {
+			r, err := exp.Fig10(scale, workloads)
+			check(err)
+			isolation = r
+		}
+		return isolation
+	}
+
+	emit := func(tables ...*exp.Table) {
+		for _, tbl := range tables {
+			if *jsonOut {
+				b, err := tbl.JSON()
+				check(err)
+				fmt.Println(string(b))
+				continue
+			}
+			fmt.Print(tbl.String())
+		}
+	}
+
+	for _, name := range args {
+		start := time.Now()
+		switch name {
+		case "table3":
+			fmt.Print(exp.Table3(pabst.Default32Config()))
+			fmt.Println()
+			fmt.Print(exp.Table3(pabst.Scaled8Config()))
+		case "fig1":
+			tbl, _, err := exp.Fig1(scale)
+			check(err)
+			emit(tbl)
+		case "fig5":
+			r, err := exp.Fig5(scale)
+			check(err)
+			tbl := r.Table("Figure 5: proportional allocation 7:3 (two 16-core stream classes)")
+			tbl.Rows = append(tbl.Rows, exp.Row{
+				Label:  "converged at cycle",
+				Values: map[string]float64{"steady-share": float64(r.ConvergedAt)},
+			})
+			emit(tbl)
+			if *series {
+				printSeries(r)
+			}
+		case "fig6":
+			r, err := exp.Fig6(scale)
+			check(err)
+			emit(r.Table())
+			if *series {
+				printSeries(r.Series)
+			}
+		case "fig7":
+			tbl, _, err := exp.Fig7(scale)
+			check(err)
+			emit(tbl)
+		case "fig8":
+			r, err := exp.Fig8(scale)
+			check(err)
+			emit(r.Table())
+		case "fig9":
+			r, err := exp.Fig9(scale)
+			check(err)
+			emit(r.Table())
+		case "fig10":
+			emit(getIsolation().SlowdownTable())
+		case "fig11":
+			cells, err := exp.Fig11(scale, workloads)
+			check(err)
+			emit(exp.Fig11Table(cells))
+		case "fig12":
+			emit(getIsolation().EfficiencyTable())
+		case "ext-static":
+			r, err := exp.ExtStatic(scale)
+			check(err)
+			emit(r.Table())
+		case "ext-skew":
+			r, err := exp.ExtSkew(scale)
+			check(err)
+			emit(r.Table())
+		case "ext-hetero":
+			r, err := exp.ExtHetero(scale)
+			check(err)
+			emit(r.Table())
+		case "ext-noc":
+			r, err := exp.ExtNoC(scale)
+			check(err)
+			emit(r.Table())
+		default:
+			fatalf("unknown experiment %q; try -list", name)
+		}
+		if !*jsonOut {
+			fmt.Printf("[%s: %.1fs]\n\n", name, time.Since(start).Seconds())
+		}
+	}
+}
+
+func printSeries(r *exp.SeriesResult) {
+	fmt.Printf("%12s", "cycle")
+	for _, c := range r.Classes {
+		fmt.Printf("%16s", c)
+	}
+	fmt.Printf("%12s\n", "B/cyc")
+	for _, p := range r.Points {
+		fmt.Printf("%12d", p.Cycle)
+		for _, s := range p.Shares {
+			fmt.Printf("%16.3f", s)
+		}
+		fmt.Printf("%12.2f\n", p.BpcSum)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pabstsim: "+format+"\n", args...)
+	os.Exit(1)
+}

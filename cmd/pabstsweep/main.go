@@ -1,0 +1,206 @@
+// Command pabstsweep runs ablation sweeps over the PABST design
+// parameters called out in DESIGN.md: epoch length, the rate scale factor
+// F, pacer burst credit, arbiter slack, front-end queue depth, page
+// policy, and gain inertia.
+//
+// Each sweep point runs the canonical 7:3 two-stream-class allocation and
+// reports how well the split converged and how much throughput the system
+// sustained; the slack sweep additionally runs the chaser mix, where the
+// arbiter matters most.
+//
+// Usage:
+//
+//	pabstsweep [-scale quick|full] [-param name] (default: all params)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"pabst"
+	"pabst/internal/dram"
+	"pabst/internal/exp"
+)
+
+type point struct {
+	label string
+	mut   func(*pabst.SystemConfig)
+}
+
+type sweep struct {
+	name   string
+	desc   string
+	points []point
+	chaser bool // also run the chaser mix (latency-sensitive)
+}
+
+func sweeps() []sweep {
+	u64 := func(set func(*pabst.SystemConfig, uint64), vals ...uint64) []point {
+		var pts []point
+		for _, v := range vals {
+			v := v
+			pts = append(pts, point{fmt.Sprintf("%d", v), func(c *pabst.SystemConfig) { set(c, v) }})
+		}
+		return pts
+	}
+	return []sweep{
+		{
+			name: "epoch", desc: "governor epoch length (cycles)",
+			points: u64(func(c *pabst.SystemConfig, v uint64) { c.PABST.EpochCycles = v },
+				500, 1000, 2000, 5000, 10000, 20000),
+		},
+		{
+			name: "scalef", desc: "rate scale factor F (Eq. 3)",
+			points: u64(func(c *pabst.SystemConfig, v uint64) { c.PABST.ScaleF = v },
+				16, 64, 256, 1024, 4096),
+		},
+		{
+			name: "burst", desc: "pacer burst credit (requests)",
+			points: []point{
+				{"1", func(c *pabst.SystemConfig) { c.PABST.BurstCredit = 1 }},
+				{"4", func(c *pabst.SystemConfig) { c.PABST.BurstCredit = 4 }},
+				{"16", func(c *pabst.SystemConfig) { c.PABST.BurstCredit = 16 }},
+				{"64", func(c *pabst.SystemConfig) { c.PABST.BurstCredit = 64 }},
+			},
+		},
+		{
+			name: "slack", desc: "arbiter deadline slack (virtual ticks)", chaser: true,
+			points: u64(func(c *pabst.SystemConfig, v uint64) { c.PABST.Slack = v },
+				8, 32, 128, 512, 4096),
+		},
+		{
+			name: "queue", desc: "MC front-end read queue depth",
+			points: []point{
+				{"8", func(c *pabst.SystemConfig) {
+					c.DRAM.FrontReadQ = 8
+					c.DRAM.FrontWriteQ = 8
+					c.DRAM.WriteHighWater = 6
+					c.DRAM.WriteLowWater = 2
+				}},
+				{"16", func(c *pabst.SystemConfig) {
+					c.DRAM.FrontReadQ = 16
+					c.DRAM.FrontWriteQ = 16
+					c.DRAM.WriteHighWater = 12
+					c.DRAM.WriteLowWater = 4
+				}},
+				{"32", func(c *pabst.SystemConfig) {}},
+				{"64", func(c *pabst.SystemConfig) {
+					c.DRAM.FrontReadQ = 64
+					c.DRAM.FrontWriteQ = 64
+					c.DRAM.WriteHighWater = 48
+					c.DRAM.WriteLowWater = 16
+				}},
+			},
+		},
+		{
+			name: "page", desc: "DRAM page policy",
+			points: []point{
+				{"closed", func(c *pabst.SystemConfig) {}},
+				{"open", func(c *pabst.SystemConfig) { c.DRAM.Policy = dram.OpenPage }},
+			},
+		},
+		{
+			name: "bankq", desc: "MC organization: single-pool vs two-stage bank queues", chaser: true,
+			points: []point{
+				{"pool", func(c *pabst.SystemConfig) {}},
+				{"bankq-1", func(c *pabst.SystemConfig) { c.DRAM.BankQueueDepth = 1 }},
+				{"bankq-2", func(c *pabst.SystemConfig) { c.DRAM.BankQueueDepth = 2 }},
+				{"bankq-4", func(c *pabst.SystemConfig) { c.DRAM.BankQueueDepth = 4 }},
+			},
+		},
+		{
+			name: "inertia", desc: "epochs of stability before the gain grows",
+			points: []point{
+				{"0", func(c *pabst.SystemConfig) { c.PABST.Inertia = 0 }},
+				{"1", func(c *pabst.SystemConfig) { c.PABST.Inertia = 1 }},
+				{"3", func(c *pabst.SystemConfig) { c.PABST.Inertia = 3 }},
+				{"6", func(c *pabst.SystemConfig) { c.PABST.Inertia = 6 }},
+				{"10", func(c *pabst.SystemConfig) { c.PABST.Inertia = 10 }},
+			},
+		},
+	}
+}
+
+func main() {
+	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
+	param := flag.String("param", "", "sweep only this parameter")
+	flag.Parse()
+
+	var scale exp.Scale
+	switch *scaleName {
+	case "quick":
+		scale = exp.Quick()
+	case "full":
+		scale = exp.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "pabstsweep: unknown scale %q\n", *scaleName)
+		os.Exit(1)
+	}
+
+	for _, s := range sweeps() {
+		if *param != "" && s.name != *param {
+			continue
+		}
+		fmt.Printf("== sweep %s: %s ==\n", s.name, s.desc)
+		fmt.Printf("%-10s %12s %12s %12s", "value", "share-hi", "err-70/30", "total-B/cyc")
+		if s.chaser {
+			fmt.Printf(" %14s", "chaser-share")
+		}
+		fmt.Println()
+		for _, p := range s.points {
+			shHi, bpc := runStreams(scale, p.mut)
+			fmt.Printf("%-10s %12.3f %12.1f%% %12.1f", p.label, shHi, math.Abs(shHi-0.7)/0.7*100, bpc)
+			if s.chaser {
+				fmt.Printf(" %14.3f", runChaser(scale, p.mut))
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}
+
+// runStreams is the canonical 7:3 allocation between two 16-core stream
+// classes under full PABST.
+func runStreams(scale exp.Scale, mut func(*pabst.SystemConfig)) (shareHi, totalBpc float64) {
+	cfg := scale.Apply(pabst.Default32Config())
+	mut(&cfg)
+	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	hi := b.AddClass("hi", 7, cfg.L3Ways/2)
+	lo := b.AddClass("lo", 3, cfg.L3Ways/2)
+	for i := 0; i < 16; i++ {
+		b.Attach(i, hi, pabst.Stream("hi", pabst.TileRegion(i), 128, false))
+		b.Attach(16+i, lo, pabst.Stream("lo", pabst.TileRegion(16+i), 128, false))
+	}
+	sys, err := b.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pabstsweep: %v\n", err)
+		os.Exit(1)
+	}
+	sys.Warmup(scale.Warmup)
+	sys.Run(scale.Measure)
+	m := sys.Metrics()
+	return m.ShareOf(hi), m.BytesPerCycle(hi) + m.BytesPerCycle(lo)
+}
+
+// runChaser gives the 3:1 high share to the latency-sensitive chaser.
+func runChaser(scale exp.Scale, mut func(*pabst.SystemConfig)) float64 {
+	cfg := scale.Apply(pabst.Default32Config())
+	mut(&cfg)
+	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	hi := b.AddClass("chaser", 3, cfg.L3Ways/2)
+	lo := b.AddClass("stream", 1, cfg.L3Ways/2)
+	for i := 0; i < 16; i++ {
+		b.Attach(i, hi, pabst.Chaser("chaser", pabst.TileRegion(i), 8, uint64(i)+1))
+		b.Attach(16+i, lo, pabst.Stream("s", pabst.TileRegion(16+i), 128, true))
+	}
+	sys, err := b.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pabstsweep: %v\n", err)
+		os.Exit(1)
+	}
+	sys.Warmup(scale.Warmup)
+	sys.Run(scale.Measure)
+	return sys.Metrics().ShareOf(hi)
+}

@@ -1,0 +1,64 @@
+// Command pabsttrace dumps the governor's convergence dynamics as CSV:
+// one row per epoch with the wired-OR SAT signal, a representative tile's
+// multiplier M, its step δM, the installed pacing period, and per-class
+// bandwidth over the epoch — the raw material behind Figure 4/5-style
+// plots.
+//
+// Usage:
+//
+//	pabsttrace [-epochs n] [-epoch cycles] [-whi w] [-wlo w] > trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pabst"
+)
+
+func main() {
+	epochs := flag.Int("epochs", 200, "epochs to trace")
+	epoch := flag.Uint64("epoch", 20000, "epoch length in cycles")
+	wHi := flag.Uint64("whi", 7, "high class weight")
+	wLo := flag.Uint64("wlo", 3, "low class weight")
+	flag.Parse()
+
+	cfg := pabst.Default32Config()
+	cfg.PABST.EpochCycles = *epoch
+	cfg.BWWindow = *epoch
+
+	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	hi := b.AddClass("hi", *wHi, cfg.L3Ways/2)
+	lo := b.AddClass("lo", *wLo, cfg.L3Ways/2)
+	for i := 0; i < 16; i++ {
+		b.Attach(i, hi, pabst.Stream("hi", pabst.TileRegion(i), 128, false))
+		b.Attach(16+i, lo, pabst.Stream("lo", pabst.TileRegion(16+i), 128, false))
+	}
+	sys, err := b.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pabsttrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("epoch,cycle,sat,M,dM,period_hi,bpc_hi,bpc_lo,share_hi")
+	var prev pabst.Metrics
+	for e := 0; e < *epochs; e++ {
+		sys.Run(*epoch)
+		m := sys.Metrics()
+		bHi := float64(m.BytesByClass[hi]-prev.BytesByClass[hi]) / float64(*epoch)
+		bLo := float64(m.BytesByClass[lo]-prev.BytesByClass[lo]) / float64(*epoch)
+		prev = m
+		share := 0.0
+		if bHi+bLo > 0 {
+			share = bHi / (bHi + bLo)
+		}
+		gm, gdm, gper, _ := sys.GovernorState(0)
+		sat := 0
+		if sys.SaturatedLastEpoch() {
+			sat = 1
+		}
+		fmt.Printf("%d,%d,%d,%d,%d,%d,%.3f,%.3f,%.3f\n",
+			e, sys.Now(), sat, gm, gdm, gper, bHi, bLo, share)
+	}
+}

@@ -1,0 +1,76 @@
+package pabst_test
+
+import (
+	"fmt"
+
+	"pabst"
+)
+
+// ExampleNewBuilder shows the core workflow: describe classes, place
+// workloads, build, run, measure.
+func ExampleNewBuilder() {
+	cfg := pabst.Scaled8Config()
+	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+
+	hi := b.AddClass("frontend", 3, cfg.L3Ways/2)
+	lo := b.AddClass("batch", 1, cfg.L3Ways/2)
+	for i := 0; i < 4; i++ {
+		b.Attach(i, hi, pabst.Stream("frontend", pabst.TileRegion(i), 128, false))
+		b.Attach(4+i, lo, pabst.Stream("batch", pabst.TileRegion(4+i), 128, false))
+	}
+
+	sys, err := b.Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("entitled: %.2f / %.2f\n", sys.Share(hi), sys.Share(lo))
+
+	sys.Warmup(200_000)
+	sys.Run(200_000)
+	m := sys.Metrics()
+	fmt.Printf("observed close to entitlement: %v\n", m.ShareOf(hi) > 0.65 && m.ShareOf(hi) < 0.85)
+	// Output:
+	// entitled: 0.75 / 0.25
+	// observed close to entitlement: true
+}
+
+// ExampleSystem_SetWeight shows the software policy knob: shares can be
+// changed while the system runs and the hardware follows at the next
+// epoch.
+func ExampleSystem_SetWeight() {
+	cfg := pabst.Scaled8Config()
+	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	a := b.AddClass("a", 1, cfg.L3Ways/2)
+	c := b.AddClass("b", 1, cfg.L3Ways/2)
+	for i := 0; i < 4; i++ {
+		b.Attach(i, a, pabst.Stream("a", pabst.TileRegion(i), 128, false))
+		b.Attach(4+i, c, pabst.Stream("b", pabst.TileRegion(4+i), 128, false))
+	}
+	sys, _ := b.Build()
+	fmt.Printf("before: %.2f\n", sys.Share(a))
+	if err := sys.SetWeight(a, 3); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("after: %.2f\n", sys.Share(a))
+	// Output:
+	// before: 0.50
+	// after: 0.75
+}
+
+// ExampleSpecProxy lists the paper's SPEC CPU 2006 workload proxies.
+func ExampleSpecProxy() {
+	for _, name := range pabst.SpecNames() {
+		fmt.Println(name)
+	}
+	// Output:
+	// GemsFDTD
+	// lbm
+	// libquantum
+	// mcf
+	// milc
+	// omnetpp
+	// soplex
+	// sphinx3
+}

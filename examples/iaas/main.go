@@ -1,0 +1,63 @@
+// IaaS: the paper's second use case (Section II, Use Case 2) — four
+// equal-priority tenants on one consolidated host, each guaranteed a 25%
+// bandwidth share, with any slack redistributed proportionally.
+//
+// Tenant demand varies: two VMs run bandwidth-hungry proxies, two run
+// latency-bound proxies that leave slack. The example shows each tenant's
+// observed share and that the heavy tenants pick up what the light ones
+// leave — without ever pushing a light tenant below its entitlement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pabst"
+)
+
+func main() {
+	cfg := pabst.Default32Config()
+	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+
+	tenants := []struct {
+		name     string
+		workload string
+	}{
+		{"vm-analytics", "libquantum"}, // bandwidth-hungry
+		{"vm-fluidsim", "lbm"},         // bandwidth-hungry
+		{"vm-router", "omnetpp"},       // latency-bound, leaves slack
+		{"vm-speech", "sphinx3"},       // latency-bound, leaves slack
+	}
+
+	var ids []pabst.ClassID
+	for _, t := range tenants {
+		ids = append(ids, b.AddClass(t.name, 1, cfg.L3Ways/4))
+	}
+	for c, t := range tenants {
+		for i := 0; i < 8; i++ {
+			tile := c*8 + i
+			gen, err := pabst.SpecProxy(t.workload, pabst.TileRegion(tile), uint64(tile)+1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			b.Attach(tile, ids[c], gen)
+		}
+	}
+
+	sys, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Warmup(400_000)
+	sys.Run(600_000)
+
+	m := sys.Metrics()
+	fmt.Println("four tenants, equal 25% entitlements:")
+	for c, t := range tenants {
+		fmt.Printf("  %-14s (%-10s)  share %.2f  %.1f B/cyc  IPC %.2f\n",
+			t.name, t.workload, m.ShareOf(ids[c]), m.BytesPerCycle(ids[c]), sys.ClassIPC(ids[c]))
+	}
+	fmt.Printf("total: %.1f B/cyc of %.1f peak\n", float64(m.TotalBytes())/float64(m.Cycles), cfg.PeakBytesPerCycle())
+	fmt.Println("\nheavy tenants absorb the slack the light tenants leave,")
+	fmt.Println("while every tenant's minimum share remains enforceable.")
+}

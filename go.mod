@@ -1,0 +1,3 @@
+module pabst
+
+go 1.22

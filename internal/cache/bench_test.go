@@ -1,0 +1,45 @@
+package cache
+
+import (
+	"testing"
+
+	"pabst/internal/mem"
+)
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(Config{SizeBytes: 256 * 1024, Ways: 8})
+	c.Access(0x1000, false, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000, false, 0)
+	}
+}
+
+func BenchmarkAccessMissEvict(b *testing.B) {
+	c := New(Config{SizeBytes: 256 * 1024, Ways: 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(mem.Addr(i*mem.LineSize), i%4 == 0, 0)
+	}
+}
+
+func BenchmarkAccessPartitioned(b *testing.B) {
+	c := New(Config{SizeBytes: 512 * 1024, Ways: 16})
+	c.Partition(0, 0, 8)
+	c.Partition(1, 8, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(mem.Addr(i*mem.LineSize), false, mem.ClassID(i%2))
+	}
+}
+
+func BenchmarkWriteback(b *testing.B) {
+	c := New(Config{SizeBytes: 256 * 1024, Ways: 8})
+	for i := 0; i < 4096; i++ {
+		c.Access(mem.Addr(i*mem.LineSize), false, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Writeback(mem.Addr((i%4096)*mem.LineSize), 0)
+	}
+}

@@ -1,0 +1,251 @@
+// Package cache implements the set-associative cache models used for the
+// private L2s and the shared, sliced L3 of the simulated SoC.
+//
+// The L3 supports way-based capacity partitioning equivalent to Intel CAT:
+// each QoS class may be restricted to an exclusive, contiguous range of
+// ways, which is how every PABST experiment isolates classes in the shared
+// cache (Section II-B / IV-A of the paper).
+//
+// Accesses are modeled atomically: a miss immediately allocates the line
+// and reports the victim, and the caller is responsible for modeling the
+// fill latency and for turning dirty victims into writeback traffic. This
+// is the standard simplification for cycle-approximate cache models; the
+// in-flight window it elides is small relative to the epoch and windowing
+// timescales PABST operates on.
+package cache
+
+import (
+	"fmt"
+
+	"pabst/internal/mem"
+)
+
+// Config sizes a cache.
+type Config struct {
+	// SizeBytes is the total capacity. Must be a power-of-two multiple of
+	// Ways*mem.LineSize.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// IndexShift drops this many low line-number bits before set indexing.
+	// Sliced caches set it to log2(slices) so that the bits consumed by
+	// slice selection do not alias every line of a slice into a fraction
+	// of its sets.
+	IndexShift uint
+}
+
+type line struct {
+	tag   uint64
+	class mem.ClassID
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp
+}
+
+// Victim describes a line displaced by an allocation.
+type Victim struct {
+	Addr  mem.Addr
+	Class mem.ClassID
+	Dirty bool
+}
+
+// Result reports the outcome of an access.
+type Result struct {
+	Hit     bool
+	Evicted bool
+	Victim  Victim
+}
+
+// Cache is a single set-associative array. It is not safe for concurrent
+// use.
+type Cache struct {
+	cfg     Config
+	numSets int
+	lines   []line // numSets * ways, set-major
+	clock   uint64
+
+	partitioned bool
+	partStart   [mem.MaxClasses]int
+	partWays    [mem.MaxClasses]int
+
+	// Stats
+	Hits, Misses, Evictions, DirtyEvictions uint64
+}
+
+// New builds a cache. It panics on invalid geometry, which is a
+// configuration error caught during system construction.
+func New(cfg Config) *Cache {
+	if cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
+	}
+	setBytes := cfg.Ways * mem.LineSize
+	if cfg.SizeBytes%setBytes != 0 {
+		panic(fmt.Sprintf("cache: size %d not a multiple of way set size %d", cfg.SizeBytes, setBytes))
+	}
+	numSets := cfg.SizeBytes / setBytes
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", numSets))
+	}
+	return &Cache{
+		cfg:     cfg,
+		numSets: numSets,
+		lines:   make([]line, numSets*cfg.Ways),
+	}
+}
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return c.numSets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+// Partition restricts allocations by class to ways [start, start+n).
+// Lookups still search every way, so repartitioning never loses data; it
+// only changes where future victims are chosen. Passing n == 0 removes the
+// class's restriction.
+func (c *Cache) Partition(class mem.ClassID, start, n int) {
+	if n < 0 || start < 0 || start+n > c.cfg.Ways {
+		panic(fmt.Sprintf("cache: partition [%d,%d) outside %d ways", start, start+n, c.cfg.Ways))
+	}
+	c.partitioned = true
+	c.partStart[class] = start
+	c.partWays[class] = n
+}
+
+func (c *Cache) setFor(addr mem.Addr) int {
+	return int((addr.LineID() >> c.cfg.IndexShift) % uint64(c.numSets))
+}
+
+// Access performs a demand load (write=false) or store (write=true) by
+// class. On a miss the line is allocated in the class's partition and the
+// displaced victim, if any, is reported.
+func (c *Cache) Access(addr mem.Addr, write bool, class mem.ClassID) Result {
+	c.clock++
+	set := c.setFor(addr)
+	base := set * c.cfg.Ways
+	tag := addr.LineID()
+
+	// Hit path: search every way.
+	for i := 0; i < c.cfg.Ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			l.used = c.clock
+			if write {
+				l.dirty = true
+			}
+			c.Hits++
+			return Result{Hit: true}
+		}
+	}
+	c.Misses++
+
+	// Victim selection within the class's allowed ways.
+	start, n := 0, c.cfg.Ways
+	if c.partitioned && c.partWays[class] > 0 {
+		start, n = c.partStart[class], c.partWays[class]
+	}
+	victimIdx := base + start
+	for i := start; i < start+n; i++ {
+		l := &c.lines[base+i]
+		if !l.valid {
+			victimIdx = base + i
+			break
+		}
+		if l.used < c.lines[victimIdx].used {
+			victimIdx = base + i
+		}
+	}
+	v := &c.lines[victimIdx]
+	res := Result{}
+	if v.valid {
+		c.Evictions++
+		if v.Dirty() {
+			c.DirtyEvictions++
+		}
+		res.Evicted = true
+		res.Victim = Victim{
+			Addr:  mem.Addr(c.reassemble(v.tag)),
+			Class: v.class,
+			Dirty: v.dirty,
+		}
+	}
+	*v = line{tag: tag, class: class, valid: true, dirty: write, used: c.clock}
+	return res
+}
+
+// Writeback merges an evicted dirty line from a lower-level cache: if the
+// line is resident it is dirtied in place (and counted as a hit) and true
+// is returned; otherwise false is returned and nothing is allocated
+// (write-no-allocate), leaving the caller to forward the data to memory.
+func (c *Cache) Writeback(addr mem.Addr, class mem.ClassID) bool {
+	c.clock++
+	set := c.setFor(addr)
+	base := set * c.cfg.Ways
+	tag := addr.LineID()
+	for i := 0; i < c.cfg.Ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			l.dirty = true
+			l.used = c.clock
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Contains reports whether addr is resident, without touching LRU state.
+func (c *Cache) Contains(addr mem.Addr) bool {
+	set := c.setFor(addr)
+	base := set * c.cfg.Ways
+	tag := addr.LineID()
+	for i := 0; i < c.cfg.Ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// OccupancyByClass counts valid lines held by each class, the monitoring
+// feature existing QoS architectures expose for the shared cache.
+func (c *Cache) OccupancyByClass() map[mem.ClassID]int {
+	occ := make(map[mem.ClassID]int)
+	for i := range c.lines {
+		if c.lines[i].valid {
+			occ[c.lines[i].class]++
+		}
+	}
+	return occ
+}
+
+// WaysOf reports the partition assigned to class; ok is false when the
+// class is unrestricted.
+func (c *Cache) WaysOf(class mem.ClassID) (start, n int, ok bool) {
+	if !c.partitioned || c.partWays[class] == 0 {
+		return 0, 0, false
+	}
+	return c.partStart[class], c.partWays[class], true
+}
+
+// wayIndexOf locates addr and returns its way, or -1.
+func (c *Cache) wayIndexOf(addr mem.Addr) int {
+	set := c.setFor(addr)
+	base := set * c.cfg.Ways
+	tag := addr.LineID()
+	for i := 0; i < c.cfg.Ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+func (l *line) Dirty() bool { return l.dirty }
+
+// reassemble reconstructs a line-aligned byte address from a stored tag.
+// Tags are whole line numbers, so this is just the inverse of LineID.
+func (c *Cache) reassemble(tag uint64) uint64 { return tag << mem.LineShift }

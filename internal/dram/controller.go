@@ -1,0 +1,553 @@
+package dram
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pabst/internal/mem"
+)
+
+// Config sizes one memory controller (one channel).
+type Config struct {
+	Timing Timing
+	Policy PagePolicy
+
+	Banks    int // banks per channel (power of two)
+	RowLines int // lines per row buffer (power of two)
+
+	// AddrShift drops this many low line-number bits before bank/row
+	// decoding (the bits consumed by channel interleaving).
+	AddrShift uint
+
+	FrontReadQ  int // front-end read queue capacity
+	FrontWriteQ int // front-end write queue capacity
+
+	// Write drain watermarks: the controller switches to writes when the
+	// write queue reaches HighWater (or reads are idle) and back to reads
+	// at LowWater.
+	WriteHighWater int
+	WriteLowWater  int
+
+	// PipelineDepth bounds how far ahead of the data bus the scheduler
+	// may run, in bursts. It keeps modeled latencies honest by refusing
+	// to issue commands whose data slot is far in the future.
+	PipelineDepth int
+
+	// BankQueueDepth selects the two-stage organization the paper
+	// describes (EDF "in two places"): the front end dispatches up to
+	// this many reads into each bank's queue in priority order, and the
+	// back end serves bank-queue heads row-hit-first then by priority.
+	// 0 keeps the single-pool scheduler that picks directly from the
+	// front-end queue (the default; slightly more agile because requests
+	// are never pre-committed to a bank).
+	BankQueueDepth int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	if c.Banks <= 0 || c.Banks&(c.Banks-1) != 0 {
+		return fmt.Errorf("dram: banks must be a positive power of two, got %d", c.Banks)
+	}
+	if c.RowLines <= 0 || c.RowLines&(c.RowLines-1) != 0 {
+		return fmt.Errorf("dram: row lines must be a positive power of two, got %d", c.RowLines)
+	}
+	if c.FrontReadQ <= 0 || c.FrontWriteQ <= 0 {
+		return fmt.Errorf("dram: queue capacities must be positive")
+	}
+	if c.WriteLowWater < 0 || c.WriteHighWater <= c.WriteLowWater || c.WriteHighWater > c.FrontWriteQ {
+		return fmt.Errorf("dram: bad write watermarks low=%d high=%d cap=%d",
+			c.WriteLowWater, c.WriteHighWater, c.FrontWriteQ)
+	}
+	if c.PipelineDepth <= 0 {
+		return fmt.Errorf("dram: pipeline depth must be positive")
+	}
+	if c.BankQueueDepth < 0 {
+		return fmt.Errorf("dram: negative bank queue depth")
+	}
+	return nil
+}
+
+// ReadSched selects how the front-end read pick is ordered.
+type ReadSched uint8
+
+const (
+	// SchedFCFS serves reads in arrival order among ready banks
+	// (FR-FCFS with the baseline page policy).
+	SchedFCFS ReadSched = iota
+	// SchedEDF serves the ready read with the earliest virtual deadline
+	// (the PABST priority arbiter's order). Requires an Arbiter.
+	SchedEDF
+)
+
+// Arbiter is implemented by the PABST priority arbiter. OnAccept runs when
+// a read enters the front end (assigning pkt.Deadline); OnPick runs when
+// the scheduler selects a read for service.
+type Arbiter interface {
+	OnAccept(pkt *mem.Packet, now uint64)
+	OnPick(pkt *mem.Packet, now uint64)
+}
+
+// Responder receives completed reads. doneAt is the cycle the last data
+// beat leaves the channel; the SoC layer adds NoC latency on top.
+type Responder func(pkt *mem.Packet, doneAt uint64)
+
+type bank struct {
+	readyAt uint64
+	openRow int64 // -1 when closed
+	queue   []*mem.Packet
+}
+
+// Stats aggregates per-controller counters. Byte counters are cumulative;
+// callers sample and diff them for time series.
+type Stats struct {
+	ReadsServed  uint64
+	WritesServed uint64
+
+	BytesByClass   [mem.MaxClasses]uint64 // read + writeback data moved per class
+	ReadLatencySum uint64                 // enqueue -> last data beat, reads only
+
+	// Per-class read service counts and front-end latency sums.
+	ReadsByClass       [mem.MaxClasses]uint64
+	ReadLatencyByClass [mem.MaxClasses]uint64
+
+	BusBusyCycles uint64 // data bus occupied
+	PendingCycles uint64 // cycles with any queued work
+	RowHits       uint64 // open-page row buffer hits
+	Refreshes     uint64 // refresh commands issued
+}
+
+// Controller models one memory channel.
+type Controller struct {
+	ID  int
+	cfg Config
+
+	readQ  []*mem.Packet
+	writeQ []*mem.Packet
+
+	reservedReads  int
+	reservedWrites int
+
+	banks     []bank
+	bankShift uint
+	rowShift  uint
+
+	busFreeAt uint64
+	lastWrite bool // direction of last bus use, for turnaround
+
+	writeMode bool
+
+	sched   ReadSched
+	arbiter Arbiter
+	respond Responder
+
+	// Saturation monitor state: integral of read queue occupancy since
+	// the last epoch boundary (Section III-C1).
+	occIntegral uint64
+	occCycles   uint64
+
+	nextRefresh uint64
+
+	Stats Stats
+}
+
+// NewController builds a controller. respond must not be nil.
+func NewController(id int, cfg Config, respond Responder) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if respond == nil {
+		return nil, fmt.Errorf("dram: nil responder")
+	}
+	c := &Controller{
+		ID:        id,
+		cfg:       cfg,
+		banks:     make([]bank, cfg.Banks),
+		bankShift: cfg.AddrShift,
+		rowShift:  cfg.AddrShift + uint(bits.TrailingZeros(uint(cfg.Banks))) + uint(bits.TrailingZeros(uint(cfg.RowLines))),
+		respond:   respond,
+	}
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+	}
+	return c, nil
+}
+
+// SetScheduler selects the read pick order and, for EDF, the arbiter that
+// assigns and consumes virtual deadlines.
+func (c *Controller) SetScheduler(s ReadSched, a Arbiter) {
+	if s == SchedEDF && a == nil {
+		panic("dram: EDF scheduling requires an arbiter")
+	}
+	c.sched = s
+	c.arbiter = a
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// bankOf XOR-folds higher address bits into the bank index so strided
+// streams spread across all banks (standard controller bank hashing).
+func (c *Controller) bankOf(addr mem.Addr) int {
+	x := addr.LineID() >> c.bankShift
+	b := uint(bits.TrailingZeros(uint(c.cfg.Banks)))
+	return int((x ^ x>>b ^ x>>(2*b) ^ x>>(3*b)) & uint64(c.cfg.Banks-1))
+}
+
+func (c *Controller) rowOf(addr mem.Addr) int64 {
+	return int64(addr.LineID() >> c.rowShift)
+}
+
+// TryReserveRead grants a front-end read slot if one is free. The caller
+// must follow up with ArriveRead for every successful reservation; the
+// slot is held until then so that in-flight NoC traffic can never
+// overflow the queue.
+func (c *Controller) TryReserveRead() bool {
+	if len(c.readQ)+c.reservedReads >= c.cfg.FrontReadQ {
+		return false
+	}
+	c.reservedReads++
+	return true
+}
+
+// TryReserveWrite grants a front-end write slot if one is free.
+func (c *Controller) TryReserveWrite() bool {
+	if len(c.writeQ)+c.reservedWrites >= c.cfg.FrontWriteQ {
+		return false
+	}
+	c.reservedWrites++
+	return true
+}
+
+// ArriveRead places a previously reserved read into the front-end read
+// queue and lets the arbiter stamp its virtual deadline.
+func (c *Controller) ArriveRead(pkt *mem.Packet, now uint64) {
+	if c.reservedReads <= 0 {
+		panic("dram: ArriveRead without reservation")
+	}
+	c.reservedReads--
+	pkt.Enq = now
+	if c.arbiter != nil {
+		c.arbiter.OnAccept(pkt, now)
+	}
+	c.readQ = append(c.readQ, pkt)
+}
+
+// ArriveWrite places a previously reserved writeback into the write queue.
+func (c *Controller) ArriveWrite(pkt *mem.Packet, now uint64) {
+	if c.reservedWrites <= 0 {
+		panic("dram: ArriveWrite without reservation")
+	}
+	c.reservedWrites--
+	pkt.Enq = now
+	c.writeQ = append(c.writeQ, pkt)
+}
+
+// QueuedReads returns the current front-end read queue depth (the
+// saturation monitor's subject; bank queues are counted separately).
+func (c *Controller) QueuedReads() int { return len(c.readQ) }
+
+// BankQueued returns reads dispatched into back-end bank queues
+// (two-stage organization only).
+func (c *Controller) BankQueued() int {
+	n := 0
+	for b := range c.banks {
+		n += len(c.banks[b].queue)
+	}
+	return n
+}
+
+// QueuedWrites returns the current write queue depth.
+func (c *Controller) QueuedWrites() int { return len(c.writeQ) }
+
+// EpochSaturated implements the paper's saturation monitor: it reports
+// whether the average read-queue occupancy since the previous call
+// exceeded half the queue capacity, then resets the measurement window.
+func (c *Controller) EpochSaturated() bool {
+	if c.occCycles == 0 {
+		return false
+	}
+	sat := 2*c.occIntegral > uint64(c.cfg.FrontReadQ)*c.occCycles
+	c.occIntegral = 0
+	c.occCycles = 0
+	return sat
+}
+
+// Tick advances the controller by one cycle: it accumulates monitor
+// state, performs refresh, manages read/write mode, and issues at most
+// one access.
+func (c *Controller) Tick(now uint64) {
+	c.occIntegral += uint64(len(c.readQ))
+	c.occCycles++
+	if len(c.readQ) > 0 || len(c.writeQ) > 0 {
+		c.Stats.PendingCycles++
+	}
+
+	// Refresh: every tREFI the whole rank goes busy for tRFC.
+	if t := &c.cfg.Timing; t.TREFI > 0 && now >= c.nextRefresh {
+		c.nextRefresh = now + uint64(t.TREFI)
+		busyUntil := now + uint64(t.TRFC)
+		for i := range c.banks {
+			if c.banks[i].readyAt < busyUntil {
+				c.banks[i].readyAt = busyUntil
+			}
+		}
+		c.Stats.Refreshes++
+	}
+
+	// Read/write mode with hysteresis.
+	if c.writeMode {
+		if len(c.writeQ) == 0 || (len(c.writeQ) <= c.cfg.WriteLowWater && len(c.readQ) > 0) {
+			c.writeMode = false
+		}
+	} else {
+		if len(c.writeQ) >= c.cfg.WriteHighWater || (len(c.readQ) == 0 && len(c.writeQ) > 0) {
+			c.writeMode = true
+		}
+	}
+
+	// Bound how far ahead of the bus we schedule. Command latency
+	// (ACT+CAS) overlaps the data bus, so the window extends one command
+	// latency plus PipelineDepth bursts past now.
+	t := &c.cfg.Timing
+	window := uint64(t.TRCD + t.TCL + c.cfg.PipelineDepth*t.TBurst)
+	if c.busFreeAt > now+window {
+		return
+	}
+
+	if c.writeMode {
+		c.issueWrite(now)
+	} else if c.cfg.BankQueueDepth > 0 {
+		c.dispatchToBanks(now)
+		c.issueFromBanks(now)
+	} else {
+		c.issueRead(now)
+	}
+}
+
+// dispatchToBanks is the two-stage front end: move the best-priority read
+// whose bank queue has room from the front-end queue into that bank's
+// queue (one dispatch per cycle).
+func (c *Controller) dispatchToBanks(now uint64) {
+	best := -1
+	for i, pkt := range c.readQ {
+		if len(c.banks[c.bankOf(pkt.Addr)].queue) >= c.cfg.BankQueueDepth {
+			continue
+		}
+		if best == -1 || c.better(pkt, c.readQ[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return
+	}
+	pkt := c.readQ[best]
+	c.readQ = append(c.readQ[:best], c.readQ[best+1:]...)
+	bk := &c.banks[c.bankOf(pkt.Addr)]
+	bk.queue = append(bk.queue, pkt)
+}
+
+// issueFromBanks is the two-stage back end: among ready banks' queue
+// heads, serve row hits first, then priority order.
+func (c *Controller) issueFromBanks(now uint64) {
+	bestBank := -1
+	bestHit := false
+	for b := range c.banks {
+		bk := &c.banks[b]
+		if len(bk.queue) == 0 || bk.readyAt > now {
+			continue
+		}
+		pkt := bk.queue[0]
+		hit := c.cfg.Policy == OpenPage && bk.openRow == c.rowOf(pkt.Addr)
+		if bestBank == -1 {
+			bestBank, bestHit = b, hit
+			continue
+		}
+		if hit != bestHit {
+			if hit {
+				bestBank, bestHit = b, hit
+			}
+			continue
+		}
+		if c.better(pkt, c.banks[bestBank].queue[0]) {
+			bestBank = b
+		}
+	}
+	if bestBank < 0 {
+		return
+	}
+	bk := &c.banks[bestBank]
+	pkt := bk.queue[0]
+	bk.queue = bk.queue[1:]
+	if c.arbiter != nil {
+		c.arbiter.OnPick(pkt, now)
+	}
+	dataStart := c.access(now, pkt.Addr, false)
+	doneAt := dataStart + uint64(c.cfg.Timing.TBurst)
+	c.Stats.ReadsServed++
+	c.Stats.BytesByClass[pkt.Class] += mem.LineSize
+	c.Stats.ReadLatencySum += doneAt - pkt.Enq
+	c.Stats.ReadsByClass[pkt.Class]++
+	c.Stats.ReadLatencyByClass[pkt.Class] += doneAt - pkt.Enq
+	c.respond(pkt, doneAt)
+}
+
+// pickRead returns the index in readQ to service, or -1.
+func (c *Controller) pickRead(now uint64) int {
+	best := -1
+	bestHit := false
+	for i, pkt := range c.readQ {
+		b := &c.banks[c.bankOf(pkt.Addr)]
+		if b.readyAt > now {
+			continue
+		}
+		hit := c.cfg.Policy == OpenPage && b.openRow == c.rowOf(pkt.Addr)
+		if best == -1 {
+			best, bestHit = i, hit
+			continue
+		}
+		// First-ready: row hits beat misses (back-end arbiter of
+		// Section III-C2); ties break by schedule policy.
+		if hit != bestHit {
+			if hit {
+				best, bestHit = i, hit
+			}
+			continue
+		}
+		if c.better(pkt, c.readQ[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// better reports whether a should be served before b under the active
+// scheduling policy (bank readiness already checked).
+func (c *Controller) better(a, b *mem.Packet) bool {
+	if c.sched == SchedEDF {
+		if a.Deadline != b.Deadline {
+			return a.Deadline < b.Deadline
+		}
+	}
+	return a.Enq < b.Enq
+}
+
+func (c *Controller) issueRead(now uint64) {
+	i := c.pickRead(now)
+	if i < 0 {
+		return
+	}
+	pkt := c.readQ[i]
+	c.readQ = append(c.readQ[:i], c.readQ[i+1:]...)
+	if c.arbiter != nil {
+		c.arbiter.OnPick(pkt, now)
+	}
+	dataStart := c.access(now, pkt.Addr, false)
+	doneAt := dataStart + uint64(c.cfg.Timing.TBurst)
+
+	c.Stats.ReadsServed++
+	c.Stats.BytesByClass[pkt.Class] += mem.LineSize
+	c.Stats.ReadLatencySum += doneAt - pkt.Enq
+	c.Stats.ReadsByClass[pkt.Class]++
+	c.Stats.ReadLatencyByClass[pkt.Class] += doneAt - pkt.Enq
+	c.respond(pkt, doneAt)
+}
+
+func (c *Controller) issueWrite(now uint64) {
+	// Writes are served oldest-first among ready banks (the paper leaves
+	// write selection unmodified).
+	best := -1
+	for i, pkt := range c.writeQ {
+		if c.banks[c.bankOf(pkt.Addr)].readyAt > now {
+			continue
+		}
+		if best == -1 || pkt.Enq < c.writeQ[best].Enq {
+			best = i
+		}
+	}
+	if best < 0 {
+		return
+	}
+	pkt := c.writeQ[best]
+	c.writeQ = append(c.writeQ[:best], c.writeQ[best+1:]...)
+	c.access(now, pkt.Addr, true)
+	c.Stats.WritesServed++
+	c.Stats.BytesByClass[pkt.Class] += mem.LineSize
+}
+
+// access performs the bank/bus timing for one line transfer and returns
+// the cycle its data burst starts.
+func (c *Controller) access(now uint64, addr mem.Addr, write bool) uint64 {
+	t := &c.cfg.Timing
+	bk := &c.banks[c.bankOf(addr)]
+	row := c.rowOf(addr)
+
+	casDelay := t.TCL
+	if write {
+		casDelay = t.TCWL
+	}
+
+	var cmdDone uint64
+	rowHit := false
+	switch c.cfg.Policy {
+	case ClosedPage:
+		cmdDone = now + uint64(t.TRCD+casDelay)
+	case OpenPage:
+		switch {
+		case bk.openRow == row:
+			rowHit = true
+			cmdDone = now + uint64(casDelay)
+		case bk.openRow >= 0:
+			cmdDone = now + uint64(t.TRP+t.TRCD+casDelay)
+		default:
+			cmdDone = now + uint64(t.TRCD+casDelay)
+		}
+		bk.openRow = row
+	}
+	if rowHit {
+		c.Stats.RowHits++
+	}
+
+	dataStart := c.busFreeAt
+	if cmdDone > dataStart {
+		dataStart = cmdDone
+	}
+	// Bus turnaround penalty on direction change.
+	if write != c.lastWrite {
+		pen := t.TRTW
+		if c.lastWrite {
+			pen = t.TWTR
+		}
+		if min := c.busFreeAt + uint64(pen); dataStart < min {
+			dataStart = min
+		}
+	}
+	c.lastWrite = write
+	dataDone := dataStart + uint64(t.TBurst)
+	c.busFreeAt = dataDone
+	c.Stats.BusBusyCycles += uint64(t.TBurst)
+
+	// Bank occupancy. With closed-page auto-precharge the bank is busy
+	// for tRC = tRAS + tRP from the ACT (issued now); it also cannot
+	// accept a new ACT before its data burst has drained. Bus queueing
+	// delay beyond that does not extend bank occupancy — banks pipeline
+	// behind the shared bus.
+	switch c.cfg.Policy {
+	case ClosedPage:
+		busy := now + uint64(t.TRAS+t.TRP)
+		if dataDone > busy {
+			busy = dataDone
+		}
+		bk.readyAt = busy
+	case OpenPage:
+		bk.readyAt = dataDone
+	}
+	return dataStart
+}
+
+// PeakBytesPerCycle returns the channel's data-bus limit.
+func (c *Controller) PeakBytesPerCycle() float64 {
+	return float64(mem.LineSize) / float64(c.cfg.Timing.TBurst)
+}

@@ -1,0 +1,98 @@
+package dram
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pabst/internal/mem"
+)
+
+// TestBusNeverDoubleBookedProperty drives the controller with arbitrary
+// arrival patterns and checks that data bursts never overlap on the
+// channel: consecutive completion times are at least one burst apart.
+func TestBusNeverDoubleBookedProperty(t *testing.T) {
+	cfg := testCfg()
+	f := func(pattern []byte) bool {
+		cap := &capture{}
+		mc, err := NewController(0, cfg, cap.respond)
+		if err != nil {
+			return false
+		}
+		seq := 0
+		for now := uint64(0); now < 8000; now++ {
+			b := byte(1)
+			if len(pattern) > 0 {
+				b = pattern[int(now)%len(pattern)]
+			}
+			// Arrival bursts of 0..3 requests, random bank spread.
+			for k := 0; k < int(b%4); k++ {
+				if !mc.TryReserveRead() {
+					break
+				}
+				p := &mem.Packet{Addr: lineOnBank(cfg, int(b+byte(k))%cfg.Banks, seq), Kind: mem.Read}
+				seq++
+				mc.ArriveRead(p, now)
+			}
+			// Occasional writebacks.
+			if b%5 == 0 && mc.TryReserveWrite() {
+				mc.ArriveWrite(&mem.Packet{Addr: lineOnBank(cfg, int(b)%cfg.Banks, seq), Kind: mem.Writeback}, now)
+				seq++
+			}
+			mc.Tick(now)
+		}
+		done := append([]uint64(nil), cap.done...)
+		sort.Slice(done, func(i, j int) bool { return done[i] < done[j] })
+		for i := 1; i < len(done); i++ {
+			if done[i]-done[i-1] < uint64(cfg.Timing.TBurst) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConservationProperty checks that every accepted read completes and
+// every accepted write is eventually served, for arbitrary arrivals.
+func TestConservationProperty(t *testing.T) {
+	cfg := testCfg()
+	f := func(pattern []byte) bool {
+		cap := &capture{}
+		mc, err := NewController(0, cfg, cap.respond)
+		if err != nil {
+			return false
+		}
+		reads, writes := 0, 0
+		seq := 0
+		for now := uint64(0); now < 4000; now++ {
+			b := byte(3)
+			if len(pattern) > 0 {
+				b = pattern[int(now)%len(pattern)]
+			}
+			if now < 2000 {
+				if b%3 != 0 && mc.TryReserveRead() {
+					mc.ArriveRead(&mem.Packet{Addr: lineOnBank(cfg, int(b)%cfg.Banks, seq), Kind: mem.Read}, now)
+					reads++
+					seq++
+				}
+				if b%4 == 0 && mc.TryReserveWrite() {
+					mc.ArriveWrite(&mem.Packet{Addr: lineOnBank(cfg, int(b/2)%cfg.Banks, seq), Kind: mem.Writeback}, now)
+					writes++
+					seq++
+				}
+			}
+			mc.Tick(now)
+		}
+		for now := uint64(4000); now < 40000 && (len(cap.done) < reads || int(mc.Stats.WritesServed) < writes); now++ {
+			mc.Tick(now)
+		}
+		return len(cap.done) == reads && int(mc.Stats.WritesServed) == writes &&
+			mc.QueuedReads() == 0 && mc.QueuedWrites() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

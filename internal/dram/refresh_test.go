@@ -1,0 +1,67 @@
+package dram
+
+import (
+	"testing"
+
+	"pabst/internal/mem"
+)
+
+func TestRefreshValidation(t *testing.T) {
+	tm := DDR4().WithRefresh()
+	if err := tm.Validate(); err != nil {
+		t.Fatalf("refresh-enabled timing invalid: %v", err)
+	}
+	tm.TRFC = tm.TREFI
+	if err := tm.Validate(); err == nil {
+		t.Fatal("tRFC >= tREFI accepted")
+	}
+	tm = DDR4()
+	tm.TRFC = -1
+	if err := tm.Validate(); err == nil {
+		t.Fatal("negative tRFC accepted")
+	}
+}
+
+func TestRefreshCostsBandwidth(t *testing.T) {
+	serve := func(tm Timing) (uint64, uint64) {
+		cfg := testCfg()
+		cfg.Timing = tm
+		mc, cap := newTestMC(t, cfg)
+		seq := 0
+		cycles := uint64(100_000)
+		for now := uint64(0); now < cycles; now++ {
+			for mc.TryReserveRead() {
+				b := seq % cfg.Banks
+				p := &mem.Packet{Addr: lineOnBank(cfg, b, seq/cfg.Banks), Kind: mem.Read}
+				seq++
+				mc.ArriveRead(p, now)
+			}
+			mc.Tick(now)
+		}
+		return uint64(len(cap.done)), mc.Stats.Refreshes
+	}
+	noRef, refs0 := serve(DDR4())
+	withRef, refs := serve(DDR4().WithRefresh())
+	if refs0 != 0 {
+		t.Fatalf("refresh fired with TREFI=0: %d", refs0)
+	}
+	// 100k cycles / 15600 tREFI ~ 7 refreshes.
+	if refs < 5 || refs > 8 {
+		t.Fatalf("refresh count %d, want ~7", refs)
+	}
+	// Refresh costs roughly tRFC/tREFI ~ 4.5% of bandwidth.
+	loss := 1 - float64(withRef)/float64(noRef)
+	if loss < 0.02 || loss > 0.10 {
+		t.Fatalf("refresh bandwidth loss %.1f%%, want ~4.5%%", loss*100)
+	}
+}
+
+func TestRefreshScaleKeepsInterval(t *testing.T) {
+	tm := DDR4().WithRefresh().Scale(4)
+	if tm.TRFC != 4*700 {
+		t.Fatalf("tRFC not scaled: %d", tm.TRFC)
+	}
+	if tm.TREFI != 15600 {
+		t.Fatalf("tREFI is a retention requirement and must not scale: %d", tm.TREFI)
+	}
+}

@@ -1,0 +1,115 @@
+// Package dram implements the DDR memory substrate: banked DRAM devices
+// with ACT/CAS/PRE timing, a shared per-channel data bus, and a memory
+// controller with the split front-end / back-end organization the paper's
+// modified gem5 model uses.
+//
+// The front end holds separate bounded read and write queues; admission is
+// credit-based, so when the read queue is full, upstream requests wait in
+// the last-level cache — exactly the condition under which the paper shows
+// target-only regulation breaks down. The back end schedules ready banks
+// onto the data bus. Scheduling policy is pluggable: the baseline is
+// first-ready FCFS (FR-FCFS), and the PABST priority arbiter supplies
+// virtual deadlines picked earliest-deadline-first.
+package dram
+
+import "fmt"
+
+// Timing holds DRAM device timings expressed in CPU cycles.
+type Timing struct {
+	TRCD int // ACT to CAS
+	TCL  int // CAS to first read data
+	TCWL int // CAS to first write data
+	TRP  int // precharge
+	TRAS int // ACT to PRE minimum
+
+	TBurst int // data bus occupancy of one line transfer
+
+	TRTW int // read-to-write bus turnaround
+	TWTR int // write-to-read bus turnaround
+
+	// Refresh: every TREFI cycles the whole rank is unavailable for
+	// TRFC cycles. TREFI = 0 disables refresh (the calibrated default;
+	// enable for the ~4-5% bandwidth tax of real devices).
+	TREFI int
+	TRFC  int
+}
+
+// Validate reports configuration errors.
+func (t Timing) Validate() error {
+	if t.TRCD <= 0 || t.TCL <= 0 || t.TCWL <= 0 || t.TRP <= 0 || t.TRAS <= 0 || t.TBurst <= 0 {
+		return fmt.Errorf("dram: all core timings must be positive: %+v", t)
+	}
+	if t.TRTW < 0 || t.TWTR < 0 {
+		return fmt.Errorf("dram: negative turnaround: %+v", t)
+	}
+	if t.TREFI < 0 || t.TRFC < 0 {
+		return fmt.Errorf("dram: negative refresh timing: %+v", t)
+	}
+	if t.TREFI > 0 && t.TRFC >= t.TREFI {
+		return fmt.Errorf("dram: tRFC %d must be well under tREFI %d", t.TRFC, t.TREFI)
+	}
+	return nil
+}
+
+// Scale multiplies every timing by factor, modeling a DRAM clocked
+// factor× slower relative to the CPU (used by the Figure 11 static
+// quarter-bandwidth baseline).
+func (t Timing) Scale(factor int) Timing {
+	t.TRCD *= factor
+	t.TCL *= factor
+	t.TCWL *= factor
+	t.TRP *= factor
+	t.TRAS *= factor
+	t.TBurst *= factor
+	t.TRTW *= factor
+	t.TWTR *= factor
+	t.TRFC *= factor
+	// tREFI is a wall-clock retention requirement, not a device speed:
+	// the refresh interval does not stretch when the device slows down.
+	return t
+}
+
+// WithRefresh returns the timing with DDR4-class refresh enabled
+// (tREFI 7.8 µs, tRFC 350 ns at the 2 GHz CPU clock).
+func (t Timing) WithRefresh() Timing {
+	t.TREFI = 15600
+	t.TRFC = 700
+	return t
+}
+
+// DDR4 returns DDR4-2400-class timings converted to cycles of a 2 GHz
+// CPU clock. Peak per-channel bandwidth is one 64 B line per TBurst
+// cycles ≈ 9.1 B/cycle ≈ 18.3 GB/s.
+func DDR4() Timing {
+	return Timing{
+		TRCD:   28, // ~14.2 ns
+		TCL:    28,
+		TCWL:   20,
+		TRP:    28,
+		TRAS:   64, // ~32 ns
+		TBurst: 7,  // 64 B burst at 19.2 GB/s
+		TRTW:   4,
+		TWTR:   6,
+	}
+}
+
+// PagePolicy selects row-buffer management.
+type PagePolicy uint8
+
+const (
+	// ClosedPage precharges after every access (the paper's policy).
+	ClosedPage PagePolicy = iota
+	// OpenPage leaves rows open for row-buffer hits.
+	OpenPage
+)
+
+func (p PagePolicy) String() string {
+	switch p {
+	case ClosedPage:
+		return "closed"
+	case OpenPage:
+		return "open"
+	default:
+		return fmt.Sprintf("page(%d)", uint8(p))
+	}
+}

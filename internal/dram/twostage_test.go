@@ -1,0 +1,99 @@
+package dram
+
+import (
+	"testing"
+
+	"pabst/internal/mem"
+)
+
+func twoStageCfg() Config {
+	cfg := testCfg()
+	cfg.BankQueueDepth = 2
+	return cfg
+}
+
+func TestTwoStageServesEverything(t *testing.T) {
+	cfg := twoStageCfg()
+	mc, cap := newTestMC(t, cfg)
+	accepted := 0
+	seq := 0
+	for now := uint64(0); now < 5000; now++ {
+		if now < 2000 && mc.TryReserveRead() {
+			p := &mem.Packet{Addr: lineOnBank(cfg, seq%cfg.Banks, seq), Kind: mem.Read}
+			seq++
+			accepted++
+			mc.ArriveRead(p, now)
+		}
+		mc.Tick(now)
+	}
+	run(mc, 5000, 40000)
+	if len(cap.pkts) != accepted {
+		t.Fatalf("accepted %d, served %d (front %d, banks %d)",
+			accepted, len(cap.pkts), mc.QueuedReads(), mc.BankQueued())
+	}
+	if mc.QueuedReads() != 0 || mc.BankQueued() != 0 {
+		t.Fatal("reads stranded after drain")
+	}
+}
+
+func TestTwoStageEDFPriority(t *testing.T) {
+	cfg := twoStageCfg()
+	mc, cap := newTestMC(t, cfg)
+	arb := &fixedArbiter{deadlines: map[*mem.Packet]uint64{}}
+	mc.SetScheduler(SchedEDF, arb)
+	// Different banks so both are dispatchable and ready.
+	p1 := &mem.Packet{Addr: lineOnBank(cfg, 1, 0), Kind: mem.Read}
+	p2 := &mem.Packet{Addr: lineOnBank(cfg, 2, 0), Kind: mem.Read}
+	arb.deadlines[p1] = 500
+	arb.deadlines[p2] = 100
+	for _, p := range []*mem.Packet{p1, p2} {
+		if !mc.TryReserveRead() {
+			t.Fatal("reserve")
+		}
+		mc.ArriveRead(p, 0)
+	}
+	run(mc, 0, 500)
+	if len(cap.pkts) != 2 || cap.pkts[0] != p2 {
+		t.Fatal("two-stage EDF did not serve the earlier deadline first")
+	}
+}
+
+func TestTwoStageBankQueueDepthRespected(t *testing.T) {
+	cfg := twoStageCfg()
+	mc, _ := newTestMC(t, cfg)
+	// Flood one bank; its queue must never exceed the depth.
+	for i := 0; i < 16; i++ {
+		if !mc.TryReserveRead() {
+			break
+		}
+		mc.ArriveRead(&mem.Packet{Addr: lineOnBank(cfg, 3, i), Kind: mem.Read}, 0)
+	}
+	for now := uint64(0); now < 2000; now++ {
+		mc.Tick(now)
+		if n := len(mc.banks[3].queue); n > cfg.BankQueueDepth {
+			t.Fatalf("bank queue depth %d exceeds %d", n, cfg.BankQueueDepth)
+		}
+	}
+}
+
+func TestTwoStageThroughputComparable(t *testing.T) {
+	serve := func(cfg Config) int {
+		mc, cap := newTestMC(t, cfg)
+		seq := 0
+		for now := uint64(0); now < 30000; now++ {
+			for mc.TryReserveRead() {
+				p := &mem.Packet{Addr: lineOnBank(cfg, seq%cfg.Banks, seq/cfg.Banks), Kind: mem.Read}
+				seq++
+				mc.ArriveRead(p, now)
+			}
+			mc.Tick(now)
+		}
+		return len(cap.done)
+	}
+	single := serve(testCfg())
+	two := serve(twoStageCfg())
+	// The organizations should sustain similar saturated throughput.
+	if float64(two) < 0.9*float64(single) || float64(two) > 1.1*float64(single) {
+		t.Fatalf("two-stage throughput %d vs single-pool %d: outside 10%%", two, single)
+	}
+}

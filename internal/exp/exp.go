@@ -1,0 +1,131 @@
+// Package exp reproduces every table and figure of the paper's evaluation
+// (Section IV). Each experiment builds its workload mix through the public
+// pabst API, runs warmup + measurement windows, and returns the rows or
+// series the paper reports. The cmd/pabstsim CLI and the repository's
+// bench harness are thin wrappers over this package.
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"pabst"
+)
+
+// Scale sizes an experiment run. Quick fits in tests and benches; Full is
+// the CLI default and runs long enough for the paper-scale epoch.
+type Scale struct {
+	Name    string
+	Warmup  uint64 // cycles before measurement (cache fill + governor convergence)
+	Measure uint64 // measured cycles
+	Epoch   uint64 // PABST epoch length
+	Window  uint64 // bandwidth series window
+}
+
+// Quick returns the test/bench scale (short epochs converge fast).
+func Quick() Scale {
+	return Scale{Name: "quick", Warmup: 100_000, Measure: 150_000, Epoch: 2000, Window: 2000}
+}
+
+// Full returns the CLI scale with the paper's 10 µs epoch.
+func Full() Scale {
+	return Scale{Name: "full", Warmup: 1_200_000, Measure: 1_000_000, Epoch: 20_000, Window: 10_000}
+}
+
+// Apply stamps the scale's timing parameters onto a system config.
+func (s Scale) Apply(cfg pabst.SystemConfig) pabst.SystemConfig {
+	cfg.PABST.EpochCycles = s.Epoch
+	cfg.BWWindow = s.Window
+	return cfg
+}
+
+// Row is one line of a paper-style result table.
+type Row struct {
+	Label  string
+	Values map[string]float64
+	Order  []string // column order
+}
+
+// Table is a titled set of rows with shared columns.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []Row
+}
+
+// JSON renders the table as a machine-readable document: a title plus
+// one object per row keyed by column name.
+func (t *Table) JSON() ([]byte, error) {
+	type row struct {
+		Label  string             `json:"label"`
+		Values map[string]float64 `json:"values"`
+	}
+	doc := struct {
+		Title   string   `json:"title"`
+		Columns []string `json:"columns"`
+		Rows    []row    `json:"rows"`
+	}{Title: t.Title, Columns: t.Columns}
+	for _, r := range t.Rows {
+		doc.Rows = append(doc.Rows, row{Label: r.Label, Values: r.Values})
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	fmt.Fprintf(&b, "%-28s", "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-28s", r.Label)
+		for _, c := range t.Columns {
+			v, ok := r.Values[c]
+			if !ok {
+				fmt.Fprintf(&b, "%14s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, "%14.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// modeList is the paper's comparison order.
+func modeList() []pabst.Mode {
+	return []pabst.Mode{pabst.ModeNone, pabst.ModeSourceOnly, pabst.ModeTargetOnly, pabst.ModePABST}
+}
+
+// attachStreams places identical read/write streamers on tiles [from,to).
+func attachStreams(b *pabst.Builder, class pabst.ClassID, from, to int, write bool) {
+	for i := from; i < to; i++ {
+		b.Attach(i, class, pabst.Stream("stream", pabst.TileRegion(i), 128, write))
+	}
+}
+
+// attachChasers places pointer chasers on tiles [from,to). Eight chains
+// per CPU sizes the benchmark per the paper's requirement that chaser
+// "generate enough bandwidth to saturate the system when run in
+// isolation" on this substrate (16 tiles x 8 chains ~ 86% of peak).
+func attachChasers(b *pabst.Builder, class pabst.ClassID, from, to int) {
+	for i := from; i < to; i++ {
+		b.Attach(i, class, pabst.Chaser("chaser", pabst.TileRegion(i), 8, uint64(i)+1))
+	}
+}
+
+// attachSpec places one SPEC proxy on tiles [from,to).
+func attachSpec(b *pabst.Builder, class pabst.ClassID, name string, from, to int) error {
+	for i := from; i < to; i++ {
+		gen, err := pabst.SpecProxy(name, pabst.TileRegion(i), uint64(i)+1)
+		if err != nil {
+			return err
+		}
+		b.Attach(i, class, gen)
+	}
+	return nil
+}

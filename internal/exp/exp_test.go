@@ -1,0 +1,231 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pabst"
+)
+
+// The experiment tests assert the paper's qualitative shapes at the
+// quick scale: who wins, in which direction, and by roughly what factor.
+// Absolute magnitudes live in EXPERIMENTS.md.
+
+func TestFig1Shapes(t *testing.T) {
+	_, results, err := Fig1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]RegulationResult{}
+	for _, r := range results {
+		byKey[r.Mix.String()+"/"+r.Mode.String()] = r
+	}
+	// (a) Source regulation handles the stream flood well.
+	if e := byKey["stream+stream/source-only"].Error; e > 15 {
+		t.Fatalf("stream/source error %.1f%%, want small", e)
+	}
+	// (b) Target-only fails under the flood.
+	if e := byKey["stream+stream/target-only"].Error; e < 30 {
+		t.Fatalf("stream/target error %.1f%%, want large", e)
+	}
+	// (c) Source-only fails for the latency-sensitive chaser...
+	srcCh := byKey["chaser+stream/source-only"]
+	if srcCh.ShareHi > 0.70 {
+		t.Fatalf("chaser/source share %.2f, should fall short of 0.75", srcCh.ShareHi)
+	}
+	// (d) ...while target-only lifts the chaser well above the
+	// unregulated level by cutting its queueing latency.
+	tgtCh := byKey["chaser+stream/target-only"]
+	if tgtCh.ShareHi < 0.35 {
+		t.Fatalf("chaser/target share %.2f, want the arbiter to help", tgtCh.ShareHi)
+	}
+}
+
+func TestFig7PABSTTracksBest(t *testing.T) {
+	_, results, err := Fig7(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := map[MixKind]float64{}
+	var pabstErr = map[MixKind]float64{}
+	for _, r := range results {
+		if r.Mode == pabst.ModePABST {
+			pabstErr[r.Mix] = r.Error
+			continue
+		}
+		if cur, ok := best[r.Mix]; !ok || r.Error < cur {
+			best[r.Mix] = r.Error
+		}
+	}
+	for mix, pe := range pabstErr {
+		// PABST must track (or beat) the better single-sided regulator,
+		// within a modest tolerance.
+		if pe > best[mix]+12 {
+			t.Fatalf("%v: PABST error %.1f%% much worse than best single regulator %.1f%%", mix, pe, best[mix])
+		}
+	}
+}
+
+func TestFig5ProportionalAllocation(t *testing.T) {
+	r, err := Fig5(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.SteadyShares[0]-0.7) > 0.05 || math.Abs(r.SteadyShares[1]-0.3) > 0.05 {
+		t.Fatalf("steady shares %.2f/%.2f, want 0.70/0.30", r.SteadyShares[0], r.SteadyShares[1])
+	}
+	if r.ConvergedAt == 0 {
+		t.Fatal("allocation never converged")
+	}
+	// "quickly find the target rates": within a third of the warmup.
+	if r.ConvergedAt > Quick().Warmup/3 {
+		t.Fatalf("converged only at cycle %d", r.ConvergedAt)
+	}
+}
+
+func TestFig6WorkConservation(t *testing.T) {
+	r, err := Fig6(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IdleWindows == 0 || r.ActiveWindows == 0 {
+		t.Fatalf("phase classification found %d idle / %d active windows", r.IdleWindows, r.ActiveWindows)
+	}
+	// While the periodic class streams, the constant class sits near its
+	// 30% share.
+	if math.Abs(r.ConstShareActive-0.30) > 0.08 {
+		t.Fatalf("constant share while active = %.2f, want ~0.30", r.ConstShareActive)
+	}
+	// While the periodic class is cache-resident, the constant class
+	// soaks up most of the machine.
+	if r.ConstBpcIdle < 0.70*r.PeakBpc {
+		t.Fatalf("constant B/cyc while idle = %.1f of %.1f peak: not work conserving", r.ConstBpcIdle, r.PeakBpc)
+	}
+}
+
+func TestFig8ExcessDistribution(t *testing.T) {
+	r, err := Fig8(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The idle 25% must be redistributed ~2:1.
+	if math.Abs(r.ShareHi-r.ExpectedHi) > 0.06 || math.Abs(r.ShareLo-r.ExpectedLo) > 0.06 {
+		t.Fatalf("excess split %.2f/%.2f, want ~%.2f/%.2f", r.ShareHi, r.ShareLo, r.ExpectedHi, r.ExpectedLo)
+	}
+	// And the L3-resident class stops touching DRAM.
+	if r.ShareL3 > 0.05 {
+		t.Fatalf("L3-resident class still takes %.2f of DRAM traffic", r.ShareL3)
+	}
+}
+
+func TestFig9MemcachedIsolation(t *testing.T) {
+	r, err := Fig9(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Isolated.Transactions == 0 || r.Colocated.Transactions == 0 || r.PABST.Transactions == 0 {
+		t.Fatalf("missing transactions: %+v", r)
+	}
+	// Co-location without QoS must hurt badly...
+	if r.Colocated.Mean < 3*r.Isolated.Mean {
+		t.Fatalf("colocated mean %.0f vs isolated %.0f: aggressor too gentle", r.Colocated.Mean, r.Isolated.Mean)
+	}
+	// ...and PABST must recover most of it, mean and tail.
+	if r.PABST.Mean > 0.4*r.Colocated.Mean {
+		t.Fatalf("PABST mean %.0f vs colocated %.0f: too little recovery", r.PABST.Mean, r.Colocated.Mean)
+	}
+	if r.PABST.P99 > r.Colocated.P99/2 {
+		t.Fatalf("PABST p99 %d vs colocated %d: tail not cut", r.PABST.P99, r.Colocated.P99)
+	}
+}
+
+func TestFig10IsolationShapes(t *testing.T) {
+	// A bandwidth-limited and a latency-limited workload suffice to pin
+	// the shape; the full grid runs in the bench harness and CLI.
+	r, err := Fig10(Quick(), []string{"libquantum", "sphinx3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range r.Workloads {
+		none := r.Cells[w][pabst.ModeNone].WeightedSlowdown
+		pb := r.Cells[w][pabst.ModePABST].WeightedSlowdown
+		src := r.Cells[w][pabst.ModeSourceOnly].WeightedSlowdown
+		tgt := r.Cells[w][pabst.ModeTargetOnly].WeightedSlowdown
+		if none < 1.5 {
+			t.Fatalf("%s: baseline slowdown %.2f, aggressor too weak", w, none)
+		}
+		if pb > 1.35 {
+			t.Fatalf("%s: PABST slowdown %.2f, want near 1.2", w, pb)
+		}
+		if pb > none || src > none || tgt > none {
+			t.Fatalf("%s: some regulator made things worse (none=%.2f src=%.2f tgt=%.2f pabst=%.2f)",
+				w, none, src, tgt, pb)
+		}
+		// PABST at least ties the single-sided regulators (small noise
+		// tolerance).
+		if pb > src+0.08 || pb > tgt+0.08 {
+			t.Fatalf("%s: PABST %.2f worse than a single-sided regulator (src=%.2f tgt=%.2f)", w, pb, src, tgt)
+		}
+	}
+}
+
+func TestFig12EfficiencyShapes(t *testing.T) {
+	r, err := Fig10(Quick(), []string{"libquantum"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := r.Cells["libquantum"][pabst.ModeNone].Efficiency
+	pb := r.Cells["libquantum"][pabst.ModePABST].Efficiency
+	if none < 0.9 {
+		t.Fatalf("baseline efficiency %.2f, should be high with a streaming aggressor", none)
+	}
+	if pb >= none {
+		t.Fatalf("QoS did not cost any efficiency (none=%.2f pabst=%.2f)", none, pb)
+	}
+	if pb < 0.6 {
+		t.Fatalf("PABST efficiency %.2f collapsed", pb)
+	}
+}
+
+func TestFig11WorkConservingFairness(t *testing.T) {
+	cells, err := Fig11(Quick(), []string{"sphinx3", "omnetpp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		// Latency-limited workloads gain the most from consolidation on
+		// full-speed DRAM vs the quarter-frequency static machine.
+		if c.Improvement < 10 {
+			t.Fatalf("%s: improvement %.1f%%, want the work-conserving win", c.Workload, c.Improvement)
+		}
+	}
+}
+
+func TestTable3Renders(t *testing.T) {
+	s := Table3(pabst.Default32Config())
+	for _, want := range []string{"32", "mesh", "DRAM timing", "PABST", "8x4"} {
+		if !strings.Contains(s, want) && !strings.Contains(strings.ToLower(s), strings.ToLower(want)) {
+			t.Fatalf("Table3 output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := &Table{Title: "t", Columns: []string{"a", "b"}}
+	tb.Rows = append(tb.Rows, Row{Label: "r1", Values: map[string]float64{"a": 1}})
+	s := tb.String()
+	if !strings.Contains(s, "r1") || !strings.Contains(s, "1.000") || !strings.Contains(s, "-") {
+		t.Fatalf("table rendering broken:\n%s", s)
+	}
+}
+
+func TestScaleApply(t *testing.T) {
+	cfg := Quick().Apply(pabst.Default32Config())
+	if cfg.PABST.EpochCycles != Quick().Epoch || cfg.BWWindow != Quick().Window {
+		t.Fatal("Scale.Apply did not stamp timing parameters")
+	}
+	if Full().Epoch != 20000 {
+		t.Fatalf("full scale epoch %d, want the paper's 10µs = 20000 cycles", Full().Epoch)
+	}
+}

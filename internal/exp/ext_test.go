@@ -1,0 +1,48 @@
+package exp
+
+import "testing"
+
+func TestExtStaticShowsWorkConservationGain(t *testing.T) {
+	r, err := ExtStatic(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The static limiter pins the constant class at ~30% of peak.
+	if frac := r.StaticBpc / r.PeakBpc; frac < 0.2 || frac > 0.42 {
+		t.Fatalf("static limiter pinned the class at %.2f of peak, want ~0.30", frac)
+	}
+	// PABST's time average must be clearly higher (half the time the
+	// other class is idle).
+	if r.PABSTBpc < 1.3*r.StaticBpc {
+		t.Fatalf("PABST %.1f vs static %.1f B/cyc: too little work-conservation gain",
+			r.PABSTBpc, r.StaticBpc)
+	}
+}
+
+func TestExtSkewLiftsColdChannels(t *testing.T) {
+	r, err := ExtSkew(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.GlobalUtil) != 4 || len(r.PerMCUtil) != 4 {
+		t.Fatalf("expected 4 channels, got %d/%d", len(r.GlobalUtil), len(r.PerMCUtil))
+	}
+	var coldG, coldP float64
+	for i := 1; i < 4; i++ {
+		coldG += r.GlobalUtil[i]
+		coldP += r.PerMCUtil[i]
+	}
+	if coldP < coldG+0.2 {
+		t.Fatalf("per-MC governors lifted cold channels only %.2f -> %.2f (sum)", coldG, coldP)
+	}
+}
+
+func TestExtHeteroLiftsBusyThread(t *testing.T) {
+	r, err := ExtHetero(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HeteroBpc < 2*r.EvenBpc {
+		t.Fatalf("demand feedback lifted the class only %.1f -> %.1f B/cyc", r.EvenBpc, r.HeteroBpc)
+	}
+}

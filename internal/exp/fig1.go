@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"fmt"
+
+	"pabst"
+)
+
+// MixKind selects the Figure 1 / Figure 7 workload mix.
+type MixKind int
+
+const (
+	// MixStreamStream co-runs two write-stream classes (Fig. 1 a-b).
+	MixStreamStream MixKind = iota
+	// MixChaserStream gives the high share to the latency-sensitive
+	// chaser, co-run with a write stream (Fig. 1 c-d).
+	MixChaserStream
+)
+
+func (m MixKind) String() string {
+	if m == MixStreamStream {
+		return "stream+stream"
+	}
+	return "chaser+stream"
+}
+
+// RegulationResult is one (mix, mode) cell: the observed split of memory
+// bandwidth against the intended 3:1 allocation.
+type RegulationResult struct {
+	Mix  MixKind
+	Mode pabst.Mode
+
+	ShareHi, ShareLo float64 // observed bandwidth shares
+	EntitledHi       float64 // 0.75 for the 3:1 allocation
+	Error            float64 // stats-style mean relative share error, %
+	TotalBpc         float64 // delivered bandwidth, bytes/cycle
+}
+
+// RunRegulation runs one (mix, mode) cell of the Figure 1/7 experiment:
+// 16 cores of the high-share class against 16 cores of write stream with
+// a 3:1 allocation.
+func RunRegulation(scale Scale, mix MixKind, mode pabst.Mode) (RegulationResult, error) {
+	cfg := scale.Apply(pabst.Default32Config())
+	b := pabst.NewBuilder(cfg, mode)
+	hi := b.AddClass("hi", 3, cfg.L3Ways/2)
+	lo := b.AddClass("lo", 1, cfg.L3Ways/2)
+
+	switch mix {
+	case MixStreamStream:
+		attachStreams(b, hi, 0, 16, true)
+	case MixChaserStream:
+		attachChasers(b, hi, 0, 16)
+	default:
+		return RegulationResult{}, fmt.Errorf("exp: unknown mix %d", mix)
+	}
+	attachStreams(b, lo, 16, 32, true)
+
+	sys, err := b.Build()
+	if err != nil {
+		return RegulationResult{}, err
+	}
+	sys.Warmup(scale.Warmup)
+	sys.Run(scale.Measure)
+	m := sys.Metrics()
+
+	r := RegulationResult{
+		Mix:        mix,
+		Mode:       mode,
+		ShareHi:    m.ShareOf(hi),
+		ShareLo:    m.ShareOf(lo),
+		EntitledHi: 0.75,
+		TotalBpc:   m.BytesPerCycle(hi) + m.BytesPerCycle(lo),
+	}
+	r.Error = shareError(r.ShareHi, r.ShareLo)
+	return r, nil
+}
+
+// shareError is the mean relative error of the observed shares against
+// the 3:1 entitlement, in percent (the Figure 1 allocation-error metric).
+func shareError(hi, lo float64) float64 {
+	eHi := abs(hi-0.75) / 0.75
+	eLo := abs(lo-0.25) / 0.25
+	return (eHi + eLo) / 2 * 100
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Fig1 reproduces Figure 1: source-only and target-only regulation on
+// both mixes, exposing each scheme's blind spot.
+func Fig1(scale Scale) (*Table, []RegulationResult, error) {
+	return regulationTable(scale, "Figure 1: source- vs target-only regulation (3:1 allocation)",
+		[]pabst.Mode{pabst.ModeSourceOnly, pabst.ModeTargetOnly})
+}
+
+// Fig7 reproduces the Section IV-C comparison: the Figure 1 grid plus
+// PABST, which must track the better regulator on both mixes.
+func Fig7(scale Scale) (*Table, []RegulationResult, error) {
+	return regulationTable(scale, "Figure 7: PABST vs source-only vs target-only (3:1 allocation)",
+		[]pabst.Mode{pabst.ModeSourceOnly, pabst.ModeTargetOnly, pabst.ModePABST})
+}
+
+func regulationTable(scale Scale, title string, modes []pabst.Mode) (*Table, []RegulationResult, error) {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"share-hi", "share-lo", "err-%", "total-B/cyc"},
+	}
+	var results []RegulationResult
+	for _, mix := range []MixKind{MixStreamStream, MixChaserStream} {
+		for _, mode := range modes {
+			r, err := RunRegulation(scale, mix, mode)
+			if err != nil {
+				return nil, nil, err
+			}
+			results = append(results, r)
+			t.Rows = append(t.Rows, Row{
+				Label: fmt.Sprintf("%s / %s", mix, mode),
+				Values: map[string]float64{
+					"share-hi":    r.ShareHi,
+					"share-lo":    r.ShareLo,
+					"err-%":       r.Error,
+					"total-B/cyc": r.TotalBpc,
+				},
+			})
+		}
+	}
+	return t, results, nil
+}

@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"pabst"
+)
+
+// IsolationCell is one (workload, mode) measurement of the Figure 10/12
+// experiment: 16 cores of a SPEC proxy co-run with a 16-core stream
+// aggressor at a 32:1 share ratio.
+type IsolationCell struct {
+	Workload string
+	Mode     pabst.Mode
+
+	WeightedSlowdown float64 // Figure 10 metric
+	Efficiency       float64 // Figure 12 metric (bus busy / bus pending)
+	SpecShare        float64 // SPEC class's share of DRAM traffic
+}
+
+// IsolationResult holds the whole grid plus the isolated references.
+type IsolationResult struct {
+	Workloads []string
+	Cells     map[string]map[pabst.Mode]IsolationCell // workload -> mode
+	// IsolatedIPC holds each workload's per-tile isolated IPC reference.
+	IsolatedIPC map[string][]float64
+	// IsolatedEfficiency is the no-aggressor memory efficiency.
+	IsolatedEfficiency map[string]float64
+}
+
+// RunIsolationWorkload measures one SPEC workload: the isolated reference
+// run plus every regulation mode against the aggressor.
+func RunIsolationWorkload(scale Scale, name string) (map[pabst.Mode]IsolationCell, []float64, float64, error) {
+	// Isolated reference: 16 SPEC tiles alone with the same (limited)
+	// cache allocation.
+	isoSys, err := buildSpecMix(scale, name, false, pabst.ModeNone)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	isoSys.Warmup(scale.Warmup)
+	isoSys.Run(scale.Measure)
+	isoIPC := isoSys.TileIPCs(0)
+	isoEff := isoSys.Metrics().Efficiency
+
+	cells := make(map[pabst.Mode]IsolationCell)
+	for _, mode := range modeList() {
+		sys, err := buildSpecMix(scale, name, true, mode)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		sys.Warmup(scale.Warmup)
+		sys.Run(scale.Measure)
+		m := sys.Metrics()
+		coIPC := sys.TileIPCs(0)
+		cells[mode] = IsolationCell{
+			Workload:         name,
+			Mode:             mode,
+			WeightedSlowdown: weightedSlowdown(isoIPC, coIPC),
+			Efficiency:       m.Efficiency,
+			SpecShare:        m.ShareOf(0),
+		}
+	}
+	return cells, isoIPC, isoEff, nil
+}
+
+// buildSpecMix assembles 16 SPEC tiles (class 0) and optionally 16 stream
+// aggressor tiles (class 1) at a 32:1 share ratio.
+func buildSpecMix(scale Scale, name string, aggressor bool, mode pabst.Mode) (*pabst.System, error) {
+	cfg := scale.Apply(pabst.Default32Config())
+	b := pabst.NewBuilder(cfg, mode)
+	spec := b.AddClass("spec", 32, cfg.L3Ways/2)
+	agg := b.AddClass("aggressor", 1, cfg.L3Ways/2)
+	if err := attachSpec(b, spec, name, 0, 16); err != nil {
+		return nil, err
+	}
+	if aggressor {
+		attachStreams(b, agg, 16, 32, false)
+	}
+	return b.Build()
+}
+
+func weightedSlowdown(iso, co []float64) float64 {
+	var speedup float64
+	n := 0
+	for i := range iso {
+		if iso[i] <= 0 {
+			continue
+		}
+		speedup += co[i] / iso[i]
+		n++
+	}
+	if speedup == 0 || n == 0 {
+		return 0
+	}
+	return float64(n) / speedup
+}
+
+// Fig10 reproduces Figure 10 (weighted slowdown per workload and mode)
+// and collects the Figure 12 efficiency data alongside.
+func Fig10(scale Scale, workloads []string) (*IsolationResult, error) {
+	if len(workloads) == 0 {
+		workloads = pabst.SpecNames()
+	}
+	res := &IsolationResult{
+		Workloads:          workloads,
+		Cells:              make(map[string]map[pabst.Mode]IsolationCell),
+		IsolatedIPC:        make(map[string][]float64),
+		IsolatedEfficiency: make(map[string]float64),
+	}
+	for _, w := range workloads {
+		cells, isoIPC, isoEff, err := RunIsolationWorkload(scale, w)
+		if err != nil {
+			return nil, err
+		}
+		res.Cells[w] = cells
+		res.IsolatedIPC[w] = isoIPC
+		res.IsolatedEfficiency[w] = isoEff
+	}
+	return res, nil
+}
+
+// SlowdownTable renders the Figure 10 grid.
+func (r *IsolationResult) SlowdownTable() *Table {
+	t := &Table{
+		Title:   "Figure 10: weighted slowdown vs 16-core stream aggressor (32:1 shares)",
+		Columns: []string{"none", "source-only", "target-only", "pabst"},
+	}
+	sums := map[pabst.Mode]float64{}
+	for _, w := range r.Workloads {
+		row := Row{Label: w, Values: map[string]float64{}}
+		for _, mode := range modeList() {
+			c := r.Cells[w][mode]
+			row.Values[mode.String()] = c.WeightedSlowdown
+			sums[mode] += c.WeightedSlowdown
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	avg := Row{Label: "average", Values: map[string]float64{}}
+	for _, mode := range modeList() {
+		avg.Values[mode.String()] = sums[mode] / float64(len(r.Workloads))
+	}
+	t.Rows = append(t.Rows, avg)
+	return t
+}
+
+// EfficiencyTable renders the Figure 12 grid.
+func (r *IsolationResult) EfficiencyTable() *Table {
+	t := &Table{
+		Title:   "Figure 12: memory efficiency under QoS (bus busy / bus pending)",
+		Columns: []string{"none", "source-only", "target-only", "pabst"},
+	}
+	for _, w := range r.Workloads {
+		row := Row{Label: w, Values: map[string]float64{}}
+		for _, mode := range modeList() {
+			row.Values[mode.String()] = r.Cells[w][mode].Efficiency
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"pabst"
+)
+
+// Fig11Cell is one workload's IaaS comparison: four equal-share classes
+// under work-conserving PABST versus a static quarter-bandwidth machine.
+type Fig11Cell struct {
+	Workload string
+
+	SharedIPC   float64 // mean class IPC, 4x8 cores under PABST at 25% each
+	StaticIPC   float64 // 8 cores isolated with DDR slowed 4x
+	Improvement float64 // SharedIPC/StaticIPC - 1, in percent
+}
+
+// Fig11 reproduces Figure 11: a consolidated IaaS host with four equal
+// 25% classes (8 CPUs each, all running the same SPEC proxy) compared to
+// a static allocation approximated by an isolated 8-CPU run at DDR/4
+// frequency. Work conservation should deliver a 15-90% improvement.
+func Fig11(scale Scale, workloads []string) ([]Fig11Cell, error) {
+	if len(workloads) == 0 {
+		workloads = pabst.SpecNames()
+	}
+	var out []Fig11Cell
+	for _, w := range workloads {
+		shared, err := runFig11Shared(scale, w)
+		if err != nil {
+			return nil, err
+		}
+		static, err := runFig11Static(scale, w)
+		if err != nil {
+			return nil, err
+		}
+		cell := Fig11Cell{Workload: w, SharedIPC: shared, StaticIPC: static}
+		if static > 0 {
+			cell.Improvement = (shared/static - 1) * 100
+		}
+		out = append(out, cell)
+	}
+	return out, nil
+}
+
+func runFig11Shared(scale Scale, name string) (float64, error) {
+	cfg := scale.Apply(pabst.Default32Config())
+	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	var classes []pabst.ClassID
+	for c := 0; c < 4; c++ {
+		classes = append(classes, b.AddClass(vmName(c), 1, cfg.L3Ways/4))
+	}
+	for c := 0; c < 4; c++ {
+		if err := attachSpec(b, classes[c], name, c*8, c*8+8); err != nil {
+			return 0, err
+		}
+	}
+	sys, err := b.Build()
+	if err != nil {
+		return 0, err
+	}
+	sys.Warmup(scale.Warmup)
+	sys.Run(scale.Measure)
+	var sum float64
+	for _, cls := range classes {
+		sum += sys.ClassIPC(cls)
+	}
+	return sum / 4, nil
+}
+
+func runFig11Static(scale Scale, name string) (float64, error) {
+	// 8 CPUs alone on a machine whose DRAM runs at quarter frequency,
+	// with the same quarter L3 allocation.
+	cfg := scale.Apply(pabst.Default32Config()).ScaleDRAM(4)
+	b := pabst.NewBuilder(cfg, pabst.ModeNone)
+	cls := b.AddClass("vm-static", 1, cfg.L3Ways/4)
+	if err := attachSpec(b, cls, name, 0, 8); err != nil {
+		return 0, err
+	}
+	sys, err := b.Build()
+	if err != nil {
+		return 0, err
+	}
+	sys.Warmup(scale.Warmup)
+	sys.Run(scale.Measure)
+	return sys.ClassIPC(cls), nil
+}
+
+func vmName(i int) string {
+	return "vm-" + string(rune('a'+i))
+}
+
+// Fig11Table renders the IaaS comparison.
+func Fig11Table(cells []Fig11Cell) *Table {
+	t := &Table{
+		Title:   "Figure 11: work-conserving fairness vs static 25% allocation (4 VMs x 8 CPUs)",
+		Columns: []string{"shared-IPC", "static-IPC", "improve-%"},
+	}
+	for _, c := range cells {
+		t.Rows = append(t.Rows, Row{
+			Label: c.Workload,
+			Values: map[string]float64{
+				"shared-IPC": c.SharedIPC,
+				"static-IPC": c.StaticIPC,
+				"improve-%":  c.Improvement,
+			},
+		})
+	}
+	return t
+}

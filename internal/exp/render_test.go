@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTableJSON(t *testing.T) {
+	tb := &Table{Title: "demo", Columns: []string{"x"}}
+	tb.Rows = append(tb.Rows, Row{Label: "r", Values: map[string]float64{"x": 1.5}})
+	b, err := tb.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title string `json:"title"`
+		Rows  []struct {
+			Label  string             `json:"label"`
+			Values map[string]float64 `json:"values"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Title != "demo" || len(doc.Rows) != 1 || doc.Rows[0].Values["x"] != 1.5 {
+		t.Fatalf("round trip: %+v", doc)
+	}
+}
+
+func TestFig11TableRenders(t *testing.T) {
+	tb := Fig11Table([]Fig11Cell{{Workload: "mcf", SharedIPC: 0.2, StaticIPC: 0.18, Improvement: 11.1}})
+	s := tb.String()
+	for _, want := range []string{"mcf", "11.1", "Figure 11"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestMixKindString(t *testing.T) {
+	if MixStreamStream.String() != "stream+stream" || MixChaserStream.String() != "chaser+stream" {
+		t.Fatal("mix names wrong")
+	}
+}
+
+func TestRunRegulationRejectsUnknownMix(t *testing.T) {
+	if _, err := RunRegulation(Quick(), MixKind(99), 0); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}
+
+func TestSeriesResultTable(t *testing.T) {
+	r := &SeriesResult{
+		Classes:      []string{"a", "b"},
+		SteadyShares: []float64{0.7, 0.3},
+	}
+	s := r.Table("demo").String()
+	if !strings.Contains(s, "0.700") || !strings.Contains(s, "demo") {
+		t.Fatalf("series table:\n%s", s)
+	}
+}
+
+func TestExtTablesRender(t *testing.T) {
+	st := (&ExtStaticResult{StaticBpc: 11, PABSTBpc: 17, PeakBpc: 36}).Table().String()
+	if !strings.Contains(st, "static limiter") {
+		t.Fatal("ext-static table broken")
+	}
+	sk := (&ExtSkewResult{GlobalUtil: []float64{0.8, 0.2}, PerMCUtil: []float64{0.8, 0.5}}).Table().String()
+	if !strings.Contains(sk, "channel 0 (hot)") || !strings.Contains(sk, "channel 1") {
+		t.Fatal("ext-skew table broken")
+	}
+	he := (&ExtHeteroResult{EvenBpc: 2, HeteroBpc: 5}).Table().String()
+	if !strings.Contains(he, "demand feedback") {
+		t.Fatal("ext-hetero table broken")
+	}
+	nc := (&ExtNoCResult{Rows: []ExtNoCRow{{Label: "x", ShareHi: 0.7, TotalBpc: 30}}}).Table().String()
+	if !strings.Contains(nc, "interconnect") {
+		t.Fatal("ext-noc table broken")
+	}
+}

@@ -1,0 +1,33 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"pabst"
+)
+
+// Table3 renders the simulated system configuration in the style of the
+// paper's Table III.
+func Table3(cfg pabst.SystemConfig) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Table III: system configuration (%s) ==\n", cfg.Name)
+	row := func(k, v string) { fmt.Fprintf(&b, "%-22s %s\n", k, v) }
+	row("CPUs", fmt.Sprintf("%d, out-of-order window of %d memory ops, issue width %d, %d MSHRs",
+		cfg.NumTiles(), cfg.Core.WindowOps, cfg.Core.IssueWidth, cfg.MaxMSHRs))
+	row("Topology", fmt.Sprintf("%dx%d mesh, %d-cycle base + %d/hop",
+		cfg.MeshCols, cfg.MeshRows, cfg.NoC.BaseDelay, cfg.NoC.RouterDelay+cfg.NoC.LinkDelay))
+	row("L1D (private)", fmt.Sprintf("%d KiB, %d-way, %d-cycle hit", cfg.L1Bytes/1024, cfg.L1Ways, cfg.L1HitLat))
+	row("L2 (private)", fmt.Sprintf("%d KiB, %d-way, %d-cycle hit", cfg.L2Bytes/1024, cfg.L2Ways, cfg.L2HitLat))
+	row("L3 (shared)", fmt.Sprintf("%d slices x %d KiB = %d MiB, %d-way partitioned, %d-cycle slice access",
+		cfg.NumTiles(), cfg.L3SliceBytes/1024, cfg.L3TotalBytes()>>20, cfg.L3Ways, cfg.L3HitLat))
+	row("Memory", fmt.Sprintf("%d channels, %d banks/channel, %s page, read/write queues %d/%d",
+		cfg.NumMCs, cfg.DRAM.Banks, cfg.DRAM.Policy, cfg.DRAM.FrontReadQ, cfg.DRAM.FrontWriteQ))
+	row("DRAM timing", fmt.Sprintf("tRCD=%d tCL=%d tRP=%d tRAS=%d tBURST=%d (CPU cycles)",
+		cfg.DRAM.Timing.TRCD, cfg.DRAM.Timing.TCL, cfg.DRAM.Timing.TRP, cfg.DRAM.Timing.TRAS, cfg.DRAM.Timing.TBurst))
+	row("Peak bandwidth", fmt.Sprintf("%.1f B/cycle (%.1f GB/s at 2 GHz)",
+		cfg.PeakBytesPerCycle(), cfg.PeakBytesPerCycle()*2))
+	row("PABST", fmt.Sprintf("epoch=%d cycles, F=%d, inertia=%d, burst=%d, slack=%d",
+		cfg.PABST.EpochCycles, cfg.PABST.ScaleF, cfg.PABST.Inertia, cfg.PABST.BurstCredit, cfg.PABST.Slack))
+	return b.String()
+}

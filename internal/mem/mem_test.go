@@ -1,0 +1,52 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLineAlignment(t *testing.T) {
+	if Addr(0x12345).Line() != Addr(0x12340) {
+		t.Fatalf("Line() = %#x", uint64(Addr(0x12345).Line()))
+	}
+	if Addr(0x12340).Line() != Addr(0x12340) {
+		t.Fatal("aligned address changed by Line()")
+	}
+}
+
+func TestLineIDRoundTrip(t *testing.T) {
+	f := func(a uint64) bool {
+		addr := Addr(a)
+		// LineID * LineSize must equal the aligned address.
+		return Addr(addr.LineID()<<LineShift) == addr.Line()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineSizeConsistent(t *testing.T) {
+	if 1<<LineShift != LineSize {
+		t.Fatalf("LineShift %d inconsistent with LineSize %d", LineShift, LineSize)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Writeback.String() != "writeback" {
+		t.Fatal("Kind strings wrong")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Fatal("unknown Kind string unhelpful")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := &Packet{Addr: 0x1000, Kind: Read, Class: 3, SrcTile: 7}
+	s := p.String()
+	for _, want := range []string{"read", "0x1000", "class=3", "src=7"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Packet.String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package noc
+
+import (
+	"testing"
+
+	"pabst/internal/mem"
+)
+
+type delivered struct {
+	pkt *mem.Packet
+	dst int
+	at  uint64
+}
+
+func newTestNet(t *testing.T, params NetParams) (*Network, *[]delivered) {
+	t.Helper()
+	var got []delivered
+	n, err := NewNetwork(Config{
+		Cols: 4, Rows: 2, NumMCs: 1,
+		RouterDelay: 1, LinkDelay: 1, BaseDelay: 4,
+	}, params, func(pkt *mem.Packet, dst int, now uint64) {
+		got = append(got, delivered{pkt, dst, now})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, &got
+}
+
+func TestNetworkDeliversAcrossMesh(t *testing.T) {
+	n, got := newTestNet(t, DefaultNetParams())
+	p := &mem.Packet{Addr: 0x40, Kind: mem.Read}
+	if !n.TrySend(p, n.TileNode(0), n.TileNode(7), false) {
+		t.Fatal("send failed on empty network")
+	}
+	for now := uint64(0); now < 100 && len(*got) == 0; now++ {
+		n.Tick(now)
+	}
+	if len(*got) != 1 {
+		t.Fatal("message not delivered")
+	}
+	d := (*got)[0]
+	if d.pkt != p || d.dst != 7 {
+		t.Fatalf("delivered %+v", d)
+	}
+	// Tile 0 (0,0) to tile 7 (3,1): 4 hops x 2 cycles minimum.
+	if d.at < 8 {
+		t.Fatalf("corner route delivered at cycle %d, below physical minimum", d.at)
+	}
+}
+
+func TestNetworkHopLatencyEnforced(t *testing.T) {
+	// A message cannot teleport: delivery time grows with distance.
+	n, got := newTestNet(t, DefaultNetParams())
+	near := &mem.Packet{Addr: 1 * 64}
+	far := &mem.Packet{Addr: 2 * 64}
+	n.TrySend(near, 0, 1, false)
+	n.TrySend(far, 0, 7, false)
+	for now := uint64(0); now < 200 && len(*got) < 2; now++ {
+		n.Tick(now)
+	}
+	var nearAt, farAt uint64
+	for _, d := range *got {
+		if d.pkt == near {
+			nearAt = d.at
+		} else {
+			farAt = d.at
+		}
+	}
+	if nearAt == 0 || farAt == 0 || farAt <= nearAt {
+		t.Fatalf("near at %d, far at %d: distance not reflected", nearAt, farAt)
+	}
+}
+
+func TestNetworkBackpressure(t *testing.T) {
+	// A local queue of capacity 2 rejects the third injection.
+	n, _ := newTestNet(t, NetParams{QueueCap: 2, DataFlits: 4})
+	for i := 0; i < 2; i++ {
+		if !n.TrySend(&mem.Packet{Addr: mem.Addr(i * 64)}, 0, 7, true) {
+			t.Fatalf("send %d rejected below capacity", i)
+		}
+	}
+	if n.TrySend(&mem.Packet{Addr: 0x400}, 0, 7, true) {
+		t.Fatal("send above queue capacity accepted")
+	}
+	if n.InjectFails != 1 {
+		t.Fatalf("InjectFails = %d", n.InjectFails)
+	}
+}
+
+func TestNetworkAllMessagesEventuallyDrain(t *testing.T) {
+	n, got := newTestNet(t, DefaultNetParams())
+	sent := 0
+	for now := uint64(0); now < 4000; now++ {
+		if now < 2000 {
+			src := int(now) % 8
+			dst := (src + 3) % 8
+			if n.TrySend(&mem.Packet{Addr: mem.Addr(now * 64)}, src, dst, now%2 == 0) {
+				sent++
+			}
+		}
+		n.Tick(now)
+	}
+	if sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	if len(*got) != sent {
+		t.Fatalf("sent %d, delivered %d, pending %d", sent, len(*got), n.Pending())
+	}
+	if n.Pending() != 0 {
+		t.Fatalf("%d messages stuck in the fabric", n.Pending())
+	}
+}
+
+func TestNetworkMCNodeAttachment(t *testing.T) {
+	n, got := newTestNet(t, DefaultNetParams())
+	p := &mem.Packet{Addr: 0x40, Kind: mem.Writeback}
+	if !n.TrySend(p, n.TileNode(5), n.MCNode(0), true) {
+		t.Fatal("send to MC failed")
+	}
+	for now := uint64(0); now < 200 && len(*got) == 0; now++ {
+		n.Tick(now)
+	}
+	if len(*got) != 1 || (*got)[0].dst != n.MCNode(0) {
+		t.Fatal("MC-bound message not delivered")
+	}
+}
+
+func TestNetworkStarvedLinksThrottleThroughput(t *testing.T) {
+	// With very slow links, sustained injection from every tile toward
+	// one MC delivers far fewer messages than with fast links.
+	throughput := func(dataFlits int) int {
+		n, got := newTestNet(t, NetParams{QueueCap: 4, DataFlits: dataFlits})
+		for now := uint64(0); now < 3000; now++ {
+			for src := 0; src < 8; src++ {
+				n.TrySend(&mem.Packet{Addr: mem.Addr(now)*64 + mem.Addr(src)}, src, n.MCNode(0), true)
+			}
+			n.Tick(now)
+		}
+		return len(*got)
+	}
+	fast := throughput(1)
+	slow := throughput(16)
+	if slow*2 > fast {
+		t.Fatalf("16x slower links should at least halve throughput: fast %d, slow %d", fast, slow)
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(Config{Cols: 2, Rows: 2, NumMCs: 1}, NetParams{}, func(*mem.Packet, int, uint64) {}); err == nil {
+		t.Fatal("zero params accepted")
+	}
+	if _, err := NewNetwork(Config{Cols: 2, Rows: 2, NumMCs: 1}, DefaultNetParams(), nil); err == nil {
+		t.Fatal("nil deliver accepted")
+	}
+}

@@ -1,0 +1,118 @@
+// Package noc models the on-chip mesh interconnect of the simulated SoC as
+// a hop-latency fabric.
+//
+// Following the paper's methodology ("We do not model internal SoC
+// interconnect bandwidth, under the assumption that it is appropriately
+// provisioned"), links never contend: a message between two nodes is
+// delayed by a fixed base cost plus a per-hop cost over the XY route, and
+// delivery ordering is handled by the receivers' delay queues.
+package noc
+
+import "fmt"
+
+// Config describes the mesh geometry and per-hop costs in cycles.
+type Config struct {
+	Cols, Rows int // tile grid, tiles numbered row-major
+	NumMCs     int // memory controllers, split across top and bottom edges
+
+	RouterDelay int // cycles per router traversal
+	LinkDelay   int // cycles per link traversal
+	BaseDelay   int // fixed injection+ejection overhead
+}
+
+// Mesh computes latencies between tiles and memory controllers.
+type Mesh struct {
+	cfg Config
+	mcX []int
+	mcY []int
+}
+
+// New validates the geometry and returns a Mesh.
+func New(cfg Config) (*Mesh, error) {
+	if cfg.Cols <= 0 || cfg.Rows <= 0 {
+		return nil, fmt.Errorf("noc: invalid grid %dx%d", cfg.Cols, cfg.Rows)
+	}
+	if cfg.NumMCs <= 0 {
+		return nil, fmt.Errorf("noc: need at least one memory controller")
+	}
+	if cfg.RouterDelay < 0 || cfg.LinkDelay < 0 || cfg.BaseDelay < 0 {
+		return nil, fmt.Errorf("noc: negative delay")
+	}
+	m := &Mesh{cfg: cfg}
+	// Distribute MCs along the top edge (y = -1) and bottom edge
+	// (y = Rows), alternating, evenly spaced in x — matching the paper's
+	// Figure 2 edge placement.
+	for i := 0; i < cfg.NumMCs; i++ {
+		onTop := i%2 == 0
+		idx := i / 2
+		perEdge := (cfg.NumMCs + 1) / 2
+		if !onTop {
+			perEdge = cfg.NumMCs / 2
+		}
+		x := (2*idx + 1) * cfg.Cols / (2 * perEdge)
+		if x >= cfg.Cols {
+			x = cfg.Cols - 1
+		}
+		m.mcX = append(m.mcX, x)
+		if onTop {
+			m.mcY = append(m.mcY, -1)
+		} else {
+			m.mcY = append(m.mcY, cfg.Rows)
+		}
+	}
+	return m, nil
+}
+
+// NumTiles returns the number of tiles in the mesh.
+func (m *Mesh) NumTiles() int { return m.cfg.Cols * m.cfg.Rows }
+
+// TileCoord returns the (x, y) grid position of a tile.
+func (m *Mesh) TileCoord(tile int) (x, y int) {
+	m.checkTile(tile)
+	return tile % m.cfg.Cols, tile / m.cfg.Cols
+}
+
+// MCCoord returns the (x, y) grid position of a memory controller.
+func (m *Mesh) MCCoord(mc int) (x, y int) {
+	m.checkMC(mc)
+	return m.mcX[mc], m.mcY[mc]
+}
+
+// TileToTile returns the latency in cycles between two tiles.
+func (m *Mesh) TileToTile(a, b int) int {
+	ax, ay := m.TileCoord(a)
+	bx, by := m.TileCoord(b)
+	return m.route(ax, ay, bx, by)
+}
+
+// TileToMC returns the latency in cycles between a tile and a memory
+// controller (same in both directions).
+func (m *Mesh) TileToMC(tile, mc int) int {
+	tx, ty := m.TileCoord(tile)
+	mx, my := m.MCCoord(mc)
+	return m.route(tx, ty, mx, my)
+}
+
+func (m *Mesh) route(ax, ay, bx, by int) int {
+	hops := abs(ax-bx) + abs(ay-by)
+	return m.cfg.BaseDelay + hops*(m.cfg.RouterDelay+m.cfg.LinkDelay)
+}
+
+func (m *Mesh) checkTile(tile int) {
+	if tile < 0 || tile >= m.NumTiles() {
+		panic(fmt.Sprintf("noc: tile %d outside %d-tile mesh", tile, m.NumTiles()))
+	}
+}
+
+func (m *Mesh) checkMC(mc int) {
+	if mc < 0 || mc >= len(m.mcX) {
+		panic(fmt.Sprintf("noc: MC %d outside %d MCs", mc, len(m.mcX)))
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

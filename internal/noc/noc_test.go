@@ -1,0 +1,126 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mesh8x4(t *testing.T) *Mesh {
+	t.Helper()
+	m, err := New(Config{Cols: 8, Rows: 4, NumMCs: 4, RouterDelay: 1, LinkDelay: 1, BaseDelay: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTileCoords(t *testing.T) {
+	m := mesh8x4(t)
+	if x, y := m.TileCoord(0); x != 0 || y != 0 {
+		t.Fatalf("tile 0 at (%d,%d)", x, y)
+	}
+	if x, y := m.TileCoord(9); x != 1 || y != 1 {
+		t.Fatalf("tile 9 at (%d,%d), want (1,1)", x, y)
+	}
+	if m.NumTiles() != 32 {
+		t.Fatalf("NumTiles = %d", m.NumTiles())
+	}
+}
+
+func TestLatencySelf(t *testing.T) {
+	m := mesh8x4(t)
+	if got := m.TileToTile(5, 5); got != 4 {
+		t.Fatalf("self latency = %d, want base 4", got)
+	}
+}
+
+func TestLatencyKnownRoute(t *testing.T) {
+	m := mesh8x4(t)
+	// tile 0 (0,0) to tile 31 (7,3): 10 hops * 2 + 4 = 24
+	if got := m.TileToTile(0, 31); got != 24 {
+		t.Fatalf("corner-to-corner latency = %d, want 24", got)
+	}
+}
+
+func TestLatencySymmetric(t *testing.T) {
+	m := mesh8x4(t)
+	f := func(a, b uint8) bool {
+		ta, tb := int(a)%32, int(b)%32
+		return m.TileToTile(ta, tb) == m.TileToTile(tb, ta)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMCsOnEdges(t *testing.T) {
+	m := mesh8x4(t)
+	for mc := 0; mc < 4; mc++ {
+		x, y := m.MCCoord(mc)
+		if y != -1 && y != 4 {
+			t.Fatalf("MC %d at y=%d, want edge", mc, y)
+		}
+		if x < 0 || x >= 8 {
+			t.Fatalf("MC %d at x=%d outside grid", mc, x)
+		}
+	}
+	// Distinct positions.
+	seen := map[[2]int]bool{}
+	for mc := 0; mc < 4; mc++ {
+		x, y := m.MCCoord(mc)
+		if seen[[2]int{x, y}] {
+			t.Fatalf("two MCs share position (%d,%d)", x, y)
+		}
+		seen[[2]int{x, y}] = true
+	}
+}
+
+func TestTileToMCPositive(t *testing.T) {
+	m := mesh8x4(t)
+	for tile := 0; tile < 32; tile++ {
+		for mc := 0; mc < 4; mc++ {
+			if l := m.TileToMC(tile, mc); l < 4 {
+				t.Fatalf("tile %d to MC %d latency %d below base", tile, mc, l)
+			}
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{Cols: 0, Rows: 4, NumMCs: 1},
+		{Cols: 8, Rows: 0, NumMCs: 1},
+		{Cols: 8, Rows: 4, NumMCs: 0},
+		{Cols: 8, Rows: 4, NumMCs: 1, RouterDelay: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestSingleMCMesh(t *testing.T) {
+	m, err := New(Config{Cols: 4, Rows: 2, NumMCs: 1, RouterDelay: 1, LinkDelay: 0, BaseDelay: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := m.TileToMC(0, 0); l <= 0 {
+		t.Fatalf("latency %d", l)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := mesh8x4(t)
+	for _, fn := range []func(){
+		func() { m.TileCoord(32) },
+		func() { m.TileCoord(-1) },
+		func() { m.MCCoord(4) },
+	} {
+		func() {
+			defer func() { _ = recover() }()
+			fn()
+			t.Fatal("out-of-range access did not panic")
+		}()
+	}
+}

@@ -1,0 +1,62 @@
+package pabst
+
+import (
+	"pabst/internal/mem"
+	"pabst/internal/qos"
+)
+
+// Arbiter is the target-side priority arbiter of Section III-C2, a
+// simplified fair earliest-deadline scheduler. Each memory controller
+// owns one.
+//
+// A per-class virtual clock advances by the class stride for every
+// accepted read, and the request's virtual deadline is the clock value
+// after the charge. High-weight (low-stride) classes therefore accumulate
+// virtual time slowly and their requests carry earlier deadlines, so the
+// front end serves them first. The slack cap keeps an idle class from
+// banking unbounded virtual credit: a deadline may fall at most Slack
+// virtual ticks behind the last deadline the arbiter picked, and when the
+// cap fires the class clock is pulled forward with it.
+//
+// The arbiter satisfies dram.Arbiter; combined with the controller's
+// row-hit-first back end this is the fair FR-FCFS variant the paper
+// describes. Writes are never prioritized.
+type Arbiter struct {
+	reg   *qos.Registry
+	slack uint64
+
+	vclock     [mem.MaxClasses]uint64
+	lastPicked uint64
+}
+
+// NewArbiter builds an arbiter with the given virtual-tick slack.
+func NewArbiter(reg *qos.Registry, slack uint64) *Arbiter {
+	return &Arbiter{reg: reg, slack: slack}
+}
+
+// OnAccept charges the class one stride and stamps the request's virtual
+// deadline, applying the slack cap. Implements dram.Arbiter.
+func (a *Arbiter) OnAccept(pkt *mem.Packet, now uint64) {
+	vc := a.vclock[pkt.Class] + a.reg.Stride(pkt.Class)
+	if a.lastPicked > a.slack {
+		if floor := a.lastPicked - a.slack; vc < floor {
+			vc = floor
+		}
+	}
+	a.vclock[pkt.Class] = vc
+	pkt.Deadline = vc
+}
+
+// OnPick records the virtual deadline of the request the scheduler
+// selected, advancing the slack reference. Implements dram.Arbiter.
+func (a *Arbiter) OnPick(pkt *mem.Packet, now uint64) {
+	if pkt.Deadline > a.lastPicked {
+		a.lastPicked = pkt.Deadline
+	}
+}
+
+// VClock returns the virtual clock of a class (for tests and tracing).
+func (a *Arbiter) VClock(class mem.ClassID) uint64 { return a.vclock[class] }
+
+// LastPicked returns the most recent picked deadline.
+func (a *Arbiter) LastPicked() uint64 { return a.lastPicked }

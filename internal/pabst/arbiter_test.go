@@ -1,0 +1,167 @@
+package pabst
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pabst/internal/mem"
+	"pabst/internal/qos"
+)
+
+func twoClassReg(t *testing.T, whi, wlo uint64) (*qos.Registry, *qos.Class, *qos.Class) {
+	t.Helper()
+	reg := qos.NewRegistry()
+	hi := reg.MustAdd("hi", whi, 4)
+	lo := reg.MustAdd("lo", wlo, 4)
+	return reg, hi, lo
+}
+
+func TestArbiterChargesStridePerAccept(t *testing.T) {
+	reg, hi, lo := twoClassReg(t, 3, 1) // strides 1 and 3
+	a := NewArbiter(reg, 128)
+	for i := 0; i < 5; i++ {
+		a.OnAccept(&mem.Packet{Class: hi.ID}, 0)
+	}
+	if a.VClock(hi.ID) != 5 {
+		t.Fatalf("hi vclock = %d, want 5", a.VClock(hi.ID))
+	}
+	a.OnAccept(&mem.Packet{Class: lo.ID}, 0)
+	if a.VClock(lo.ID) != 3 {
+		t.Fatalf("lo vclock = %d, want stride 3", a.VClock(lo.ID))
+	}
+}
+
+func TestArbiterDeadlineEqualsChargedClock(t *testing.T) {
+	reg, hi, _ := twoClassReg(t, 3, 1)
+	a := NewArbiter(reg, 128)
+	p := &mem.Packet{Class: hi.ID}
+	a.OnAccept(p, 0)
+	if p.Deadline != a.VClock(hi.ID) {
+		t.Fatalf("deadline %d != vclock %d", p.Deadline, a.VClock(hi.ID))
+	}
+}
+
+func TestArbiterHighWeightGetsEarlierDeadlines(t *testing.T) {
+	reg, hi, lo := twoClassReg(t, 4, 1) // strides 1 and 4
+	a := NewArbiter(reg, 1<<30)
+	var hiD, loD []uint64
+	for i := 0; i < 8; i++ {
+		ph := &mem.Packet{Class: hi.ID}
+		pl := &mem.Packet{Class: lo.ID}
+		a.OnAccept(ph, 0)
+		a.OnAccept(pl, 0)
+		hiD = append(hiD, ph.Deadline)
+		loD = append(loD, pl.Deadline)
+	}
+	// After n accepts each: hi deadline = n, lo deadline = 4n.
+	for i := range hiD {
+		if hiD[i] >= loD[i] {
+			t.Fatalf("request %d: hi deadline %d not earlier than lo %d", i, hiD[i], loD[i])
+		}
+	}
+}
+
+func TestArbiterVClockMonotone(t *testing.T) {
+	f := func(classes []bool, slack8 uint8) bool {
+		reg, hi, lo := twoClassReg(t, 5, 2)
+		a := NewArbiter(reg, uint64(slack8)+1)
+		prev := map[mem.ClassID]uint64{}
+		for i, isHi := range classes {
+			id := lo.ID
+			if isHi {
+				id = hi.ID
+			}
+			p := &mem.Packet{Class: id}
+			a.OnAccept(p, uint64(i))
+			if p.Deadline < prev[id] {
+				return false // per-class deadlines must never regress
+			}
+			prev[id] = p.Deadline
+			if i%3 == 0 {
+				a.OnPick(p, uint64(i))
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArbiterSlackCapLimitsIdleCredit(t *testing.T) {
+	reg, hi, lo := twoClassReg(t, 3, 1)
+	a := NewArbiter(reg, 16)
+	// lo runs alone for a while, advancing lastPicked far ahead.
+	for i := 0; i < 1000; i++ {
+		p := &mem.Packet{Class: lo.ID}
+		a.OnAccept(p, uint64(i))
+		a.OnPick(p, uint64(i))
+	}
+	last := a.LastPicked()
+	if last < 1000 {
+		t.Fatalf("lastPicked = %d", last)
+	}
+	// hi was idle the whole time; its first request must not carry an
+	// ancient deadline — at most slack behind lastPicked.
+	p := &mem.Packet{Class: hi.ID}
+	a.OnAccept(p, 1000)
+	if p.Deadline+16 < last {
+		t.Fatalf("idle class deadline %d more than slack behind lastPicked %d", p.Deadline, last)
+	}
+	// And the cap writes back into the class clock.
+	if a.VClock(hi.ID) != p.Deadline {
+		t.Fatalf("slack cap not written back: vclock %d, deadline %d", a.VClock(hi.ID), p.Deadline)
+	}
+}
+
+func TestArbiterLastPickedMonotone(t *testing.T) {
+	reg, hi, lo := twoClassReg(t, 3, 1)
+	a := NewArbiter(reg, 128)
+	p1 := &mem.Packet{Class: lo.ID}
+	a.OnAccept(p1, 0)
+	a.OnPick(p1, 0)
+	last := a.LastPicked()
+	// Picking an earlier-deadline request later must not rewind.
+	p2 := &mem.Packet{Class: hi.ID}
+	a.OnAccept(p2, 1)
+	a.OnPick(p2, 1)
+	if a.LastPicked() < last {
+		t.Fatal("lastPicked regressed")
+	}
+}
+
+// Long-run fairness: with both classes always backlogged and an EDF pick,
+// service counts approach the weight ratio.
+func TestArbiterEDFServiceRatio(t *testing.T) {
+	reg, hi, lo := twoClassReg(t, 3, 1)
+	a := NewArbiter(reg, 128)
+	backlog := []*mem.Packet{}
+	served := map[mem.ClassID]int{}
+	push := func(id mem.ClassID) {
+		p := &mem.Packet{Class: id}
+		a.OnAccept(p, 0)
+		backlog = append(backlog, p)
+	}
+	// Keep 4 of each class queued; serve earliest deadline 4000 times.
+	for i := 0; i < 4; i++ {
+		push(hi.ID)
+		push(lo.ID)
+	}
+	for n := 0; n < 4000; n++ {
+		best := 0
+		for i, p := range backlog {
+			if p.Deadline < backlog[best].Deadline {
+				best = i
+			}
+		}
+		p := backlog[best]
+		backlog = append(backlog[:best], backlog[best+1:]...)
+		a.OnPick(p, uint64(n))
+		served[p.Class]++
+		push(p.Class)
+	}
+	ratio := float64(served[hi.ID]) / float64(served[lo.ID])
+	if ratio < 2.8 || ratio > 3.2 {
+		t.Fatalf("service ratio %.2f, want ~3.0 for 3:1 weights (served %v)", ratio, served)
+	}
+}

@@ -1,0 +1,55 @@
+package pabst
+
+import (
+	"testing"
+
+	"pabst/internal/mem"
+	"pabst/internal/qos"
+)
+
+func BenchmarkMonitorEpoch(b *testing.B) {
+	m := NewSystemMonitor(DefaultParams())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Epoch(i%3 == 0)
+	}
+}
+
+func BenchmarkPacerIssuePath(b *testing.B) {
+	p := NewPacer(16)
+	p.SetPeriod(40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := uint64(i)
+		if p.CanIssue(now) {
+			p.OnIssue(now)
+		}
+	}
+}
+
+func BenchmarkArbiterAcceptPick(b *testing.B) {
+	reg := qos.NewRegistry()
+	hi := reg.MustAdd("hi", 3, 4)
+	lo := reg.MustAdd("lo", 1, 4)
+	a := NewArbiter(reg, 128)
+	pkts := []*mem.Packet{{Class: hi.ID}, {Class: lo.ID}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pkts[i%2]
+		a.OnAccept(p, uint64(i))
+		a.OnPick(p, uint64(i))
+	}
+}
+
+func BenchmarkGovernorEpoch(b *testing.B) {
+	reg := qos.NewRegistry()
+	c := reg.MustAdd("c", 7, 8)
+	for i := 0; i < 16; i++ {
+		reg.AttachCPU(c.ID)
+	}
+	g := NewGovernor(DefaultParams(), reg, c.ID)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Epoch(i%2 == 0, nil)
+	}
+}

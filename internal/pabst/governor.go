@@ -1,0 +1,119 @@
+package pabst
+
+import (
+	"pabst/internal/mem"
+	"pabst/internal/qos"
+)
+
+// RatePeriod computes the goal request period for one source CPU from the
+// system multiplier, the class stride, and the class's active thread
+// count — Equations 3 and 4 of the paper:
+//
+//	class_period  = M × stride / F
+//	source_period = class_period × threads
+//
+// The multiplication happens before the divide so the F scale factor
+// provides fractional-rate resolution. Because every term except M and F
+// is per-class and every governor computes the same M, the resulting
+// rates are always in exact inverse-stride (= weight) proportion, which
+// is the Eq. 5 invariant.
+func RatePeriod(m, stride uint64, threads int, scaleF uint64) uint64 {
+	if threads <= 0 {
+		threads = 1
+	}
+	return m * stride * uint64(threads) / scaleF
+}
+
+// Governor is the per-tile source regulator: a system monitor, the rate
+// generator, and a pacer. Tiles running the same class each have their
+// own governor (and pacer), matching the hardware organization.
+type Governor struct {
+	params  Params
+	reg     *qos.Registry
+	class   mem.ClassID
+	monitor *SystemMonitor
+	pacer   *Pacer
+
+	// Demand feedback (the Section V-B heterogeneous-allocation
+	// extension): misses this tile generated during the current epoch.
+	demand uint64
+}
+
+// NewGovernor builds a governor for the tile running class on behalf of
+// registry reg.
+func NewGovernor(params Params, reg *qos.Registry, class mem.ClassID) *Governor {
+	return &Governor{
+		params:  params,
+		reg:     reg,
+		class:   class,
+		monitor: NewSystemMonitor(params),
+		pacer:   NewPacer(params.BurstCredit),
+	}
+}
+
+// Class returns the QoS class this governor throttles.
+func (g *Governor) Class() mem.ClassID { return g.class }
+
+// Monitor exposes the monitor for inspection (tests, tracing).
+func (g *Governor) Monitor() *SystemMonitor { return g.monitor }
+
+// Pacer exposes the pacer used by the L2 miss path.
+func (g *Governor) Pacer() *Pacer { return g.pacer }
+
+// Epoch consumes the epoch heartbeat with the wired-OR saturation signal
+// and installs the new goal period into the pacer. The per-controller
+// vector is ignored: the baseline governor regulates against global
+// saturation.
+//
+// With HeterogeneousThreads enabled, the class allocation is split by
+// each thread's reported miss demand instead of evenly: a tile that
+// generated fraction d/D of the class's misses last epoch gets fraction
+// d/D of the class rate (period scaled by D/d), preserving the class
+// total while letting busy threads use what idle threads leave.
+func (g *Governor) Epoch(satAny bool, satPerMC []bool) {
+	m := g.monitor.Epoch(satAny)
+	stride := g.reg.Stride(g.class)
+
+	if g.params.HeterogeneousThreads {
+		d := g.demand
+		g.demand = 0
+		g.reg.ReportDemand(g.class, d)
+		if total := g.reg.Demand(g.class); total > 0 {
+			classPeriod := m * stride / g.params.ScaleF
+			if d == 0 {
+				// No demand: park far below one request per epoch but
+				// leave room to ramp when demand returns.
+				g.pacer.SetPeriod(classPeriod * total)
+				return
+			}
+			g.pacer.SetPeriod(classPeriod * total / d)
+			return
+		}
+		// First epoch (no totals yet): fall through to even split.
+	}
+
+	period := RatePeriod(m, stride, g.reg.Threads(g.class), g.params.ScaleF)
+	g.pacer.SetPeriod(period)
+}
+
+// CanIssue reports whether this tile's L2 may inject a miss now. The
+// target controller is irrelevant to the global governor.
+func (g *Governor) CanIssue(now uint64, mc int) bool { return g.pacer.CanIssue(now) }
+
+// OnIssue charges the pacer for a miss entering the SoC network.
+func (g *Governor) OnIssue(now uint64, mc int) { g.pacer.OnIssue(now) }
+
+// OnDemand counts a generated miss toward this epoch's demand report.
+func (g *Governor) OnDemand(now uint64) { g.demand++ }
+
+// OnResponse applies the cache-filtering corrections carried on a
+// response: refund if the shared cache serviced the request, an extra
+// charge if the fill generated a writeback.
+func (g *Governor) OnResponse(pkt *mem.Packet, now uint64) {
+	if pkt.L3Hit {
+		g.pacer.OnL3Hit()
+	}
+	if pkt.WBGen {
+		g.pacer.OnWriteback(now)
+	}
+}

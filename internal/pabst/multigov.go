@@ -1,0 +1,102 @@
+package pabst
+
+import (
+	"pabst/internal/mem"
+	"pabst/internal/qos"
+)
+
+// MultiGovernor is the Section III-C1 alternative source regulator: one
+// system monitor and one pacer per memory controller, each fed by that
+// controller's own saturation signal instead of the global wired-OR.
+//
+// When traffic is unevenly distributed across channels, the global OR
+// forces every channel down to the hottest channel's rate, leaving the
+// cold channels underutilized; per-controller regulation throttles only
+// the traffic headed to the saturated channel.
+//
+// The proportional-share invariant (Eq. 5) holds per controller: each
+// controller's monitors see identical inputs across tiles, so per-MC
+// target rates remain in stride ratio for the traffic of that channel.
+type MultiGovernor struct {
+	params Params
+	reg    *qos.Registry
+	class  mem.ClassID
+
+	monitors []*SystemMonitor
+	pacers   []*Pacer
+
+	// mcOf maps a line address to its memory controller, mirroring the
+	// system's channel hash so that response-carried corrections refund
+	// the right pacer.
+	mcOf func(addr mem.Addr) int
+}
+
+// NewMultiGovernor builds a per-controller governor for the tile running
+// class. numMCs is the channel count and mcOf the system's channel hash.
+func NewMultiGovernor(params Params, reg *qos.Registry, class mem.ClassID, numMCs int, mcOf func(mem.Addr) int) *MultiGovernor {
+	if numMCs <= 0 || mcOf == nil {
+		panic("pabst: MultiGovernor needs channels and a channel hash")
+	}
+	g := &MultiGovernor{params: params, reg: reg, class: class, mcOf: mcOf}
+	for i := 0; i < numMCs; i++ {
+		g.monitors = append(g.monitors, NewSystemMonitor(params))
+		g.pacers = append(g.pacers, NewPacer(params.BurstCredit))
+	}
+	return g
+}
+
+// Class returns the QoS class this governor throttles.
+func (g *MultiGovernor) Class() mem.ClassID { return g.class }
+
+// MonitorOf exposes controller mc's monitor (tests, tracing).
+func (g *MultiGovernor) MonitorOf(mc int) *SystemMonitor { return g.monitors[mc] }
+
+// PacerOf exposes controller mc's pacer.
+func (g *MultiGovernor) PacerOf(mc int) *Pacer { return g.pacers[mc] }
+
+// Epoch consumes the heartbeat: each controller's monitor sees only its
+// own saturation bit. The rate generator divides the per-source period by
+// the channel count so that an evenly spread class is paced identically
+// to the global governor at the same M.
+func (g *MultiGovernor) Epoch(satAny bool, satPerMC []bool) {
+	stride := g.reg.Stride(g.class)
+	threads := g.reg.Threads(g.class)
+	for i, mon := range g.monitors {
+		sat := satAny
+		if i < len(satPerMC) {
+			sat = satPerMC[i]
+		}
+		m := mon.Epoch(sat)
+		// A single channel carries ~1/numMCs of the class's traffic, so
+		// the per-channel inter-request period is numMCs times the
+		// whole-class source period at the same rate.
+		period := RatePeriod(m, stride, threads, g.params.ScaleF) * uint64(len(g.monitors))
+		g.pacers[i].SetPeriod(period)
+	}
+}
+
+// CanIssue implements regulate.Source for the pacer of channel mc.
+func (g *MultiGovernor) CanIssue(now uint64, mc int) bool {
+	return g.pacers[mc].CanIssue(now)
+}
+
+// OnIssue implements regulate.Source.
+func (g *MultiGovernor) OnIssue(now uint64, mc int) {
+	g.pacers[mc].OnIssue(now)
+}
+
+// OnDemand implements regulate.Source; per-MC governors use even
+// intra-class splitting.
+func (g *MultiGovernor) OnDemand(now uint64) {}
+
+// OnResponse applies response-carried corrections to the pacer of the
+// channel that served (or would have served) the request.
+func (g *MultiGovernor) OnResponse(pkt *mem.Packet, now uint64) {
+	p := g.pacers[g.mcOf(pkt.Addr)]
+	if pkt.L3Hit {
+		p.OnL3Hit()
+	}
+	if pkt.WBGen {
+		p.OnWriteback(now)
+	}
+}

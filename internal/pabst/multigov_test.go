@@ -1,0 +1,101 @@
+package pabst
+
+import (
+	"testing"
+
+	"pabst/internal/mem"
+	"pabst/internal/qos"
+)
+
+func mcHash4(addr mem.Addr) int { return int(addr.LineID() % 4) }
+
+func newMG(t *testing.T) (*MultiGovernor, *qos.Class) {
+	t.Helper()
+	reg := qos.NewRegistry()
+	c := reg.MustAdd("c", 1, 4)
+	reg.AttachCPU(c.ID)
+	return NewMultiGovernor(testParams(), reg, c.ID, 4, mcHash4), c
+}
+
+func TestMultiGovernorIndependentChannels(t *testing.T) {
+	g, _ := newMG(t)
+	// Channel 0 saturated, others idle, repeatedly.
+	for i := 0; i < 50; i++ {
+		g.Epoch(true, []bool{true, false, false, false})
+	}
+	// Channel 0 heavily throttled, others nearly unthrottled.
+	if g.PacerOf(0).Period() <= g.PacerOf(1).Period() {
+		t.Fatalf("saturated channel period %d should exceed idle channel period %d",
+			g.PacerOf(0).Period(), g.PacerOf(1).Period())
+	}
+	if g.MonitorOf(1).M() != testParams().MMin {
+		t.Fatalf("idle channel M = %d, want MMin", g.MonitorOf(1).M())
+	}
+}
+
+func TestMultiGovernorFallsBackToGlobalSAT(t *testing.T) {
+	g, _ := newMG(t)
+	// Short vector: missing channels use the wired-OR bit.
+	g.Epoch(true, nil)
+	for i := 0; i < 4; i++ {
+		if g.MonitorOf(i).Dir() != RateDown {
+			t.Fatalf("channel %d ignored global SAT", i)
+		}
+	}
+}
+
+func TestMultiGovernorPeriodScaling(t *testing.T) {
+	// At equal M, the per-channel period must be numMCs x the global
+	// governor's period, so an evenly spread class sees the same total
+	// rate.
+	reg := qos.NewRegistry()
+	c := reg.MustAdd("c", 1, 4)
+	reg.AttachCPU(c.ID)
+	params := testParams()
+	mg := NewMultiGovernor(params, reg, c.ID, 4, mcHash4)
+	gg := NewGovernor(params, reg, c.ID)
+	mg.Epoch(true, []bool{true, true, true, true})
+	gg.Epoch(true, nil)
+	if mg.PacerOf(0).Period() != 4*gg.Pacer().Period() {
+		t.Fatalf("per-MC period %d, want 4x global %d", mg.PacerOf(0).Period(), gg.Pacer().Period())
+	}
+}
+
+func TestMultiGovernorResponseRoutesToChannelPacer(t *testing.T) {
+	g, _ := newMG(t)
+	g.Epoch(true, []bool{true, true, true, true})
+	now := uint64(100000)
+	// Spend channel 2's credit.
+	for g.CanIssue(now, 2) {
+		g.OnIssue(now, 2)
+	}
+	if g.CanIssue(now, 2) {
+		t.Fatal("precondition")
+	}
+	// A hit refund for an address on channel 2 restores it; a refund on
+	// channel 1 must not.
+	addrOn := func(mc int) mem.Addr { return mem.Addr(uint64(mc) << mem.LineShift) }
+	g.OnResponse(&mem.Packet{Addr: addrOn(1), L3Hit: true}, now)
+	if g.CanIssue(now, 2) {
+		t.Fatal("refund leaked across channels")
+	}
+	g.OnResponse(&mem.Packet{Addr: addrOn(2), L3Hit: true}, now)
+	if !g.CanIssue(now, 2) {
+		t.Fatal("refund did not reach the right channel pacer")
+	}
+}
+
+func TestMultiGovernorValidation(t *testing.T) {
+	reg := qos.NewRegistry()
+	c := reg.MustAdd("c", 1, 4)
+	for _, fn := range []func(){
+		func() { NewMultiGovernor(testParams(), reg, c.ID, 0, mcHash4) },
+		func() { NewMultiGovernor(testParams(), reg, c.ID, 4, nil) },
+	} {
+		func() {
+			defer func() { _ = recover() }()
+			fn()
+			t.Fatal("invalid MultiGovernor accepted")
+		}()
+	}
+}

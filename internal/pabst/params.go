@@ -1,0 +1,120 @@
+// Package pabst implements the paper's contribution: the source-side
+// bandwidth governor (system monitor, rate generator, and pacer of
+// Section III-B) and the target-side machinery (saturation monitor and
+// priority arbiter of Section III-C).
+//
+// One Governor instance sits at each tile's private cache and throttles
+// the rate at which L2 misses enter the SoC network. All governors run
+// the same distributed algorithm from the same two inputs — the epoch
+// heartbeat and the global wired-OR saturation signal — so they produce
+// identical multipliers without communicating. One Arbiter instance sits
+// in each memory controller and serves queued reads earliest-virtual-
+// deadline-first, charging each class one stride of virtual time per
+// accepted request.
+package pabst
+
+import "fmt"
+
+// Params collects every tunable of the PABST mechanism. Defaults follow
+// the paper where it gives values (epoch 10 µs, F = 16, inertia 3, burst
+// 16, slack 128).
+type Params struct {
+	// EpochCycles is the heartbeat period in CPU cycles (10 µs at the
+	// modeled 2 GHz clock = 20000 cycles).
+	EpochCycles uint64
+
+	// ScaleF is the constant fractional-rate scale factor F of Eq. 3.
+	ScaleF uint64
+
+	// Inertia is the number of consecutive same-direction epochs before
+	// δM begins growing again after a direction flip.
+	Inertia int
+
+	// BurstCredit bounds pacer credit to this many requests' worth of
+	// source period, allowing bursts of up to BurstCredit requests to
+	// proceed unthrottled after idleness.
+	BurstCredit int
+
+	// Slack caps how far behind the arbiter's last picked virtual
+	// deadline a newly assigned deadline may fall, in virtual ticks.
+	Slack uint64
+
+	// MInit, MMin, MMax bound the throttle multiplier M.
+	MInit, MMin, MMax uint64
+
+	// ShiftInit, ShiftMin, ShiftMax bound the gain shift k: the epoch
+	// step is δM = max(M >> k, 1). Smaller k means bigger steps.
+	ShiftInit, ShiftMin, ShiftMax uint
+
+	// PerMCGovernors selects the Section III-C1 alternative: one
+	// governor pacer per memory controller fed by that controller's own
+	// saturation signal, instead of one pacer fed by the global
+	// wired-OR. Helps when traffic is skewed across channels.
+	PerMCGovernors bool
+
+	// HeterogeneousThreads enables the Section V-B extension: the class
+	// allocation is distributed among the class's CPUs in proportion to
+	// each CPU's reported miss demand rather than evenly. Not combined
+	// with PerMCGovernors.
+	HeterogeneousThreads bool
+
+	// EpochJitter is the maximum per-tile lag, in cycles, between the
+	// epoch heartbeat and its arrival at a tile's governor — modeling
+	// the Section III-D relaxation that "lockstep" need only hold at a
+	// timescale much smaller than an epoch (heartbeats negotiated by
+	// network packets rather than dedicated wires). Zero means perfectly
+	// synchronous delivery.
+	EpochJitter uint64
+}
+
+// DefaultParams returns the paper's configuration at a 2 GHz CPU clock.
+//
+// ScaleF differs from the paper's 16: our multiplier M is a plain integer
+// rather than hardware fixed-point, so F also sets the rate resolution
+// near the operating point. With small strides and 16 active threads,
+// F = 256 keeps single-step rate changes under ~10% where F = 16 would
+// make them ~100% (Section V-A's large-stride instability).
+func DefaultParams() Params {
+	return Params{
+		EpochCycles: 20000,
+		ScaleF:      256,
+		Inertia:     3,
+		BurstCredit: 16,
+		Slack:       128,
+		MInit:       4096,
+		MMin:        1,
+		MMax:        1 << 26,
+		ShiftInit:   4,
+		ShiftMin:    2,
+		ShiftMax:    10,
+	}
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	if p.EpochCycles == 0 {
+		return fmt.Errorf("pabst: epoch must be positive")
+	}
+	if p.ScaleF == 0 {
+		return fmt.Errorf("pabst: scale factor F must be positive")
+	}
+	if p.Inertia < 0 {
+		return fmt.Errorf("pabst: negative inertia")
+	}
+	if p.BurstCredit <= 0 {
+		return fmt.Errorf("pabst: burst credit must be positive")
+	}
+	if p.MMin == 0 || p.MMin > p.MMax || p.MInit < p.MMin || p.MInit > p.MMax {
+		return fmt.Errorf("pabst: M bounds must satisfy 0 < MMin <= MInit <= MMax")
+	}
+	if p.ShiftMin > p.ShiftMax || p.ShiftInit < p.ShiftMin || p.ShiftInit > p.ShiftMax || p.ShiftMax > 63 {
+		return fmt.Errorf("pabst: shift bounds must satisfy ShiftMin <= ShiftInit <= ShiftMax <= 63")
+	}
+	if p.EpochJitter >= p.EpochCycles {
+		return fmt.Errorf("pabst: epoch jitter %d must be well under the epoch length %d", p.EpochJitter, p.EpochCycles)
+	}
+	if p.HeterogeneousThreads && p.PerMCGovernors {
+		return fmt.Errorf("pabst: heterogeneous thread allocation is not implemented for per-MC governors")
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package pabst
+
+import (
+	"pabst/internal/mem"
+	"pabst/internal/qos"
+)
+
+// StrictArbiter is a comparison baseline for the priority arbiter: it
+// stamps every request with a constant deadline equal to its class
+// stride, so an EDF pick degenerates into strict priority by weight
+// (ties broken by arrival order).
+//
+// Strict priority has no virtual-time accounting, so a backlogged
+// high-weight class starves everyone below it — the classic failure the
+// fair-queueing lineage (and PABST's arbiter) exists to avoid. It is
+// exercised by tests and ablations, not wired into any system mode.
+type StrictArbiter struct {
+	reg *qos.Registry
+}
+
+// NewStrictArbiter builds the baseline.
+func NewStrictArbiter(reg *qos.Registry) *StrictArbiter {
+	return &StrictArbiter{reg: reg}
+}
+
+// OnAccept implements dram.Arbiter.
+func (a *StrictArbiter) OnAccept(pkt *mem.Packet, now uint64) {
+	pkt.Deadline = a.reg.Stride(pkt.Class)
+}
+
+// OnPick implements dram.Arbiter.
+func (a *StrictArbiter) OnPick(pkt *mem.Packet, now uint64) {}

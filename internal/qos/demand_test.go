@@ -1,0 +1,45 @@
+package qos
+
+import "testing"
+
+func TestDemandRollSemantics(t *testing.T) {
+	r := NewRegistry()
+	a := r.MustAdd("a", 1, 4)
+	b := r.MustAdd("b", 1, 4)
+
+	// Reports accumulate into the current window, invisible until rolled.
+	r.ReportDemand(a.ID, 10)
+	r.ReportDemand(a.ID, 5)
+	r.ReportDemand(b.ID, 7)
+	if r.Demand(a.ID) != 0 || r.Demand(b.ID) != 0 {
+		t.Fatal("demand visible before the roll")
+	}
+	r.RollDemand()
+	if r.Demand(a.ID) != 15 || r.Demand(b.ID) != 7 {
+		t.Fatalf("demand after roll = %d/%d, want 15/7", r.Demand(a.ID), r.Demand(b.ID))
+	}
+	// The next window starts empty.
+	r.RollDemand()
+	if r.Demand(a.ID) != 0 {
+		t.Fatal("accumulator not reset by roll")
+	}
+}
+
+func TestRegistryAccessors(t *testing.T) {
+	r := NewRegistry()
+	a := r.MustAdd("a", 4, 8)
+	r.MustAdd("b", 2, 8)
+	if r.NumClasses() != 2 || len(r.Classes()) != 2 {
+		t.Fatal("class enumeration broken")
+	}
+	if r.Weight(a.ID) != 4 {
+		t.Fatalf("Weight = %d", r.Weight(a.ID))
+	}
+	if r.Stride(a.ID) != 1 { // weights 2:1 -> strides 1:2
+		t.Fatalf("Stride = %d", r.Stride(a.ID))
+	}
+	r.AttachCPU(a.ID)
+	if r.Threads(a.ID) != 1 {
+		t.Fatalf("Threads = %d", r.Threads(a.ID))
+	}
+}

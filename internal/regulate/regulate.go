@@ -1,0 +1,125 @@
+// Package regulate defines the bandwidth-regulation modes the paper
+// compares and the source-regulator interface the tiles program against.
+//
+// The four modes map to the paper's evaluation matrix: no QoS at all, the
+// source governor alone, the target priority arbiter alone, and full
+// PABST (both). The same pabst.Governor implementation backs both
+// source-enabled modes; the same pabst.Arbiter backs both target-enabled
+// modes, so mode differences are purely about which half is wired in.
+package regulate
+
+import (
+	"fmt"
+
+	"pabst/internal/mem"
+)
+
+// Mode selects which halves of PABST are active.
+type Mode uint8
+
+const (
+	// ModeNone disables all bandwidth QoS (the baseline).
+	ModeNone Mode = iota
+	// ModeSourceOnly enables only the per-tile governors.
+	ModeSourceOnly
+	// ModeTargetOnly enables only the memory-controller arbiters.
+	ModeTargetOnly
+	// ModePABST enables both halves.
+	ModePABST
+	// ModeStaticSource is the related-work baseline: a fixed,
+	// non-work-conserving source rate limit (clock-modulation-class
+	// schemes), no target priority.
+	ModeStaticSource
+)
+
+// SourceEnabled reports whether tiles throttle at the source.
+func (m Mode) SourceEnabled() bool {
+	return m == ModeSourceOnly || m == ModePABST || m == ModeStaticSource
+}
+
+// TargetEnabled reports whether memory controllers use EDF priority.
+func (m Mode) TargetEnabled() bool { return m == ModeTargetOnly || m == ModePABST }
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeSourceOnly:
+		return "source-only"
+	case ModeTargetOnly:
+		return "target-only"
+	case ModePABST:
+		return "pabst"
+	case ModeStaticSource:
+		return "static-source"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// ParseMode converts a mode name to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "none":
+		return ModeNone, nil
+	case "source-only", "source":
+		return ModeSourceOnly, nil
+	case "target-only", "target":
+		return ModeTargetOnly, nil
+	case "pabst", "both":
+		return ModePABST, nil
+	case "static-source", "static":
+		return ModeStaticSource, nil
+	default:
+		return ModeNone, fmt.Errorf("regulate: unknown mode %q", s)
+	}
+}
+
+// Modes lists every mode in presentation order.
+func Modes() []Mode {
+	return []Mode{ModeNone, ModeSourceOnly, ModeTargetOnly, ModePABST, ModeStaticSource}
+}
+
+// Source is the tile-side regulator interface. pabst.Governor (one pacer
+// fed by the global wired-OR SAT) and pabst.MultiGovernor (one pacer per
+// memory controller fed by per-controller SAT, the Section III-C1
+// alternative) implement it; Unthrottled is the pass-through used when
+// source regulation is off.
+//
+// The mc argument names the memory controller the miss is headed to;
+// global regulators ignore it.
+type Source interface {
+	// CanIssue reports whether an L2 miss bound for mc may enter the SoC
+	// network.
+	CanIssue(now uint64, mc int) bool
+	// OnIssue charges for a miss bound for mc that entered the network.
+	OnIssue(now uint64, mc int)
+	// OnResponse applies response-carried corrections (L3 hit refund,
+	// writeback charge).
+	OnResponse(pkt *mem.Packet, now uint64)
+	// OnDemand records that the tile generated a miss (whether or not it
+	// has been allowed into the network yet) — the demand-feedback
+	// signal for heterogeneous intra-class allocation.
+	OnDemand(now uint64)
+	// Epoch delivers the heartbeat: the wired-OR of all saturation
+	// signals plus the per-controller vector.
+	Epoch(satAny bool, satPerMC []bool)
+}
+
+// Unthrottled is a Source that never throttles.
+type Unthrottled struct{}
+
+// CanIssue implements Source.
+func (Unthrottled) CanIssue(uint64, int) bool { return true }
+
+// OnIssue implements Source.
+func (Unthrottled) OnIssue(uint64, int) {}
+
+// OnResponse implements Source.
+func (Unthrottled) OnResponse(*mem.Packet, uint64) {}
+
+// OnDemand implements Source.
+func (Unthrottled) OnDemand(uint64) {}
+
+// Epoch implements Source.
+func (Unthrottled) Epoch(bool, []bool) {}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDelayQueueNotReadyBeforeTime(t *testing.T) {
+	var q DelayQueue[int]
+	q.Push(42, 10)
+	if _, ok := q.Pop(9); ok {
+		t.Fatal("popped item before its readyAt cycle")
+	}
+	v, ok := q.Pop(10)
+	if !ok || v != 42 {
+		t.Fatalf("Pop(10) = %d,%v want 42,true", v, ok)
+	}
+}
+
+func TestDelayQueueOrdersByReadyAt(t *testing.T) {
+	var q DelayQueue[string]
+	q.Push("late", 30)
+	q.Push("early", 10)
+	q.Push("mid", 20)
+	var got []string
+	for {
+		v, ok := q.Pop(100)
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	want := []string{"early", "mid", "late"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDelayQueueFIFOAtSameCycle(t *testing.T) {
+	var q DelayQueue[int]
+	for i := 0; i < 20; i++ {
+		q.Push(i, 5)
+	}
+	for i := 0; i < 20; i++ {
+		v, ok := q.Pop(5)
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d,%v; same-cycle items must pop FIFO", i, v, ok)
+		}
+	}
+}
+
+func TestDelayQueuePeek(t *testing.T) {
+	var q DelayQueue[int]
+	if _, _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue reported ok")
+	}
+	q.Push(7, 3)
+	v, at, ok := q.Peek()
+	if !ok || v != 7 || at != 3 {
+		t.Fatalf("Peek = %d,%d,%v want 7,3,true", v, at, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Peek changed Len to %d", q.Len())
+	}
+}
+
+// Property: popping everything yields items sorted by readyAt, and every
+// pushed item comes back exactly once.
+func TestDelayQueueDrainSortedProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		var q DelayQueue[int]
+		for i, d := range delays {
+			q.Push(i, uint64(d))
+		}
+		var gotAt []uint64
+		seen := make(map[int]bool)
+		for {
+			item, at, ok := q.Peek()
+			if !ok {
+				break
+			}
+			v, ok := q.Pop(at)
+			if !ok || v != item {
+				return false
+			}
+			gotAt = append(gotAt, at)
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		if len(seen) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(gotAt, func(i, j int) bool { return gotAt[i] < gotAt[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(12345), NewRNG(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values in 100 draws", same)
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero-seeded RNG is stuck at zero")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(99)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}

@@ -1,0 +1,69 @@
+// Package sim provides the deterministic cycle-stepped simulation kernel
+// used by every structural model in the repository.
+//
+// The kernel advances a single global clock. Components implement Ticker
+// and are stepped once per cycle in registration order, which makes every
+// run bit-for-bit reproducible. Periodic hooks (the PABST epoch heartbeat,
+// statistics sampling) fire at cycle boundaries before the tickers run.
+package sim
+
+// Ticker is a component stepped once per simulated cycle.
+type Ticker interface {
+	Tick(now uint64)
+}
+
+// TickFunc adapts a function to the Ticker interface.
+type TickFunc func(now uint64)
+
+// Tick implements Ticker.
+func (f TickFunc) Tick(now uint64) { f(now) }
+
+type hook struct {
+	period uint64
+	phase  uint64
+	fn     func(now uint64)
+}
+
+// Kernel owns the global clock and the ordered set of components.
+// The zero value is ready to use.
+type Kernel struct {
+	now     uint64
+	tickers []Ticker
+	hooks   []hook
+}
+
+// Now returns the current cycle. The first cycle executed by Run is 0.
+func (k *Kernel) Now() uint64 { return k.now }
+
+// Register appends a component to the tick order. Components registered
+// earlier observe state produced by later components one cycle delayed,
+// so registration order is part of the model and must be deterministic.
+func (k *Kernel) Register(t Ticker) { k.tickers = append(k.tickers, t) }
+
+// Every schedules fn to run at every cycle c where c >= phase and
+// (c-phase) is a multiple of period, before the tickers for that cycle.
+// period must be non-zero.
+func (k *Kernel) Every(period, phase uint64, fn func(now uint64)) {
+	if period == 0 {
+		panic("sim: Every with zero period")
+	}
+	k.hooks = append(k.hooks, hook{period: period, phase: phase, fn: fn})
+}
+
+// Run advances the clock by cycles steps.
+func (k *Kernel) Run(cycles uint64) {
+	end := k.now + cycles
+	for k.now < end {
+		now := k.now
+		for i := range k.hooks {
+			h := &k.hooks[i]
+			if now >= h.phase && (now-h.phase)%h.period == 0 {
+				h.fn(now)
+			}
+		}
+		for _, t := range k.tickers {
+			t.Tick(now)
+		}
+		k.now++
+	}
+}

@@ -1,0 +1,103 @@
+package sim
+
+import "testing"
+
+func TestKernelRunAdvancesClock(t *testing.T) {
+	var k Kernel
+	if k.Now() != 0 {
+		t.Fatalf("fresh kernel Now() = %d, want 0", k.Now())
+	}
+	k.Run(10)
+	if k.Now() != 10 {
+		t.Fatalf("after Run(10) Now() = %d, want 10", k.Now())
+	}
+	k.Run(5)
+	if k.Now() != 15 {
+		t.Fatalf("after Run(5) Now() = %d, want 15", k.Now())
+	}
+}
+
+func TestKernelTickOrderAndCount(t *testing.T) {
+	var k Kernel
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Register(TickFunc(func(now uint64) { order = append(order, i) }))
+	}
+	k.Run(2)
+	want := []int{0, 1, 2, 0, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("tick count = %d, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("tick order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestKernelTickSeesCurrentCycle(t *testing.T) {
+	var k Kernel
+	var seen []uint64
+	k.Register(TickFunc(func(now uint64) { seen = append(seen, now) }))
+	k.Run(3)
+	for i, now := range seen {
+		if now != uint64(i) {
+			t.Fatalf("tick %d saw now=%d", i, now)
+		}
+	}
+}
+
+func TestKernelEveryFiresOnSchedule(t *testing.T) {
+	var k Kernel
+	var fired []uint64
+	k.Every(4, 2, func(now uint64) { fired = append(fired, now) })
+	k.Run(12)
+	want := []uint64{2, 6, 10}
+	if len(fired) != len(want) {
+		t.Fatalf("hook fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("hook fired at %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestKernelEveryRunsBeforeTickers(t *testing.T) {
+	var k Kernel
+	var trace []string
+	k.Every(1, 0, func(now uint64) { trace = append(trace, "hook") })
+	k.Register(TickFunc(func(now uint64) { trace = append(trace, "tick") }))
+	k.Run(2)
+	want := []string{"hook", "tick", "hook", "tick"}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestKernelEveryZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0, ...) did not panic")
+		}
+	}()
+	var k Kernel
+	k.Every(0, 0, func(uint64) {})
+}
+
+func TestKernelHookPhaseBeyondRun(t *testing.T) {
+	var k Kernel
+	count := 0
+	k.Every(1, 100, func(uint64) { count++ })
+	k.Run(50)
+	if count != 0 {
+		t.Fatalf("hook with phase 100 fired %d times within 50 cycles", count)
+	}
+	k.Run(55)
+	if count != 5 { // cycles 100..104
+		t.Fatalf("hook fired %d times, want 5", count)
+	}
+}

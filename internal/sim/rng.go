@@ -1,0 +1,57 @@
+package sim
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xorshift64* family) used by workload generators. Each component owns
+// its own RNG seeded from the experiment seed, so adding or removing a
+// component never perturbs the streams seen by the others.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped to
+// a fixed non-zero constant because the xorshift state must never be zero.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator.
+func (r *RNG) Seed(seed uint64) {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	// Scramble the seed through splitmix64 so that consecutive small
+	// seeds produce uncorrelated streams.
+	z := seed + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	r.state = z
+}
+
+// Uint64 returns the next value in the stream.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

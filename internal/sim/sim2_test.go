@@ -1,0 +1,59 @@
+package sim
+
+import "testing"
+
+func TestDelayQueueLen(t *testing.T) {
+	var q DelayQueue[int]
+	if q.Len() != 0 {
+		t.Fatal("fresh queue non-empty")
+	}
+	q.Push(1, 5)
+	q.Push(2, 3)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	q.Pop(10)
+	if q.Len() != 1 {
+		t.Fatalf("Len after pop = %d", q.Len())
+	}
+}
+
+func TestDelayQueueInterleavedPushPop(t *testing.T) {
+	var q DelayQueue[int]
+	next := 0
+	popped := 0
+	for now := uint64(0); now < 1000; now++ {
+		if now%3 == 0 {
+			q.Push(next, now+uint64(next%7))
+			next++
+		}
+		for {
+			_, ok := q.Pop(now)
+			if !ok {
+				break
+			}
+			popped++
+		}
+	}
+	for {
+		_, ok := q.Pop(1 << 40)
+		if !ok {
+			break
+		}
+		popped++
+	}
+	if popped != next {
+		t.Fatalf("pushed %d, popped %d", next, popped)
+	}
+}
+
+func TestKernelMultipleHooksSameCycle(t *testing.T) {
+	var k Kernel
+	var order []int
+	k.Every(2, 0, func(uint64) { order = append(order, 1) })
+	k.Every(2, 0, func(uint64) { order = append(order, 2) })
+	k.Run(2)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("hook order %v, want registration order", order)
+	}
+}

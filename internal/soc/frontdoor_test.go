@@ -1,0 +1,124 @@
+package soc
+
+import (
+	"testing"
+
+	"pabst/internal/mem"
+	"pabst/internal/qos"
+	"pabst/internal/regulate"
+)
+
+// newDoorHarness builds a minimal system (no tiles attached) so the front
+// door can be exercised directly against a real controller.
+func newDoorHarness(t *testing.T, readQ int) (*System, *frontDoor) {
+	t.Helper()
+	cfg := testCfg8()
+	cfg.DRAM.FrontReadQ = readQ
+	if cfg.DRAM.WriteHighWater > cfg.DRAM.FrontWriteQ {
+		cfg.DRAM.WriteHighWater = cfg.DRAM.FrontWriteQ - 1
+	}
+	reg := qos.NewRegistry()
+	reg.MustAdd("a", 1, 0)
+	reg.MustAdd("b", 1, 0)
+	sys, err := New(cfg, reg, regulate.ModeNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, sys.doors[0]
+}
+
+func pkt(class mem.ClassID, line int) *mem.Packet {
+	return &mem.Packet{Addr: mem.Addr(line * mem.LineSize), Kind: mem.Read, Class: class, MC: 0}
+}
+
+func TestFrontDoorAdmitsUpToCapacity(t *testing.T) {
+	sys, d := newDoorHarness(t, 4)
+	for i := 0; i < 10; i++ {
+		d.park(pkt(0, i))
+	}
+	d.tick(0)
+	if got := sys.mcs[0].QueuedReads(); got != 4 {
+		t.Fatalf("admitted %d reads into a 4-slot queue", got)
+	}
+	if d.Parked() != 6 {
+		t.Fatalf("parked = %d, want 6 left waiting", d.Parked())
+	}
+}
+
+func TestFrontDoorRoundRobinAcrossClasses(t *testing.T) {
+	sys, d := newDoorHarness(t, 4)
+	// Class 0 heavily backlogged, class 1 lightly.
+	for i := 0; i < 8; i++ {
+		d.park(pkt(0, i))
+	}
+	d.park(pkt(1, 100))
+	d.park(pkt(1, 101))
+	d.tick(0)
+	// 4 slots granted RR: classes alternate, so class 1's two requests
+	// are both admitted despite class 0's backlog.
+	q := sys.mcs[0]
+	if q.QueuedReads() != 4 {
+		t.Fatalf("queued %d", q.QueuedReads())
+	}
+	var cls1 int
+	for _, p := range d.reads[1] {
+		_ = p
+		cls1++
+	}
+	if cls1 != 0 {
+		t.Fatalf("class 1 still has %d parked requests; RR should have admitted both", cls1)
+	}
+}
+
+func TestFrontDoorFIFOWithinClass(t *testing.T) {
+	_, d := newDoorHarness(t, 2)
+	a, b, c := pkt(0, 1), pkt(0, 2), pkt(0, 3)
+	d.park(a)
+	d.park(b)
+	d.park(c)
+	d.tick(0)
+	// Two slots: a and b admitted, c still parked.
+	if d.Parked() != 1 || d.reads[0][0] != c {
+		t.Fatal("within-class admission is not FIFO")
+	}
+}
+
+func TestFrontDoorWritebacksSeparate(t *testing.T) {
+	sys, d := newDoorHarness(t, 4)
+	wb := &mem.Packet{Addr: 0x40, Kind: mem.Writeback, Class: 0, MC: 0}
+	d.park(wb)
+	d.park(pkt(0, 9))
+	d.tick(0)
+	if sys.mcs[0].QueuedWrites() != 1 || sys.mcs[0].QueuedReads() != 1 {
+		t.Fatalf("writes=%d reads=%d, want 1/1", sys.mcs[0].QueuedWrites(), sys.mcs[0].QueuedReads())
+	}
+}
+
+func TestFrontDoorInboxDelay(t *testing.T) {
+	sys, d := newDoorHarness(t, 4)
+	d.inbox.Push(pkt(0, 5), 10)
+	d.tick(9)
+	if sys.mcs[0].QueuedReads() != 0 {
+		t.Fatal("packet admitted before its arrival cycle")
+	}
+	d.tick(10)
+	if sys.mcs[0].QueuedReads() != 1 {
+		t.Fatal("packet not admitted at its arrival cycle")
+	}
+}
+
+func TestFrontDoorBacklogAdmittedOverTime(t *testing.T) {
+	// As front-end reservations are released (simulated here by arrivals
+	// being spread over ticks against a large queue), the whole backlog
+	// flows through in class-fair order. End-to-end drain with service
+	// is covered by the system tests.
+	sys, d := newDoorHarness(t, 64)
+	for i := 0; i < 20; i++ {
+		d.park(pkt(mem.ClassID(i%2), i*7))
+	}
+	d.tick(0)
+	if sys.mcs[0].QueuedReads() != 20 || d.Parked() != 0 {
+		t.Fatalf("queued=%d parked=%d, want full admission into a 64-slot queue",
+			sys.mcs[0].QueuedReads(), d.Parked())
+	}
+}

@@ -1,0 +1,43 @@
+package soc
+
+import (
+	"math"
+	"testing"
+
+	"pabst/internal/regulate"
+)
+
+// TestEpochJitterToleratedWhenSmall validates the Section III-D claim:
+// heartbeats need not arrive at every governor on the same cycle — as
+// long as the skew is a small fraction of the epoch, the brief period
+// with "incorrect" target rates averages out and the allocation holds.
+func TestEpochJitterToleratedWhenSmall(t *testing.T) {
+	run := func(jitter uint64) float64 {
+		cfg := testCfg()
+		cfg.PABST.EpochJitter = jitter
+		sys, hi, _ := twoClassStreams(t, cfg, regulate.ModePABST, 7, 3, 16, 16)
+		sys.Warmup(150_000)
+		sys.Run(150_000)
+		return sys.Metrics().ShareOf(hi.ID)
+	}
+	sync := run(0)
+	skewed := run(200) // 10% of the 2000-cycle test epoch
+
+	if math.Abs(sync-0.7) > 0.07 {
+		t.Fatalf("synchronous baseline share %.2f", sync)
+	}
+	if math.Abs(skewed-0.7) > 0.08 {
+		t.Fatalf("10%% epoch skew broke the allocation: share %.2f", skewed)
+	}
+	if math.Abs(skewed-sync) > 0.05 {
+		t.Fatalf("skewed allocation %.2f drifted from synchronous %.2f", skewed, sync)
+	}
+}
+
+func TestEpochJitterValidation(t *testing.T) {
+	cfg := testCfg()
+	cfg.PABST.EpochJitter = cfg.PABST.EpochCycles // >= epoch: nonsense
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("jitter >= epoch accepted")
+	}
+}

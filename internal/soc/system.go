@@ -1,0 +1,389 @@
+// Package soc assembles the full simulated machine: tiles (core + private
+// L2 + source regulator), shared L3 slices, the mesh interconnect, and
+// the memory controllers with their saturation monitors and priority
+// arbiters. It owns the tick ordering, the epoch heartbeat with the
+// wired-OR SAT signal, and the flow control that makes requests queue at
+// the last-level cache when memory-controller front ends fill up — the
+// structural condition the paper's source-vs-target argument rests on.
+package soc
+
+import (
+	"fmt"
+
+	"pabst/internal/config"
+	"pabst/internal/dram"
+	"pabst/internal/mem"
+	"pabst/internal/noc"
+	"pabst/internal/pabst"
+	"pabst/internal/qos"
+	"pabst/internal/regulate"
+	"pabst/internal/sim"
+	"pabst/internal/stats"
+	"pabst/internal/workload"
+)
+
+// System is one simulated machine plus its measurement state.
+type System struct {
+	cfg  config.System
+	mode regulate.Mode
+	reg  *qos.Registry
+
+	kernel *sim.Kernel
+	mesh   *noc.Mesh
+	net    *noc.Network // nil unless cfg.ModelNoC
+
+	tiles  []*Tile // nil entries for idle tiles
+	slices []*Slice
+	mcs    []*dram.Controller
+	doors  []*frontDoor
+
+	// mcOut holds MC read responses awaiting injection into the modeled
+	// network (ready at the data completion cycle).
+	mcOut []sim.DelayQueue[*mem.Packet]
+
+	series *stats.Series
+
+	// epochQ carries jittered heartbeat deliveries when EpochJitter > 0.
+	epochQ sim.DelayQueue[epochMsg]
+
+	finalized bool
+	satLast   bool
+	epochs    uint64
+
+	// End-to-end L2-miss latency accounting (network injection to
+	// response arrival), per class.
+	e2eLatSum [mem.MaxClasses]uint64
+	e2eLatCnt [mem.MaxClasses]uint64
+
+	base snapshot // counters at the last ResetStats
+}
+
+// snapshot captures cumulative counters for measurement windows.
+type snapshot struct {
+	cycle     uint64
+	bytes     [mem.MaxClasses]uint64
+	busBusy   uint64
+	pending   uint64
+	reads     uint64
+	writes    uint64
+	readLat   uint64
+	rowHits   uint64
+	e2eLatSum [mem.MaxClasses]uint64
+	e2eLatCnt [mem.MaxClasses]uint64
+	busPerMC  []uint64
+}
+
+// New builds an empty system in the given regulation mode. Attach
+// workloads with Attach, then call Finalize before Run.
+func New(cfg config.System, reg *qos.Registry, mode regulate.Mode) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mesh, err := noc.New(cfg.NoC)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:    cfg,
+		mode:   mode,
+		reg:    reg,
+		kernel: &sim.Kernel{},
+		mesh:   mesh,
+		tiles:  make([]*Tile, cfg.NumTiles()),
+		slices: make([]*Slice, cfg.NumTiles()),
+		series: stats.NewSeries(cfg.BWWindow),
+	}
+
+	for i := 0; i < cfg.NumMCs; i++ {
+		i := i
+		mc, err := dram.NewController(i, cfg.DRAM, func(pkt *mem.Packet, doneAt uint64) {
+			s.deliverResponse(pkt, i, doneAt)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if mode.TargetEnabled() {
+			mc.SetScheduler(dram.SchedEDF, pabst.NewArbiter(reg, cfg.PABST.Slack))
+		}
+		s.mcs = append(s.mcs, mc)
+		s.doors = append(s.doors, &frontDoor{sys: s, mc: i})
+	}
+
+	for i := 0; i < cfg.NumTiles(); i++ {
+		s.slices[i] = newSlice(s, i)
+	}
+	if cfg.ModelNoC {
+		net, err := noc.NewNetwork(cfg.NoC, cfg.NoCNet, s.netDeliver)
+		if err != nil {
+			return nil, err
+		}
+		s.net = net
+		s.mcOut = make([]sim.DelayQueue[*mem.Packet], cfg.NumMCs)
+	}
+	return s, nil
+}
+
+// netDeliver routes a message ejected by the modeled network to its
+// endpoint: memory-controller nodes park at the front door; tile nodes
+// carry either responses (to the tile) or demand requests (to the tile's
+// L3 slice).
+func (s *System) netDeliver(pkt *mem.Packet, dst int, now uint64) {
+	if mc := dst - s.cfg.NumTiles(); mc >= 0 {
+		s.doors[mc].park(pkt)
+		return
+	}
+	if pkt.Resp {
+		s.tiles[dst].inbox.Push(pkt, now)
+		return
+	}
+	s.slices[dst].inbox.Push(pkt, now)
+}
+
+// Config returns the system configuration.
+func (s *System) Config() config.System { return s.cfg }
+
+// Mode returns the regulation mode.
+func (s *System) Mode() regulate.Mode { return s.mode }
+
+// Registry returns the QoS registry.
+func (s *System) Registry() *qos.Registry { return s.reg }
+
+// Series returns the per-class bandwidth time series.
+func (s *System) Series() *stats.Series { return s.series }
+
+// Now returns the current cycle.
+func (s *System) Now() uint64 { return s.kernel.Now() }
+
+// Epochs returns how many epoch heartbeats have fired.
+func (s *System) Epochs() uint64 { return s.epochs }
+
+// SATLast returns the most recent wired-OR saturation signal.
+func (s *System) SATLast() bool { return s.satLast }
+
+// Attach places a workload generator on a tile under a QoS class. The
+// tile must be free; the class must exist in the registry.
+func (s *System) Attach(tile int, class mem.ClassID, gen workload.Generator) error {
+	if s.finalized {
+		return fmt.Errorf("soc: Attach after Finalize")
+	}
+	if tile < 0 || tile >= len(s.tiles) {
+		return fmt.Errorf("soc: tile %d out of range", tile)
+	}
+	if s.tiles[tile] != nil {
+		return fmt.Errorf("soc: tile %d already attached", tile)
+	}
+	t, err := newTile(s, tile, class, gen)
+	if err != nil {
+		return err
+	}
+	s.tiles[tile] = t
+	s.reg.AttachCPU(class)
+	return nil
+}
+
+// Finalize applies L3 partitions, wires the epoch machinery, and locks
+// the configuration. Classes are granted contiguous way ranges in ID
+// order per their L3Ways allocations.
+func (s *System) Finalize() error {
+	if s.finalized {
+		return fmt.Errorf("soc: already finalized")
+	}
+	way := 0
+	for _, c := range s.reg.Classes() {
+		if c.L3Ways == 0 {
+			continue
+		}
+		if way+c.L3Ways > s.cfg.L3Ways {
+			return fmt.Errorf("soc: class %s needs ways [%d,%d) beyond %d L3 ways",
+				c.Name, way, way+c.L3Ways, s.cfg.L3Ways)
+		}
+		for _, sl := range s.slices {
+			sl.cache.Partition(c.ID, way, c.L3Ways)
+		}
+		way += c.L3Ways
+	}
+
+	ep := s.cfg.PABST.EpochCycles
+	s.kernel.Every(ep, ep, s.epochTick)
+	s.kernel.Every(s.cfg.BWWindow, s.cfg.BWWindow, s.sampleTick)
+	s.kernel.Register(sim.TickFunc(s.tick))
+	s.finalized = true
+	return nil
+}
+
+// epochMsg is one jittered heartbeat delivery.
+type epochMsg struct {
+	tile  int
+	sat   bool
+	perMC []bool
+}
+
+// epochTick distributes the heartbeat: collect every MC's saturation
+// monitor, OR them (the global wired-OR line), and deliver both the OR
+// and the per-controller vector to every governor — synchronously, or
+// with a deterministic per-tile lag when EpochJitter is configured
+// (Section III-D: lockstep only needs to hold at a timescale much
+// smaller than an epoch).
+func (s *System) epochTick(now uint64) {
+	sat := false
+	perMC := make([]bool, len(s.mcs))
+	for i, mc := range s.mcs {
+		perMC[i] = mc.EpochSaturated()
+		if perMC[i] {
+			sat = true
+		}
+	}
+	s.satLast = sat
+	s.epochs++
+	s.reg.RollDemand() // close the demand-feedback window before governors read it
+	jitter := s.cfg.PABST.EpochJitter
+	for id, t := range s.tiles {
+		if t == nil {
+			continue
+		}
+		if jitter == 0 {
+			t.src.Epoch(sat, perMC)
+			continue
+		}
+		lag := mix(uint64(id)+s.cfg.Seed) % (jitter + 1)
+		s.epochQ.Push(epochMsg{tile: id, sat: sat, perMC: perMC}, now+lag)
+	}
+}
+
+func (s *System) sampleTick(now uint64) {
+	var cum [mem.MaxClasses]uint64
+	for _, mc := range s.mcs {
+		for c := range cum {
+			cum[c] += mc.Stats.BytesByClass[c]
+		}
+	}
+	s.series.Observe(now, &cum)
+}
+
+// tick advances every component one cycle, back to front so responses
+// travel with their modeled latencies.
+func (s *System) tick(now uint64) {
+	for {
+		msg, ok := s.epochQ.Pop(now)
+		if !ok {
+			break
+		}
+		if t := s.tiles[msg.tile]; t != nil {
+			t.src.Epoch(msg.sat, msg.perMC)
+		}
+	}
+	if s.net != nil {
+		s.net.Tick(now)
+		// Inject completed MC responses; retry next cycle on injection
+		// backpressure.
+		for i := range s.mcOut {
+			for {
+				pkt, at, ok := s.mcOut[i].Peek()
+				if !ok || at > now {
+					break
+				}
+				if !s.net.TrySend(pkt, s.net.MCNode(i), s.net.TileNode(pkt.SrcTile), true) {
+					break
+				}
+				s.mcOut[i].Pop(now)
+			}
+		}
+	}
+	for i, mc := range s.mcs {
+		s.doors[i].tick(now)
+		mc.Tick(now)
+	}
+	// Rotate slice service order so freed MC credits are not always
+	// captured by the lowest-numbered slices' backlogs (mesh routers
+	// arbitrate fairly, not by slice index).
+	n := len(s.slices)
+	start := int(now % uint64(n))
+	for i := 0; i < n; i++ {
+		s.slices[(start+i)%n].tick(now)
+	}
+	for _, t := range s.tiles {
+		if t != nil {
+			t.tick(now)
+		}
+	}
+}
+
+// deliverResponse routes a completed read from MC mc back to its source
+// tile: over the latency-only mesh, or queued for injection into the
+// modeled network at its data completion cycle.
+func (s *System) deliverResponse(pkt *mem.Packet, mcID int, doneAt uint64) {
+	pkt.Resp = true
+	if s.net != nil {
+		s.mcOut[mcID].Push(pkt, doneAt)
+		return
+	}
+	lat := uint64(s.mesh.TileToMC(pkt.SrcTile, mcID))
+	s.tiles[pkt.SrcTile].inbox.Push(pkt, doneAt+lat)
+}
+
+// Run advances the system by cycles. Finalize must have been called.
+func (s *System) Run(cycles uint64) {
+	if !s.finalized {
+		panic("soc: Run before Finalize")
+	}
+	s.kernel.Run(cycles)
+}
+
+// Warmup runs cycles and then resets measurement state.
+func (s *System) Warmup(cycles uint64) {
+	s.Run(cycles)
+	s.ResetStats()
+}
+
+// sliceOf hashes a line to its L3 slice. A multiplicative hash spreads
+// strided streams across slices and channels.
+func (s *System) sliceOf(addr mem.Addr) int {
+	return int(mix(addr.LineID()) % uint64(len(s.slices)))
+}
+
+// mcOf hashes a line to its memory controller. A different mix constant
+// decorrelates it from slice selection.
+func (s *System) mcOf(addr mem.Addr) int {
+	return int(mix(addr.LineID()^0xABCD1234DEADBEEF) % uint64(len(s.mcs)))
+}
+
+// MCForAddr exposes the channel hash so that experiments can construct
+// deliberately skewed traffic.
+func (s *System) MCForAddr(addr mem.Addr) int { return s.mcOf(addr) }
+
+// wbChargeClass applies the Section V-C writeback accounting policy.
+func (s *System) wbChargeClass(demander, owner mem.ClassID) mem.ClassID {
+	switch s.cfg.WBCharge {
+	case qos.ChargeOwner:
+		return owner
+	case qos.ChargeFixed:
+		return s.cfg.WBFixedClass
+	default:
+		return demander
+	}
+}
+
+// MCUtilizations returns each channel's data-bus utilization over the
+// current measurement window.
+func (s *System) MCUtilizations() []float64 {
+	out := make([]float64, len(s.mcs))
+	cycles := s.kernel.Now() - s.base.cycle
+	if cycles == 0 {
+		return out
+	}
+	for i, mc := range s.mcs {
+		base := uint64(0)
+		if i < len(s.base.busPerMC) {
+			base = s.base.busPerMC[i]
+		}
+		out[i] = float64(mc.Stats.BusBusyCycles-base) / float64(cycles)
+	}
+	return out
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return x
+}

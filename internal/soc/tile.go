@@ -1,0 +1,235 @@
+package soc
+
+import (
+	"fmt"
+
+	"pabst/internal/cache"
+	"pabst/internal/cpu"
+	"pabst/internal/mem"
+	"pabst/internal/pabst"
+	"pabst/internal/regulate"
+	"pabst/internal/sim"
+	"pabst/internal/workload"
+)
+
+// Tile is one node of the mesh: a core, its private L2, the PABST source
+// regulator gating L2 misses into the network, and the MSHRs tracking
+// outstanding misses.
+type Tile struct {
+	sys   *System
+	id    int
+	class mem.ClassID
+
+	core *cpu.Core
+	l1   *cache.Cache
+	l2   *cache.Cache
+	src  regulate.Source
+
+	inbox sim.DelayQueue[*mem.Packet]
+
+	// mshr maps an outstanding miss line to the core op tokens waiting
+	// on it (coalescing). Its size is the MSHR occupancy.
+	mshr map[uint64][]uint64
+
+	// missQ holds misses awaiting pacer clearance to enter the NoC, one
+	// FIFO per destination controller so per-MC pacing never suffers
+	// head-of-line blocking across channels.
+	missQ  [][]*mem.Packet
+	queued int
+	rrMC   int
+
+	prefetches uint64
+}
+
+func newTile(s *System, id int, class mem.ClassID, gen workload.Generator) (*Tile, error) {
+	t := &Tile{
+		sys:   s,
+		id:    id,
+		class: class,
+		l1: cache.New(cache.Config{
+			SizeBytes: s.cfg.L1Bytes,
+			Ways:      s.cfg.L1Ways,
+		}),
+		l2: cache.New(cache.Config{
+			SizeBytes: s.cfg.L2Bytes,
+			Ways:      s.cfg.L2Ways,
+		}),
+		mshr:  make(map[uint64][]uint64),
+		missQ: make([][]*mem.Packet, s.cfg.NumMCs),
+	}
+	switch {
+	case !s.mode.SourceEnabled():
+		t.src = regulate.Unthrottled{}
+	case s.mode == regulate.ModeStaticSource:
+		t.src = pabst.NewStaticLimiter(s.cfg.PABST, s.reg, class, s.cfg.PeakBytesPerCycle())
+	case s.cfg.PABST.PerMCGovernors:
+		t.src = pabst.NewMultiGovernor(s.cfg.PABST, s.reg, class, s.cfg.NumMCs, s.mcOf)
+	default:
+		t.src = pabst.NewGovernor(s.cfg.PABST, s.reg, class)
+	}
+	core, err := cpu.New(id, s.cfg.Core, gen, t)
+	if err != nil {
+		return nil, err
+	}
+	t.core = core
+	return t, nil
+}
+
+// Class returns the QoS class running on the tile.
+func (t *Tile) Class() mem.ClassID { return t.class }
+
+// Core returns the tile's CPU.
+func (t *Tile) Core() *cpu.Core { return t.core }
+
+// Source returns the tile's source regulator.
+func (t *Tile) Source() regulate.Source { return t.src }
+
+// Access implements cpu.MemPort: the L1/L2 lookups plus the miss path.
+func (t *Tile) Access(addr mem.Addr, write bool, now uint64, token uint64) (cpu.AccessStatus, uint64) {
+	line := addr.Line()
+	lineID := line.LineID()
+
+	// Coalesce with an outstanding miss to the same line before probing
+	// the caches: the fill has not arrived yet (the cache state was
+	// updated optimistically at miss time, so a lookup would hit).
+	if waiters, busy := t.mshr[lineID]; busy {
+		t.mshr[lineID] = append(waiters, token)
+		return cpu.AccessPending, 0
+	}
+
+	l1res := t.l1.Access(line, write, t.class)
+	if l1res.Hit {
+		return cpu.AccessDone, now + uint64(t.sys.cfg.L1HitLat)
+	}
+	// The L1 fill displaced a dirty line: write it back into the L2, or
+	// onward to the shared cache if the (non-inclusive) L2 no longer
+	// holds it.
+	if l1res.Evicted && l1res.Victim.Dirty {
+		if !t.l2.Writeback(l1res.Victim.Addr, t.class) {
+			t.sys.l2Writeback(l1res.Victim.Addr, t.class, now)
+		}
+	}
+
+	res := t.l2.Access(line, false, t.class)
+	if res.Hit {
+		return cpu.AccessDone, now + uint64(t.sys.cfg.L2HitLat)
+	}
+	if len(t.mshr) >= t.sys.cfg.MaxMSHRs {
+		return cpu.AccessBlocked, 0
+	}
+	t.mshr[lineID] = []uint64{token}
+	pkt := &mem.Packet{Addr: line, Kind: mem.Read, Class: t.class, SrcTile: t.id, MC: t.sys.mcOf(line)}
+	t.missQ[pkt.MC] = append(t.missQ[pkt.MC], pkt)
+	t.queued++
+	t.src.OnDemand(now)
+
+	// A displaced dirty line is written back into the shared cache.
+	if res.Evicted && res.Victim.Dirty {
+		t.sys.l2Writeback(res.Victim.Addr, t.class, now)
+	}
+
+	// Next-N-line prefetch: speculative fills ride the same miss path —
+	// paced, billed, and MSHR-bounded like demand traffic.
+	for i := 1; i <= t.sys.cfg.PrefetchDepth; i++ {
+		t.prefetch(line+mem.Addr(i*mem.LineSize), now)
+	}
+	return cpu.AccessPending, 0
+}
+
+// prefetch issues a speculative fill for line if it is absent, not
+// already in flight, and an MSHR is free. No core op waits on it; the
+// fill is installed when the response arrives like any other miss.
+func (t *Tile) prefetch(line mem.Addr, now uint64) {
+	lineID := line.LineID()
+	if _, busy := t.mshr[lineID]; busy {
+		return
+	}
+	if len(t.mshr) >= t.sys.cfg.MaxMSHRs {
+		return
+	}
+	if t.l2.Contains(line) {
+		return
+	}
+	res := t.l2.Access(line, false, t.class) // allocate the frame
+	t.mshr[lineID] = nil                     // no waiters
+	t.prefetches++
+	pkt := &mem.Packet{Addr: line, Kind: mem.Read, Class: t.class, SrcTile: t.id, MC: t.sys.mcOf(line)}
+	t.missQ[pkt.MC] = append(t.missQ[pkt.MC], pkt)
+	t.queued++
+	t.src.OnDemand(now)
+	if res.Evicted && res.Victim.Dirty {
+		t.sys.l2Writeback(res.Victim.Addr, t.class, now)
+	}
+}
+
+// tick drains responses, injects paced misses, and steps the core.
+func (t *Tile) tick(now uint64) {
+	for {
+		pkt, ok := t.inbox.Pop(now)
+		if !ok {
+			break
+		}
+		t.src.OnResponse(pkt, now)
+		t.sys.e2eLatSum[pkt.Class] += now - pkt.Issue
+		t.sys.e2eLatCnt[pkt.Class]++
+		lineID := pkt.Addr.LineID()
+		waiters, ok := t.mshr[lineID]
+		if !ok {
+			panic(fmt.Sprintf("soc: response for line %#x with no MSHR", lineID))
+		}
+		delete(t.mshr, lineID)
+		for _, tok := range waiters {
+			t.core.CompleteMiss(tok, now)
+		}
+	}
+
+	// One network injection per cycle, gated by the pacer of the miss's
+	// destination channel; round-robin across channels so a throttled
+	// channel never blocks the others.
+	if t.queued > 0 {
+		for tries := 0; tries < len(t.missQ); tries++ {
+			mc := t.rrMC
+			t.rrMC = (t.rrMC + 1) % len(t.missQ)
+			q := t.missQ[mc]
+			if len(q) == 0 || !t.src.CanIssue(now, mc) {
+				continue
+			}
+			pkt := q[0]
+			slice := t.sys.sliceOf(pkt.Addr)
+			if t.sys.net != nil {
+				// Modeled fabric: injection can be refused; retry the
+				// same miss next cycle without charging the pacer.
+				if !t.sys.net.TrySend(pkt, t.sys.net.TileNode(t.id), t.sys.net.TileNode(slice), false) {
+					break
+				}
+			} else {
+				lat := uint64(t.sys.mesh.TileToTile(t.id, slice))
+				t.sys.slices[slice].inbox.Push(pkt, now+lat)
+			}
+			t.missQ[mc] = q[1:]
+			t.queued--
+			t.src.OnIssue(now, mc)
+			pkt.Issue = now
+			break
+		}
+	}
+
+	t.core.Tick(now)
+}
+
+// l2Writeback folds an evicted dirty L2 line back into the shared cache.
+// If the L3 still holds the line it is merely dirtied; otherwise the data
+// heads to memory as a writeback (write-no-allocate), modeling the
+// bandwidth without inventing a fill.
+func (s *System) l2Writeback(addr mem.Addr, class mem.ClassID, now uint64) {
+	slice := s.slices[s.sliceOf(addr)]
+	if slice.cache.Writeback(addr, class) {
+		return
+	}
+	slice.sendToMC(&mem.Packet{
+		Addr:    addr.Line(),
+		Kind:    mem.Writeback,
+		Class:   class,
+		SrcTile: slice.id,
+	}, now)
+}

@@ -1,0 +1,129 @@
+// Package stats provides the measurement machinery shared by the
+// experiments: HDR-style latency histograms, windowed bandwidth time
+// series, and the weighted-slowdown metric the paper reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// histSubBits gives 2^histSubBits sub-buckets per power of two, bounding
+// relative quantile error to ~1/2^histSubBits.
+const histSubBits = 4
+
+const histBuckets = 64 * (1 << histSubBits)
+
+// Hist is a log-scaled histogram of non-negative integer samples
+// (cycles, nanoseconds, ...). The zero value is ready to use.
+type Hist struct {
+	buckets [histBuckets]uint64
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+func histBucket(v uint64) int {
+	if v < (1 << histSubBits) {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1
+	sub := (v >> (uint(exp) - histSubBits)) & ((1 << histSubBits) - 1)
+	return (exp-histSubBits+1)<<histSubBits + int(sub)
+}
+
+// histBucketLow returns the smallest value mapping to bucket b.
+func histBucketLow(b int) uint64 {
+	if b < (1 << histSubBits) {
+		return uint64(b)
+	}
+	exp := b>>histSubBits + histSubBits - 1
+	sub := uint64(b & ((1 << histSubBits) - 1))
+	return (1 << uint(exp)) | sub<<(uint(exp)-histSubBits)
+}
+
+// Add records one sample.
+func (h *Hist) Add(v uint64) {
+	h.buckets[histBucket(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Mean returns the exact sample mean, or 0 with no samples.
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest recorded sample.
+func (h *Hist) Min() uint64 { return h.min }
+
+// Max returns the largest recorded sample.
+func (h *Hist) Max() uint64 { return h.max }
+
+// Percentile returns an upper bound on the p-th percentile (0 < p <= 100)
+// with relative error bounded by the sub-bucket resolution (~6%).
+func (h *Hist) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for b := 0; b < histBuckets; b++ {
+		seen += h.buckets[b]
+		if seen >= rank {
+			low := histBucketLow(b)
+			if low > h.max {
+				return h.max
+			}
+			return low
+		}
+	}
+	return h.max
+}
+
+// Merge adds every sample of other into h.
+func (h *Hist) Merge(other *Hist) {
+	if other.count == 0 {
+		return
+	}
+	for b := range h.buckets {
+		h.buckets[b] += other.buckets[b]
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// String summarizes the distribution.
+func (h *Hist) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p95=%d p99=%d max=%d",
+		h.count, h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.max)
+}

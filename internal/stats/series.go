@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"fmt"
+
+	"pabst/internal/mem"
+)
+
+// Sample is one window of a bandwidth time series: bytes moved per class
+// during the window ending at Cycle.
+type Sample struct {
+	Cycle uint64
+	Bytes [mem.MaxClasses]uint64
+}
+
+// Series collects a windowed per-class bandwidth time series by diffing a
+// cumulative byte counter at fixed intervals. It backs the Figure 5/6/8
+// plots.
+type Series struct {
+	Window  uint64
+	Samples []Sample
+
+	last [mem.MaxClasses]uint64
+}
+
+// NewSeries creates a series sampled every window cycles.
+func NewSeries(window uint64) *Series {
+	if window == 0 {
+		panic("stats: zero series window")
+	}
+	return &Series{Window: window}
+}
+
+// Observe ingests the current cumulative per-class byte counters at cycle
+// now, appending the delta since the previous observation.
+func (s *Series) Observe(now uint64, cumulative *[mem.MaxClasses]uint64) {
+	var smp Sample
+	smp.Cycle = now
+	for i := range cumulative {
+		smp.Bytes[i] = cumulative[i] - s.last[i]
+		s.last[i] = cumulative[i]
+	}
+	s.Samples = append(s.Samples, smp)
+}
+
+// BytesPerCycle returns class bandwidth in bytes/cycle for sample i.
+func (s *Series) BytesPerCycle(i int, class mem.ClassID) float64 {
+	return float64(s.Samples[i].Bytes[class]) / float64(s.Window)
+}
+
+// ShareOf returns the class's fraction of all bytes moved in sample i,
+// or 0 for an idle window.
+func (s *Series) ShareOf(i int, class mem.ClassID) float64 {
+	var total uint64
+	for _, b := range s.Samples[i].Bytes {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Samples[i].Bytes[class]) / float64(total)
+}
+
+// MeanShare averages ShareOf over samples [from, to).
+func (s *Series) MeanShare(from, to int, class mem.ClassID) float64 {
+	if from < 0 || to > len(s.Samples) || from >= to {
+		panic(fmt.Sprintf("stats: bad sample range [%d,%d) of %d", from, to, len(s.Samples)))
+	}
+	var sum float64
+	for i := from; i < to; i++ {
+		sum += s.ShareOf(i, class)
+	}
+	return sum / float64(to-from)
+}
+
+// TotalBytes sums a class's bytes over all samples.
+func (s *Series) TotalBytes(class mem.ClassID) uint64 {
+	var t uint64
+	for _, smp := range s.Samples {
+		t += smp.Bytes[class]
+	}
+	return t
+}
+
+// WeightedSlowdown implements the paper's multiprogrammed metric: the
+// inverse of weighted speedup,
+//
+//	WeightedSlowdown = N / Σ_i (IPC_i^MP / IPC_i^SP)
+//
+// where IPC^SP is each program's isolated IPC and IPC^MP its IPC in the
+// multiprogrammed run. 1.0 means no interference; 2.0 means the mix runs
+// half as fast as isolation on harmonic average.
+func WeightedSlowdown(ipcIso, ipcCo []float64) float64 {
+	if len(ipcIso) != len(ipcCo) || len(ipcIso) == 0 {
+		panic("stats: mismatched IPC vectors")
+	}
+	var speedup float64
+	for i := range ipcIso {
+		if ipcIso[i] <= 0 {
+			panic("stats: non-positive isolated IPC")
+		}
+		speedup += ipcCo[i] / ipcIso[i]
+	}
+	if speedup == 0 {
+		return 0
+	}
+	return float64(len(ipcIso)) / speedup
+}
+
+// AllocationError quantifies how far an observed bandwidth split is from
+// the intended proportional shares, as the mean relative error of each
+// class's observed share against its entitled share, in percent. It is
+// the metric behind the Figure 1 "allocation error" bars.
+func AllocationError(observed, entitled []float64) float64 {
+	if len(observed) != len(entitled) || len(observed) == 0 {
+		panic("stats: mismatched share vectors")
+	}
+	var err float64
+	for i := range observed {
+		if entitled[i] <= 0 {
+			panic("stats: non-positive entitled share")
+		}
+		d := observed[i] - entitled[i]
+		if d < 0 {
+			d = -d
+		}
+		err += d / entitled[i]
+	}
+	return err / float64(len(observed)) * 100
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"fmt"
+
+	"pabst/internal/sim"
+	"pabst/internal/stats"
+)
+
+// MemcachedParams shapes the transaction-service proxy of Figure 9: a
+// latency-critical, low-MLP request/response server. Each transaction is
+// a dependent pointer-chase (hash bucket + item walk) followed by a short
+// sequential value copy, with compute on either side. Transactions run in
+// a closed loop separated by a think gap.
+type MemcachedParams struct {
+	ChaseOps int // dependent lookups per transaction
+	CopyOps  int // independent sequential ops per transaction (value copy)
+	ChaseGap int // compute per lookup step
+	CopyGap  int // compute per copy op
+	ThinkGap int // compute between transactions
+	Insts    uint64
+}
+
+// DefaultMemcachedParams returns a small-object GET-heavy mix.
+func DefaultMemcachedParams() MemcachedParams {
+	return MemcachedParams{ChaseOps: 6, CopyOps: 4, ChaseGap: 4, CopyGap: 1, ThinkGap: 40, Insts: 20}
+}
+
+// Validate reports parameter errors.
+func (p MemcachedParams) Validate() error {
+	if p.ChaseOps <= 0 || p.CopyOps < 0 || p.ChaseGap < 0 || p.CopyGap < 0 || p.ThinkGap < 0 || p.Insts == 0 {
+		return fmt.Errorf("workload: bad memcached params %+v", p)
+	}
+	return nil
+}
+
+// Memcached is the transaction-serving generator. It implements the
+// observer interfaces so it can reconstruct per-transaction service times
+// from op issue/completion events.
+type Memcached struct {
+	p      MemcachedParams
+	region Region
+	rng    *sim.RNG
+
+	opInTxn int
+	txn     uint64
+
+	startedAt map[uint64]uint64 // txn -> first-op issue cycle
+	hist      stats.Hist
+}
+
+// NewMemcached builds the server thread over a private key/value region.
+func NewMemcached(p MemcachedParams, region Region, seed uint64) (*Memcached, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if region.Lines() == 0 {
+		return nil, fmt.Errorf("workload: empty memcached region")
+	}
+	return &Memcached{
+		p:         p,
+		region:    region,
+		rng:       sim.NewRNG(seed),
+		startedAt: make(map[uint64]uint64),
+	}, nil
+}
+
+// Name implements Generator.
+func (m *Memcached) Name() string { return "memcached" }
+
+func (m *Memcached) opsPerTxn() int { return m.p.ChaseOps + m.p.CopyOps }
+
+// Next implements Generator.
+func (m *Memcached) Next(op *Op) {
+	i := m.opInTxn
+	switch {
+	case i == 0:
+		// First lookup: after think time, depends on the previous
+		// transaction's last op (closed loop).
+		dep := 0
+		if m.txn > 0 {
+			dep = 1
+		}
+		*op = Op{
+			Addr:      m.region.LineAt(m.rng.Uint64()),
+			DependsOn: dep,
+			Gap:       m.p.ThinkGap,
+			Insts:     m.p.Insts,
+			Tag:       m.txn*2 + 1, // start marker
+		}
+	case i < m.p.ChaseOps:
+		*op = Op{
+			Addr:      m.region.LineAt(m.rng.Uint64()),
+			DependsOn: 1,
+			Gap:       m.p.ChaseGap,
+			Insts:     m.p.Insts,
+		}
+	default:
+		// Value copy: sequential lines near the item, independent of
+		// each other but after the chase (distance back to last chase
+		// op would vary, so chain them 1-deep: copies depend on the
+		// previous op, modeling the store queue draining in order).
+		*op = Op{
+			Addr:      m.region.LineAt(m.rng.Uint64() + uint64(i)),
+			Write:     true,
+			DependsOn: 1,
+			Gap:       m.p.CopyGap,
+			Insts:     m.p.Insts,
+		}
+	}
+	if i == m.opsPerTxn()-1 {
+		op.Tag = m.txn*2 + 2 // end marker
+		m.opInTxn = 0
+		m.txn++
+	} else {
+		m.opInTxn++
+	}
+}
+
+// OnIssue implements IssueObserver: records transaction start.
+func (m *Memcached) OnIssue(now uint64, tag uint64) {
+	if tag%2 == 1 {
+		m.startedAt[(tag-1)/2] = now
+	}
+}
+
+// OnComplete implements CompletionObserver: records service time at
+// transaction end.
+func (m *Memcached) OnComplete(now uint64, tag uint64) {
+	if tag%2 == 0 && tag > 0 {
+		txn := (tag - 2) / 2
+		if start, ok := m.startedAt[txn]; ok {
+			m.hist.Add(now - start)
+			delete(m.startedAt, txn)
+		}
+	}
+}
+
+// ServiceTimes returns the histogram of completed transaction service
+// times in cycles.
+func (m *Memcached) ServiceTimes() *stats.Hist { return &m.hist }
+
+// Transactions returns the number of completed transactions.
+func (m *Memcached) Transactions() uint64 { return m.hist.Count() }
+
+// ResetStats clears the service-time histogram (end of warmup).
+func (m *Memcached) ResetStats() { m.hist = stats.Hist{} }

@@ -1,0 +1,263 @@
+package workload
+
+import (
+	"fmt"
+
+	"pabst/internal/mem"
+	"pabst/internal/sim"
+	"pabst/internal/stats"
+)
+
+// Stream is the bandwidth-limited microbenchmark: it walks a region at a
+// fixed stride with fully independent loads (and optionally stores), so
+// its throughput is limited only by available bandwidth.
+type Stream struct {
+	name   string
+	region Region
+	stride uint64 // bytes between accesses
+	write  bool
+	gap    int
+	insts  uint64
+	pos    uint64
+}
+
+// NewStream builds a streamer over region with the paper's 128 B stride
+// unless overridden. write selects a write stream (stores that dirty
+// lines and later cost writeback bandwidth).
+func NewStream(name string, region Region, strideBytes uint64, write bool) *Stream {
+	if strideBytes == 0 {
+		strideBytes = 128
+	}
+	if region.Size < strideBytes {
+		panic(fmt.Sprintf("workload: region smaller than stride: %+v", region))
+	}
+	return &Stream{name: name, region: region, stride: strideBytes, write: write, gap: 1, insts: 4}
+}
+
+// Name implements Generator.
+func (s *Stream) Name() string { return s.name }
+
+// Next implements Generator.
+func (s *Stream) Next(op *Op) {
+	*op = Op{
+		Addr:  s.region.Base + mem128(s.pos%s.region.Size),
+		Write: s.write,
+		Gap:   s.gap,
+		Insts: s.insts,
+	}
+	s.pos += s.stride
+}
+
+// Chaser is the latency-limited microbenchmark: a configurable number of
+// independent random pointer chases. Each chase is a strict dependence
+// chain, so per-thread MLP equals the chain count and throughput is a
+// direct function of memory latency.
+type Chaser struct {
+	name   string
+	region Region
+	chains int
+	rng    *sim.RNG
+}
+
+// NewChaser builds a chaser with `chains` concurrent dependence chains
+// (the paper uses four per CPU).
+func NewChaser(name string, region Region, chains int, seed uint64) *Chaser {
+	if chains <= 0 {
+		panic("workload: chaser needs at least one chain")
+	}
+	return &Chaser{name: name, region: region, chains: chains, rng: sim.NewRNG(seed)}
+}
+
+// Name implements Generator.
+func (c *Chaser) Name() string { return c.name }
+
+// Next implements Generator.
+func (c *Chaser) Next(op *Op) {
+	*op = Op{
+		Addr:      c.region.LineAt(c.rng.Uint64()),
+		DependsOn: c.chains, // previous op of the same chain
+		Gap:       0,
+		Insts:     4,
+	}
+}
+
+// PeriodicStream alternates between a memory-resident phase (streaming a
+// region far larger than the cache) and a cache-resident phase (streaming
+// a small region that fits in the class's cache partition). It drives the
+// work-conservation experiment of Figure 6.
+//
+// Phases are wall-clock driven: the generator tracks simulated time
+// through the issue-observer hook, so every thread of the class switches
+// phase together regardless of how hard each is being throttled — the
+// square-wave demand pattern of the paper's figure.
+type PeriodicStream struct {
+	name        string
+	ddr         Region
+	cached      Region
+	ddrCycles   uint64
+	cacheCycles uint64
+	stride      uint64
+	pos         uint64
+	lastIssue   uint64
+}
+
+// NewPeriodicStream builds the alternating streamer: ddrCycles of
+// memory-resident accesses, then cacheCycles of cache-resident accesses,
+// repeating.
+func NewPeriodicStream(name string, ddr, cached Region, ddrCycles, cacheCycles uint64) *PeriodicStream {
+	if ddrCycles == 0 || cacheCycles == 0 {
+		panic("workload: zero phase length")
+	}
+	return &PeriodicStream{name: name, ddr: ddr, cached: cached, ddrCycles: ddrCycles, cacheCycles: cacheCycles, stride: 128}
+}
+
+// Name implements Generator.
+func (p *PeriodicStream) Name() string { return p.name }
+
+// InDDRPhase reports whether the generator is currently in its
+// memory-resident phase.
+func (p *PeriodicStream) InDDRPhase() bool {
+	return p.lastIssue%(p.ddrCycles+p.cacheCycles) < p.ddrCycles
+}
+
+// OnIssue implements IssueObserver: it is the generator's clock.
+func (p *PeriodicStream) OnIssue(now uint64, tag uint64) {
+	if now > p.lastIssue {
+		p.lastIssue = now
+	}
+}
+
+// Next implements Generator.
+func (p *PeriodicStream) Next(op *Op) {
+	r := p.cached
+	if p.InDDRPhase() {
+		r = p.ddr
+	}
+	*op = Op{
+		Addr:  r.Base + mem128(p.pos%r.Size),
+		Gap:   1,
+		Insts: 4,
+		Tag:   1, // every op ticks the phase clock via OnIssue
+	}
+	p.pos += p.stride
+}
+
+// Bursty emits clustered traffic: bursts of BurstOps back-to-back
+// accesses separated by IdleGap compute cycles, the pattern the paper's
+// pacer burst credit exists for ("allowing bursts of up to 16 requests to
+// proceed unthrottled when the CPU has underutilized its bandwidth
+// allotment in the recent past" — and the behavior MITTS shapes traffic
+// around).
+type Bursty struct {
+	name     string
+	region   Region
+	burstOps int
+	idleGap  int
+	rng      *sim.RNG
+	inBurst  int
+	burst    uint64
+
+	startedAt map[uint64]uint64
+	hist      stats.Hist
+}
+
+// NewBursty builds the generator: bursts of burstOps independent line
+// reads, then idleGap cycles of compute, repeating. Per-burst completion
+// times (first op issue to last op completion) are recorded through the
+// observer hooks, like memcached transactions.
+func NewBursty(name string, region Region, burstOps, idleGap int, seed uint64) *Bursty {
+	if burstOps <= 0 || idleGap < 0 {
+		panic("workload: bad burst shape")
+	}
+	return &Bursty{
+		name: name, region: region, burstOps: burstOps, idleGap: idleGap,
+		rng: sim.NewRNG(seed), startedAt: make(map[uint64]uint64),
+	}
+}
+
+// Name implements Generator.
+func (b *Bursty) Name() string { return b.name }
+
+// Next implements Generator.
+func (b *Bursty) Next(op *Op) {
+	gap := 0
+	var tag uint64
+	if b.inBurst == 0 {
+		gap = b.idleGap // the burst opener pays the idle period
+		tag = b.burst*2 + 1
+	}
+	*op = Op{
+		Addr:  b.region.LineAt(b.rng.Uint64()),
+		Gap:   gap,
+		Insts: uint64(gap) + 4,
+		Tag:   tag,
+	}
+	b.inBurst++
+	if b.inBurst >= b.burstOps {
+		op.Tag = b.burst*2 + 2 // burst closer (also the opener if ops==1)
+		b.inBurst = 0
+		b.burst++
+	}
+}
+
+// OnIssue implements IssueObserver: burst start.
+func (b *Bursty) OnIssue(now uint64, tag uint64) {
+	if tag%2 == 1 {
+		b.startedAt[(tag-1)/2] = now
+	}
+}
+
+// OnComplete implements CompletionObserver: burst end.
+func (b *Bursty) OnComplete(now uint64, tag uint64) {
+	if tag%2 == 0 && tag > 0 {
+		id := (tag - 2) / 2
+		if start, ok := b.startedAt[id]; ok && now >= start {
+			b.hist.Add(now - start)
+			delete(b.startedAt, id)
+		}
+	}
+}
+
+// BurstTimes returns the histogram of burst completion times in cycles.
+func (b *Bursty) BurstTimes() *stats.Hist { return &b.hist }
+
+// ResetStats clears the histogram (end of warmup).
+func (b *Bursty) ResetStats() { b.hist = stats.Hist{} }
+
+// FilteredStream wraps a streamer with an address predicate, skipping
+// lines the predicate rejects. It builds deliberately skewed traffic —
+// for example, traffic hashed to a single memory channel — for the
+// Section III-C1 per-controller regulation experiments.
+type FilteredStream struct {
+	inner *Stream
+	keep  func(mem.Addr) bool
+}
+
+// NewFilteredStream builds a streamer emitting only addresses for which
+// keep returns true. The predicate must accept a non-negligible fraction
+// of the region or generation degenerates.
+func NewFilteredStream(name string, region Region, strideBytes uint64, write bool, keep func(mem.Addr) bool) *FilteredStream {
+	if keep == nil {
+		panic("workload: nil filter")
+	}
+	return &FilteredStream{inner: NewStream(name, region, strideBytes, write), keep: keep}
+}
+
+// Name implements Generator.
+func (f *FilteredStream) Name() string { return f.inner.Name() }
+
+// Next implements Generator.
+func (f *FilteredStream) Next(op *Op) {
+	for tries := 0; ; tries++ {
+		f.inner.Next(op)
+		if f.keep(op.Addr) {
+			return
+		}
+		if tries > 1<<20 {
+			panic("workload: filter rejected every address in the region")
+		}
+	}
+}
+
+// mem128 converts a byte offset into a line-aligned address offset.
+func mem128(off uint64) mem.Addr { return mem.Addr(off &^ (mem.LineSize - 1)) }

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"testing"
+
+	"pabst/internal/mem"
+)
+
+func TestBurstyShape(t *testing.T) {
+	b := NewBursty("b", region(0, 1<<20), 4, 500, 3)
+	var op Op
+	for burst := 0; burst < 3; burst++ {
+		for i := 0; i < 4; i++ {
+			b.Next(&op)
+			if i == 0 && op.Gap != 500 {
+				t.Fatalf("burst opener gap = %d, want 500", op.Gap)
+			}
+			if i > 0 && i < 3 && op.Gap != 0 {
+				t.Fatalf("mid-burst op %d gap = %d, want 0", i, op.Gap)
+			}
+			if i == 0 && op.Tag%2 != 1 {
+				t.Fatalf("opener tag %d not a start marker", op.Tag)
+			}
+			if i == 3 && (op.Tag == 0 || op.Tag%2 != 0) {
+				t.Fatalf("closer tag %d not an end marker", op.Tag)
+			}
+			if uint64(op.Addr) >= 1<<20 {
+				t.Fatalf("address %#x outside region", uint64(op.Addr))
+			}
+		}
+	}
+}
+
+func TestBurstyLatencyTracking(t *testing.T) {
+	b := NewBursty("b", region(0, 1<<20), 4, 100, 3)
+	for id := uint64(0); id < 5; id++ {
+		b.OnIssue(id*1000, id*2+1)
+		b.OnComplete(id*1000+300, id*2+2)
+	}
+	if b.BurstTimes().Count() != 5 || b.BurstTimes().Mean() != 300 {
+		t.Fatalf("burst histogram %v", b.BurstTimes())
+	}
+	b.ResetStats()
+	if b.BurstTimes().Count() != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestBurstyValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero burst accepted")
+		}
+	}()
+	NewBursty("b", region(0, 1<<20), 0, 10, 1)
+}
+
+func TestFilteredStreamPredicate(t *testing.T) {
+	keep := func(a mem.Addr) bool { return a.LineID()%4 == 0 }
+	f := NewFilteredStream("f", region(0, 1<<20), 64, false, keep)
+	var op Op
+	for i := 0; i < 200; i++ {
+		f.Next(&op)
+		if !keep(op.Addr) {
+			t.Fatalf("filtered stream emitted rejected address %#x", uint64(op.Addr))
+		}
+	}
+}
+
+func TestFilteredStreamNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil filter accepted")
+		}
+	}()
+	NewFilteredStream("f", region(0, 1<<20), 64, false, nil)
+}
+
+func TestSpecPhaseClock(t *testing.T) {
+	p, _ := SpecByName("libquantum")
+	s, err := NewSpec(p, region(0, 256<<20), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.InHeavyPhase() {
+		t.Fatal("should start heavy")
+	}
+	heavyGap := s.gap()
+	// Advance past one (jittered) phase; the jitter keeps phaseLen within
+	// [0.75, 1.25] x PhaseCycles.
+	s.OnIssue(p.PhaseCycles*5/4+1, 1)
+	if s.InHeavyPhase() {
+		t.Fatal("still heavy after 1.25x PhaseCycles")
+	}
+	if s.gap() <= heavyGap {
+		t.Fatalf("light-phase gap %d not larger than heavy %d", s.gap(), heavyGap)
+	}
+	var op Op
+	s.Next(&op)
+	if op.Tag == 0 {
+		t.Fatal("spec ops must tick the phase clock")
+	}
+}

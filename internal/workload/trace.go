@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"pabst/internal/mem"
+)
+
+// Recorder wraps a generator and captures every op it emits, so a
+// synthetic workload can be frozen into a replayable trace (for
+// regression pinning, cross-simulator comparison, or sharing a workload
+// without its generator parameters).
+type Recorder struct {
+	inner Generator
+	ops   []Op
+	limit int
+}
+
+// NewRecorder wraps gen, keeping at most limit recorded ops (0 means
+// unlimited — beware memory).
+func NewRecorder(gen Generator, limit int) *Recorder {
+	if gen == nil {
+		panic("workload: nil generator")
+	}
+	return &Recorder{inner: gen, limit: limit}
+}
+
+// Name implements Generator.
+func (r *Recorder) Name() string { return r.inner.Name() + "+rec" }
+
+// Next implements Generator.
+func (r *Recorder) Next(op *Op) {
+	r.inner.Next(op)
+	if r.limit == 0 || len(r.ops) < r.limit {
+		r.ops = append(r.ops, *op)
+	}
+}
+
+// Trace returns the recorded ops.
+func (r *Recorder) Trace() []Op { return r.ops }
+
+// WriteTo serializes the recorded trace in a line-oriented text format:
+// addr write dependsOn gap insts, one op per line. Tags are not
+// persisted (they are generator-session-local).
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, op := range r.ops {
+		wr := 0
+		if op.Write {
+			wr = 1
+		}
+		c, err := fmt.Fprintf(bw, "%x %d %d %d %d\n", uint64(op.Addr), wr, op.DependsOn, op.Gap, op.Insts)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Replayer replays a fixed op sequence, looping forever.
+type Replayer struct {
+	name string
+	ops  []Op
+	i    int
+}
+
+// NewReplayer builds a generator replaying ops in a loop.
+func NewReplayer(name string, ops []Op) (*Replayer, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	return &Replayer{name: name, ops: ops}, nil
+}
+
+// ReadTrace parses the format written by Recorder.WriteTo.
+func ReadTrace(r io.Reader) ([]Op, error) {
+	var ops []Op
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var addr uint64
+		var wr, dep, gap int
+		var insts uint64
+		if _, err := fmt.Sscanf(text, "%x %d %d %d %d", &addr, &wr, &dep, &gap, &insts); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		if wr != 0 && wr != 1 {
+			return nil, fmt.Errorf("workload: trace line %d: write flag %d", line, wr)
+		}
+		if dep < 0 || gap < 0 || insts == 0 {
+			return nil, fmt.Errorf("workload: trace line %d: invalid fields", line)
+		}
+		ops = append(ops, Op{
+			Addr:      mem.Addr(addr),
+			Write:     wr == 1,
+			DependsOn: dep,
+			Gap:       gap,
+			Insts:     insts,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// Name implements Generator.
+func (r *Replayer) Name() string { return r.name }
+
+// Next implements Generator.
+func (r *Replayer) Next(op *Op) {
+	*op = r.ops[r.i]
+	r.i = (r.i + 1) % len(r.ops)
+}

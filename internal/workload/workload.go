@@ -1,0 +1,73 @@
+// Package workload provides the synthetic program-behavior generators
+// standing in for the paper's workloads: the stream and chaser
+// microbenchmarks, the periodic and L3-resident streamers, proxies for
+// the eight memory-intensive SPEC CPU 2006 applications, and a
+// memcached-like transaction service.
+//
+// A generator emits an unbounded sequence of memory ops; the cpu.Core
+// enforces their dependencies and structural limits. Each generator is
+// deterministic given its seed and parameters, and each op carries the
+// instruction count it represents so cores can report IPC.
+package workload
+
+import "pabst/internal/mem"
+
+// Op is one memory operation plus the abstracted compute around it.
+type Op struct {
+	Addr  mem.Addr
+	Write bool
+
+	// DependsOn names the producer this op waits for, as a distance in
+	// program order (1 = the immediately previous op). 0 means
+	// independent. Generators must keep dependence distances constant
+	// while producers are outstanding (the core supports one waiter per
+	// op).
+	DependsOn int
+
+	// Gap is the compute-cycle cost preceding this op: the front end
+	// supplies one op per Gap cycles, and a dependent op issues Gap
+	// cycles after its producer completes.
+	Gap int
+
+	// Insts is the instruction count retired when this op retires (the
+	// memory instruction plus its surrounding compute).
+	Insts uint64
+
+	// Tag, when non-zero, is echoed to the generator's observer hooks
+	// at issue and completion time.
+	Tag uint64
+}
+
+// Generator produces the op stream of one software thread.
+type Generator interface {
+	// Name identifies the workload (for reports).
+	Name() string
+	// Next fills op with the next operation. Generators never run out.
+	Next(op *Op)
+}
+
+// IssueObserver is implemented by generators that want to know when a
+// tagged op entered the memory system.
+type IssueObserver interface {
+	OnIssue(now uint64, tag uint64)
+}
+
+// CompletionObserver is implemented by generators that want to know when
+// a tagged op completed.
+type CompletionObserver interface {
+	OnComplete(now uint64, tag uint64)
+}
+
+// Region is a contiguous address range private to one thread.
+type Region struct {
+	Base mem.Addr
+	Size uint64 // bytes
+}
+
+// Lines returns the number of cache lines in the region.
+func (r Region) Lines() uint64 { return r.Size / mem.LineSize }
+
+// LineAt returns the address of line i (mod region size).
+func (r Region) LineAt(i uint64) mem.Addr {
+	return r.Base + mem.Addr((i%r.Lines())*mem.LineSize)
+}

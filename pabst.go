@@ -1,0 +1,340 @@
+// Package pabst is a library-grade reproduction of "PABST: Proportionally
+// Allocated Bandwidth at the Source and Target" (Hower, Cain, Waldspurger,
+// HPCA 2017): a software-controlled memory-bandwidth QoS mechanism that
+// throttles request rates at the source (a governor at each private cache)
+// and prioritizes requests at the target (an earliest-virtual-deadline
+// arbiter in each memory controller), both driven by the same per-class
+// proportional share.
+//
+// The package bundles the mechanism together with the full simulated
+// substrate it runs on — cores, caches, mesh, and banked DDR — behind a
+// builder API:
+//
+//	cfg := pabst.Default32Config()
+//	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+//	hi := b.AddClass("latency-critical", 7, 8)
+//	lo := b.AddClass("batch", 3, 8)
+//	for i := 0; i < 16; i++ {
+//	    b.Attach(i, hi, pabst.Stream("hot", pabst.TileRegion(i), 128, false))
+//	    b.Attach(16+i, lo, pabst.Stream("bg", pabst.TileRegion(16+i), 128, false))
+//	}
+//	sys, err := b.Build()
+//	...
+//	sys.Warmup(200_000)
+//	sys.Run(500_000)
+//	m := sys.Metrics()
+//	fmt.Printf("shares: %.2f / %.2f\n", m.ShareOf(hi), m.ShareOf(lo))
+//
+// Regulation modes select which halves of PABST are active, enabling the
+// paper's source-only and target-only baselines for comparison.
+package pabst
+
+import (
+	"fmt"
+
+	"pabst/internal/config"
+	"pabst/internal/mem"
+	"pabst/internal/qos"
+	"pabst/internal/regulate"
+	"pabst/internal/soc"
+	"pabst/internal/stats"
+	"pabst/internal/workload"
+)
+
+// Mode selects which halves of the mechanism are active.
+type Mode = regulate.Mode
+
+// Regulation modes.
+const (
+	// ModeNone disables bandwidth QoS entirely (baseline).
+	ModeNone = regulate.ModeNone
+	// ModeSourceOnly enables only the source governors.
+	ModeSourceOnly = regulate.ModeSourceOnly
+	// ModeTargetOnly enables only the target priority arbiters.
+	ModeTargetOnly = regulate.ModeTargetOnly
+	// ModePABST enables both halves (the paper's mechanism).
+	ModePABST = regulate.ModePABST
+	// ModeStaticSource is the related-work baseline: a fixed,
+	// non-work-conserving source rate limit, no target priority.
+	ModeStaticSource = regulate.ModeStaticSource
+)
+
+// ParseMode converts a mode name ("none", "source-only", "target-only",
+// "pabst") to a Mode.
+func ParseMode(s string) (Mode, error) { return regulate.ParseMode(s) }
+
+// Modes returns every mode in presentation order.
+func Modes() []Mode { return regulate.Modes() }
+
+// ClassID identifies a QoS class.
+type ClassID = mem.ClassID
+
+// WBCharge selects which class pays for shared-cache writebacks
+// (Section V-C of the paper).
+type WBCharge = qos.WBCharge
+
+// Writeback accounting policies.
+const (
+	// ChargeDemander bills the class whose request caused the eviction
+	// (the paper's evaluation setting, and the default).
+	ChargeDemander = qos.ChargeDemander
+	// ChargeOwner bills the class that allocated the evicted line.
+	ChargeOwner = qos.ChargeOwner
+	// ChargeFixed bills SystemConfig.WBFixedClass regardless of cause.
+	ChargeFixed = qos.ChargeFixed
+)
+
+// SystemConfig describes the simulated machine (Table III of the paper).
+type SystemConfig = config.System
+
+// Default32Config returns the paper's 32-core, four-channel system.
+func Default32Config() SystemConfig { return config.Default32() }
+
+// Scaled8Config returns the 4x-scaled 8-core system used for the
+// memcached experiment.
+func Scaled8Config() SystemConfig { return config.Scaled8() }
+
+// LoadConfig reads and validates a JSON system configuration.
+func LoadConfig(path string) (SystemConfig, error) { return config.Load(path) }
+
+// Region is a private address range for a workload thread.
+type Region = workload.Region
+
+// TileRegion returns a disjoint 256 MiB region for a tile's thread;
+// experiments use it to keep footprints from aliasing (large enough for
+// the biggest SPEC proxy footprint).
+func TileRegion(tile int) Region {
+	return Region{Base: mem.Addr(uint64(tile+1) << 32), Size: 256 << 20}
+}
+
+// Generator produces a thread's memory-op stream.
+type Generator = workload.Generator
+
+// Stream returns the bandwidth-limited streaming microbenchmark.
+func Stream(name string, r Region, strideBytes uint64, write bool) Generator {
+	return workload.NewStream(name, r, strideBytes, write)
+}
+
+// Chaser returns the latency-limited pointer-chasing microbenchmark with
+// the given number of independent chains (the paper uses 4).
+func Chaser(name string, r Region, chains int, seed uint64) Generator {
+	return workload.NewChaser(name, r, chains, seed)
+}
+
+// Periodic returns a streamer alternating between a memory-resident phase
+// of ddrCycles and a cache-resident phase of cacheCycles, wall-clock
+// synchronized across all threads of the class.
+func Periodic(name string, ddr, cached Region, ddrCycles, cacheCycles uint64) Generator {
+	return workload.NewPeriodicStream(name, ddr, cached, ddrCycles, cacheCycles)
+}
+
+// BurstyTraffic returns a clustered-traffic generator: bursts of
+// burstOps independent line reads separated by idleGap compute cycles.
+// The returned value records per-burst completion times through its
+// BurstTimes histogram.
+func BurstyTraffic(name string, r Region, burstOps, idleGap int, seed uint64) *workload.Bursty {
+	return workload.NewBursty(name, r, burstOps, idleGap, seed)
+}
+
+// FilteredStream returns a streamer restricted to addresses the predicate
+// accepts — the building block for deliberately channel-skewed traffic in
+// the per-controller regulation experiments.
+func FilteredStream(name string, r Region, strideBytes uint64, write bool, keep func(mem.Addr) bool) Generator {
+	return workload.NewFilteredStream(name, r, strideBytes, write, keep)
+}
+
+// Addr is a physical address (for FilteredStream predicates).
+type Addr = mem.Addr
+
+// SpecProxy returns the synthetic proxy for one of the paper's eight
+// SPEC CPU 2006 workloads (GemsFDTD, lbm, libquantum, mcf, milc, omnetpp,
+// soplex, sphinx3).
+func SpecProxy(name string, r Region, seed uint64) (Generator, error) {
+	p, ok := workload.SpecByName(name)
+	if !ok {
+		return nil, fmt.Errorf("pabst: unknown SPEC workload %q", name)
+	}
+	return workload.NewSpec(p, r, seed)
+}
+
+// SpecNames lists the SPEC proxy workloads in suite order.
+func SpecNames() []string {
+	var names []string
+	for _, p := range workload.SpecSuite() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// MemcachedServer returns the transaction-serving proxy; its service-time
+// histogram is retrievable through ServiceTimes on the returned value.
+func MemcachedServer(r Region, seed uint64) *workload.Memcached {
+	m, err := workload.NewMemcached(workload.DefaultMemcachedParams(), r, seed)
+	if err != nil {
+		panic(err) // defaults are always valid
+	}
+	return m
+}
+
+// Recorder captures a generator's op stream into a replayable trace.
+type Recorder = workload.Recorder
+
+// NewRecorder wraps gen, keeping at most limit recorded ops (0 =
+// unlimited).
+func NewRecorder(gen Generator, limit int) *Recorder { return workload.NewRecorder(gen, limit) }
+
+// Replay returns a generator that replays a recorded trace in a loop.
+func Replay(name string, ops []workload.Op) (Generator, error) {
+	return workload.NewReplayer(name, ops)
+}
+
+// Hist is a log-scaled latency histogram.
+type Hist = stats.Hist
+
+// Metrics summarizes a measurement window.
+type Metrics = soc.Metrics
+
+// Series is a per-class bandwidth time series.
+type Series = stats.Series
+
+// Builder assembles a system: classes, tile placements, then Build.
+type Builder struct {
+	cfg  SystemConfig
+	mode Mode
+	reg  *qos.Registry
+
+	attachments []attachment
+	err         error
+}
+
+type attachment struct {
+	tile  int
+	class ClassID
+	gen   Generator
+}
+
+// NewBuilder starts a system description.
+func NewBuilder(cfg SystemConfig, mode Mode) *Builder {
+	return &Builder{cfg: cfg, mode: mode, reg: qos.NewRegistry()}
+}
+
+// AddClass registers a QoS class with a proportional-share weight and an
+// exclusive L3 way allocation, returning its ID. Errors surface at Build.
+func (b *Builder) AddClass(name string, weight uint64, l3Ways int) ClassID {
+	c, err := b.reg.Add(name, weight, l3Ways)
+	if err != nil {
+		if b.err == nil {
+			b.err = err
+		}
+		return 0
+	}
+	return c.ID
+}
+
+// Attach places a generator on a tile under a class.
+func (b *Builder) Attach(tile int, class ClassID, gen Generator) *Builder {
+	b.attachments = append(b.attachments, attachment{tile, class, gen})
+	return b
+}
+
+// Build validates and wires the system.
+func (b *Builder) Build() (*System, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	inner, err := soc.New(b.cfg, b.reg, b.mode)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range b.attachments {
+		if err := inner.Attach(a.tile, a.class, a.gen); err != nil {
+			return nil, err
+		}
+	}
+	if err := inner.Finalize(); err != nil {
+		return nil, err
+	}
+	return &System{inner: inner, reg: b.reg}, nil
+}
+
+// System is a runnable simulated machine.
+type System struct {
+	inner *soc.System
+	reg   *qos.Registry
+}
+
+// Run advances the simulation by cycles.
+func (s *System) Run(cycles uint64) { s.inner.Run(cycles) }
+
+// Warmup runs cycles and then resets measurement state, so Metrics
+// reflects steady-state behavior only.
+func (s *System) Warmup(cycles uint64) { s.inner.Warmup(cycles) }
+
+// ResetStats starts a new measurement window.
+func (s *System) ResetStats() { s.inner.ResetStats() }
+
+// Now returns the current cycle.
+func (s *System) Now() uint64 { return s.inner.Now() }
+
+// Metrics returns the current window's summary.
+func (s *System) Metrics() Metrics { return s.inner.Metrics() }
+
+// Series returns the continuously sampled per-class bandwidth series.
+func (s *System) Series() *Series { return s.inner.Series() }
+
+// ClassIPC averages core IPC over a class's tiles.
+func (s *System) ClassIPC(class ClassID) float64 { return s.inner.ClassIPC(class) }
+
+// TileIPCs returns per-tile IPCs of a class.
+func (s *System) TileIPCs(class ClassID) []float64 { return s.inner.TileIPCs(class) }
+
+// SetWeight changes a class's proportional share at run time (the
+// software policy knob); governors and arbiters honor it at the next
+// epoch / request.
+func (s *System) SetWeight(class ClassID, weight uint64) error {
+	return s.reg.SetWeight(class, weight)
+}
+
+// Share returns a class's entitled proportional share (Eq. 1).
+func (s *System) Share(class ClassID) float64 { return s.reg.Share(class) }
+
+// ClassMissLatency returns a class's mean end-to-end L2-miss latency in
+// cycles (network injection to response arrival, including L3 hits).
+func (s *System) ClassMissLatency(class ClassID) float64 {
+	return s.inner.ClassMissLatency(class)
+}
+
+// ClassMCReadLatency returns a class's mean memory-controller read
+// latency in cycles (front-end enqueue to last data beat).
+func (s *System) ClassMCReadLatency(class ClassID) float64 {
+	return s.inner.ClassMCReadLatency(class)
+}
+
+// SaturatedLastEpoch reports the most recent wired-OR SAT signal.
+func (s *System) SaturatedLastEpoch() bool { return s.inner.SATLast() }
+
+// MCForAddr returns the memory controller serving addr under the
+// system's channel hash.
+func (s *System) MCForAddr(addr Addr) int { return s.inner.MCForAddr(addr) }
+
+// MCUtilizations returns each channel's data-bus utilization over the
+// current measurement window.
+func (s *System) MCUtilizations() []float64 { return s.inner.MCUtilizations() }
+
+// L3OccupancyOf returns the shared-cache bytes a class currently holds
+// (the Section II-B LLC occupancy monitor). It walks the cache arrays;
+// use it for sampling, not per-cycle.
+func (s *System) L3OccupancyOf(class ClassID) uint64 { return s.inner.L3OccupancyOf(class) }
+
+// GovernorState reports a tile's regulator internals for tracing: the
+// throttle multiplier M, the current step δM, and the installed pacing
+// period. ok is false for idle tiles or modes without a governor.
+func (s *System) GovernorState(tile int) (m, dm, period uint64, ok bool) {
+	return s.inner.GovernorState(tile)
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() SystemConfig { return s.inner.Config() }
+
+// Mode returns the regulation mode.
+func (s *System) Mode() Mode { return s.inner.Mode() }

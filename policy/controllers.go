@@ -1,0 +1,116 @@
+package policy
+
+import (
+	"fmt"
+
+	"pabst"
+)
+
+// LatencyTarget holds a latency-critical class's mean miss latency under
+// a target by multiplicatively growing its weight while the SLO is
+// violated and decaying it only when latency has comfortable slack (a
+// hysteresis band prevents flapping). This is the controller shape the
+// paper's Section II-C use case implies: "a latency-sensitive application
+// may be given a grossly disproportionate share", but no more than
+// needed.
+type LatencyTarget struct {
+	// Class is the controlled class.
+	Class pabst.ClassID
+	// TargetCycles is the SLO on mean end-to-end miss latency.
+	TargetCycles float64
+	// DecayBelow is the fraction of target under which the weight decays
+	// (default 0.55 — the hysteresis band).
+	DecayBelow float64
+	// MaxWeight bounds escalation (default 64).
+	MaxWeight uint64
+
+	weight uint64
+}
+
+// Name implements Controller.
+func (c *LatencyTarget) Name() string { return "latency-target" }
+
+// Step implements Controller.
+func (c *LatencyTarget) Step(sys System) (string, error) {
+	if c.TargetCycles <= 0 {
+		return "", fmt.Errorf("non-positive latency target")
+	}
+	if c.weight == 0 {
+		c.weight = 1
+	}
+	if c.DecayBelow == 0 {
+		c.DecayBelow = 0.55
+	}
+	if c.MaxWeight == 0 {
+		c.MaxWeight = 64
+	}
+	lat := sys.ClassMissLatency(c.Class)
+	switch {
+	case lat > c.TargetCycles && c.weight < c.MaxWeight:
+		c.weight = clampWeight(c.weight*2, c.MaxWeight)
+	case lat < c.DecayBelow*c.TargetCycles && c.weight > 1:
+		c.weight = clampWeight(c.weight/2, c.MaxWeight)
+	default:
+		return fmt.Sprintf("hold weight=%d (lat %.0f / target %.0f)", c.weight, lat, c.TargetCycles), nil
+	}
+	if err := sys.SetWeight(c.Class, c.weight); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("weight=%d (lat %.0f / target %.0f)", c.weight, lat, c.TargetCycles), nil
+}
+
+// Weight returns the controller's current weight decision.
+func (c *LatencyTarget) Weight() uint64 { return c.weight }
+
+// BandwidthFloor guarantees a class a minimum bandwidth by escalating its
+// weight while measured bandwidth sits below the floor — the IaaS
+// "pay-for-bandwidth" use case of Section II-A, implemented in software
+// over the proportional-share knob.
+type BandwidthFloor struct {
+	// Class is the protected class.
+	Class pabst.ClassID
+	// FloorBytesPerCycle is the guaranteed minimum.
+	FloorBytesPerCycle float64
+	// Headroom is the overshoot fraction above which the weight decays
+	// (default 1.5).
+	Headroom float64
+	// MaxWeight bounds escalation (default 64).
+	MaxWeight uint64
+
+	weight uint64
+}
+
+// Name implements Controller.
+func (c *BandwidthFloor) Name() string { return "bandwidth-floor" }
+
+// Step implements Controller.
+func (c *BandwidthFloor) Step(sys System) (string, error) {
+	if c.FloorBytesPerCycle <= 0 {
+		return "", fmt.Errorf("non-positive bandwidth floor")
+	}
+	if c.weight == 0 {
+		c.weight = 1
+	}
+	if c.Headroom == 0 {
+		c.Headroom = 1.5
+	}
+	if c.MaxWeight == 0 {
+		c.MaxWeight = 64
+	}
+	got := sys.Metrics().BytesPerCycle(c.Class)
+	switch {
+	case got < c.FloorBytesPerCycle && c.weight < c.MaxWeight:
+		c.weight = clampWeight(c.weight*2, c.MaxWeight)
+	case got > c.Headroom*c.FloorBytesPerCycle && c.weight > 1:
+		c.weight--
+	default:
+		return fmt.Sprintf("hold weight=%d (bw %.1f / floor %.1f)", c.weight, got, c.FloorBytesPerCycle), nil
+	}
+	if err := sys.SetWeight(c.Class, c.weight); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("weight=%d (bw %.1f / floor %.1f)", c.weight, got, c.FloorBytesPerCycle), nil
+}
+
+// Weight returns the controller's current weight decision.
+func (c *BandwidthFloor) Weight() uint64 { return c.weight }

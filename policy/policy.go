@@ -1,0 +1,73 @@
+// Package policy provides software allocation controllers on top of the
+// PABST hardware mechanism.
+//
+// The paper is explicit that PABST is mechanism, not policy: "PABST
+// provides a hardware mechanism and leaves allocation policy up to
+// software" (Section I), pointing at data-center resource managers as the
+// intended drivers. This package supplies reference controllers of that
+// kind: each observes a running system over a control interval and
+// adjusts class weights through the same software-visible knob a manager
+// like Heracles would use.
+//
+// Controllers are deterministic and side-effect free apart from
+// SetWeight, so they compose: run several against one system as long as
+// they own disjoint classes.
+package policy
+
+import (
+	"fmt"
+
+	"pabst"
+)
+
+// System is the view controllers have of a running machine. *pabst.System
+// satisfies it.
+type System interface {
+	SetWeight(class pabst.ClassID, weight uint64) error
+	ClassMissLatency(class pabst.ClassID) float64
+	Metrics() pabst.Metrics
+	ResetStats()
+	Run(cycles uint64)
+}
+
+// Controller adjusts allocation in response to one observation window.
+type Controller interface {
+	// Name identifies the controller in reports.
+	Name() string
+	// Step observes the window just measured and may reweight classes.
+	// It returns a short human-readable action description.
+	Step(sys System) (action string, err error)
+}
+
+// Drive runs the control loop: repeatedly run the system for interval
+// cycles, then give every controller a Step. The returned log holds one
+// line per controller per interval.
+func Drive(sys System, interval uint64, steps int, controllers ...Controller) ([]string, error) {
+	if interval == 0 || steps <= 0 {
+		return nil, fmt.Errorf("policy: bad control loop (interval %d, steps %d)", interval, steps)
+	}
+	var log []string
+	for i := 0; i < steps; i++ {
+		sys.ResetStats()
+		sys.Run(interval)
+		for _, c := range controllers {
+			action, err := c.Step(sys)
+			if err != nil {
+				return log, fmt.Errorf("policy: %s: %w", c.Name(), err)
+			}
+			log = append(log, fmt.Sprintf("step %d %s: %s", i, c.Name(), action))
+		}
+	}
+	return log, nil
+}
+
+// clampWeight keeps w in [1, max].
+func clampWeight(w, max uint64) uint64 {
+	if w < 1 {
+		return 1
+	}
+	if max > 0 && w > max {
+		return max
+	}
+	return w
+}

@@ -1,0 +1,130 @@
+package policy_test
+
+import (
+	"strings"
+	"testing"
+
+	"pabst"
+	"pabst/policy"
+)
+
+// buildColo builds a chaser service class against a write-stream
+// background on the 32-core system.
+func buildColo(t *testing.T) (*pabst.System, pabst.ClassID, pabst.ClassID) {
+	t.Helper()
+	cfg := pabst.Default32Config()
+	cfg.PABST.EpochCycles = 2000
+	cfg.BWWindow = 2000
+	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	svc := b.AddClass("service", 1, cfg.L3Ways/2)
+	bg := b.AddClass("background", 1, cfg.L3Ways/2)
+	for i := 0; i < 16; i++ {
+		b.Attach(i, svc, pabst.Chaser("svc", pabst.TileRegion(i), 4, uint64(i)+1))
+		b.Attach(16+i, bg, pabst.Stream("bg", pabst.TileRegion(16+i), 128, true))
+	}
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Warmup(100_000)
+	return sys, svc, bg
+}
+
+func TestLatencyTargetMeetsSLO(t *testing.T) {
+	sys, svc, _ := buildColo(t)
+	const target = 280
+	ctl := &policy.LatencyTarget{Class: svc, TargetCycles: target}
+	if _, err := policy.Drive(sys, 100_000, 10, ctl); err != nil {
+		t.Fatal(err)
+	}
+	// Measure a final window under the converged weight.
+	sys.ResetStats()
+	sys.Run(100_000)
+	if lat := sys.ClassMissLatency(svc); lat > target*1.15 {
+		t.Fatalf("controller left latency at %.0f, target %d", lat, target)
+	}
+	if w := ctl.Weight(); w < 2 {
+		t.Fatalf("controller converged to weight %d; co-located chaser needs more than parity", w)
+	}
+}
+
+func TestLatencyTargetDoesNotOvershoot(t *testing.T) {
+	// Without competition the SLO is met at weight 1; the controller
+	// must not escalate.
+	cfg := pabst.Scaled8Config()
+	cfg.PABST.EpochCycles = 2000
+	cfg.BWWindow = 2000
+	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	svc := b.AddClass("service", 1, cfg.L3Ways/2)
+	b.AddClass("unused", 1, cfg.L3Ways/2)
+	for i := 0; i < 4; i++ {
+		b.Attach(i, svc, pabst.Chaser("svc", pabst.TileRegion(i), 4, uint64(i)+1))
+	}
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Warmup(60_000)
+	ctl := &policy.LatencyTarget{Class: svc, TargetCycles: 800}
+	if _, err := policy.Drive(sys, 60_000, 6, ctl); err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Weight() != 1 {
+		t.Fatalf("uncontended controller escalated to weight %d", ctl.Weight())
+	}
+}
+
+func TestBandwidthFloorGuarantee(t *testing.T) {
+	cfg := pabst.Default32Config()
+	cfg.PABST.EpochCycles = 2000
+	cfg.BWWindow = 2000
+	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	vm := b.AddClass("vm", 1, cfg.L3Ways/2)
+	other := b.AddClass("other", 7, cfg.L3Ways/2) // starts with 7x the share
+	for i := 0; i < 16; i++ {
+		b.Attach(i, vm, pabst.Stream("vm", pabst.TileRegion(i), 128, false))
+		b.Attach(16+i, other, pabst.Stream("other", pabst.TileRegion(16+i), 128, false))
+	}
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Warmup(100_000)
+	// At 1:7 the vm gets ~12.5% ~ 4 B/cyc; demand a 12 B/cyc floor.
+	ctl := &policy.BandwidthFloor{Class: vm, FloorBytesPerCycle: 12}
+	if _, err := policy.Drive(sys, 100_000, 10, ctl); err != nil {
+		t.Fatal(err)
+	}
+	sys.ResetStats()
+	sys.Run(100_000)
+	if got := sys.Metrics().BytesPerCycle(vm); got < 11 {
+		t.Fatalf("floor controller delivered %.1f B/cyc, floor 12", got)
+	}
+}
+
+func TestDriveValidatesAndLogs(t *testing.T) {
+	sys, svc, _ := buildColo(t)
+	if _, err := policy.Drive(sys, 0, 1); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := policy.Drive(sys, 1000, 0); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+	log, err := policy.Drive(sys, 50_000, 2, &policy.LatencyTarget{Class: svc, TargetCycles: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 2 || !strings.Contains(log[0], "latency-target") {
+		t.Fatalf("log = %v", log)
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	sys, svc, _ := buildColo(t)
+	if _, err := (&policy.LatencyTarget{Class: svc}).Step(sys); err == nil {
+		t.Fatal("zero target accepted")
+	}
+	if _, err := (&policy.BandwidthFloor{Class: svc}).Step(sys); err == nil {
+		t.Fatal("zero floor accepted")
+	}
+}
