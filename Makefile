@@ -1,0 +1,31 @@
+# Build and test tiers. `make check` is the tier-1 gate (build + tests);
+# `make robust` is the robustness tier (vet + the race detector), which
+# the fault-injection and degradation tests are expected to pass too.
+
+GO ?= go
+
+.PHONY: all build check robust bench faults clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+check: build
+	$(GO) test ./...
+
+# Robustness tier: static analysis plus the full suite under the race
+# detector (slower; includes the fault-injection chaos sweeps).
+robust:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Quick clean-vs-faulted comparison (the BENCH_faults.json scenario).
+faults:
+	$(GO) run ./cmd/pabstsim -scale quick faults
+
+clean:
+	$(GO) clean ./...

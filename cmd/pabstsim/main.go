@@ -40,6 +40,7 @@ var experiments = []struct {
 	{"ext-skew", "extension: per-MC governors under channel-skewed traffic (Sec III-C1)"},
 	{"ext-hetero", "extension: demand-weighted intra-class allocation (Sec V-B)"},
 	{"ext-noc", "extension: contention-modeled mesh vs the paper's latency-only fabric"},
+	{"faults", "robustness: 7:3 allocation under an injected fault plan vs clean"},
 }
 
 func main() {
@@ -48,6 +49,8 @@ func main() {
 	series := flag.Bool("series", false, "print full time series for fig5/fig6")
 	jsonOut := flag.Bool("json", false, "emit result tables as JSON instead of text")
 	specs := flag.String("spec", "", "comma-separated SPEC proxy subset for fig10-12 (default: all)")
+	faults := flag.String("faults", "sat-partition",
+		"fault plan for the faults experiment: a preset ("+strings.Join(pabst.FaultPresets(), ", ")+") or a JSON file")
 	flag.Parse()
 
 	if *list {
@@ -175,6 +178,10 @@ func main() {
 			emit(r.Table())
 		case "ext-noc":
 			r, err := exp.ExtNoC(scale)
+			check(err)
+			emit(r.Table())
+		case "faults":
+			r, err := exp.Faults(scale, *faults)
 			check(err)
 			emit(r.Table())
 		default:

@@ -1,0 +1,73 @@
+// Faults: run the 7:3 proportional-allocation scenario twice — once
+// clean, once with a SAT partition cutting a quarter of the governors
+// off the heartbeat broadcast — and show that the degradation machinery
+// (stale-signal watchdog, conservative fallback, bounded resync) keeps
+// the bandwidth split intact and restores lockstep after the heal.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pabst"
+)
+
+func run(plan *pabst.FaultPlan) (*pabst.System, pabst.ClassID, pabst.ClassID) {
+	cfg := pabst.Default32Config()
+	if plan != nil {
+		cfg.Faults = plan
+		// Arm the watchdog, fallback, and resync knobs (all default off).
+		cfg.PABST = cfg.PABST.WithDegradation()
+	}
+	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	hi := b.AddClass("frontend", 7, cfg.L3Ways/2)
+	lo := b.AddClass("batch", 3, cfg.L3Ways/2)
+	for i := 0; i < 16; i++ {
+		b.Attach(i, hi, pabst.Stream("frontend", pabst.TileRegion(i), 128, false))
+		b.Attach(16+i, lo, pabst.Stream("batch", pabst.TileRegion(16+i), 128, false))
+	}
+	sys, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Warmup(400_000)
+	sys.Run(400_000)
+	return sys, hi, lo
+}
+
+func main() {
+	// The partition cuts tiles [0,8) — half the frontend class — off the
+	// SAT broadcast for epochs [10,30).
+	plan, err := pabst.LoadFaultPlan("sat-partition")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	clean, hi, lo := run(nil)
+	faulted, fhi, flo := run(plan)
+
+	cm, fm := clean.Metrics(), faulted.Metrics()
+	// A second window after the partition healed and resync completed.
+	faulted.ResetStats()
+	faulted.Run(400_000)
+	rm := faulted.Metrics()
+
+	fmt.Printf("%-22s %10s %10s %10s\n", "", "clean", "faulted", "recovered")
+	fmt.Printf("%-22s %10.3f %10.3f %10.3f\n", "frontend share (0.70)",
+		cm.ShareOf(hi), fm.ShareOf(fhi), rm.ShareOf(fhi))
+	fmt.Printf("%-22s %10.3f %10.3f %10.3f\n", "batch share    (0.30)",
+		cm.ShareOf(lo), fm.ShareOf(flo), rm.ShareOf(flo))
+	fmt.Printf("%-22s %10.1f %10.1f %10.1f\n", "total B/cycle",
+		cm.BytesPerCycle(hi)+cm.BytesPerCycle(lo),
+		fm.BytesPerCycle(fhi)+fm.BytesPerCycle(flo),
+		rm.BytesPerCycle(fhi)+rm.BytesPerCycle(flo))
+
+	rep := faulted.FaultReport()
+	fmt.Printf("\nfault report (faulted run):\n")
+	fmt.Printf("  injected:            %s\n", rep.Injected)
+	fmt.Printf("  stale intervals:     %d (watchdog expiries)\n", rep.StaleIntervals)
+	fmt.Printf("  decay steps:         %d\n", rep.Decays)
+	fmt.Printf("  resync epochs:       %d\n", rep.ResyncEpochs)
+	fmt.Printf("  worst M divergence:  %d over %d epochs\n", rep.DivergenceMax, rep.DivergedEpochs)
+	fmt.Printf("  re-converged in:     %d epochs; diverged now: %v\n", rep.ReconvergeEpochs, rep.Diverged)
+}

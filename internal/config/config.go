@@ -6,11 +6,13 @@ package config
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 
 	"pabst/internal/cpu"
 	"pabst/internal/dram"
+	"pabst/internal/fault"
 	"pabst/internal/mem"
 	"pabst/internal/noc"
 	"pabst/internal/pabst"
@@ -65,6 +67,13 @@ type System struct {
 
 	// PABST mechanism parameters.
 	PABST pabst.Params
+
+	// Faults optionally injects deterministic faults into the SAT
+	// broadcast, the DRAM controllers, and the NoC (see internal/fault).
+	// Nil (the default) injects nothing and adds no overhead; the
+	// degradation knobs in PABST (watchdog, fallback, resync) define how
+	// governors survive what the plan breaks.
+	Faults *fault.Plan `json:",omitempty"`
 
 	// WBCharge selects which class pays for shared-cache writebacks
 	// (Section V-C); WBFixedClass names the payer under ChargeFixed.
@@ -149,55 +158,67 @@ func (s System) ScaleDRAM(factor int) System {
 	return s
 }
 
-// Validate reports configuration errors across all subsystems.
+// ErrInvalid is wrapped by every validation rejection, so callers can
+// distinguish a bad configuration (errors.Is(err, config.ErrInvalid))
+// from I/O or parse failures and exit cleanly instead of panicking.
+var ErrInvalid = errors.New("invalid configuration")
+
+// Validate reports configuration errors across all subsystems. Every
+// rejection wraps ErrInvalid and names the offending field.
 func (s *System) Validate() error {
 	if s.MeshCols <= 0 || s.MeshRows <= 0 {
-		return fmt.Errorf("config: bad mesh %dx%d", s.MeshCols, s.MeshRows)
+		return fmt.Errorf("config: MeshCols/MeshRows: bad mesh %dx%d: %w", s.MeshCols, s.MeshRows, ErrInvalid)
 	}
 	if s.NoC.Cols != s.MeshCols || s.NoC.Rows != s.MeshRows {
-		return fmt.Errorf("config: NoC grid %dx%d does not match mesh %dx%d",
-			s.NoC.Cols, s.NoC.Rows, s.MeshCols, s.MeshRows)
+		return fmt.Errorf("config: NoC.Cols/NoC.Rows: grid %dx%d does not match mesh %dx%d: %w",
+			s.NoC.Cols, s.NoC.Rows, s.MeshCols, s.MeshRows, ErrInvalid)
 	}
 	if s.NoC.NumMCs != s.NumMCs {
-		return fmt.Errorf("config: NoC has %d MCs, system has %d", s.NoC.NumMCs, s.NumMCs)
+		return fmt.Errorf("config: NoC.NumMCs: NoC has %d MCs, system has %d: %w", s.NoC.NumMCs, s.NumMCs, ErrInvalid)
 	}
 	if err := s.Core.Validate(); err != nil {
-		return err
+		return fmt.Errorf("config: Core: %w: %w", err, ErrInvalid)
 	}
 	if s.MaxMSHRs <= 0 {
-		return fmt.Errorf("config: MaxMSHRs must be positive")
+		return fmt.Errorf("config: MaxMSHRs: must be positive, got %d: %w", s.MaxMSHRs, ErrInvalid)
 	}
 	if s.L1Bytes <= 0 || s.L1Ways <= 0 || s.L1HitLat <= 0 {
-		return fmt.Errorf("config: bad L1 geometry")
+		return fmt.Errorf("config: L1Bytes/L1Ways/L1HitLat: bad L1 geometry %d/%d/%d: %w",
+			s.L1Bytes, s.L1Ways, s.L1HitLat, ErrInvalid)
 	}
 	if s.L2Bytes <= 0 || s.L2Ways <= 0 || s.L2HitLat <= 0 {
-		return fmt.Errorf("config: bad L2 geometry")
+		return fmt.Errorf("config: L2Bytes/L2Ways/L2HitLat: bad L2 geometry %d/%d/%d: %w",
+			s.L2Bytes, s.L2Ways, s.L2HitLat, ErrInvalid)
 	}
 	if s.L1Bytes >= s.L2Bytes {
-		return fmt.Errorf("config: L1 (%d) must be smaller than L2 (%d)", s.L1Bytes, s.L2Bytes)
+		return fmt.Errorf("config: L1Bytes: L1 (%d) must be smaller than L2 (%d): %w", s.L1Bytes, s.L2Bytes, ErrInvalid)
 	}
 	if s.PrefetchDepth < 0 || s.PrefetchDepth > s.MaxMSHRs {
-		return fmt.Errorf("config: prefetch depth %d outside [0, MaxMSHRs]", s.PrefetchDepth)
+		return fmt.Errorf("config: PrefetchDepth: %d outside [0, MaxMSHRs=%d]: %w", s.PrefetchDepth, s.MaxMSHRs, ErrInvalid)
 	}
 	if s.L3SliceBytes <= 0 || s.L3Ways <= 0 || s.L3HitLat <= 0 {
-		return fmt.Errorf("config: bad L3 geometry")
+		return fmt.Errorf("config: L3SliceBytes/L3Ways/L3HitLat: bad L3 geometry %d/%d/%d: %w",
+			s.L3SliceBytes, s.L3Ways, s.L3HitLat, ErrInvalid)
 	}
 	if s.NumMCs <= 0 {
-		return fmt.Errorf("config: need at least one MC")
+		return fmt.Errorf("config: NumMCs: need at least one MC, got %d: %w", s.NumMCs, ErrInvalid)
 	}
 	if s.ModelNoC {
 		if err := s.NoCNet.Validate(); err != nil {
-			return err
+			return fmt.Errorf("config: NoCNet: %w: %w", err, ErrInvalid)
 		}
 	}
 	if err := s.DRAM.Validate(); err != nil {
-		return err
+		return fmt.Errorf("config: DRAM: %w: %w", err, ErrInvalid)
 	}
 	if err := s.PABST.Validate(); err != nil {
-		return err
+		return fmt.Errorf("config: PABST: %w: %w", err, ErrInvalid)
+	}
+	if err := s.Faults.Validate(s.PABST.EpochCycles); err != nil {
+		return fmt.Errorf("config: Faults: %w: %w", err, ErrInvalid)
 	}
 	if s.BWWindow == 0 {
-		return fmt.Errorf("config: zero bandwidth window")
+		return fmt.Errorf("config: BWWindow: zero bandwidth window: %w", ErrInvalid)
 	}
 	return nil
 }

@@ -1,8 +1,11 @@
 package config
 
 import (
+	"errors"
 	"path/filepath"
 	"testing"
+
+	"pabst/internal/fault"
 )
 
 func TestDefault32Valid(t *testing.T) {
@@ -61,13 +64,37 @@ func TestValidateCatchesMismatches(t *testing.T) {
 		func(s *System) { s.DRAM.Banks = 3 },
 		func(s *System) { s.PABST.ScaleF = 0 },
 		func(s *System) { s.BWWindow = 0 },
+		func(s *System) { s.PABST.WatchdogCycles = s.PABST.EpochCycles }, // not past the epoch
+		func(s *System) { s.PABST.FallbackM = s.PABST.MMax + 1 },
+		func(s *System) { s.Faults = &fault.Plan{SAT: fault.SATPlan{DropProb: 2}} },
+		func(s *System) {
+			s.Faults = &fault.Plan{SAT: fault.SATPlan{DelayCycles: s.PABST.EpochCycles}}
+		},
 	}
 	for i, mut := range muts {
 		s := Default32()
 		mut(&s)
-		if err := s.Validate(); err == nil {
+		err := s.Validate()
+		if err == nil {
 			t.Fatalf("mutation %d accepted", i)
 		}
+		// Every rejection wraps the sentinel so CLIs can exit cleanly.
+		if !errors.Is(err, ErrInvalid) {
+			t.Fatalf("mutation %d: error does not wrap ErrInvalid: %v", i, err)
+		}
+	}
+}
+
+func TestValidFaultPlanAccepted(t *testing.T) {
+	s := Default32()
+	p, err := fault.Preset("everything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Faults = &p
+	s.PABST = s.PABST.WithDegradation()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("faulted config with degradation armed rejected: %v", err)
 	}
 }
 

@@ -150,6 +150,11 @@ type Controller struct {
 
 	nextRefresh uint64
 
+	// frozenUntil gates the issue path during an injected front-end
+	// freeze fault: queues keep filling and the saturation monitor keeps
+	// integrating, but nothing is scheduled until the cycle passes.
+	frozenUntil uint64
+
 	Stats Stats
 }
 
@@ -275,6 +280,28 @@ func (c *Controller) EpochSaturated() bool {
 	return sat
 }
 
+// Freeze stops the controller front end from issuing anything until the
+// given cycle (fault injection: a transient controller hang). Arrivals,
+// occupancy accounting, and refresh continue — the queues visibly back
+// up, which is exactly the condition the saturation monitor must report.
+func (c *Controller) Freeze(until uint64) {
+	if until > c.frozenUntil {
+		c.frozenUntil = until
+	}
+}
+
+// StallBank makes one bank unavailable until the given cycle (fault
+// injection: an ECC scrub or on-die retry burst pinning the bank).
+func (c *Controller) StallBank(b int, until uint64) {
+	bk := &c.banks[b%len(c.banks)]
+	if until > bk.readyAt {
+		bk.readyAt = until
+	}
+}
+
+// Frozen reports whether the front end is currently fault-frozen.
+func (c *Controller) Frozen(now uint64) bool { return now < c.frozenUntil }
+
 // Tick advances the controller by one cycle: it accumulates monitor
 // state, performs refresh, manages read/write mode, and issues at most
 // one access.
@@ -295,6 +322,12 @@ func (c *Controller) Tick(now uint64) {
 			}
 		}
 		c.Stats.Refreshes++
+	}
+
+	// An injected front-end freeze blocks all scheduling; state above
+	// (occupancy integral, pending cycles, refresh) still advances.
+	if now < c.frozenUntil {
+		return
 	}
 
 	// Read/write mode with hysteresis.

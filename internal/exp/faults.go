@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"fmt"
+
+	"pabst"
+)
+
+// FaultsRun summarizes one arm (clean or faulted) of the fault
+// experiment: the Figure 5 scenario's steady shares and how far the
+// achieved ratio sits from the entitled 7:3 split (Eq. 5).
+type FaultsRun struct {
+	Shares   []float64 // hi, lo
+	AllocErr float64   // relative error of hi:lo vs 7:3
+	BpcSum   float64
+}
+
+// FaultsResult compares the 7:3 proportional-allocation scenario with
+// and without an active fault plan. The faulted arm runs with the
+// degradation knobs armed (watchdog + fallback + resync), so the result
+// shows what the mechanism holds onto when its feedback loop is under
+// attack.
+type FaultsResult struct {
+	Plan            string
+	Clean, Faulted  FaultsRun
+	Report          pabst.FaultReport
+	FaultsInjected  uint64
+}
+
+func runFaultsArm(scale Scale, plan *pabst.FaultPlan) (FaultsRun, pabst.FaultReport, error) {
+	cfg := scale.Apply(pabst.Default32Config())
+	if plan != nil {
+		cfg.Faults = plan
+		cfg.PABST = cfg.PABST.WithDegradation()
+	}
+	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	hi := b.AddClass("70%-class", 7, cfg.L3Ways/2)
+	lo := b.AddClass("30%-class", 3, cfg.L3Ways/2)
+	attachStreams(b, hi, 0, 16, false)
+	attachStreams(b, lo, 16, 32, false)
+	sys, err := b.Build()
+	if err != nil {
+		return FaultsRun{}, pabst.FaultReport{}, err
+	}
+	sys.Warmup(scale.Warmup)
+	sys.Run(scale.Measure)
+	m := sys.Metrics()
+	run := FaultsRun{
+		Shares: []float64{m.ShareOf(hi), m.ShareOf(lo)},
+		BpcSum: m.BytesPerCycle(hi) + m.BytesPerCycle(lo),
+	}
+	if run.Shares[1] > 0 {
+		run.AllocErr = abs(run.Shares[0]/run.Shares[1]-7.0/3.0) / (7.0 / 3.0)
+	}
+	return run, sys.FaultReport(), nil
+}
+
+// Faults runs the Figure 5 scenario clean and under the named fault
+// plan (a preset or a JSON path) and reports shares, allocation error,
+// injected-fault counts, and the governors' degradation activity.
+func Faults(scale Scale, planName string) (*FaultsResult, error) {
+	plan, err := pabst.LoadFaultPlan(planName)
+	if err != nil {
+		return nil, err
+	}
+	clean, _, err := runFaultsArm(scale, nil)
+	if err != nil {
+		return nil, err
+	}
+	faulted, rep, err := runFaultsArm(scale, plan)
+	if err != nil {
+		return nil, err
+	}
+	res := &FaultsResult{Plan: planName, Clean: clean, Faulted: faulted, Report: rep}
+	if rep.Injected != nil {
+		res.FaultsInjected = rep.Injected.Total()
+	}
+	return res, nil
+}
+
+// Table renders the clean-vs-faulted comparison plus the degradation
+// counters.
+func (r *FaultsResult) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Faults: 7:3 allocation under plan %q vs clean", r.Plan),
+		Columns: []string{"share-hi", "share-lo", "alloc-err", "B/cyc"},
+	}
+	row := func(label string, a FaultsRun) {
+		t.Rows = append(t.Rows, Row{Label: label, Values: map[string]float64{
+			"share-hi":  a.Shares[0],
+			"share-lo":  a.Shares[1],
+			"alloc-err": a.AllocErr,
+			"B/cyc":     a.BpcSum,
+		}})
+	}
+	row("clean", r.Clean)
+	row("faulted+degradation", r.Faulted)
+	t.Rows = append(t.Rows, Row{Label: "faults injected", Values: map[string]float64{
+		"share-hi": float64(r.FaultsInjected),
+	}})
+	t.Rows = append(t.Rows, Row{Label: "stale/decay/resync", Values: map[string]float64{
+		"share-hi":  float64(r.Report.StaleIntervals),
+		"share-lo":  float64(r.Report.Decays),
+		"alloc-err": float64(r.Report.ResyncEpochs),
+	}})
+	t.Rows = append(t.Rows, Row{Label: "divergence max/epochs", Values: map[string]float64{
+		"share-hi": float64(r.Report.DivergenceMax),
+		"share-lo": float64(r.Report.DivergedEpochs),
+		"B/cyc":    float64(r.Report.ReconvergeEpochs),
+	}})
+	return t
+}

@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"pabst/internal/sim"
+	"pabst/internal/stats"
+)
+
+// Injector is the runtime half of a Plan: it answers, deterministically,
+// "does this event fault, and how?" for each delivery the simulated
+// system is about to make. Each fault domain draws from its own RNG
+// stream so that, e.g., enabling NoC faults never perturbs the SAT fault
+// sequence of an otherwise identical run.
+type Injector struct {
+	plan Plan
+
+	satRNG  *sim.RNG
+	dramRNG *sim.RNG
+	nocRNG  *sim.RNG
+
+	counters *stats.Counters
+}
+
+// NewInjector builds the runtime for plan under the experiment seed. It
+// returns nil when the plan injects nothing, so callers can use a nil
+// check as the zero-overhead fast path.
+func NewInjector(plan *Plan, seed uint64) *Injector {
+	if !plan.Active() {
+		return nil
+	}
+	return &Injector{
+		plan:     *plan,
+		satRNG:   sim.NewRNG(seed ^ 0x5A7FA017),
+		dramRNG:  sim.NewRNG(seed ^ 0xD3A4FA17),
+		nocRNG:   sim.NewRNG(seed ^ 0x40CFA017),
+		counters: stats.NewCounters(),
+	}
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Counters returns the per-kind injected-fault counts.
+func (in *Injector) Counters() *stats.Counters { return in.counters }
+
+// SATDeliver decides the fate of one heartbeat delivery to one tile:
+// whether it arrives at all, how late, and with what SAT value. Callers
+// must invoke it once per (tile, epoch) in tile order so the random
+// stream stays aligned across runs.
+func (in *Injector) SATDeliver(tile int, epoch uint64, sat bool) (deliver bool, lag uint64, out bool) {
+	if in.plan.partitioned(tile, epoch) {
+		in.counters.Inc("sat.partitioned")
+		return false, 0, sat
+	}
+	if p := in.plan.SAT.DropProb; p > 0 && in.satRNG.Float64() < p {
+		in.counters.Inc("sat.dropped")
+		return false, 0, sat
+	}
+	lag = in.plan.SAT.DelayCycles
+	if j := in.plan.SAT.DelayJitter; j > 0 {
+		lag += in.satRNG.Uint64() % (j + 1)
+	}
+	if lag > 0 {
+		in.counters.Inc("sat.delayed")
+	}
+	if p := in.plan.SAT.FlipProb; p > 0 && in.satRNG.Float64() < p {
+		in.counters.Inc("sat.flipped")
+		sat = !sat
+	}
+	return true, lag, sat
+}
+
+// DRAMEpoch decides the controller faults for one epoch: a transient
+// bank stall and/or a front-end freeze, each expressed as a duration in
+// cycles (zero = no fault). Call once per controller per epoch in
+// controller order.
+func (in *Injector) DRAMEpoch(mc int) (stallCycles, freezeCycles uint64) {
+	if p := in.plan.DRAM.StallProb; p > 0 && in.dramRNG.Float64() < p {
+		in.counters.Inc("dram.bank-stall")
+		stallCycles = in.plan.DRAM.StallCycles
+	}
+	if p := in.plan.DRAM.FreezeProb; p > 0 && in.dramRNG.Float64() < p {
+		in.counters.Inc("dram.front-freeze")
+		freezeCycles = in.plan.DRAM.FreezeCycles
+	}
+	return stallCycles, freezeCycles
+}
+
+// StallBank picks the bank a stall lands on.
+func (in *Injector) StallBank(banks int) int { return in.dramRNG.Intn(banks) }
+
+// NoCSend decides the fate of one message injection: dropped (the sender
+// must retry — modeling a CRC-failed flit) or delayed by a latency spike.
+func (in *Injector) NoCSend() (drop bool, delay uint64) {
+	if p := in.plan.NoC.DropProb; p > 0 && in.nocRNG.Float64() < p {
+		in.counters.Inc("noc.dropped")
+		return true, 0
+	}
+	if p := in.plan.NoC.DelayProb; p > 0 && in.nocRNG.Float64() < p {
+		in.counters.Inc("noc.delayed")
+		return false, in.plan.NoC.DelayCycles
+	}
+	return false, 0
+}

@@ -50,6 +50,6 @@ func BenchmarkGovernorEpoch(b *testing.B) {
 	g := NewGovernor(DefaultParams(), reg, c.ID)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g.Epoch(i%2 == 0, nil)
+		g.Epoch(hb(i%2 == 0))
 	}
 }

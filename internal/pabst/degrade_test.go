@@ -1,0 +1,234 @@
+package pabst
+
+import (
+	"math"
+	"testing"
+
+	"pabst/internal/mem"
+	"pabst/internal/qos"
+	"pabst/internal/regulate"
+)
+
+// hb builds a minimal heartbeat for tests exercising the SAT path only.
+func hb(sat bool) regulate.Heartbeat { return regulate.Heartbeat{SatAny: sat} }
+
+// hbMC builds a heartbeat with a per-controller saturation vector.
+func hbMC(sat bool, perMC []bool) regulate.Heartbeat {
+	return regulate.Heartbeat{SatAny: sat, SatPerMC: perMC}
+}
+
+func degradeParams() Params {
+	p := testParams() // epoch 1000
+	p.WatchdogCycles = 2000
+	p.WatchdogHold = 2
+	p.ResyncEpochs = 8
+	return p
+}
+
+func TestRatePeriodOverflowSaturates(t *testing.T) {
+	// m*stride*threads overflowing 64 bits must saturate (maximal
+	// throttle), never wrap to a tiny period that un-throttles the class.
+	p := RatePeriod(math.MaxUint64/2, 1<<20, 16, 256)
+	if p < math.MaxUint64/1024 {
+		t.Fatalf("overflowing rate period wrapped to %d", p)
+	}
+	// Monotonicity across the overflow boundary: a bigger M never gives
+	// a shorter (more permissive) period.
+	lo := RatePeriod(1<<40, 1<<20, 4, 256)
+	hi := RatePeriod(1<<60, 1<<20, 4, 256)
+	if hi < lo {
+		t.Fatalf("period decreased across overflow: %d then %d", lo, hi)
+	}
+}
+
+func TestDegradeParamsValidation(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.WatchdogCycles = p.EpochCycles }, // not past epoch
+		func(p *Params) { p.WatchdogCycles = p.EpochCycles + p.EpochJitter },
+		func(p *Params) { p.WatchdogHold = -1 },
+		func(p *Params) { p.FallbackM = p.MMax + 1 },
+		func(p *Params) { p.ResyncEpochs = -1 },
+		func(p *Params) { p.ResyncEpochs = 4; p.PerMCGovernors = true },
+	}
+	for i, mut := range bad {
+		p := DefaultParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("bad degradation params %d accepted", i)
+		}
+	}
+	if err := DefaultParams().WithDegradation().Validate(); err != nil {
+		t.Fatalf("WithDegradation invalid: %v", err)
+	}
+}
+
+func TestWatchdogHoldsThenDecays(t *testing.T) {
+	reg := qos.NewRegistry()
+	c := reg.MustAdd("c", 1, 4)
+	reg.AttachCPU(c.ID)
+	p := degradeParams()
+	g := NewGovernor(p, reg, c.ID)
+
+	// Drive M well above MInit with saturated epochs.
+	now := uint64(0)
+	for i := 0; i < 20; i++ {
+		now += p.EpochCycles
+		g.Epoch(regulate.Heartbeat{Now: now, SatAny: true})
+	}
+	mHigh := g.Monitor().M()
+	if mHigh <= p.MInit {
+		t.Fatalf("setup: M=%d did not rise above MInit=%d", mHigh, p.MInit)
+	}
+
+	// Silence. The first WatchdogHold expiries hold M (gain reset only).
+	for i := 0; i < p.WatchdogHold; i++ {
+		now += p.WatchdogCycles
+		g.WatchdogTick(now)
+		if g.Monitor().M() != mHigh {
+			t.Fatalf("expiry %d moved M during hold: %d", i, g.Monitor().M())
+		}
+		if g.Monitor().Shift() != p.ShiftMax {
+			t.Fatal("hold did not reset gain (anti-windup)")
+		}
+	}
+	// Prolonged silence decays toward the fallback (MInit here) and
+	// lands exactly on it.
+	for i := 0; i < 200 && g.Monitor().M() != p.MInit; i++ {
+		now += p.WatchdogCycles
+		g.WatchdogTick(now)
+	}
+	if g.Monitor().M() != p.MInit {
+		t.Fatalf("decay did not reach fallback: M=%d want %d", g.Monitor().M(), p.MInit)
+	}
+	d := g.Degrade()
+	if d.StaleIntervals == 0 || d.Decays == 0 {
+		t.Fatalf("degradation counters not recorded: %+v", d)
+	}
+
+	// A returning heartbeat clears the stale state: the next deadline's
+	// worth of silence starts the hold phase over.
+	now += p.EpochCycles
+	g.Epoch(regulate.Heartbeat{Now: now, SatAny: true})
+	mAfter := g.Monitor().M()
+	now += p.WatchdogCycles
+	g.WatchdogTick(now)
+	if g.Monitor().M() != mAfter {
+		t.Fatal("first expiry after recovery should hold, not decay")
+	}
+}
+
+func TestWatchdogInertBeforeDeadline(t *testing.T) {
+	reg := qos.NewRegistry()
+	c := reg.MustAdd("c", 1, 4)
+	reg.AttachCPU(c.ID)
+	p := degradeParams()
+	g := NewGovernor(p, reg, c.ID)
+	g.Epoch(regulate.Heartbeat{Now: p.EpochCycles, SatAny: true})
+	m := g.Monitor().M()
+	// Every cycle short of the deadline must be a no-op.
+	for now := p.EpochCycles; now < p.EpochCycles+p.WatchdogCycles; now += 100 {
+		g.WatchdogTick(now)
+	}
+	if g.Monitor().M() != m || g.Degrade().StaleIntervals != 0 {
+		t.Fatal("watchdog fired before its deadline")
+	}
+}
+
+func TestResyncConvergesWithinBound(t *testing.T) {
+	reg := qos.NewRegistry()
+	c := reg.MustAdd("c", 1, 4)
+	reg.AttachCPU(c.ID)
+	p := degradeParams()
+
+	lag := NewGovernor(p, reg, c.ID)   // diverged low (was partitioned)
+	lead := NewGovernor(p, reg, c.ID)  // tracked the max M
+	for i := 0; i < 30; i++ {
+		lead.Epoch(hb(true))
+	}
+	for i := 0; i < 3; i++ {
+		lag.Epoch(hb(false))
+	}
+	target := lead.Monitor().M()
+	if lag.Monitor().M() >= target {
+		t.Fatal("setup: governors did not diverge")
+	}
+
+	// The heal: both receive resync gossip carrying the max M. Within
+	// ResyncEpochs heartbeats the lagging monitor must sit exactly on
+	// the target, and both must be in the identical state.
+	for i := 0; i < p.ResyncEpochs; i++ {
+		gossip := regulate.Heartbeat{Now: uint64(i+1) * p.EpochCycles, Resync: true, GossipM: target}
+		lag.Epoch(gossip)
+		lead.Epoch(gossip)
+	}
+	if lag.Monitor().M() != target || lead.Monitor().M() != target {
+		t.Fatalf("not resynced after %d epochs: lag=%d lead=%d target=%d",
+			p.ResyncEpochs, lag.Monitor().M(), lead.Monitor().M(), target)
+	}
+	if lag.Monitor().Shift() != lead.Monitor().Shift() || lag.Monitor().E() != lead.Monitor().E() {
+		t.Fatal("monitors left resync in different gain states")
+	}
+	// And they must stay in lockstep on a shared SAT sequence afterward.
+	seq := []bool{true, false, true, true, false, false, true}
+	for i, s := range seq {
+		if lag.Epoch(hb(s)); true {
+			lead.Epoch(hb(s))
+		}
+		if lag.Monitor().M() != lead.Monitor().M() {
+			t.Fatalf("diverged again at post-resync epoch %d", i)
+		}
+	}
+	if lag.Degrade().ResyncEpochs == 0 {
+		t.Fatal("resync epochs not counted")
+	}
+}
+
+func TestMonitorDecayFromBelowAndAbove(t *testing.T) {
+	p := degradeParams()
+	m := NewSystemMonitor(p)
+	for i := 0; i < 40; i++ {
+		m.Epoch(true) // drive M far above MInit
+	}
+	for i := 0; i < 200 && m.M() != p.MInit; i++ {
+		m.Decay(p.MInit)
+	}
+	if m.M() != p.MInit {
+		t.Fatalf("decay from above did not land on fallback: %d", m.M())
+	}
+	for i := 0; i < 40; i++ {
+		m.Epoch(false) // drive M far below MInit
+	}
+	for i := 0; i < 200 && m.M() != p.MInit; i++ {
+		m.Decay(p.MInit)
+	}
+	if m.M() != p.MInit {
+		t.Fatalf("decay from below did not land on fallback: %d", m.M())
+	}
+}
+
+func TestMultiGovernorWatchdog(t *testing.T) {
+	reg := qos.NewRegistry()
+	c := reg.MustAdd("c", 1, 4)
+	reg.AttachCPU(c.ID)
+	p := degradeParams()
+	p.ResyncEpochs = 0
+	p.PerMCGovernors = true
+	g := NewMultiGovernor(p, reg, c.ID, 2, func(mem.Addr) int { return 0 })
+
+	now := uint64(0)
+	for i := 0; i < 20; i++ {
+		now += p.EpochCycles
+		g.Epoch(regulate.Heartbeat{Now: now, SatAny: true, SatPerMC: []bool{true, true}})
+	}
+	mHigh := g.MonitorOf(0).M()
+	for i := 0; i <= p.WatchdogHold; i++ {
+		now += p.WatchdogCycles
+		g.WatchdogTick(now)
+	}
+	if g.MonitorOf(0).M() >= mHigh {
+		t.Fatal("multigov watchdog never decayed after hold")
+	}
+	if g.Degrade().StaleIntervals == 0 {
+		t.Fatal("multigov stale intervals not counted")
+	}
+}

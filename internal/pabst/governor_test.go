@@ -61,7 +61,7 @@ func TestGovernorEpochInstallsPeriod(t *testing.T) {
 	if g.Pacer().Period() != 0 {
 		t.Fatal("period should start at zero")
 	}
-	g.Epoch(true, nil)
+	g.Epoch(hb(true))
 	want := RatePeriod(g.Monitor().M(), c.Stride, 1, params.ScaleF)
 	if g.Pacer().Period() != want {
 		t.Fatalf("period = %d, want %d", g.Pacer().Period(), want)
@@ -76,8 +76,8 @@ func TestGovernorTracksWeightChange(t *testing.T) {
 	reg.AttachCPU(b.ID)
 	ga := NewGovernor(testParams(), reg, a.ID)
 	gb := NewGovernor(testParams(), reg, b.ID)
-	ga.Epoch(true, nil)
-	gb.Epoch(true, nil)
+	ga.Epoch(hb(true))
+	gb.Epoch(hb(true))
 	if ga.Pacer().Period() != gb.Pacer().Period() {
 		t.Fatal("equal weights must give equal periods")
 	}
@@ -85,8 +85,8 @@ func TestGovernorTracksWeightChange(t *testing.T) {
 	if err := reg.SetWeight(a.ID, 4); err != nil {
 		t.Fatal(err)
 	}
-	ga.Epoch(true, nil)
-	gb.Epoch(true, nil)
+	ga.Epoch(hb(true))
+	gb.Epoch(hb(true))
 	if 4*ga.Pacer().Period() != gb.Pacer().Period() {
 		t.Fatalf("periods %d vs %d, want 1:4 after reweighting",
 			ga.Pacer().Period(), gb.Pacer().Period())
@@ -98,7 +98,7 @@ func TestGovernorOnResponseFlags(t *testing.T) {
 	c := reg.MustAdd("c", 1, 4)
 	reg.AttachCPU(c.ID)
 	g := NewGovernor(testParams(), reg, c.ID)
-	g.Epoch(true, nil)
+	g.Epoch(hb(true))
 	now := uint64(100000)
 	for g.CanIssue(now, 0) {
 		g.OnIssue(now, 0)
@@ -136,8 +136,8 @@ func TestGovernorsLockstepEndToEnd(t *testing.T) {
 	rng := []bool{true, true, false, true, false, false, true, false, true, true}
 	for i := 0; i < 100; i++ {
 		sat := rng[i%len(rng)]
-		ghi.Epoch(sat, nil)
-		glo.Epoch(sat, nil)
+		ghi.Epoch(hb(sat))
+		glo.Epoch(hb(sat))
 		if ghi.Monitor().M() != glo.Monitor().M() {
 			t.Fatal("governors diverged on identical inputs")
 		}

@@ -128,6 +128,68 @@ func (s *SystemMonitor) Epoch(sat bool) uint64 {
 	return s.m
 }
 
+// Hold consumes one degraded interval with no usable SAT sample: M stays
+// where it is and the gain fully resets (anti-windup — a faulted span
+// must never bank overshoot, so when the signal returns the first steps
+// are the smallest possible). The direction also disarms, so the first
+// healthy epoch takes a fresh step instead of paying a spurious
+// direction-flip collapse against a stale direction.
+func (s *SystemMonitor) Hold() {
+	s.k = s.p.ShiftMax
+	s.e = 0
+	s.armed = false
+}
+
+// Decay consumes one prolonged-silence interval: the gain resets and M
+// moves one bounded step toward the conservative fallback multiplier.
+// Each step closes at least a quarter of the remaining gap (minimum 1)
+// and lands exactly on the fallback, so a silenced governor converges to
+// the safe operating point in logarithmic time instead of free-running
+// at a rate negotiated under conditions that no longer hold.
+func (s *SystemMonitor) Decay(fallback uint64) uint64 {
+	fallback = clamp(fallback, s.p.MMin, s.p.MMax)
+	s.Hold()
+	switch {
+	case s.m < fallback:
+		gap := fallback - s.m
+		s.m += maxU64(gap/4, 1)
+		if s.m > fallback {
+			s.m = fallback
+		}
+	case s.m > fallback:
+		gap := s.m - fallback
+		s.m -= maxU64(gap/4, 1)
+		if s.m < fallback {
+			s.m = fallback
+		}
+	}
+	return s.m
+}
+
+// ResyncStep consumes one resynchronization epoch after a degraded
+// period heals: M moves toward target (the max M observed across all
+// monitors) far enough to provably arrive within `left` more steps —
+// each call closes ceil(gap/left) of the remaining distance. The gain
+// resets on every step, so all monitors exit resynchronization in the
+// identical state (M=target, k=ShiftMax, disarmed) and the distributed
+// lockstep property is restored, not merely approximated.
+func (s *SystemMonitor) ResyncStep(target uint64, left int) uint64 {
+	if left < 1 {
+		left = 1
+	}
+	target = clamp(target, s.p.MMin, s.p.MMax)
+	s.Hold()
+	switch {
+	case s.m < target:
+		gap := target - s.m
+		s.m += (gap + uint64(left) - 1) / uint64(left)
+	case s.m > target:
+		gap := s.m - target
+		s.m -= (gap + uint64(left) - 1) / uint64(left)
+	}
+	return s.m
+}
+
 func clamp(v, lo, hi uint64) uint64 {
 	if v < lo {
 		return lo
@@ -140,6 +202,13 @@ func clamp(v, lo, hi uint64) uint64 {
 
 func minUint(a, b uint) uint {
 	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
 		return a
 	}
 	return b

@@ -3,6 +3,7 @@ package pabst
 import (
 	"pabst/internal/mem"
 	"pabst/internal/qos"
+	"pabst/internal/regulate"
 )
 
 // MultiGovernor is the Section III-C1 alternative source regulator: one
@@ -29,6 +30,13 @@ type MultiGovernor struct {
 	// system's channel hash so that response-carried corrections refund
 	// the right pacer.
 	mcOf func(addr mem.Addr) int
+
+	// Degraded-signal state (inert unless the watchdog is armed).
+	// Resynchronization gossip is not supported per-MC (the heartbeat
+	// carries one scalar M); the watchdog covers total signal loss.
+	lastBeat       uint64
+	staleIntervals int
+	degrade        DegradeStats
 }
 
 // NewMultiGovernor builds a per-controller governor for the tile running
@@ -58,22 +66,57 @@ func (g *MultiGovernor) PacerOf(mc int) *Pacer { return g.pacers[mc] }
 // own saturation bit. The rate generator divides the per-source period by
 // the channel count so that an evenly spread class is paced identically
 // to the global governor at the same M.
-func (g *MultiGovernor) Epoch(satAny bool, satPerMC []bool) {
+func (g *MultiGovernor) Epoch(hb regulate.Heartbeat) {
+	g.lastBeat = hb.Now
+	g.staleIntervals = 0
 	stride := g.reg.Stride(g.class)
 	threads := g.reg.Threads(g.class)
 	for i, mon := range g.monitors {
-		sat := satAny
-		if i < len(satPerMC) {
-			sat = satPerMC[i]
+		sat := hb.SatAny
+		if i < len(hb.SatPerMC) {
+			sat = hb.SatPerMC[i]
 		}
 		m := mon.Epoch(sat)
 		// A single channel carries ~1/numMCs of the class's traffic, so
 		// the per-channel inter-request period is numMCs times the
 		// whole-class source period at the same rate.
-		period := RatePeriod(m, stride, threads, g.params.ScaleF) * uint64(len(g.monitors))
+		period := satMul(RatePeriod(m, stride, threads, g.params.ScaleF), uint64(len(g.monitors)))
 		g.pacers[i].SetPeriod(period)
 	}
 }
+
+// WatchdogTick implements regulate.Watchdog with the same hold-then-decay
+// policy as the global governor, applied to every channel's monitor.
+func (g *MultiGovernor) WatchdogTick(now uint64) {
+	deadline := g.params.WatchdogCycles
+	if deadline == 0 || now-g.lastBeat < deadline {
+		return
+	}
+	g.lastBeat = now
+	g.staleIntervals++
+	g.degrade.StaleIntervals++
+	if g.staleIntervals <= g.params.WatchdogHold {
+		for _, mon := range g.monitors {
+			mon.Hold()
+		}
+		return
+	}
+	fallback := g.params.FallbackM
+	if fallback == 0 {
+		fallback = g.params.MInit
+	}
+	stride := g.reg.Stride(g.class)
+	threads := g.reg.Threads(g.class)
+	g.degrade.Decays++
+	for i, mon := range g.monitors {
+		m := mon.Decay(fallback)
+		period := satMul(RatePeriod(m, stride, threads, g.params.ScaleF), uint64(len(g.monitors)))
+		g.pacers[i].SetPeriod(period)
+	}
+}
+
+// Degrade returns the degraded-signal event counts.
+func (g *MultiGovernor) Degrade() DegradeStats { return g.degrade }
 
 // CanIssue implements regulate.Source for the pacer of channel mc.
 func (g *MultiGovernor) CanIssue(now uint64, mc int) bool {

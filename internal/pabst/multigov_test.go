@@ -21,7 +21,7 @@ func TestMultiGovernorIndependentChannels(t *testing.T) {
 	g, _ := newMG(t)
 	// Channel 0 saturated, others idle, repeatedly.
 	for i := 0; i < 50; i++ {
-		g.Epoch(true, []bool{true, false, false, false})
+		g.Epoch(hbMC(true, []bool{true, false, false, false}))
 	}
 	// Channel 0 heavily throttled, others nearly unthrottled.
 	if g.PacerOf(0).Period() <= g.PacerOf(1).Period() {
@@ -36,7 +36,7 @@ func TestMultiGovernorIndependentChannels(t *testing.T) {
 func TestMultiGovernorFallsBackToGlobalSAT(t *testing.T) {
 	g, _ := newMG(t)
 	// Short vector: missing channels use the wired-OR bit.
-	g.Epoch(true, nil)
+	g.Epoch(hb(true))
 	for i := 0; i < 4; i++ {
 		if g.MonitorOf(i).Dir() != RateDown {
 			t.Fatalf("channel %d ignored global SAT", i)
@@ -54,8 +54,8 @@ func TestMultiGovernorPeriodScaling(t *testing.T) {
 	params := testParams()
 	mg := NewMultiGovernor(params, reg, c.ID, 4, mcHash4)
 	gg := NewGovernor(params, reg, c.ID)
-	mg.Epoch(true, []bool{true, true, true, true})
-	gg.Epoch(true, nil)
+	mg.Epoch(hbMC(true, []bool{true, true, true, true}))
+	gg.Epoch(hb(true))
 	if mg.PacerOf(0).Period() != 4*gg.Pacer().Period() {
 		t.Fatalf("per-MC period %d, want 4x global %d", mg.PacerOf(0).Period(), gg.Pacer().Period())
 	}
@@ -63,7 +63,7 @@ func TestMultiGovernorPeriodScaling(t *testing.T) {
 
 func TestMultiGovernorResponseRoutesToChannelPacer(t *testing.T) {
 	g, _ := newMG(t)
-	g.Epoch(true, []bool{true, true, true, true})
+	g.Epoch(hbMC(true, []bool{true, true, true, true}))
 	now := uint64(100000)
 	// Spend channel 2's credit.
 	for g.CanIssue(now, 2) {

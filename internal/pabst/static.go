@@ -3,6 +3,7 @@ package pabst
 import (
 	"pabst/internal/mem"
 	"pabst/internal/qos"
+	"pabst/internal/regulate"
 )
 
 // StaticLimiter is the non-work-conserving source throttle the related
@@ -77,5 +78,6 @@ func (s *StaticLimiter) OnResponse(pkt *mem.Packet, now uint64) {
 func (s *StaticLimiter) OnDemand(uint64) {}
 
 // Epoch re-reads the class share so software reweighting still works;
-// there is no feedback from saturation (the defining limitation).
-func (s *StaticLimiter) Epoch(satAny bool, satPerMC []bool) { s.install() }
+// there is no feedback from saturation (the defining limitation), so a
+// degraded heartbeat changes nothing and no watchdog is needed.
+func (s *StaticLimiter) Epoch(regulate.Heartbeat) { s.install() }

@@ -33,7 +33,7 @@ func TestStaticLimiterFollowsReweighting(t *testing.T) {
 	if err := reg.SetWeight(a.ID, 9); err != nil { // 50% -> 90%
 		t.Fatal(err)
 	}
-	s.Epoch(true, nil) // heartbeat re-reads the share
+	s.Epoch(hb(true)) // heartbeat re-reads the share
 	after := s.Pacer().Period()
 	if after >= before {
 		t.Fatalf("period %d -> %d: larger share should pace faster", before, after)
@@ -47,7 +47,7 @@ func TestStaticLimiterIgnoresSAT(t *testing.T) {
 	s := NewStaticLimiter(testParams(), reg, a.ID, 36.6)
 	p0 := s.Pacer().Period()
 	for i := 0; i < 50; i++ {
-		s.Epoch(false, []bool{false}) // system idle: a governor would unthrottle
+		s.Epoch(hbMC(false, []bool{false})) // system idle: a governor would unthrottle
 	}
 	if s.Pacer().Period() != p0 {
 		t.Fatal("static limiter responded to saturation feedback")

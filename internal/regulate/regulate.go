@@ -80,6 +80,27 @@ func Modes() []Mode {
 	return []Mode{ModeNone, ModeSourceOnly, ModeTargetOnly, ModePABST, ModeStaticSource}
 }
 
+// Heartbeat is one epoch delivery to a source regulator: the cycle it
+// actually arrives (which may lag the epoch boundary under jitter or
+// injected faults), the wired-OR saturation signal plus the
+// per-controller vector, and the optional resynchronization gossip the
+// system piggybacks on the broadcast after a partition heals.
+type Heartbeat struct {
+	// Now is the delivery cycle at the receiving tile.
+	Now uint64
+	// SatAny is the global wired-OR saturation signal.
+	SatAny bool
+	// SatPerMC is the per-controller saturation vector.
+	SatPerMC []bool
+	// Resync, when true, tells the governor that monitors have diverged
+	// (observed after a degraded-signal period) and it should converge
+	// its multiplier toward GossipM — the maximum M observed across all
+	// governors in the previous epoch — within its configured bound.
+	Resync bool
+	// GossipM carries the max observed multiplier when Resync is set.
+	GossipM uint64
+}
+
 // Source is the tile-side regulator interface. pabst.Governor (one pacer
 // fed by the global wired-OR SAT) and pabst.MultiGovernor (one pacer per
 // memory controller fed by per-controller SAT, the Section III-C1
@@ -101,9 +122,16 @@ type Source interface {
 	// has been allowed into the network yet) — the demand-feedback
 	// signal for heterogeneous intra-class allocation.
 	OnDemand(now uint64)
-	// Epoch delivers the heartbeat: the wired-OR of all saturation
-	// signals plus the per-controller vector.
-	Epoch(satAny bool, satPerMC []bool)
+	// Epoch delivers the heartbeat.
+	Epoch(hb Heartbeat)
+}
+
+// Watchdog is implemented by sources that degrade gracefully when the
+// heartbeat stops arriving: the tile calls WatchdogTick every cycle so
+// the regulator can notice a stale feedback channel and fall back to a
+// conservative rate instead of free-running on the last multiplier.
+type Watchdog interface {
+	WatchdogTick(now uint64)
 }
 
 // Unthrottled is a Source that never throttles.
@@ -122,4 +150,4 @@ func (Unthrottled) OnResponse(*mem.Packet, uint64) {}
 func (Unthrottled) OnDemand(uint64) {}
 
 // Epoch implements Source.
-func (Unthrottled) Epoch(bool, []bool) {}
+func (Unthrottled) Epoch(Heartbeat) {}

@@ -48,6 +48,6 @@ func TestUnthrottledPassesEverything(t *testing.T) {
 		}
 		u.OnIssue(now, int(now)%4)
 		u.OnResponse(&mem.Packet{L3Hit: true, WBGen: true}, now)
-		u.Epoch(now%2 == 0, []bool{true, false})
+		u.Epoch(Heartbeat{SatAny: now%2 == 0, SatPerMC: []bool{true, false}})
 	}
 }

@@ -1,9 +1,11 @@
 package soc
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
+	"pabst/internal/fault"
 	"pabst/internal/mem"
 	"pabst/internal/qos"
 	"pabst/internal/regulate"
@@ -99,5 +101,124 @@ func TestSystemChaosProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFaultChaosProperty runs the 7:3 two-class stream scenario under
+// every fault preset with the degradation machinery armed and checks the
+// invariants that must survive any plan:
+//
+//   - delivered bandwidth is conserved (bytes = lines served x 64),
+//   - both classes make forward progress,
+//   - the Eq. 5 inverse-stride proportion holds within tolerance — the
+//     graceful-degradation fallback preserves the ratio even when the
+//     feedback signal itself is under attack,
+//   - a second identical run is bit-identical (fault injection included).
+func TestFaultChaosProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault chaos sweep is slow")
+	}
+	for _, name := range fault.PresetNames() {
+		t.Run(name, func(t *testing.T) {
+			plan, err := fault.Preset(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func() ([mem.MaxClasses]uint64, uint64, uint64, float64, []uint64) {
+				cfg := testCfg8()
+				// Epoch long enough for the sat-delay preset's 3000-cycle
+				// worst-case heartbeat lag.
+				cfg.PABST.EpochCycles = 4000
+				cfg.BWWindow = 4000
+				cfg.Faults = &plan
+				cfg.PABST = cfg.PABST.WithDegradation()
+				sys, hi, _ := twoClassStreams(t, cfg, regulate.ModePABST, 7, 3, 4, 4)
+				// One observed stretch from cold start, so the window and
+				// the lifetime controller counters cover the same cycles.
+				sys.Run(250_000)
+				m := sys.Metrics()
+				reads, writes, _ := sys.MCStatsSum()
+				return m.BytesByClass, uint64(reads), uint64(writes), m.ShareOf(hi.ID), sys.GovernorMs()
+			}
+			bytes1, reads, writes, shareHi, ms1 := run()
+			var total uint64
+			for _, b := range bytes1 {
+				total += b
+			}
+			if total != (reads+writes)*mem.LineSize {
+				t.Fatalf("bandwidth not conserved: %d bytes vs %d ops", total, reads+writes)
+			}
+			if bytes1[0] == 0 || bytes1[1] == 0 {
+				t.Fatal("a class made no progress under faults")
+			}
+			if math.Abs(shareHi-0.7) > 0.15 {
+				t.Fatalf("Eq.5 proportion lost under %s: hi share %.3f, want 0.7±0.15", name, shareHi)
+			}
+			bytes2, reads2, writes2, shareHi2, ms2 := run()
+			if bytes1 != bytes2 || reads != reads2 || writes != writes2 || shareHi != shareHi2 {
+				t.Fatalf("faulted run not deterministic under %s", name)
+			}
+			for i := range ms1 {
+				if ms1[i] != ms2[i] {
+					t.Fatalf("governor state not deterministic under %s", name)
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionDivergenceAndResync is the acceptance scenario: a SAT
+// partition cuts half the governors off the broadcast. Without the
+// degradation machinery they provably diverge and stay diverged; with
+// the watchdog + resync armed the system re-converges to lockstep within
+// the configured epoch bound after the partition heals.
+func TestPartitionDivergenceAndResync(t *testing.T) {
+	plan := fault.Plan{SAT: fault.SATPlan{
+		PartTileLo: 0, PartTileHi: 8, PartFromEpoch: 10, PartToEpoch: 30,
+	}}
+	run := func(degrade bool) (FaultReport, []uint64) {
+		cfg := testCfg() // 32 cores: tiles [0,8) are a strict subset
+		cfg.Faults = &plan
+		if degrade {
+			cfg.PABST = cfg.PABST.WithDegradation()
+		}
+		sys, _, _ := twoClassStreams(t, cfg, regulate.ModePABST, 7, 3, 16, 16)
+		// Partition spans epochs [10,30) = cycles [20k,60k); run well past
+		// heal + the resync bound.
+		sys.Run(100_000)
+		return sys.FaultReport(), sys.GovernorMs()
+	}
+	spread := func(ms []uint64) uint64 {
+		lo, hi := ms[0], ms[0]
+		for _, m := range ms {
+			lo, hi = min(lo, m), max(hi, m)
+		}
+		return hi - lo
+	}
+
+	repA, msA := run(false)
+	if repA.DivergenceMax == 0 {
+		t.Fatal("partition did not break lockstep without the watchdog")
+	}
+	if spread(msA) == 0 {
+		t.Fatal("governors silently re-converged without any resync machinery")
+	}
+
+	repB, msB := run(true)
+	if repB.DivergedEpochs == 0 {
+		t.Fatal("degraded run never observed the divergence it must repair")
+	}
+	if s := spread(msB); s != 0 {
+		t.Fatalf("governors still diverged after heal + resync: spread %d, Ms %v", s, msB)
+	}
+	if repB.Diverged {
+		t.Fatal("fault report still flags divergence after resync")
+	}
+	// The last episode must close within partition length + the resync
+	// bound (plus slack for detection lag).
+	cfg := testCfg().PABST.WithDegradation()
+	bound := uint64(30-10) + uint64(cfg.ResyncEpochs) + 4
+	if repB.ReconvergeEpochs == 0 || repB.ReconvergeEpochs > bound {
+		t.Fatalf("re-convergence took %d epochs, want (0, %d]", repB.ReconvergeEpochs, bound)
 	}
 }

@@ -3,6 +3,7 @@ package soc
 import (
 	"pabst/internal/mem"
 	"pabst/internal/pabst"
+	"pabst/internal/stats"
 )
 
 // Metrics summarizes the system's measurement window (since the last
@@ -203,6 +204,82 @@ func (s *System) L3OccupancyOf(class mem.ClassID) uint64 {
 		lines += uint64(sl.cache.OccupancyByClass()[class])
 	}
 	return lines * mem.LineSize
+}
+
+// FaultReport summarizes fault injection and the governors' degraded-
+// signal behavior over the system lifetime.
+type FaultReport struct {
+	// Active reports whether a fault plan is configured.
+	Active bool
+
+	// Injected counts injected faults by kind (nil when inactive).
+	Injected *stats.Counters
+
+	// StaleIntervals / Decays / ResyncEpochs sum the per-governor
+	// degradation counters: expired watchdog deadlines, decay steps
+	// toward the fallback multiplier, and epochs spent resynchronizing.
+	StaleIntervals uint64
+	Decays         uint64
+	ResyncEpochs   uint64
+
+	// DivergenceMax is the worst observed spread (max M − min M) across
+	// governors at an epoch boundary; zero means lockstep never broke.
+	DivergenceMax uint64
+	// DivergedEpochs counts epoch boundaries where governors disagreed.
+	DivergedEpochs uint64
+	// ReconvergeEpochs is the length, in epochs, of the most recently
+	// completed divergence episode (detection to restored lockstep).
+	ReconvergeEpochs uint64
+	// Diverged reports whether governors disagree right now.
+	Diverged bool
+}
+
+// FaultReport collects the current fault/degradation summary.
+func (s *System) FaultReport() FaultReport {
+	r := FaultReport{
+		Active:           s.faults != nil,
+		DivergenceMax:    s.divergeMax,
+		DivergedEpochs:   s.divergeEpochs,
+		ReconvergeEpochs: s.reconvLast,
+		Diverged:         s.divergeSince != 0,
+	}
+	if s.faults != nil {
+		r.Injected = s.faults.Counters()
+	}
+	for _, t := range s.tiles {
+		if t == nil {
+			continue
+		}
+		var d pabst.DegradeStats
+		switch g := t.src.(type) {
+		case *pabst.Governor:
+			d = g.Degrade()
+		case *pabst.MultiGovernor:
+			d = g.Degrade()
+		default:
+			continue
+		}
+		r.StaleIntervals += d.StaleIntervals
+		r.Decays += d.Decays
+		r.ResyncEpochs += d.ResyncEpochs
+	}
+	return r
+}
+
+// GovernorMs returns the current throttle multiplier of every attached
+// adaptive governor, in tile order — the raw material for divergence
+// assertions in tests and tracing.
+func (s *System) GovernorMs() []uint64 {
+	var out []uint64
+	for _, t := range s.tiles {
+		if t == nil {
+			continue
+		}
+		if g, ok := t.src.(*pabst.Governor); ok {
+			out = append(out, g.Monitor().M())
+		}
+	}
+	return out
 }
 
 // MCStatsSum aggregates controller stats for inspection.

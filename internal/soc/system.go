@@ -12,6 +12,7 @@ import (
 
 	"pabst/internal/config"
 	"pabst/internal/dram"
+	"pabst/internal/fault"
 	"pabst/internal/mem"
 	"pabst/internal/noc"
 	"pabst/internal/pabst"
@@ -49,6 +50,18 @@ type System struct {
 	finalized bool
 	satLast   bool
 	epochs    uint64
+
+	// faults is the configured fault injector; nil (the common case)
+	// means every fault hook is a single pointer check.
+	faults *fault.Injector
+
+	// Degradation observability (tracked only when faults are active):
+	// per-epoch governor divergence and re-convergence bookkeeping.
+	divergeMax     uint64 // max over epochs of (max M − min M) across governors
+	divergeEpochs  uint64 // epochs in which governors disagreed on M
+	reconvLast     uint64 // length in epochs of the most recent divergence episode
+	divergeSince   uint64 // epoch the current episode began (0 = in lockstep)
+	divergeCurrent uint64 // divergence entering the current epoch
 
 	// End-to-end L2-miss latency accounting (network injection to
 	// response arrival), per class.
@@ -92,6 +105,7 @@ func New(cfg config.System, reg *qos.Registry, mode regulate.Mode) (*System, err
 		tiles:  make([]*Tile, cfg.NumTiles()),
 		slices: make([]*Slice, cfg.NumTiles()),
 		series: stats.NewSeries(cfg.BWWindow),
+		faults: fault.NewInjector(cfg.Faults, cfg.Seed),
 	}
 
 	for i := 0; i < cfg.NumMCs; i++ {
@@ -211,11 +225,14 @@ func (s *System) Finalize() error {
 	return nil
 }
 
-// epochMsg is one jittered heartbeat delivery.
+// epochMsg is one delayed heartbeat delivery (epoch jitter or an
+// injected SAT delay fault).
 type epochMsg struct {
-	tile  int
-	sat   bool
-	perMC []bool
+	tile   int
+	sat    bool
+	perMC  []bool
+	resync bool
+	gossip uint64
 }
 
 // epochTick distributes the heartbeat: collect every MC's saturation
@@ -224,6 +241,13 @@ type epochMsg struct {
 // with a deterministic per-tile lag when EpochJitter is configured
 // (Section III-D: lockstep only needs to hold at a timescale much
 // smaller than an epoch).
+//
+// When a fault plan is active, each delivery may additionally be
+// dropped, delayed, corrupted, or partitioned away by the injector; the
+// heartbeat then also carries resynchronization gossip (the max M
+// observed across governors) whenever the monitors have diverged, so
+// healed governors can re-converge to lockstep within the configured
+// epoch bound.
 func (s *System) epochTick(now uint64) {
 	sat := false
 	perMC := make([]bool, len(s.mcs))
@@ -236,18 +260,87 @@ func (s *System) epochTick(now uint64) {
 	s.satLast = sat
 	s.epochs++
 	s.reg.RollDemand() // close the demand-feedback window before governors read it
+
+	resync, gossip := false, uint64(0)
+	if s.faults != nil {
+		gossip = s.observeDivergence()
+		resync = s.cfg.PABST.ResyncEpochs > 0 && s.divergeCurrent > 0
+		// Injected controller faults land at epoch granularity.
+		for i, mc := range s.mcs {
+			stall, freeze := s.faults.DRAMEpoch(i)
+			if stall > 0 {
+				mc.StallBank(s.faults.StallBank(s.cfg.DRAM.Banks), now+stall)
+			}
+			if freeze > 0 {
+				mc.Freeze(now + freeze)
+			}
+		}
+	}
+
 	jitter := s.cfg.PABST.EpochJitter
 	for id, t := range s.tiles {
 		if t == nil {
 			continue
 		}
-		if jitter == 0 {
-			t.src.Epoch(sat, perMC)
+		tileSat, lag := sat, uint64(0)
+		if s.faults != nil {
+			deliver, faultLag, out := s.faults.SATDeliver(id, s.epochs, sat)
+			if !deliver {
+				continue // lost heartbeat; the governor's watchdog copes
+			}
+			tileSat, lag = out, faultLag
+		}
+		if jitter > 0 {
+			lag += mix(uint64(id)+s.cfg.Seed) % (jitter + 1)
+		}
+		if lag == 0 {
+			t.src.Epoch(regulate.Heartbeat{Now: now, SatAny: tileSat, SatPerMC: perMC, Resync: resync, GossipM: gossip})
 			continue
 		}
-		lag := mix(uint64(id)+s.cfg.Seed) % (jitter + 1)
-		s.epochQ.Push(epochMsg{tile: id, sat: sat, perMC: perMC}, now+lag)
+		s.epochQ.Push(epochMsg{tile: id, sat: tileSat, perMC: perMC, resync: resync, gossip: gossip}, now+lag)
 	}
+}
+
+// observeDivergence samples every plain governor's multiplier entering
+// this epoch, maintains the divergence/re-convergence bookkeeping, and
+// returns the max observed M (the resynchronization gossip value).
+func (s *System) observeDivergence() uint64 {
+	minM, maxM, n := uint64(0), uint64(0), 0
+	for _, t := range s.tiles {
+		if t == nil {
+			continue
+		}
+		g, ok := t.src.(*pabst.Governor)
+		if !ok {
+			continue
+		}
+		m := g.Monitor().M()
+		if n == 0 {
+			minM, maxM = m, m
+		} else {
+			if m < minM {
+				minM = m
+			}
+			if m > maxM {
+				maxM = m
+			}
+		}
+		n++
+	}
+	s.divergeCurrent = maxM - minM
+	if s.divergeCurrent > 0 {
+		s.divergeEpochs++
+		if s.divergeCurrent > s.divergeMax {
+			s.divergeMax = s.divergeCurrent
+		}
+		if s.divergeSince == 0 {
+			s.divergeSince = s.epochs
+		}
+	} else if s.divergeSince != 0 {
+		s.reconvLast = s.epochs - s.divergeSince
+		s.divergeSince = 0
+	}
+	return maxM
 }
 
 func (s *System) sampleTick(now uint64) {
@@ -269,7 +362,10 @@ func (s *System) tick(now uint64) {
 			break
 		}
 		if t := s.tiles[msg.tile]; t != nil {
-			t.src.Epoch(msg.sat, msg.perMC)
+			t.src.Epoch(regulate.Heartbeat{
+				Now: now, SatAny: msg.sat, SatPerMC: msg.perMC,
+				Resync: msg.resync, GossipM: msg.gossip,
+			})
 		}
 	}
 	if s.net != nil {
@@ -318,6 +414,16 @@ func (s *System) deliverResponse(pkt *mem.Packet, mcID int, doneAt uint64) {
 		return
 	}
 	lat := uint64(s.mesh.TileToMC(pkt.SrcTile, mcID))
+	if s.faults != nil {
+		// On the latency-only fabric both NoC fault classes appear as
+		// extra response latency: a spike directly, a drop as the
+		// retransmission round trip.
+		if drop, delay := s.faults.NoCSend(); drop {
+			lat += 2 * uint64(s.mesh.TileToMC(pkt.SrcTile, mcID))
+		} else {
+			lat += delay
+		}
+	}
 	s.tiles[pkt.SrcTile].inbox.Push(pkt, doneAt+lat)
 }
 

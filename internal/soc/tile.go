@@ -25,6 +25,11 @@ type Tile struct {
 	l2   *cache.Cache
 	src  regulate.Source
 
+	// wd is non-nil only when the source regulator degrades gracefully
+	// AND the watchdog is armed in the configuration, so clean runs pay
+	// one nil check per cycle.
+	wd regulate.Watchdog
+
 	inbox sim.DelayQueue[*mem.Packet]
 
 	// mshr maps an outstanding miss line to the core op tokens waiting
@@ -66,6 +71,9 @@ func newTile(s *System, id int, class mem.ClassID, gen workload.Generator) (*Til
 		t.src = pabst.NewMultiGovernor(s.cfg.PABST, s.reg, class, s.cfg.NumMCs, s.mcOf)
 	default:
 		t.src = pabst.NewGovernor(s.cfg.PABST, s.reg, class)
+	}
+	if wd, ok := t.src.(regulate.Watchdog); ok && s.cfg.PABST.WatchdogCycles > 0 {
+		t.wd = wd
 	}
 	core, err := cpu.New(id, s.cfg.Core, gen, t)
 	if err != nil {
@@ -164,6 +172,9 @@ func (t *Tile) prefetch(line mem.Addr, now uint64) {
 
 // tick drains responses, injects paced misses, and steps the core.
 func (t *Tile) tick(now uint64) {
+	if t.wd != nil {
+		t.wd.WatchdogTick(now)
+	}
 	for {
 		pkt, ok := t.inbox.Pop(now)
 		if !ok {
@@ -196,6 +207,16 @@ func (t *Tile) tick(now uint64) {
 			}
 			pkt := q[0]
 			slice := t.sys.sliceOf(pkt.Addr)
+			var faultLat uint64
+			if t.sys.faults != nil {
+				// An injected drop refuses this cycle's injection; the
+				// miss retries next cycle like any backpressured send.
+				drop, delay := t.sys.faults.NoCSend()
+				if drop {
+					break
+				}
+				faultLat = delay
+			}
 			if t.sys.net != nil {
 				// Modeled fabric: injection can be refused; retry the
 				// same miss next cycle without charging the pacer.
@@ -203,7 +224,7 @@ func (t *Tile) tick(now uint64) {
 					break
 				}
 			} else {
-				lat := uint64(t.sys.mesh.TileToTile(t.id, slice))
+				lat := uint64(t.sys.mesh.TileToTile(t.id, slice)) + faultLat
 				t.sys.slices[slice].inbox.Push(pkt, now+lat)
 			}
 			t.missQ[mc] = q[1:]

@@ -33,6 +33,7 @@ import (
 	"fmt"
 
 	"pabst/internal/config"
+	"pabst/internal/fault"
 	"pabst/internal/mem"
 	"pabst/internal/qos"
 	"pabst/internal/regulate"
@@ -96,6 +97,28 @@ func Scaled8Config() SystemConfig { return config.Scaled8() }
 
 // LoadConfig reads and validates a JSON system configuration.
 func LoadConfig(path string) (SystemConfig, error) { return config.Load(path) }
+
+// FaultPlan describes deterministic fault injection into the SAT
+// broadcast, the DRAM controllers, and the NoC. Assign one to
+// SystemConfig.Faults; a nil plan injects nothing and costs nothing.
+type FaultPlan = fault.Plan
+
+// LoadFaultPlan resolves a preset name (see FaultPresets) or a JSON
+// fault-plan file.
+func LoadFaultPlan(nameOrPath string) (*FaultPlan, error) {
+	p, err := fault.Load(nameOrPath)
+	if err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// FaultPresets lists the built-in fault-plan names.
+func FaultPresets() []string { return fault.PresetNames() }
+
+// FaultReport summarizes injected faults and the governors' degraded-
+// signal behavior (watchdog holds, decays, resync progress, divergence).
+type FaultReport = soc.FaultReport
 
 // Region is a private address range for a workload thread.
 type Region = workload.Region
@@ -332,6 +355,16 @@ func (s *System) L3OccupancyOf(class ClassID) uint64 { return s.inner.L3Occupanc
 func (s *System) GovernorState(tile int) (m, dm, period uint64, ok bool) {
 	return s.inner.GovernorState(tile)
 }
+
+// FaultReport returns the fault-injection and degradation summary for
+// the system lifetime (zero-valued with Active=false when no plan is
+// configured).
+func (s *System) FaultReport() FaultReport { return s.inner.FaultReport() }
+
+// GovernorMs returns every adaptive governor's current throttle
+// multiplier M in tile order — the raw material for lockstep and
+// divergence assertions.
+func (s *System) GovernorMs() []uint64 { return s.inner.GovernorMs() }
 
 // Config returns the system's configuration.
 func (s *System) Config() SystemConfig { return s.inner.Config() }
