@@ -1,10 +1,10 @@
-# Build and test tiers. `make check` is the tier-1 gate (build + tests);
-# `make robust` is the robustness tier (vet + the race detector), which
-# the fault-injection and degradation tests are expected to pass too.
+# Build and test tiers. `make check` is the tier-1 gate (build + vet +
+# tests); `make robust` adds the race detector, which the parallel tick
+# kernel and the fault-injection chaos sweeps are expected to pass too.
 
 GO ?= go
 
-.PHONY: all build check robust bench faults clean
+.PHONY: all build check robust bench bench-parallel faults clean
 
 all: check
 
@@ -12,16 +12,24 @@ build:
 	$(GO) build ./...
 
 check: build
+	$(GO) vet ./...
 	$(GO) test ./...
 
-# Robustness tier: static analysis plus the full suite under the race
-# detector (slower; includes the fault-injection chaos sweeps).
+# Robustness tier: the full suite under the race detector (slower;
+# includes the fault-injection chaos sweeps and the parallel-kernel
+# determinism matrix).
 robust:
-	$(GO) vet ./...
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Wall-clock benchmark of the execution knobs (sharded tick, idle
+# fast-forward, sweep-level concurrency). Writes BENCH_parallel.json,
+# which also records per-run bit-identity against the sequential
+# baseline; see README.md "Performance" for how to read it.
+bench-parallel:
+	$(GO) run ./cmd/pabstbench -out BENCH_parallel.json
 
 # Quick clean-vs-faulted comparison (the BENCH_faults.json scenario).
 faults:

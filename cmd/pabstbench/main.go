@@ -1,0 +1,220 @@
+// Command pabstbench measures the wall-clock effect of the execution
+// knobs — the sharded tick (-workers), idle fast-forward, and sweep-level
+// concurrency — and writes the results to BENCH_parallel.json.
+//
+// Every benchmarked configuration must also produce bit-identical
+// simulation output to its group's baseline; the bench verifies this and
+// records the verdict per run, so the JSON doubles as a determinism
+// receipt for the host it ran on.
+//
+// Usage:
+//
+//	pabstbench [-cycles n] [-warmup n] [-out BENCH_parallel.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"pabst"
+	"pabst/internal/exp"
+)
+
+// Run is one timed configuration.
+type Run struct {
+	Group       string  `json:"group"`
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers,omitempty"`
+	FastForward bool    `json:"fast_forward,omitempty"`
+	Parallel    int     `json:"parallel,omitempty"`
+	Cycles      uint64  `json:"cycles,omitempty"`
+	Skipped     uint64  `json:"skipped_cycles,omitempty"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Speedup is wall-clock relative to the group's first (baseline) run.
+	Speedup float64 `json:"speedup"`
+	// Identical reports whether the run's simulation output matched the
+	// baseline byte-for-byte.
+	Identical bool `json:"identical"`
+}
+
+// Report is the BENCH_parallel.json document.
+type Report struct {
+	Host struct {
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GoMaxProcs int    `json:"gomaxprocs"`
+	} `json:"host"`
+	Cycles uint64 `json:"cycles"`
+	Warmup uint64 `json:"warmup"`
+	Runs   []Run  `json:"runs"`
+}
+
+func main() {
+	cycles := flag.Uint64("cycles", 500_000, "measured cycles per kernel run")
+	warmup := flag.Uint64("warmup", 200_000, "warmup cycles per kernel run")
+	out := flag.String("out", "BENCH_parallel.json", "output path")
+	flag.Parse()
+
+	var rep Report
+	rep.Host.GOOS = runtime.GOOS
+	rep.Host.GOARCH = runtime.GOARCH
+	rep.Host.NumCPU = runtime.NumCPU()
+	rep.Host.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.Cycles = *cycles
+	rep.Warmup = *warmup
+
+	// Group 1: the saturating 7:3 stream allocation (the Figure 5
+	// scenario) under the sharded tick. Every tile is busy every cycle,
+	// so fast-forward never fires; the worker pool is the only lever.
+	kernelGroup(&rep, "kernel-streams-7:3", *warmup, *cycles, streamSystem,
+		[]knobs{
+			{name: "workers=1 (baseline)", workers: 1},
+			{name: "workers=2", workers: 2},
+			{name: "workers=4", workers: 4},
+		})
+
+	// Group 2: bursty traffic with long idle gaps. Here the idle
+	// fast-forward is the lever — it skips the gaps outright, which no
+	// amount of parallelism can.
+	kernelGroup(&rep, "kernel-bursty-idle", *warmup, *cycles, burstySystem,
+		[]knobs{
+			{name: "spin (baseline)"},
+			{name: "fast-forward", ff: true},
+			{name: "fast-forward+workers=4", ff: true, workers: 4},
+		})
+
+	// Group 3: sweep-level concurrency over the six-cell Figure 7 grid at
+	// quick scale — independent simulations on the bounded pool.
+	sweepGroup(&rep)
+
+	b, err := json.MarshalIndent(&rep, "", "  ")
+	check(err)
+	check(os.WriteFile(*out, append(b, '\n'), 0o644))
+	fmt.Printf("wrote %s\n", *out)
+	for _, r := range rep.Runs {
+		same := "identical"
+		if !r.Identical {
+			same = "OUTPUT DIVERGED"
+		}
+		fmt.Printf("%-22s %-26s %8.2fs  %5.2fx  %s\n", r.Group, r.Name, r.WallSeconds, r.Speedup, same)
+	}
+}
+
+type knobs struct {
+	name    string
+	workers int
+	ff      bool
+}
+
+// kernelGroup times one scenario under each knob setting and fingerprints
+// the output against the group baseline.
+func kernelGroup(rep *Report, group string, warmup, cycles uint64,
+	build func(cfg pabst.SystemConfig) (*pabst.System, []pabst.ClassID), settings []knobs) {
+	var baseFP string
+	var baseWall float64
+	for i, k := range settings {
+		cfg := pabst.Default32Config()
+		cfg.PABST.EpochCycles = 10_000
+		cfg.Workers = k.workers
+		cfg.FastForward = k.ff
+		sys, classes := build(cfg)
+		start := time.Now()
+		sys.Warmup(warmup)
+		sys.Run(cycles)
+		wall := time.Since(start).Seconds()
+		fp := fingerprint(sys, classes)
+		skipped := sys.SkippedCycles()
+		sys.Close()
+		if i == 0 {
+			baseFP, baseWall = fp, wall
+		}
+		rep.Runs = append(rep.Runs, Run{
+			Group:       group,
+			Name:        k.name,
+			Workers:     k.workers,
+			FastForward: k.ff,
+			Cycles:      warmup + cycles,
+			Skipped:     skipped,
+			WallSeconds: wall,
+			Speedup:     baseWall / wall,
+			Identical:   fp == baseFP,
+		})
+	}
+}
+
+// sweepGroup times the Figure 7 regulation grid with and without
+// sweep-level concurrency.
+func sweepGroup(rep *Report) {
+	var baseJSON []byte
+	var baseWall float64
+	for i, parallel := range []int{1, 4} {
+		scale := exp.Quick()
+		scale.Parallel = parallel
+		start := time.Now()
+		tbl, _, err := exp.Fig7(scale)
+		check(err)
+		wall := time.Since(start).Seconds()
+		j, err := tbl.JSON()
+		check(err)
+		if i == 0 {
+			baseJSON, baseWall = j, wall
+		}
+		rep.Runs = append(rep.Runs, Run{
+			Group:       "sweep-fig7-grid",
+			Name:        fmt.Sprintf("parallel=%d", parallel),
+			Parallel:    parallel,
+			WallSeconds: wall,
+			Speedup:     baseWall / wall,
+			Identical:   string(j) == string(baseJSON),
+		})
+	}
+}
+
+// streamSystem is the Figure 5 scenario: two 16-core stream classes at a
+// 7:3 allocation, saturating the memory system.
+func streamSystem(cfg pabst.SystemConfig) (*pabst.System, []pabst.ClassID) {
+	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	hi := b.AddClass("hi", 7, cfg.L3Ways/2)
+	lo := b.AddClass("lo", 3, cfg.L3Ways/2)
+	for i := 0; i < 16; i++ {
+		b.Attach(i, hi, pabst.Stream("hi", pabst.TileRegion(i), 128, false))
+		b.Attach(16+i, lo, pabst.Stream("lo", pabst.TileRegion(16+i), 128, false))
+	}
+	sys, err := b.Build()
+	check(err)
+	return sys, []pabst.ClassID{hi, lo}
+}
+
+// burstySystem puts clustered traffic with long idle gaps on every tile.
+func burstySystem(cfg pabst.SystemConfig) (*pabst.System, []pabst.ClassID) {
+	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	c := b.AddClass("bursty", 1, cfg.L3Ways)
+	for i := 0; i < cfg.NumTiles(); i++ {
+		b.Attach(i, c, pabst.BurstyTraffic("b", pabst.TileRegion(i), 32, 8000, uint64(i)+1))
+	}
+	sys, err := b.Build()
+	check(err)
+	return sys, []pabst.ClassID{c}
+}
+
+// fingerprint renders the run's observable statistics for byte-for-byte
+// comparison across knob settings.
+func fingerprint(sys *pabst.System, classes []pabst.ClassID) string {
+	s := fmt.Sprintf("metrics=%+v gov=%v", sys.Metrics(), sys.GovernorMs())
+	for _, c := range classes {
+		s += fmt.Sprintf(" c%d=%v/%v/%v", c, sys.ClassIPC(c), sys.TileIPCs(c), sys.ClassMissLatency(c))
+	}
+	return s
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pabstbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -4,8 +4,13 @@
 //
 // Usage:
 //
-//	pabstsim [-scale quick|full] [-series] [-spec name,name,...] <experiment>...
+//	pabstsim [-scale quick|full] [-series] [-spec name,name,...]
+//	         [-workers n] [-parallel n] [-ff] <experiment>...
 //	pabstsim -list
+//
+// The -workers, -parallel, and -ff flags change only wall-clock speed;
+// every experiment's output is bit-identical at any setting (see
+// DESIGN.md, "Parallel deterministic kernel").
 //
 // Experiments: table3, fig1, fig5, fig6, fig7, fig8, fig9, fig10, fig11,
 // fig12, all.
@@ -51,6 +56,9 @@ func main() {
 	specs := flag.String("spec", "", "comma-separated SPEC proxy subset for fig10-12 (default: all)")
 	faults := flag.String("faults", "sat-partition",
 		"fault plan for the faults experiment: a preset ("+strings.Join(pabst.FaultPresets(), ", ")+") or a JSON file")
+	workers := flag.Int("workers", 0, "worker goroutines per simulation (0/1 = sequential tick); results are bit-identical at any setting")
+	parallel := flag.Int("parallel", 0, "concurrent simulations in multi-run experiments (0/1 = one at a time)")
+	ff := flag.Bool("ff", false, "fast-forward provably idle cycles (bit-identical; helps bursty workloads)")
 	flag.Parse()
 
 	if *list {
@@ -69,6 +77,9 @@ func main() {
 	default:
 		fatalf("unknown scale %q (want quick or full)", *scaleName)
 	}
+	scale.Workers = *workers
+	scale.Parallel = *parallel
+	scale.FastForward = *ff
 
 	var workloads []string
 	if *specs != "" {

@@ -1,17 +1,3 @@
-// Package cache implements the set-associative cache models used for the
-// private L2s and the shared, sliced L3 of the simulated SoC.
-//
-// The L3 supports way-based capacity partitioning equivalent to Intel CAT:
-// each QoS class may be restricted to an exclusive, contiguous range of
-// ways, which is how every PABST experiment isolates classes in the shared
-// cache (Section II-B / IV-A of the paper).
-//
-// Accesses are modeled atomically: a miss immediately allocates the line
-// and reports the victim, and the caller is responsible for modeling the
-// fill latency and for turning dirty victims into writeback traffic. This
-// is the standard simplification for cycle-approximate cache models; the
-// in-flight window it elides is small relative to the epoch and windowing
-// timescales PABST operates on.
 package cache
 
 import (

@@ -1,7 +1,3 @@
-// Package config holds the simulated system configurations: the 32-core
-// data-center SoC of the paper's Table III and the 4×-scaled 8-core
-// system used for the memcached experiment. Configurations are plain
-// data, JSON round-trippable, and validated before a system is built.
 package config
 
 import (
@@ -83,6 +79,23 @@ type System struct {
 	// Measurement.
 	BWWindow uint64 // bandwidth series sampling window, cycles
 	Seed     uint64
+
+	// Execution knobs. These change only wall-clock speed, never any
+	// simulated outcome: every run is bit-identical for any Workers and
+	// FastForward setting (DESIGN.md, "Parallel deterministic kernel").
+	//
+	// Workers shards per-cycle work (tile, L3-slice, and controller
+	// ticks) across a fixed goroutine pool; 0 or 1 keeps the sequential
+	// kernel. With a modeled NoC or an active fault plan the kernel
+	// falls back to sequential ticking (shared router state and the
+	// per-domain fault RNG streams must be consulted in canonical
+	// order), but sweep-level concurrency still applies.
+	//
+	// FastForward lets the kernel jump the clock over cycles in which
+	// every tile, queue, and controller reports no pending event,
+	// instead of spinning through them.
+	Workers     int  `json:",omitempty"`
+	FastForward bool `json:",omitempty"`
 }
 
 // NumTiles returns the tile (= core = L3 slice) count.
@@ -219,6 +232,9 @@ func (s *System) Validate() error {
 	}
 	if s.BWWindow == 0 {
 		return fmt.Errorf("config: BWWindow: zero bandwidth window: %w", ErrInvalid)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("config: Workers: negative worker count %d: %w", s.Workers, ErrInvalid)
 	}
 	return nil
 }

@@ -1,0 +1,13 @@
+// Package config holds the simulated system configurations: the 32-core
+// data-center SoC of the paper's Table III and the 4×-scaled 8-core
+// system used for the memcached experiment (Section IV-E). Configurations
+// are plain data, JSON round-trippable, and validated before a system is
+// built.
+//
+// Main entry points: Default32 and Scaled8 return the two paper
+// configurations; Load reads a JSON override file; System.Validate
+// rejects inconsistent geometry before soc.Build will accept it. The
+// Workers and FastForward fields select the parallel kernel's execution
+// strategy — they change wall-clock speed only, never simulated results
+// (see DESIGN.md, "Parallel deterministic kernel").
+package config

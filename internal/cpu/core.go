@@ -1,13 +1,3 @@
-// Package cpu models the out-of-order, non-speculative cores of the
-// simulated SoC, following the paper's methodology: dependencies and
-// structural limits (a bounded instruction window and a bounded number of
-// outstanding misses) are enforced exactly, while the in-core pipeline is
-// abstracted into per-op compute gaps. This yields high fidelity on
-// memory-bound behavior, which is what every PABST experiment measures.
-//
-// The core pulls work from a workload.Generator, tracks dependencies
-// through a windowed reorder buffer of memory ops, and issues ready ops to
-// a MemPort (the tile's private cache, provided by the soc layer).
 package cpu
 
 import (
@@ -286,6 +276,36 @@ func (c *Core) retire(now uint64) {
 		c.head++
 	}
 }
+
+// NextEventAt reports the earliest cycle >= from at which Tick would do
+// real work, for the kernel's idle fast-forward. The core is busy right
+// away if it can issue (ready ops), fetch (window space for the
+// generator), or retire; otherwise the next event is the earliest gap
+// expiry or the head op's completion. Ops waiting on in-flight misses
+// wake through CompleteMiss, which the tile's inbox accounts for.
+func (c *Core) NextEventAt(from uint64) uint64 {
+	if len(c.readyQ) > 0 || c.tail-c.head < uint64(len(c.slots)) {
+		return from
+	}
+	next := ^uint64(0)
+	if _, at, ok := c.gapQ.Peek(); ok && at < next {
+		next = at
+	}
+	if c.head < c.tail {
+		if s := c.slotAt(c.head); s.state == slotDone && s.doneAt < next {
+			next = s.doneAt
+		}
+	}
+	if next < from {
+		return from
+	}
+	return next
+}
+
+// FastForward accounts for to-from skipped idle cycles: only the cycle
+// counter advances, exactly as if Tick had spun through them doing
+// nothing.
+func (c *Core) FastForward(from, to uint64) { c.cycles += to - from }
 
 // Outstanding returns issued-but-incomplete ops (observed MLP).
 func (c *Core) Outstanding() int { return c.outstanding }

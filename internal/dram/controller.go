@@ -302,6 +302,59 @@ func (c *Controller) StallBank(b int, until uint64) {
 // Frozen reports whether the front end is currently fault-frozen.
 func (c *Controller) Frozen(now uint64) bool { return now < c.frozenUntil }
 
+// NextEventAt reports the earliest cycle >= from at which Tick would do
+// real work, for the kernel's idle fast-forward. Any queued or reserved
+// request (front-end, bank queues) or an active fault freeze makes the
+// controller busy immediately. With everything drained the controller
+// reports no event: pending refreshes are reproduced arithmetically by
+// FastForward, and in-flight data bursts were already scheduled onto the
+// responder when they issued.
+func (c *Controller) NextEventAt(from uint64) uint64 {
+	if len(c.readQ) > 0 || len(c.writeQ) > 0 ||
+		c.reservedReads > 0 || c.reservedWrites > 0 || from < c.frozenUntil {
+		return from
+	}
+	for b := range c.banks {
+		if len(c.banks[b].queue) > 0 {
+			return from
+		}
+	}
+	return ^uint64(0)
+}
+
+// FastForward accounts for to-from skipped idle cycles. The saturation
+// monitor window widens by the skipped span (with zero occupancy
+// contribution, since the read queue was empty), and every refresh that
+// would have fired during the span is replayed arithmetically — bank
+// busy windows and the refresh counter end up exactly as if Tick had
+// spun. The write-mode hysteresis flag is deliberately left alone: with
+// empty queues its only idle-cycle transition (writeMode off) happens
+// identically at the next real Tick, before any issue decision reads it.
+func (c *Controller) FastForward(from, to uint64) {
+	c.occCycles += to - from
+	t := &c.cfg.Timing
+	if t.TREFI == 0 {
+		return
+	}
+	for {
+		rf := c.nextRefresh
+		if rf < from {
+			rf = from
+		}
+		if rf >= to {
+			return
+		}
+		c.nextRefresh = rf + uint64(t.TREFI)
+		busyUntil := rf + uint64(t.TRFC)
+		for i := range c.banks {
+			if c.banks[i].readyAt < busyUntil {
+				c.banks[i].readyAt = busyUntil
+			}
+		}
+		c.Stats.Refreshes++
+	}
+}
+
 // Tick advances the controller by one cycle: it accumulates monitor
 // state, performs refresh, manages read/write mode, and issues at most
 // one access.

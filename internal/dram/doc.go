@@ -1,0 +1,19 @@
+// Package dram implements the DDR memory substrate: banked DRAM devices
+// with ACT/CAS/PRE timing, a shared per-channel data bus, and a memory
+// controller with the split front-end / back-end organization the paper's
+// modified gem5 model uses (Section IV, Table III).
+//
+// The front end holds separate bounded read and write queues; admission is
+// credit-based, so when the read queue is full, upstream requests wait in
+// the last-level cache — exactly the condition under which the paper shows
+// target-only regulation breaks down (Section II-C). The back end
+// schedules ready banks onto the data bus. Scheduling policy is pluggable:
+// the baseline is first-ready FCFS (FR-FCFS), and the PABST priority
+// arbiter supplies virtual deadlines picked earliest-deadline-first.
+//
+// Main entry points: NewController builds one channel's controller;
+// Controller.Tick advances it; TryReserveRead/ArriveRead (and their write
+// twins) implement the credit-based admission protocol; NextEventAt and
+// FastForward support the kernel's idle fast-forward. The saturation
+// monitor feeding the SAT wire samples Controller.EpochSaturated.
+package dram

@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// tinyScale keeps the determinism matrix fast: the assertion is
+// byte-identity across worker counts, which a short run checks just as
+// rigorously as a long one.
+func tinyScale() Scale {
+	return Scale{Name: "tiny", Warmup: 20_000, Measure: 30_000, Epoch: 2000, Window: 2000}
+}
+
+// render flattens any experiment result to comparable bytes.
+func render(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+// TestDeterminismMatrix asserts the PR's headline guarantee at the
+// experiment level: for the fig1, fig5, and faults presets, every worker
+// count produces byte-identical results, with and without fast-forward.
+func TestDeterminismMatrix(t *testing.T) {
+	presets := []struct {
+		name string
+		run  func(s Scale) (string, error)
+	}{
+		{"fig1", func(s Scale) (string, error) {
+			tbl, results, err := Fig1(s)
+			if err != nil {
+				return "", err
+			}
+			return render(results) + tbl.String(), nil
+		}},
+		{"fig5", func(s Scale) (string, error) {
+			r, err := Fig5(s)
+			if err != nil {
+				return "", err
+			}
+			return render(r), nil
+		}},
+		// The faults preset exercises the sequential-fallback contract:
+		// with an active plan the Workers/FastForward knobs must be
+		// ignored, not merely tolerated.
+		{"faults", func(s Scale) (string, error) {
+			r, err := Faults(s, "sat-drop")
+			if err != nil {
+				return "", err
+			}
+			return render(r) + r.Table().String(), nil
+		}},
+	}
+
+	for _, p := range presets {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			base := tinyScale()
+			want, err := p.run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				s := tinyScale()
+				s.Workers = workers
+				s.FastForward = workers%2 == 0 // cover both settings across the matrix
+				got, err := p.run(s)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if got != want {
+					t.Errorf("workers=%d diverged from sequential output\n--- sequential\n%s\n--- workers=%d\n%s",
+						workers, want, workers, got)
+				}
+			}
+		})
+	}
+}
+
+// TestSweepParallelismIsInvisible asserts that running the fig7 grid's
+// six independent simulations concurrently changes nothing about the
+// rendered table.
+func TestSweepParallelismIsInvisible(t *testing.T) {
+	base := tinyScale()
+	tbl, _, err := Fig7(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tbl.String()
+	for _, parallel := range []int{2, 6} {
+		s := tinyScale()
+		s.Parallel = parallel
+		tbl, _, err := Fig7(s)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		if got := tbl.String(); got != want {
+			t.Errorf("parallel=%d changed the fig7 table\n--- sequential\n%s\n--- parallel\n%s", parallel, want, got)
+		}
+	}
+}
+
+// TestForEachOrderIndependence checks the helper directly: indexed writes
+// land regardless of pool size, and the first error is reported.
+func TestForEachOrderIndependence(t *testing.T) {
+	for _, parallel := range []int{0, 1, 3, 16} {
+		out := make([]int, 40)
+		err := ForEach(parallel, len(out), func(i int) error {
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("parallel=%d: out[%d] = %d", parallel, i, v)
+			}
+		}
+	}
+	wantErr := fmt.Errorf("boom")
+	err := ForEach(4, 10, func(i int) error {
+		if i == 7 {
+			return wantErr
+		}
+		return nil
+	})
+	if err != wantErr {
+		t.Fatalf("ForEach error = %v, want %v", err, wantErr)
+	}
+}

@@ -1,0 +1,14 @@
+// Package exp reproduces every table and figure of the paper's evaluation
+// (Section IV). Each experiment builds its workload mix through the public
+// pabst API, runs warmup + measurement windows, and returns the rows or
+// series the paper reports. The cmd/pabstsim CLI and the repository's
+// bench harness are thin wrappers over this package.
+//
+// Main entry points: the Fig1..Fig11 and Faults functions, one per
+// reproduced result, all parameterized by a Scale (Quick/Paper presets).
+// Scale also carries the execution knobs — Workers and FastForward select
+// the in-simulation parallel kernel, and Parallel bounds the sweep-level
+// worker pool used through ForEach. All three change wall-clock time
+// only: every experiment's output is byte-identical for any knob setting,
+// which TestDeterminismMatrix asserts.
+package exp

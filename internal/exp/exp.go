@@ -1,14 +1,11 @@
-// Package exp reproduces every table and figure of the paper's evaluation
-// (Section IV). Each experiment builds its workload mix through the public
-// pabst API, runs warmup + measurement windows, and returns the rows or
-// series the paper reports. The cmd/pabstsim CLI and the repository's
-// bench harness are thin wrappers over this package.
 package exp
 
 import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"pabst"
 )
@@ -21,6 +18,17 @@ type Scale struct {
 	Measure uint64 // measured cycles
 	Epoch   uint64 // PABST epoch length
 	Window  uint64 // bandwidth series window
+
+	// Execution knobs — wall-clock only, never a simulated outcome.
+	// Workers shards each simulation's per-cycle work across a goroutine
+	// pool and FastForward skips provably idle cycles (both stamped onto
+	// the system config; see config.System). Parallel bounds how many
+	// independent simulations a multi-run experiment executes
+	// concurrently; each run owns an isolated system, so any interleaving
+	// produces identical results.
+	Workers     int
+	FastForward bool
+	Parallel    int
 }
 
 // Quick returns the test/bench scale (short epochs converge fast).
@@ -33,11 +41,61 @@ func Full() Scale {
 	return Scale{Name: "full", Warmup: 1_200_000, Measure: 1_000_000, Epoch: 20_000, Window: 10_000}
 }
 
-// Apply stamps the scale's timing parameters onto a system config.
+// Apply stamps the scale's timing parameters and execution knobs onto a
+// system config.
 func (s Scale) Apply(cfg pabst.SystemConfig) pabst.SystemConfig {
 	cfg.PABST.EpochCycles = s.Epoch
 	cfg.BWWindow = s.Window
+	cfg.Workers = s.Workers
+	cfg.FastForward = s.FastForward
 	return cfg
+}
+
+// ForEach runs fn(0)..fn(n-1), on at most parallel concurrent goroutines
+// when parallel > 1, inline otherwise. Every index runs to completion
+// even after a failure (each holds a live simulation that must finish or
+// tear down); the first error is returned. Callers write results into
+// index i of a pre-sized slice, so output order never depends on
+// scheduling.
+func ForEach(parallel, n int, fn func(int) error) error {
+	if parallel <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if parallel > n {
+		parallel = n
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	wg.Add(parallel)
+	for w := 0; w < parallel; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // Row is one line of a paper-style result table.

@@ -36,6 +36,7 @@ func ExtStatic(scale Scale) (*ExtStaticResult, error) {
 		if err != nil {
 			return 0, 0, err
 		}
+		defer sys.Close()
 		sys.Warmup(scale.Warmup)
 		sys.Run(4 * phase)
 		return sys.Metrics().BytesPerCycle(con), cfg.PeakBytesPerCycle(), nil
@@ -99,6 +100,7 @@ func ExtSkew(scale Scale) (*ExtSkewResult, error) {
 			return nil, err
 		}
 		sys = built
+		defer sys.Close()
 		sys.Warmup(scale.Warmup)
 		sys.Run(scale.Measure)
 		return sys.MCUtilizations(), nil
@@ -168,6 +170,7 @@ func ExtNoC(scale Scale) (*ExtNoCResult, error) {
 		if err != nil {
 			return ExtNoCRow{}, err
 		}
+		defer sys.Close()
 		sys.Warmup(scale.Warmup)
 		sys.Run(scale.Measure)
 		m := sys.Metrics()
@@ -238,6 +241,7 @@ func ExtHetero(scale Scale) (*ExtHeteroResult, error) {
 		if err != nil {
 			return 0, err
 		}
+		defer sys.Close()
 		sys.Warmup(scale.Warmup)
 		sys.Run(scale.Measure)
 		return sys.Metrics().BytesPerCycle(mixed), nil

@@ -21,10 +21,10 @@ type FaultsRun struct {
 // shows what the mechanism holds onto when its feedback loop is under
 // attack.
 type FaultsResult struct {
-	Plan            string
-	Clean, Faulted  FaultsRun
-	Report          pabst.FaultReport
-	FaultsInjected  uint64
+	Plan           string
+	Clean, Faulted FaultsRun
+	Report         pabst.FaultReport
+	FaultsInjected uint64
 }
 
 func runFaultsArm(scale Scale, plan *pabst.FaultPlan) (FaultsRun, pabst.FaultReport, error) {
@@ -42,6 +42,7 @@ func runFaultsArm(scale Scale, plan *pabst.FaultPlan) (FaultsRun, pabst.FaultRep
 	if err != nil {
 		return FaultsRun{}, pabst.FaultReport{}, err
 	}
+	defer sys.Close()
 	sys.Warmup(scale.Warmup)
 	sys.Run(scale.Measure)
 	m := sys.Metrics()
@@ -63,15 +64,26 @@ func Faults(scale Scale, planName string) (*FaultsResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	clean, _, err := runFaultsArm(scale, nil)
+	// The two arms are independent simulations; the scale's pool may run
+	// them side by side.
+	arms := []*pabst.FaultPlan{nil, plan}
+	runs := make([]FaultsRun, len(arms))
+	var rep pabst.FaultReport
+	err = ForEach(scale.Parallel, len(arms), func(i int) error {
+		run, r, err := runFaultsArm(scale, arms[i])
+		if err != nil {
+			return err
+		}
+		runs[i] = run
+		if arms[i] != nil {
+			rep = r
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	faulted, rep, err := runFaultsArm(scale, plan)
-	if err != nil {
-		return nil, err
-	}
-	res := &FaultsResult{Plan: planName, Clean: clean, Faulted: faulted, Report: rep}
+	res := &FaultsResult{Plan: planName, Clean: runs[0], Faulted: runs[1], Report: rep}
 	if rep.Injected != nil {
 		res.FaultsInjected = rep.Injected.Total()
 	}

@@ -59,6 +59,7 @@ func RunRegulation(scale Scale, mix MixKind, mode pabst.Mode) (RegulationResult,
 	if err != nil {
 		return RegulationResult{}, err
 	}
+	defer sys.Close()
 	sys.Warmup(scale.Warmup)
 	sys.Run(scale.Measure)
 	m := sys.Metrics()
@@ -105,28 +106,44 @@ func Fig7(scale Scale) (*Table, []RegulationResult, error) {
 }
 
 func regulationTable(scale Scale, title string, modes []pabst.Mode) (*Table, []RegulationResult, error) {
+	type cell struct {
+		mix  MixKind
+		mode pabst.Mode
+	}
+	var cells []cell
+	for _, mix := range []MixKind{MixStreamStream, MixChaserStream} {
+		for _, mode := range modes {
+			cells = append(cells, cell{mix, mode})
+		}
+	}
+	// Each (mix, mode) cell is an independent simulation; run them on the
+	// scale's bounded pool and assemble the table in grid order after.
+	results := make([]RegulationResult, len(cells))
+	err := ForEach(scale.Parallel, len(cells), func(i int) error {
+		r, err := RunRegulation(scale, cells[i].mix, cells[i].mode)
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	t := &Table{
 		Title:   title,
 		Columns: []string{"share-hi", "share-lo", "err-%", "total-B/cyc"},
 	}
-	var results []RegulationResult
-	for _, mix := range []MixKind{MixStreamStream, MixChaserStream} {
-		for _, mode := range modes {
-			r, err := RunRegulation(scale, mix, mode)
-			if err != nil {
-				return nil, nil, err
-			}
-			results = append(results, r)
-			t.Rows = append(t.Rows, Row{
-				Label: fmt.Sprintf("%s / %s", mix, mode),
-				Values: map[string]float64{
-					"share-hi":    r.ShareHi,
-					"share-lo":    r.ShareLo,
-					"err-%":       r.Error,
-					"total-B/cyc": r.TotalBpc,
-				},
-			})
-		}
+	for _, r := range results {
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("%s / %s", r.Mix, r.Mode),
+			Values: map[string]float64{
+				"share-hi":    r.ShareHi,
+				"share-lo":    r.ShareLo,
+				"err-%":       r.Error,
+				"total-B/cyc": r.TotalBpc,
+			},
+		})
 	}
 	return t, results, nil
 }

@@ -39,6 +39,7 @@ func RunIsolationWorkload(scale Scale, name string) (map[pabst.Mode]IsolationCel
 	isoSys.Run(scale.Measure)
 	isoIPC := isoSys.TileIPCs(0)
 	isoEff := isoSys.Metrics().Efficiency
+	isoSys.Close()
 
 	cells := make(map[pabst.Mode]IsolationCell)
 	for _, mode := range modeList() {
@@ -50,6 +51,7 @@ func RunIsolationWorkload(scale Scale, name string) (map[pabst.Mode]IsolationCel
 		sys.Run(scale.Measure)
 		m := sys.Metrics()
 		coIPC := sys.TileIPCs(0)
+		sys.Close()
 		cells[mode] = IsolationCell{
 			Workload:         name,
 			Mode:             mode,
@@ -105,14 +107,30 @@ func Fig10(scale Scale, workloads []string) (*IsolationResult, error) {
 		IsolatedIPC:        make(map[string][]float64),
 		IsolatedEfficiency: make(map[string]float64),
 	}
-	for _, w := range workloads {
-		cells, isoIPC, isoEff, err := RunIsolationWorkload(scale, w)
+	// One workload = five simulations (isolated + four modes); workloads
+	// are independent of each other, so fan them out on the scale's pool
+	// and fill the maps in suite order afterwards.
+	type wres struct {
+		cells  map[pabst.Mode]IsolationCell
+		isoIPC []float64
+		isoEff float64
+	}
+	measured := make([]wres, len(workloads))
+	err := ForEach(scale.Parallel, len(workloads), func(i int) error {
+		cells, isoIPC, isoEff, err := RunIsolationWorkload(scale, workloads[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Cells[w] = cells
-		res.IsolatedIPC[w] = isoIPC
-		res.IsolatedEfficiency[w] = isoEff
+		measured[i] = wres{cells: cells, isoIPC: isoIPC, isoEff: isoEff}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range workloads {
+		res.Cells[w] = measured[i].cells
+		res.IsolatedIPC[w] = measured[i].isoIPC
+		res.IsolatedEfficiency[w] = measured[i].isoEff
 	}
 	return res, nil
 }

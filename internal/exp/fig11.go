@@ -22,21 +22,28 @@ func Fig11(scale Scale, workloads []string) ([]Fig11Cell, error) {
 	if len(workloads) == 0 {
 		workloads = pabst.SpecNames()
 	}
-	var out []Fig11Cell
-	for _, w := range workloads {
+	// Each workload's shared/static pair is independent of every other
+	// workload; fan out on the scale's pool, keeping suite order.
+	out := make([]Fig11Cell, len(workloads))
+	err := ForEach(scale.Parallel, len(workloads), func(i int) error {
+		w := workloads[i]
 		shared, err := runFig11Shared(scale, w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		static, err := runFig11Static(scale, w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cell := Fig11Cell{Workload: w, SharedIPC: shared, StaticIPC: static}
 		if static > 0 {
 			cell.Improvement = (shared/static - 1) * 100
 		}
-		out = append(out, cell)
+		out[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -57,6 +64,7 @@ func runFig11Shared(scale Scale, name string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer sys.Close()
 	sys.Warmup(scale.Warmup)
 	sys.Run(scale.Measure)
 	var sum float64
@@ -79,6 +87,7 @@ func runFig11Static(scale Scale, name string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer sys.Close()
 	sys.Warmup(scale.Warmup)
 	sys.Run(scale.Measure)
 	return sys.ClassIPC(cls), nil

@@ -38,6 +38,7 @@ func Fig5(scale Scale) (*SeriesResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer sys.Close()
 	// No warmup reset: Figure 5 shows convergence from cold start. Run
 	// warmup+measure as one observed stretch.
 	sys.Run(scale.Warmup + scale.Measure)

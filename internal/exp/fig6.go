@@ -51,6 +51,7 @@ func Fig6(scale Scale) (*Fig6Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer sys.Close()
 	sys.Run(scale.Warmup + measure)
 
 	ser := sys.Series()

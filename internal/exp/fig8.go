@@ -47,6 +47,7 @@ func Fig8(scale Scale) (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer sys.Close()
 	sys.Run(scale.Warmup) // partition fill under the boosted share
 	if err := sys.SetWeight(l3c, 1); err != nil {
 		return nil, err

@@ -44,6 +44,7 @@ func Fig9(scale Scale) (*Fig9Result, error) {
 		if err != nil {
 			return ServiceStats{}, err
 		}
+		defer sys.Close()
 		sys.Warmup(scale.Warmup)
 		server.ResetStats()
 		sys.Run(scale.Measure * 2) // service times need many transactions

@@ -1,0 +1,19 @@
+// Package fault is the deterministic fault-injection subsystem: it
+// perturbs the three distributed channels the PABST feedback loop relies
+// on — the epoch/SAT broadcast (Section III-C), the DRAM controllers, and
+// the NoC — under a composable, seeded Plan, so the degradation machinery
+// (stale-signal watchdogs, bounded re-convergence) can be exercised
+// reproducibly.
+//
+// The paper assumes every governor receives the identical wired-OR SAT
+// signal on the identical heartbeat; this package exists to break that
+// assumption on purpose. All randomness flows from sim.RNG streams seeded
+// by the experiment seed, so a faulted run is exactly as reproducible as
+// a clean one. A nil or zero Plan injects nothing and costs nothing.
+//
+// Main entry points: Preset and Load obtain a Plan; NewInjector binds
+// it to seeded RNG streams; the soc layer consults the injector at each
+// hook point. Because the injector draws from its streams in tick order,
+// an active Plan forces the simulation onto the sequential kernel path
+// (soc falls back automatically; results are still byte-stable).
+package fault

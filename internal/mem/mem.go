@@ -1,10 +1,3 @@
-// Package mem defines the vocabulary shared by every level of the memory
-// hierarchy: physical addresses, cache-line geometry, QoS class identifiers,
-// and the packets that travel between caches and memory controllers.
-//
-// The types here are intentionally free of behavior so that higher layers
-// (caches, the NoC, DRAM, and the PABST regulators) can exchange requests
-// without import cycles.
 package mem
 
 import "fmt"

@@ -1,11 +1,3 @@
-// Package noc models the on-chip mesh interconnect of the simulated SoC as
-// a hop-latency fabric.
-//
-// Following the paper's methodology ("We do not model internal SoC
-// interconnect bandwidth, under the assumption that it is appropriately
-// provisioned"), links never contend: a message between two nodes is
-// delayed by a fixed base cost plus a per-hop cost over the XY route, and
-// delivery ordering is handled by the receivers' delay queues.
 package noc
 
 import "fmt"

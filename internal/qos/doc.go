@@ -1,0 +1,15 @@
+// Package qos implements the quality-of-service framework of Section II
+// of the PABST paper: QoS classes, proportional-share weights and their
+// inverse strides, active-thread tracking, and per-class resource
+// monitoring hooks.
+//
+// The registry is the single source of truth consulted by both halves of
+// PABST: the source governors scale their pacing periods by a class's
+// stride and active thread count, and the target arbiter charges each
+// accepted request one stride of virtual time.
+//
+// Main entry points: NewRegistry, Registry.SetWeight (which recomputes
+// every stride so the weight·stride product stays constant), and the
+// per-class demand/active accessors the governors and arbiters poll each
+// epoch.
+package qos

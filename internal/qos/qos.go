@@ -1,12 +1,3 @@
-// Package qos implements the quality-of-service framework of Section II of
-// the PABST paper: QoS classes, proportional-share weights and their
-// inverse strides, active-thread tracking, and per-class resource
-// monitoring hooks.
-//
-// The registry is the single source of truth consulted by both halves of
-// PABST: the source governors scale their pacing periods by a class's
-// stride and active thread count, and the target arbiter charges each
-// accepted request one stride of virtual time.
 package qos
 
 import (

@@ -1,11 +1,3 @@
-// Package regulate defines the bandwidth-regulation modes the paper
-// compares and the source-regulator interface the tiles program against.
-//
-// The four modes map to the paper's evaluation matrix: no QoS at all, the
-// source governor alone, the target priority arbiter alone, and full
-// PABST (both). The same pabst.Governor implementation backs both
-// source-enabled modes; the same pabst.Arbiter backs both target-enabled
-// modes, so mode differences are purely about which half is wired in.
 package regulate
 
 import (

@@ -1,10 +1,3 @@
-// Package sim provides the deterministic cycle-stepped simulation kernel
-// used by every structural model in the repository.
-//
-// The kernel advances a single global clock. Components implement Ticker
-// and are stepped once per cycle in registration order, which makes every
-// run bit-for-bit reproducible. Periodic hooks (the PABST epoch heartbeat,
-// statistics sampling) fire at cycle boundaries before the tickers run.
 package sim
 
 // Ticker is a component stepped once per simulated cycle.
@@ -24,12 +17,40 @@ type hook struct {
 	fn     func(now uint64)
 }
 
+// Sleeper is an optional Ticker extension that lets the kernel
+// fast-forward over idle stretches. NextEventAt reports the earliest
+// cycle >= from at which the component has work to do (NoEvent when it
+// is fully drained); FastForward tells it the kernel is jumping the
+// clock from `from` to `to` so it can account for the skipped cycles
+// (cycle counters, refresh catch-up) without being ticked through them.
+//
+// The contract that keeps fast-forward bit-identical to spinning: a
+// component whose NextEventAt(from) returns t > from must behave as a
+// pure no-op if ticked at any cycle in [from, t) — when in doubt, return
+// `from` (never sleep). The kernel only jumps when every registered
+// ticker implements Sleeper and agrees the gap is dead, and never jumps
+// over a periodic hook boundary.
+type Sleeper interface {
+	Ticker
+	NextEventAt(from uint64) uint64
+	FastForward(from, to uint64)
+}
+
+// NoEvent is the NextEventAt result of a component with no pending work.
+const NoEvent = ^uint64(0)
+
 // Kernel owns the global clock and the ordered set of components.
 // The zero value is ready to use.
 type Kernel struct {
 	now     uint64
 	tickers []Ticker
 	hooks   []hook
+
+	// Fast-forward state: enabled by SetFastForward, usable only once
+	// every registered ticker implements Sleeper.
+	ff       bool
+	sleepers []Sleeper // non-nil parallel to tickers when all implement Sleeper
+	skipped  uint64
 }
 
 // Now returns the current cycle. The first cycle executed by Run is 0.
@@ -50,6 +71,29 @@ func (k *Kernel) Every(period, phase uint64, fn func(now uint64)) {
 	k.hooks = append(k.hooks, hook{period: period, phase: phase, fn: fn})
 }
 
+// SetFastForward arms idle-cycle fast-forward. It takes effect only if
+// every registered ticker implements Sleeper; otherwise Run keeps
+// spinning cycle by cycle. Call after the final Register.
+func (k *Kernel) SetFastForward(on bool) {
+	k.ff = on
+	k.sleepers = nil
+	if !on {
+		return
+	}
+	sl := make([]Sleeper, 0, len(k.tickers))
+	for _, t := range k.tickers {
+		s, ok := t.(Sleeper)
+		if !ok {
+			return
+		}
+		sl = append(sl, s)
+	}
+	k.sleepers = sl
+}
+
+// Skipped returns how many idle cycles fast-forward has jumped over.
+func (k *Kernel) Skipped() uint64 { return k.skipped }
+
 // Run advances the clock by cycles steps.
 func (k *Kernel) Run(cycles uint64) {
 	end := k.now + cycles
@@ -65,5 +109,54 @@ func (k *Kernel) Run(cycles uint64) {
 			t.Tick(now)
 		}
 		k.now++
+		if k.sleepers != nil && k.now < end {
+			k.fastForward(end)
+		}
 	}
+}
+
+// fastForward jumps the clock from k.now to the earliest cycle at which
+// any component has work or any hook fires, bounded by end. Skipped
+// cycles are provably no-ops under the Sleeper contract, so the jump is
+// invisible in every simulated outcome.
+func (k *Kernel) fastForward(end uint64) {
+	from := k.now
+	target := end
+	for _, s := range k.sleepers {
+		t := s.NextEventAt(from)
+		if t <= from {
+			return // someone is busy this cycle; no jump
+		}
+		if t < target {
+			target = t
+		}
+	}
+	if h := k.nextHookAt(from); h < target {
+		target = h
+	}
+	if target <= from {
+		return
+	}
+	for _, s := range k.sleepers {
+		s.FastForward(from, target)
+	}
+	k.skipped += target - from
+	k.now = target
+}
+
+// nextHookAt returns the earliest cycle >= from at which a periodic hook
+// fires, or NoEvent with no hooks.
+func (k *Kernel) nextHookAt(from uint64) uint64 {
+	next := NoEvent
+	for i := range k.hooks {
+		h := &k.hooks[i]
+		at := h.phase
+		if from > h.phase {
+			at = h.phase + (from-h.phase+h.period-1)/h.period*h.period
+		}
+		if at < next {
+			next = at
+		}
+	}
+	return next
 }

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed set of persistent worker goroutines for sharded
+// per-cycle work. A shard function must confine its writes to shard-local
+// state (its own component plus a per-shard staging buffer); cross-shard
+// effects are applied afterwards by the caller in a canonical order,
+// which is what keeps parallel execution bit-identical to sequential
+// execution.
+//
+// Run is a barrier: it returns only when every shard has completed. The
+// workers are spawned once and parked between batches, so issuing a batch
+// costs a few channel operations rather than goroutine creation — cheap
+// enough to call several times per simulated cycle.
+type Pool struct {
+	workers int
+
+	mu   sync.Mutex    // serializes Run batches
+	work chan struct{} // one token wakes one helper for one batch
+	wg   sync.WaitGroup
+
+	// Per-batch state, written under mu before helpers are woken.
+	fn     func(shard int)
+	shards int64
+	next   atomic.Int64
+}
+
+// NewPool creates a pool of the given size. workers <= 0 selects
+// GOMAXPROCS. A pool of one worker spawns no goroutines and runs every
+// shard inline in Run's caller, so workers=1 has zero synchronization
+// cost and is byte-for-byte the sequential execution.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.work = make(chan struct{}, workers-1)
+		for i := 0; i < workers-1; i++ {
+			// Hand the channel over directly: helpers never touch the
+			// p.work field, which Run and Close guard with mu.
+			go p.helper(p.work)
+		}
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn(shard) for every shard in [0, shards) and returns when
+// all have completed. Shards are claimed dynamically, so an expensive
+// shard does not serialize behind cheap ones. With one worker (or one
+// shard) everything runs inline in ascending shard order.
+func (p *Pool) Run(shards int, fn func(shard int)) {
+	if shards <= 0 {
+		return
+	}
+	if p.workers <= 1 || shards == 1 {
+		for i := 0; i < shards; i++ {
+			fn(i)
+		}
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fn = fn
+	p.shards = int64(shards)
+	p.next.Store(0)
+
+	helpers := p.workers - 1
+	if shards-1 < helpers {
+		helpers = shards - 1
+	}
+	p.wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		p.work <- struct{}{}
+	}
+	p.drain()
+	p.wg.Wait()
+	p.fn = nil
+}
+
+func (p *Pool) helper(work <-chan struct{}) {
+	for range work {
+		p.drain()
+		p.wg.Done()
+	}
+}
+
+func (p *Pool) drain() {
+	for {
+		i := p.next.Add(1) - 1
+		if i >= p.shards {
+			return
+		}
+		p.fn(int(i))
+	}
+}
+
+// Close releases the worker goroutines. Close is idempotent; the pool
+// must not Run after it.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.work != nil {
+		close(p.work)
+		p.work = nil
+	}
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryShardExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewPool(workers)
+		for _, shards := range []int{1, 3, 8, 100} {
+			hits := make([]atomic.Int64, shards)
+			p.Run(shards, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if n := hits[i].Load(); n != 1 {
+					t.Fatalf("workers=%d shards=%d: shard %d ran %d times", workers, shards, i, n)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolManyBatches(t *testing.T) {
+	// The per-cycle usage pattern: thousands of small batches on one
+	// long-lived pool must neither deadlock nor drop shards.
+	p := NewPool(4)
+	defer p.Close()
+	var total atomic.Int64
+	const batches = 5000
+	for b := 0; b < batches; b++ {
+		p.Run(3, func(i int) { total.Add(1) })
+	}
+	if got := total.Load(); got != 3*batches {
+		t.Fatalf("ran %d shard calls, want %d", got, 3*batches)
+	}
+}
+
+func TestPoolZeroWorkersDefaults(t *testing.T) {
+	p := NewPool(0) // GOMAXPROCS default; must still run everything
+	defer p.Close()
+	var n atomic.Int64
+	p.Run(16, func(int) { n.Add(1) })
+	if n.Load() != 16 {
+		t.Fatalf("ran %d of 16 shards", n.Load())
+	}
+}
+
+// sleepTicker is a scriptable Sleeper: busy at the cycles in events,
+// asleep otherwise. It records every tick and fast-forward span.
+type sleepTicker struct {
+	events  []uint64
+	ticks   []uint64
+	ffSpans [][2]uint64
+}
+
+func (s *sleepTicker) Tick(now uint64) { s.ticks = append(s.ticks, now) }
+
+func (s *sleepTicker) NextEventAt(from uint64) uint64 {
+	for _, e := range s.events {
+		if e >= from {
+			return e
+		}
+	}
+	return NoEvent
+}
+
+func (s *sleepTicker) FastForward(from, to uint64) {
+	s.ffSpans = append(s.ffSpans, [2]uint64{from, to})
+}
+
+func TestKernelFastForwardJumpsToNextEvent(t *testing.T) {
+	var k Kernel
+	s := &sleepTicker{events: []uint64{0, 100, 101, 500}}
+	k.Register(s)
+	k.SetFastForward(true)
+	k.Run(1000)
+
+	// The kernel must tick exactly the event cycles and skip every other
+	// cycle of the run.
+	want := []uint64{0, 100, 101, 500}
+	if len(s.ticks) != len(want) {
+		t.Fatalf("ticked %d cycles %v, want %v", len(s.ticks), s.ticks, want)
+	}
+	for i := range want {
+		if s.ticks[i] != want[i] {
+			t.Fatalf("tick %d at cycle %d, want %d (all: %v)", i, s.ticks[i], want[i], s.ticks)
+		}
+	}
+	if got := k.Skipped(); got != 1000-uint64(len(want)) {
+		t.Fatalf("skipped %d cycles, want %d", got, 1000-uint64(len(want)))
+	}
+	if k.Now() != 1000 {
+		t.Fatalf("clock at %d, want 1000", k.Now())
+	}
+	// Spans must tile the gaps exactly: contiguous, in order, no overlap.
+	prev := uint64(0)
+	var spanned uint64
+	for _, sp := range s.ffSpans {
+		if sp[0] < prev || sp[1] <= sp[0] {
+			t.Fatalf("bad span %v (prev end %d)", sp, prev)
+		}
+		spanned += sp[1] - sp[0]
+		prev = sp[1]
+	}
+	if spanned != k.Skipped() {
+		t.Fatalf("spans cover %d cycles, kernel skipped %d", spanned, k.Skipped())
+	}
+}
+
+func TestKernelFastForwardStopsAtHooks(t *testing.T) {
+	var k Kernel
+	s := &sleepTicker{events: []uint64{0}}
+	var hookAt []uint64
+	k.Every(250, 0, func(now uint64) { hookAt = append(hookAt, now) })
+	k.Register(s)
+	k.SetFastForward(true)
+	k.Run(1000)
+
+	want := []uint64{0, 250, 500, 750}
+	if len(hookAt) != len(want) {
+		t.Fatalf("hook fired at %v, want %v", hookAt, want)
+	}
+	for i := range want {
+		if hookAt[i] != want[i] {
+			t.Fatalf("hook %d fired at %d, want %d", i, hookAt[i], want[i])
+		}
+	}
+}
+
+func TestKernelFastForwardDisabledWithNonSleeper(t *testing.T) {
+	var k Kernel
+	k.Register(&sleepTicker{})
+	k.Register(TickFunc(func(uint64) {})) // not a Sleeper
+	k.SetFastForward(true)
+	k.Run(100)
+	if k.Skipped() != 0 {
+		t.Fatalf("kernel skipped %d cycles with a non-Sleeper registered", k.Skipped())
+	}
+}
+
+func TestKernelFastForwardRespectsRunBoundary(t *testing.T) {
+	var k Kernel
+	s := &sleepTicker{events: []uint64{0}}
+	k.Register(s)
+	k.SetFastForward(true)
+	k.Run(100)
+	if k.Now() != 100 {
+		t.Fatalf("clock overshot Run boundary: %d", k.Now())
+	}
+	k.Run(50)
+	if k.Now() != 150 {
+		t.Fatalf("clock at %d after second Run, want 150", k.Now())
+	}
+}

@@ -1,0 +1,24 @@
+// Package soc assembles the full simulated machine: tiles (core + private
+// L2 + source regulator), shared L3 slices, the mesh interconnect, and
+// the memory controllers with their saturation monitors and priority
+// arbiters (the paper's Figure 2 system, Sections II-III). It owns the
+// tick ordering, the epoch heartbeat with the wired-OR SAT signal, and
+// the flow control that makes requests queue at the last-level cache when
+// memory-controller front ends fill up — the structural condition the
+// paper's source-vs-target argument rests on.
+//
+// The package also owns the parallel tick path (parallel.go): with
+// cfg.Workers > 1 each cycle runs a parallel COMPUTE phase in which
+// tiles, slices, and controllers write only shard-local state and stage
+// cross-shard effects into per-shard buffers, followed by a sequential
+// COMMIT phase that replays the staged effects in a fixed canonical
+// order. Because the sequential tick path generates effects in exactly
+// that order, parallel runs are byte-identical to sequential ones.
+// Simulations with an active fault plan or a modeled NoC fall back to the
+// sequential path automatically.
+//
+// Main entry points: New constructs a System from a config.System;
+// System.Warmup/Run/Close drive it; System.Metrics, ClassIPC, and the
+// latency/occupancy accessors feed the exp package. The public root
+// package pabst re-exports the small surface the CLIs use.
+package soc

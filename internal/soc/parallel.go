@@ -1,0 +1,247 @@
+package soc
+
+import (
+	"pabst/internal/mem"
+	"pabst/internal/sim"
+)
+
+// This file implements the parallel tick path: the per-cycle component
+// work is sharded across a fixed worker pool in three phases (memory
+// controllers, L3 slices, tiles), each split into a parallel COMPUTE
+// step and a sequential COMMIT step.
+//
+// During compute, a shard may read anything that this cycle's earlier
+// (already committed) phases produced plus its own state, but it may
+// write only its own state and its private staging buffer. Every
+// cross-shard effect — a NoC injection into a slice inbox, a response
+// into a tile inbox, a front-door enqueue, an L2 writeback probing a
+// shared slice — is recorded in the staging buffer instead of applied.
+// Commit then replays the staged effects in the exact order the
+// sequential kernel would have produced them: ascending controller
+// order, the cycle's rotated slice order, ascending tile order, and
+// within one shard the order the effects were generated. DelayQueue
+// breaks same-cycle ties by insertion sequence, so reproducing the
+// insertion order reproduces every downstream pop — which is why the
+// parallel path is bit-identical to workers=1 at any worker count.
+//
+// The path is enabled only on the latency-only fabric with no fault
+// plan: a modeled NoC makes injection outcomes depend on shared router
+// state mid-compute, and fault injection draws from per-domain RNG
+// streams whose draw order is part of the simulated behavior. Both fall
+// back to the sequential tick (sweep-level concurrency still applies).
+
+// stagedOpKind discriminates deferred cross-shard effects.
+type stagedOpKind uint8
+
+const (
+	// opPushSlice injects a paced L2 miss into a slice inbox (tile phase).
+	opPushSlice stagedOpKind = iota
+	// opPushDoor forwards an L3 miss or writeback to an MC front door
+	// (slice phase).
+	opPushDoor
+	// opPushTile returns a response to a tile inbox (MC and slice phases).
+	opPushTile
+	// opL2Writeback replays a deferred System.l2Writeback: the shared
+	// slice-cache probe and any resulting front-door writeback (tile
+	// phase). The probe itself must run at commit time because it
+	// mutates shared replacement state.
+	opL2Writeback
+)
+
+// stagedOp is one deferred cross-shard effect.
+type stagedOp struct {
+	kind  stagedOpKind
+	pkt   *mem.Packet
+	dst   int    // slice, door, or tile index, per kind
+	at    uint64 // DelayQueue ready cycle (or `now` for opL2Writeback)
+	addr  mem.Addr
+	class mem.ClassID
+}
+
+// tileStage is one tile's staging buffer: its ordered effect list plus
+// the end-to-end latency counters it would have added to the shared
+// accumulators (addition commutes, so these merge at commit).
+type tileStage struct {
+	ops    []stagedOp
+	e2eSum [mem.MaxClasses]uint64
+	e2eCnt [mem.MaxClasses]uint64
+}
+
+// parStage holds every phase's staging buffers, allocated once at
+// Finalize and reused (truncated, not freed) every cycle.
+type parStage struct {
+	mc    [][]stagedOp // responses per controller
+	slice [][]stagedOp // sends per slice
+	tile  []tileStage
+}
+
+func newParStage(tiles, slices, mcs int) *parStage {
+	return &parStage{
+		mc:    make([][]stagedOp, mcs),
+		slice: make([][]stagedOp, slices),
+		tile:  make([]tileStage, tiles),
+	}
+}
+
+// tickParallel is the parallel counterpart of the tail of System.tick:
+// the MC, slice, and tile phases under stage/commit. The epoch-queue
+// drain (and the modeled-network block, never active here) have already
+// run sequentially.
+func (s *System) tickParallel(now uint64) {
+	st := s.parStage
+
+	// --- Phase 1: front doors + memory controllers -------------------
+	s.stage = st
+	s.pool.Run(len(s.mcs), func(i int) {
+		s.doors[i].tick(now)
+		s.mcs[i].Tick(now)
+	})
+	s.stage = nil
+	for i := range s.mcs {
+		for _, op := range st.mc[i] {
+			s.tiles[op.pkt.SrcTile].inbox.Push(op.pkt, op.at)
+		}
+		st.mc[i] = st.mc[i][:0]
+	}
+
+	// --- Phase 2: L3 slices, in the cycle's rotated order ------------
+	n := len(s.slices)
+	start := int(now % uint64(n))
+	s.stage = st
+	s.pool.Run(n, func(k int) {
+		s.slices[(start+k)%n].tick(now)
+	})
+	s.stage = nil
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		for _, op := range st.slice[i] {
+			switch op.kind {
+			case opPushDoor:
+				s.doors[op.dst].inbox.Push(op.pkt, op.at)
+			case opPushTile:
+				s.tiles[op.dst].inbox.Push(op.pkt, op.at)
+			}
+		}
+		st.slice[i] = st.slice[i][:0]
+	}
+
+	// --- Phase 3: tiles ----------------------------------------------
+	s.stage = st
+	s.pool.Run(len(s.tiles), func(i int) {
+		if t := s.tiles[i]; t != nil {
+			t.tick(now)
+		}
+	})
+	s.stage = nil
+	for i := range s.tiles {
+		if s.tiles[i] == nil {
+			continue
+		}
+		ts := &st.tile[i]
+		for _, op := range ts.ops {
+			switch op.kind {
+			case opPushSlice:
+				s.slices[op.dst].inbox.Push(op.pkt, op.at)
+			case opL2Writeback:
+				s.l2Writeback(op.addr, op.class, op.at)
+			}
+		}
+		ts.ops = ts.ops[:0]
+		for c := range ts.e2eSum {
+			s.e2eLatSum[c] += ts.e2eSum[c]
+			s.e2eLatCnt[c] += ts.e2eCnt[c]
+			ts.e2eSum[c] = 0
+			ts.e2eCnt[c] = 0
+		}
+	}
+}
+
+// systemTicker registers the System with the kernel, carrying both the
+// per-cycle tick and the idle fast-forward hooks.
+type systemTicker struct{ s *System }
+
+func (st systemTicker) Tick(now uint64)             { st.s.tick(now) }
+func (st systemTicker) NextEventAt(f uint64) uint64 { return st.s.nextEventAt(f) }
+func (st systemTicker) FastForward(from, to uint64) { st.s.fastForwardTo(from, to) }
+
+// nextEventAt reports the earliest cycle >= from at which any component
+// has work, for the kernel's idle fast-forward. It is deliberately
+// conservative — anything plausibly active answers `from` — and ordered
+// busiest-first so a loaded system exits on the first tile checked.
+func (s *System) nextEventAt(from uint64) uint64 {
+	next := sim.NoEvent
+	consider := func(at uint64) {
+		if at < next {
+			next = at
+		}
+	}
+	for _, t := range s.tiles {
+		if t == nil {
+			continue
+		}
+		// An armed watchdog observes real time every cycle; a tile with
+		// queued misses is waiting on its pacer. Neither may sleep.
+		if t.wd != nil || t.queued > 0 {
+			return from
+		}
+		at := t.core.NextEventAt(from)
+		if at <= from {
+			return from
+		}
+		consider(at)
+		if _, at, ok := t.inbox.Peek(); ok {
+			if at <= from {
+				return from
+			}
+			consider(at)
+		}
+	}
+	for _, mc := range s.mcs {
+		at := mc.NextEventAt(from)
+		if at <= from {
+			return from
+		}
+		consider(at)
+	}
+	for _, d := range s.doors {
+		if d.readCount > 0 || len(d.writes) > 0 {
+			return from
+		}
+		if _, at, ok := d.inbox.Peek(); ok {
+			if at <= from {
+				return from
+			}
+			consider(at)
+		}
+	}
+	for _, sl := range s.slices {
+		if _, at, ok := sl.inbox.Peek(); ok {
+			if at <= from {
+				return from
+			}
+			consider(at)
+		}
+	}
+	if _, at, ok := s.epochQ.Peek(); ok {
+		if at <= from {
+			return from
+		}
+		consider(at)
+	}
+	return next
+}
+
+// fastForwardTo accounts for the kernel jumping the clock over [from,
+// to): per-cycle counters (core cycle counts, the saturation-monitor
+// window, refresh catch-up) advance exactly as if the skipped cycles had
+// been ticked.
+func (s *System) fastForwardTo(from, to uint64) {
+	for _, t := range s.tiles {
+		if t != nil {
+			t.core.FastForward(from, to)
+		}
+	}
+	for _, mc := range s.mcs {
+		mc.FastForward(from, to)
+	}
+}

@@ -1,0 +1,131 @@
+package soc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pabst/internal/config"
+	"pabst/internal/fault"
+	"pabst/internal/mem"
+	"pabst/internal/qos"
+	"pabst/internal/regulate"
+	"pabst/internal/workload"
+)
+
+// fingerprint renders every externally observable statistic of a run so
+// two runs can be compared byte-for-byte.
+func fingerprint(sys *System, classes ...mem.ClassID) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "metrics=%+v\n", sys.Metrics())
+	for _, c := range classes {
+		fmt.Fprintf(&b, "class=%d ipc=%v tiles=%v missLat=%v mcLat=%v occ=%d\n",
+			c, sys.ClassIPC(c), sys.TileIPCs(c), sys.ClassMissLatency(c),
+			sys.ClassMCReadLatency(c), sys.L3OccupancyOf(c))
+	}
+	fmt.Fprintf(&b, "gov=%v\n", sys.GovernorMs())
+	r, w, q := sys.MCStatsSum()
+	fmt.Fprintf(&b, "mc=%d/%d/%d\n", r, w, q)
+	return b.String()
+}
+
+// TestParallelBitIdentical asserts the tentpole guarantee at the system
+// level: for any worker count the parallel stage/commit tick produces
+// byte-identical statistics to the sequential kernel.
+func TestParallelBitIdentical(t *testing.T) {
+	run := func(workers int) string {
+		cfg := testCfg()
+		cfg.Workers = workers
+		sys, hi, lo := twoClassStreams(t, cfg, regulate.ModePABST, 7, 3, 8, 8)
+		defer sys.Close()
+		sys.Warmup(10000)
+		sys.Run(40000)
+		return fingerprint(sys, hi.ID, lo.ID)
+	}
+	want := run(0)
+	for _, w := range []int{1, 2, 4, 8} {
+		if got := run(w); got != want {
+			t.Errorf("workers=%d diverged from sequential run:\n--- sequential\n%s--- workers=%d\n%s", w, want, w, got)
+		}
+	}
+}
+
+// burstySystem builds a system whose tiles alternate short demand bursts
+// with long idle gaps — the workload shape the idle fast-forward exists
+// for.
+func burstySystem(t *testing.T, cfg config.System) (*System, mem.ClassID) {
+	t.Helper()
+	reg := qos.NewRegistry()
+	c := reg.MustAdd("bursty", 1, cfg.L3Ways)
+	sys, err := New(cfg, reg, regulate.ModePABST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.NumTiles(); i++ {
+		gen := workload.NewBursty("b", tileRegion(i), 32, 4000, uint64(i)+1)
+		if err := sys.Attach(i, c.ID, gen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return sys, c.ID
+}
+
+// TestFastForwardEquivalence asserts the fast-forward invariant: skipping
+// provably idle cycles changes no statistic, and on a bursty workload the
+// kernel actually skips a meaningful share of the run.
+func TestFastForwardEquivalence(t *testing.T) {
+	run := func(ff bool) (string, uint64) {
+		cfg := testCfg()
+		cfg.FastForward = ff
+		sys, c := burstySystem(t, cfg)
+		defer sys.Close()
+		sys.Run(120000)
+		return fingerprint(sys, c), sys.SkippedCycles()
+	}
+	spin, skipped0 := run(false)
+	ffwd, skipped := run(true)
+	if skipped0 != 0 {
+		t.Fatalf("spinning kernel reported %d skipped cycles", skipped0)
+	}
+	if spin != ffwd {
+		t.Errorf("fast-forward diverged from spinning kernel:\n--- spin\n%s--- fast-forward\n%s", spin, ffwd)
+	}
+	if skipped == 0 {
+		t.Errorf("bursty workload skipped no cycles — fast-forward never engaged")
+	}
+	t.Logf("fast-forward skipped %d of 120000 cycles", skipped)
+}
+
+// TestParallelFallsBackWithFaults exercises the fallback contract: an
+// active fault plan forces the sequential tick (the per-domain fault RNG
+// streams must be drawn in canonical order), so a faulted run is
+// bit-identical regardless of the Workers and FastForward settings.
+func TestParallelFallsBackWithFaults(t *testing.T) {
+	run := func(workers int, ff bool) string {
+		cfg := testCfg()
+		cfg.Workers = workers
+		cfg.FastForward = ff
+		cfg.Faults = &fault.Plan{
+			SAT:  fault.SATPlan{DropProb: 0.1, DelayCycles: 500, DelayJitter: 1000},
+			DRAM: fault.DRAMPlan{StallProb: 0.05, StallCycles: 1000},
+			NoC:  fault.NoCPlan{DelayProb: 0.01, DelayCycles: 100},
+		}
+		sys, hi, lo := twoClassStreams(t, cfg, regulate.ModePABST, 7, 3, 8, 8)
+		defer sys.Close()
+		if sys.par {
+			t.Fatal("parallel tick enabled despite an active fault plan")
+		}
+		sys.Run(40000)
+		if sys.SkippedCycles() != 0 {
+			t.Fatal("fast-forward engaged despite an active fault plan")
+		}
+		return fingerprint(sys, hi.ID, lo.ID)
+	}
+	want := run(0, false)
+	if got := run(4, true); got != want {
+		t.Errorf("faulted run changed under Workers=4/FastForward:\n--- baseline\n%s--- parallel\n%s", want, got)
+	}
+}

@@ -66,6 +66,12 @@ func (sl *Slice) sendToMC(pkt *mem.Packet, now uint64) {
 		return
 	}
 	lat := uint64(sl.sys.mesh.TileToMC(sl.id, mc))
+	if st := sl.sys.stage; st != nil {
+		// Parallel slice compute phase: stage; commit pushes in this
+		// cycle's rotated slice order.
+		st.slice[sl.id] = append(st.slice[sl.id], stagedOp{kind: opPushDoor, pkt: pkt, dst: mc, at: now + lat})
+		return
+	}
 	sl.sys.doors[mc].inbox.Push(pkt, now+lat)
 }
 
@@ -77,6 +83,10 @@ func (sl *Slice) respond(pkt *mem.Packet, now uint64) {
 		return
 	}
 	lat := uint64(sl.sys.cfg.L3HitLat) + uint64(sl.sys.mesh.TileToTile(sl.id, pkt.SrcTile))
+	if st := sl.sys.stage; st != nil {
+		st.slice[sl.id] = append(st.slice[sl.id], stagedOp{kind: opPushTile, pkt: pkt, dst: pkt.SrcTile, at: now + lat})
+		return
+	}
 	sl.sys.tiles[pkt.SrcTile].inbox.Push(pkt, now+lat)
 }
 

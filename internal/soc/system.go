@@ -1,10 +1,3 @@
-// Package soc assembles the full simulated machine: tiles (core + private
-// L2 + source regulator), shared L3 slices, the mesh interconnect, and
-// the memory controllers with their saturation monitors and priority
-// arbiters. It owns the tick ordering, the epoch heartbeat with the
-// wired-OR SAT signal, and the flow control that makes requests queue at
-// the last-level cache when memory-controller front ends fill up — the
-// structural condition the paper's source-vs-target argument rests on.
 package soc
 
 import (
@@ -54,6 +47,14 @@ type System struct {
 	// faults is the configured fault injector; nil (the common case)
 	// means every fault hook is a single pointer check.
 	faults *fault.Injector
+
+	// Parallel tick state (see parallel.go). par gates the two-phase
+	// stage/commit path; stage is non-nil only inside a parallel compute
+	// phase, redirecting cross-shard effects into parStage.
+	par      bool
+	pool     *sim.Pool
+	parStage *parStage
+	stage    *parStage
 
 	// Degradation observability (tracked only when faults are active):
 	// per-epoch governor divergence and re-convergence bookkeeping.
@@ -220,10 +221,38 @@ func (s *System) Finalize() error {
 	ep := s.cfg.PABST.EpochCycles
 	s.kernel.Every(ep, ep, s.epochTick)
 	s.kernel.Every(s.cfg.BWWindow, s.cfg.BWWindow, s.sampleTick)
-	s.kernel.Register(sim.TickFunc(s.tick))
+	s.kernel.Register(systemTicker{s})
+
+	// The parallel tick and idle fast-forward require the latency-only
+	// fabric and a clean machine: a modeled NoC couples shards through
+	// router state, and fault injection draws from shared per-domain RNG
+	// streams whose draw order is part of the simulated behavior. Either
+	// way the outputs are bit-identical — these knobs only change
+	// wall-clock speed (see parallel.go).
+	clean := !s.cfg.ModelNoC && s.faults == nil
+	if s.cfg.Workers > 1 && clean {
+		s.par = true
+		s.pool = sim.NewPool(s.cfg.Workers)
+		s.parStage = newParStage(len(s.tiles), len(s.slices), len(s.mcs))
+	}
+	if s.cfg.FastForward && clean {
+		s.kernel.SetFastForward(true)
+	}
 	s.finalized = true
 	return nil
 }
+
+// Close releases the worker pool's parked goroutines. A sequential
+// system (Workers <= 1) holds none, so Close is optional there; the
+// concurrent sweep path closes every run it builds.
+func (s *System) Close() {
+	if s.pool != nil {
+		s.pool.Close()
+	}
+}
+
+// SkippedCycles returns how many idle cycles fast-forward jumped over.
+func (s *System) SkippedCycles() uint64 { return s.kernel.Skipped() }
 
 // epochMsg is one delayed heartbeat delivery (epoch jitter or an
 // injected SAT delay fault).
@@ -385,6 +414,10 @@ func (s *System) tick(now uint64) {
 			}
 		}
 	}
+	if s.par {
+		s.tickParallel(now)
+		return
+	}
 	for i, mc := range s.mcs {
 		s.doors[i].tick(now)
 		mc.Tick(now)
@@ -423,6 +456,12 @@ func (s *System) deliverResponse(pkt *mem.Packet, mcID int, doneAt uint64) {
 		} else {
 			lat += delay
 		}
+	}
+	if st := s.stage; st != nil {
+		// Parallel MC compute phase: stage the response; commit pushes
+		// it in ascending controller order.
+		st.mc[mcID] = append(st.mc[mcID], stagedOp{kind: opPushTile, pkt: pkt, at: doneAt + lat})
+		return
 	}
 	s.tiles[pkt.SrcTile].inbox.Push(pkt, doneAt+lat)
 }

@@ -114,7 +114,7 @@ func (t *Tile) Access(addr mem.Addr, write bool, now uint64, token uint64) (cpu.
 	// holds it.
 	if l1res.Evicted && l1res.Victim.Dirty {
 		if !t.l2.Writeback(l1res.Victim.Addr, t.class) {
-			t.sys.l2Writeback(l1res.Victim.Addr, t.class, now)
+			t.shareWriteback(l1res.Victim.Addr, now)
 		}
 	}
 
@@ -133,7 +133,7 @@ func (t *Tile) Access(addr mem.Addr, write bool, now uint64, token uint64) (cpu.
 
 	// A displaced dirty line is written back into the shared cache.
 	if res.Evicted && res.Victim.Dirty {
-		t.sys.l2Writeback(res.Victim.Addr, t.class, now)
+		t.shareWriteback(res.Victim.Addr, now)
 	}
 
 	// Next-N-line prefetch: speculative fills ride the same miss path —
@@ -166,8 +166,21 @@ func (t *Tile) prefetch(line mem.Addr, now uint64) {
 	t.queued++
 	t.src.OnDemand(now)
 	if res.Evicted && res.Victim.Dirty {
-		t.sys.l2Writeback(res.Victim.Addr, t.class, now)
+		t.shareWriteback(res.Victim.Addr, now)
 	}
+}
+
+// shareWriteback folds an evicted dirty L2 line into the shared cache —
+// directly, or staged for the commit phase when the parallel kernel is
+// mid-compute (the probe mutates shared slice state, so it must run in
+// canonical tile order).
+func (t *Tile) shareWriteback(addr mem.Addr, now uint64) {
+	if st := t.sys.stage; st != nil {
+		ts := &st.tile[t.id]
+		ts.ops = append(ts.ops, stagedOp{kind: opL2Writeback, addr: addr, class: t.class, at: now})
+		return
+	}
+	t.sys.l2Writeback(addr, t.class, now)
 }
 
 // tick drains responses, injects paced misses, and steps the core.
@@ -181,8 +194,15 @@ func (t *Tile) tick(now uint64) {
 			break
 		}
 		t.src.OnResponse(pkt, now)
-		t.sys.e2eLatSum[pkt.Class] += now - pkt.Issue
-		t.sys.e2eLatCnt[pkt.Class]++
+		if st := t.sys.stage; st != nil {
+			// Parallel compute: accumulate locally; the counters are
+			// pure sums, merged at commit.
+			st.tile[t.id].e2eSum[pkt.Class] += now - pkt.Issue
+			st.tile[t.id].e2eCnt[pkt.Class]++
+		} else {
+			t.sys.e2eLatSum[pkt.Class] += now - pkt.Issue
+			t.sys.e2eLatCnt[pkt.Class]++
+		}
 		lineID := pkt.Addr.LineID()
 		waiters, ok := t.mshr[lineID]
 		if !ok {
@@ -223,6 +243,10 @@ func (t *Tile) tick(now uint64) {
 				if !t.sys.net.TrySend(pkt, t.sys.net.TileNode(t.id), t.sys.net.TileNode(slice), false) {
 					break
 				}
+			} else if st := t.sys.stage; st != nil {
+				lat := uint64(t.sys.mesh.TileToTile(t.id, slice)) + faultLat
+				ts := &st.tile[t.id]
+				ts.ops = append(ts.ops, stagedOp{kind: opPushSlice, pkt: pkt, dst: slice, at: now + lat})
 			} else {
 				lat := uint64(t.sys.mesh.TileToTile(t.id, slice)) + faultLat
 				t.sys.slices[slice].inbox.Push(pkt, now+lat)

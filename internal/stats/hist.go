@@ -1,6 +1,3 @@
-// Package stats provides the measurement machinery shared by the
-// experiments: HDR-style latency histograms, windowed bandwidth time
-// series, and the weighted-slowdown metric the paper reports.
 package stats
 
 import (
@@ -17,6 +14,13 @@ const histBuckets = 64 * (1 << histSubBits)
 
 // Hist is a log-scaled histogram of non-negative integer samples
 // (cycles, nanoseconds, ...). The zero value is ready to use.
+//
+// Hist is single-writer: it takes no locks, so concurrent Add or Merge
+// calls on one Hist are a data race. The concurrent-sweep pattern
+// (exp.ForEach) is for each simulation to fill its own private Hist and
+// for the caller to Merge them after the pool joins — Merge reads
+// `other` without synchronization, so `other`'s writer must have
+// finished (a pool join or channel receive both establish that).
 type Hist struct {
 	buckets [histBuckets]uint64
 	count   uint64

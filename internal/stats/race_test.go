@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+
+	"pabst/internal/mem"
+)
+
+// TestConcurrentSweepMergePattern exercises the documented concurrency
+// contract under the race detector: private per-worker Hist and Series
+// instances, merged only after the pool joins. This is exactly the shape
+// exp.ForEach produces with one simulation per worker.
+func TestConcurrentSweepMergePattern(t *testing.T) {
+	const workers = 8
+	const samples = 10_000
+
+	hists := make([]Hist, workers)
+	series := make([]*Series, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			s := NewSeries(100)
+			series[w] = s
+			var cum [mem.MaxClasses]uint64
+			for i := 0; i < samples; i++ {
+				hists[w].Add(uint64(w*samples + i))
+				cum[0] += uint64(w + 1)
+				if i%100 == 0 {
+					s.Observe(uint64(i), &cum)
+				}
+			}
+		}(w)
+	}
+	wg.Wait() // happens-before: all writers finished
+
+	var merged Hist
+	for w := range hists {
+		merged.Merge(&hists[w])
+	}
+	if got, want := merged.Count(), uint64(workers*samples); got != want {
+		t.Fatalf("merged count = %d, want %d", got, want)
+	}
+	if got, want := merged.Max(), uint64(workers*samples-1); got != want {
+		t.Fatalf("merged max = %d, want %d", got, want)
+	}
+	for w, s := range series {
+		// The last Observe fires at i = samples-100, after i+1 increments
+		// of w+1 each; TotalBytes telescopes to that cumulative value.
+		if got, want := s.TotalBytes(0), uint64((w+1)*(samples-100+1)); got != want {
+			t.Fatalf("worker %d series total = %d, want %d", w, got, want)
+		}
+	}
+}

@@ -16,6 +16,12 @@ type Sample struct {
 // Series collects a windowed per-class bandwidth time series by diffing a
 // cumulative byte counter at fixed intervals. It backs the Figure 5/6/8
 // plots.
+//
+// Series is single-writer: Observe appends without locking, so a Series
+// belongs to exactly one running simulation (soc.System samples it from
+// a kernel hook). Concurrent sweeps (exp.ForEach) are safe because every
+// simulation owns a private Series; read one only after its run has
+// finished.
 type Series struct {
 	Window  uint64
 	Samples []Sample

@@ -289,6 +289,16 @@ type System struct {
 // Run advances the simulation by cycles.
 func (s *System) Run(cycles uint64) { s.inner.Run(cycles) }
 
+// Close releases the tick worker pool, if SystemConfig.Workers enabled
+// one. The system stays readable (Metrics, Series, ...) but must not Run
+// again. Safe on systems without a pool, so callers can defer it
+// unconditionally.
+func (s *System) Close() { s.inner.Close() }
+
+// SkippedCycles reports how many cycles the kernel fast-forwarded over
+// (always zero unless SystemConfig.FastForward is set).
+func (s *System) SkippedCycles() uint64 { return s.inner.SkippedCycles() }
+
 // Warmup runs cycles and then resets measurement state, so Metrics
 // reflects steady-state behavior only.
 func (s *System) Warmup(cycles uint64) { s.inner.Warmup(cycles) }
