@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build check robust bench bench-parallel faults clean
+.PHONY: all build check robust bench bench-parallel bench-obs faults clean
 
 all: check
 
@@ -16,9 +16,10 @@ check: build
 	$(GO) test ./...
 
 # Robustness tier: the full suite under the race detector (slower;
-# includes the fault-injection chaos sweeps and the parallel-kernel
-# determinism matrix).
-robust:
+# includes the fault-injection chaos sweeps, the parallel-kernel
+# determinism matrix, and the golden-trace determinism test), plus the
+# observability overhead gate.
+robust: bench-obs
 	$(GO) test -race ./...
 
 bench:
@@ -30,6 +31,13 @@ bench:
 # baseline; see README.md "Performance" for how to read it.
 bench-parallel:
 	$(GO) run ./cmd/pabstbench -out BENCH_parallel.json
+
+# Observability overhead gate. Times the same workload with probes off,
+# with a ring-only observer, and with a streaming JSONL sink, checks the
+# three runs stay bit-identical, and writes BENCH_obs.json. The disabled
+# configuration must stay within noise of the probe-free baseline.
+bench-obs:
+	$(GO) run ./cmd/pabstbench -suite obs -out BENCH_obs.json
 
 # Quick clean-vs-faulted comparison (the BENCH_faults.json scenario).
 faults:

@@ -7,15 +7,22 @@
 // records the verdict per run, so the JSON doubles as a determinism
 // receipt for the host it ran on.
 //
+// With -suite obs it instead measures the observability layer's
+// overhead contract — probes disabled (the baseline), the event ring
+// alone, and the ring plus a JSONL sink — and writes BENCH_obs.json.
+// The disabled-probe run must stay fingerprint-identical to an
+// instrumented run: observation never changes a simulated outcome.
+//
 // Usage:
 //
-//	pabstbench [-cycles n] [-warmup n] [-out BENCH_parallel.json]
+//	pabstbench [-suite parallel|obs] [-cycles n] [-warmup n] [-out file.json]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -55,10 +62,27 @@ type Report struct {
 }
 
 func main() {
+	suite := flag.String("suite", "parallel", "benchmark suite: parallel or obs")
 	cycles := flag.Uint64("cycles", 500_000, "measured cycles per kernel run")
 	warmup := flag.Uint64("warmup", 200_000, "warmup cycles per kernel run")
-	out := flag.String("out", "BENCH_parallel.json", "output path")
+	out := flag.String("out", "", "output path (default BENCH_<suite>.json)")
 	flag.Parse()
+
+	switch *suite {
+	case "obs":
+		if *out == "" {
+			*out = "BENCH_obs.json"
+		}
+		obsSuite(*warmup, *cycles, *out)
+		return
+	case "parallel":
+		if *out == "" {
+			*out = "BENCH_parallel.json"
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "pabstbench: unknown -suite %q (want parallel or obs)\n", *suite)
+		os.Exit(2)
+	}
 
 	var rep Report
 	rep.Host.GOOS = runtime.GOOS
@@ -114,15 +138,13 @@ type knobs struct {
 // kernelGroup times one scenario under each knob setting and fingerprints
 // the output against the group baseline.
 func kernelGroup(rep *Report, group string, warmup, cycles uint64,
-	build func(cfg pabst.SystemConfig) (*pabst.System, []pabst.ClassID), settings []knobs) {
+	build func(cfg pabst.SystemConfig, opts ...pabst.Option) (*pabst.System, []pabst.ClassID), settings []knobs) {
 	var baseFP string
 	var baseWall float64
 	for i, k := range settings {
 		cfg := pabst.Default32Config()
 		cfg.PABST.EpochCycles = 10_000
-		cfg.Workers = k.workers
-		cfg.FastForward = k.ff
-		sys, classes := build(cfg)
+		sys, classes := build(cfg, pabst.WithWorkers(k.workers), pabst.WithFastForward(k.ff))
 		start := time.Now()
 		sys.Warmup(warmup)
 		sys.Run(cycles)
@@ -177,8 +199,8 @@ func sweepGroup(rep *Report) {
 
 // streamSystem is the Figure 5 scenario: two 16-core stream classes at a
 // 7:3 allocation, saturating the memory system.
-func streamSystem(cfg pabst.SystemConfig) (*pabst.System, []pabst.ClassID) {
-	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+func streamSystem(cfg pabst.SystemConfig, opts ...pabst.Option) (*pabst.System, []pabst.ClassID) {
+	b := pabst.NewBuilder(cfg, pabst.ModePABST, opts...)
 	hi := b.AddClass("hi", 7, cfg.L3Ways/2)
 	lo := b.AddClass("lo", 3, cfg.L3Ways/2)
 	for i := 0; i < 16; i++ {
@@ -191,8 +213,8 @@ func streamSystem(cfg pabst.SystemConfig) (*pabst.System, []pabst.ClassID) {
 }
 
 // burstySystem puts clustered traffic with long idle gaps on every tile.
-func burstySystem(cfg pabst.SystemConfig) (*pabst.System, []pabst.ClassID) {
-	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+func burstySystem(cfg pabst.SystemConfig, opts ...pabst.Option) (*pabst.System, []pabst.ClassID) {
+	b := pabst.NewBuilder(cfg, pabst.ModePABST, opts...)
 	c := b.AddClass("bursty", 1, cfg.L3Ways)
 	for i := 0; i < cfg.NumTiles(); i++ {
 		b.Attach(i, c, pabst.BurstyTraffic("b", pabst.TileRegion(i), 32, 8000, uint64(i)+1))
@@ -210,6 +232,98 @@ func fingerprint(sys *pabst.System, classes []pabst.ClassID) string {
 		s += fmt.Sprintf(" c%d=%v/%v/%v", c, sys.ClassIPC(c), sys.TileIPCs(c), sys.ClassMissLatency(c))
 	}
 	return s
+}
+
+// ObsRun is one timed observability configuration.
+type ObsRun struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Overhead is wall-clock relative to the probes-off baseline
+	// (0.02 = 2% slower). The acceptance budget for the disabled path
+	// is <= 2%.
+	Overhead float64 `json:"overhead"`
+	// Events is the number of trace events emitted (0 when disabled).
+	Events uint64 `json:"events"`
+	// Identical reports whether the run's metric fingerprint matched the
+	// probes-off baseline — observation must never perturb the simulation.
+	Identical bool `json:"identical"`
+}
+
+// ObsReport is the BENCH_obs.json document. It is self-contained (own
+// run type, own fields) so later changes to the parallel-suite report
+// never invalidate recorded observability baselines.
+type ObsReport struct {
+	Host struct {
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GoMaxProcs int    `json:"gomaxprocs"`
+	} `json:"host"`
+	Cycles uint64   `json:"cycles"`
+	Warmup uint64   `json:"warmup"`
+	Runs   []ObsRun `json:"runs"`
+}
+
+// obsSuite times the Figure 5 stream scenario with probes off, with the
+// event ring alone, and with the ring feeding a JSONL sink, verifying
+// that every variant produces the same metric fingerprint.
+func obsSuite(warmup, cycles uint64, out string) {
+	var rep ObsReport
+	rep.Host.GOOS = runtime.GOOS
+	rep.Host.GOARCH = runtime.GOARCH
+	rep.Host.NumCPU = runtime.NumCPU()
+	rep.Host.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.Cycles = cycles
+	rep.Warmup = warmup
+
+	variants := []struct {
+		name string
+		obs  func() *pabst.Observer
+	}{
+		{name: "probes-off (baseline)", obs: func() *pabst.Observer { return nil }},
+		{name: "observer-ring", obs: func() *pabst.Observer { return pabst.NewObserver(0) }},
+		{name: "observer-ring+jsonl", obs: func() *pabst.Observer {
+			return pabst.NewObserver(0, pabst.NewJSONLSink(io.Discard))
+		}},
+	}
+
+	var baseFP string
+	var baseWall float64
+	for i, v := range variants {
+		cfg := pabst.Default32Config()
+		cfg.PABST.EpochCycles = 10_000
+		observer := v.obs()
+		sys, classes := streamSystem(cfg, pabst.WithObserver(observer))
+		start := time.Now()
+		sys.Warmup(warmup)
+		sys.Run(cycles)
+		wall := time.Since(start).Seconds()
+		fp := fingerprint(sys, classes)
+		sys.Close()
+		if i == 0 {
+			baseFP, baseWall = fp, wall
+		}
+		rep.Runs = append(rep.Runs, ObsRun{
+			Name:        v.name,
+			WallSeconds: wall,
+			Overhead:    wall/baseWall - 1,
+			Events:      observer.Total(),
+			Identical:   fp == baseFP,
+		})
+	}
+
+	b, err := json.MarshalIndent(&rep, "", "  ")
+	check(err)
+	check(os.WriteFile(out, append(b, '\n'), 0o644))
+	fmt.Printf("wrote %s\n", out)
+	for _, r := range rep.Runs {
+		same := "identical"
+		if !r.Identical {
+			same = "OUTPUT DIVERGED"
+		}
+		fmt.Printf("%-26s %8.2fs  %+6.2f%%  %8d events  %s\n",
+			r.Name, r.WallSeconds, 100*r.Overhead, r.Events, same)
+	}
 }
 
 func check(err error) {

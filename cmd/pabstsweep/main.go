@@ -196,7 +196,7 @@ func main() {
 func runStreams(scale exp.Scale, mut func(*pabst.SystemConfig)) (shareHi, totalBpc float64) {
 	cfg := scale.Apply(pabst.Default32Config())
 	mut(&cfg)
-	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	b := pabst.NewBuilder(cfg, pabst.ModePABST, scale.Options()...)
 	hi := b.AddClass("hi", 7, cfg.L3Ways/2)
 	lo := b.AddClass("lo", 3, cfg.L3Ways/2)
 	for i := 0; i < 16; i++ {
@@ -219,7 +219,7 @@ func runStreams(scale exp.Scale, mut func(*pabst.SystemConfig)) (shareHi, totalB
 func runChaser(scale exp.Scale, mut func(*pabst.SystemConfig)) float64 {
 	cfg := scale.Apply(pabst.Default32Config())
 	mut(&cfg)
-	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	b := pabst.NewBuilder(cfg, pabst.ModePABST, scale.Options()...)
 	hi := b.AddClass("chaser", 3, cfg.L3Ways/2)
 	lo := b.AddClass("stream", 1, cfg.L3Ways/2)
 	for i := 0; i < 16; i++ {

@@ -1,18 +1,22 @@
-// Command pabsttrace dumps the governor's convergence dynamics as CSV:
-// one row per epoch with the wired-OR SAT signal, a representative tile's
-// multiplier M, its step δM, the installed pacing period, and per-class
-// bandwidth over the epoch — the raw material behind Figure 4/5-style
-// plots.
+// Command pabsttrace streams the simulator's epoch-scoped trace events —
+// governor registers (M, δM, period), arbiter state (queue depth,
+// deadline slack, priority inversions), DRAM service deltas, and the
+// per-class epoch summary — through the observability sinks. It is the
+// raw material behind Figure 4/5-style plots, and because events are
+// emitted on the sequential phase the output is bit-identical for any
+// -workers setting.
 //
 // Usage:
 //
-//	pabsttrace [-epochs n] [-epoch cycles] [-whi w] [-wlo w] > trace.csv
+//	pabsttrace [-epochs n] [-epoch cycles] [-whi w] [-wlo w]
+//	           [-format jsonl|csv] [-events epoch,governor,...] [-tile n] > trace
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"pabst"
 )
@@ -22,13 +26,36 @@ func main() {
 	epoch := flag.Uint64("epoch", 20000, "epoch length in cycles")
 	wHi := flag.Uint64("whi", 7, "high class weight")
 	wLo := flag.Uint64("wlo", 3, "low class weight")
+	format := flag.String("format", "csv", "output format: jsonl or csv")
+	events := flag.String("events", "", "comma-separated event kinds to keep (default all): epoch,governor,arbiter,dram,fault")
+	tile := flag.Int("tile", -1, "restrict governor events to one tile (-1 = all)")
+	workers := flag.Int("workers", 1, "parallel tick workers (1 = sequential; output is identical either way)")
 	flag.Parse()
+
+	var sink pabst.Sink
+	switch *format {
+	case "jsonl":
+		sink = pabst.NewJSONLSink(os.Stdout)
+	case "csv":
+		sink = pabst.NewCSVSink(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "pabsttrace: unknown -format %q (want jsonl or csv)\n", *format)
+		os.Exit(2)
+	}
+	if keep, err := buildFilter(*events, *tile); err != nil {
+		fmt.Fprintf(os.Stderr, "pabsttrace: %v\n", err)
+		os.Exit(2)
+	} else if keep != nil {
+		sink = pabst.NewFilterSink(sink, keep)
+	}
+	observer := pabst.NewObserver(0, sink)
 
 	cfg := pabst.Default32Config()
 	cfg.PABST.EpochCycles = *epoch
 	cfg.BWWindow = *epoch
 
-	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	b := pabst.NewBuilder(cfg, pabst.ModePABST,
+		pabst.WithWorkers(*workers), pabst.WithObserver(observer))
 	hi := b.AddClass("hi", *wHi, cfg.L3Ways/2)
 	lo := b.AddClass("lo", *wLo, cfg.L3Ways/2)
 	for i := 0; i < 16; i++ {
@@ -40,25 +67,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pabsttrace: %v\n", err)
 		os.Exit(1)
 	}
+	defer sys.Close()
 
-	fmt.Println("epoch,cycle,sat,M,dM,period_hi,bpc_hi,bpc_lo,share_hi")
-	var prev pabst.Metrics
-	for e := 0; e < *epochs; e++ {
-		sys.Run(*epoch)
-		m := sys.Metrics()
-		bHi := float64(m.BytesByClass[hi]-prev.BytesByClass[hi]) / float64(*epoch)
-		bLo := float64(m.BytesByClass[lo]-prev.BytesByClass[lo]) / float64(*epoch)
-		prev = m
-		share := 0.0
-		if bHi+bLo > 0 {
-			share = bHi / (bHi + bLo)
-		}
-		gm, gdm, gper, _ := sys.GovernorState(0)
-		sat := 0
-		if sys.SaturatedLastEpoch() {
-			sat = 1
-		}
-		fmt.Printf("%d,%d,%d,%d,%d,%d,%.3f,%.3f,%.3f\n",
-			e, sys.Now(), sat, gm, gdm, gper, bHi, bLo, share)
+	sys.Run(uint64(*epochs) * *epoch)
+	if err := observer.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "pabsttrace: %v\n", err)
+		os.Exit(1)
 	}
+}
+
+// buildFilter composes the -events and -tile restrictions into one sink
+// predicate; nil means keep everything.
+func buildFilter(events string, tile int) (func(*pabst.Event) bool, error) {
+	var kinds map[pabst.EventKind]bool
+	if events != "" {
+		kinds = make(map[pabst.EventKind]bool)
+		for _, name := range strings.Split(events, ",") {
+			k, ok := pabst.ParseEventKind(strings.TrimSpace(name))
+			if !ok {
+				return nil, fmt.Errorf("unknown event kind %q", name)
+			}
+			kinds[k] = true
+		}
+	}
+	if kinds == nil && tile < 0 {
+		return nil, nil
+	}
+	return func(e *pabst.Event) bool {
+		if kinds != nil && !kinds[e.Kind] {
+			return false
+		}
+		if tile >= 0 && e.Kind == pabst.KindGovernor && e.Unit != tile {
+			return false
+		}
+		return true
+	}, nil
 }

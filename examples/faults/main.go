@@ -14,12 +14,13 @@ import (
 
 func run(plan *pabst.FaultPlan) (*pabst.System, pabst.ClassID, pabst.ClassID) {
 	cfg := pabst.Default32Config()
+	var opts []pabst.Option
 	if plan != nil {
-		cfg.Faults = plan
+		opts = append(opts, pabst.WithFaultPlan(plan))
 		// Arm the watchdog, fallback, and resync knobs (all default off).
 		cfg.PABST = cfg.PABST.WithDegradation()
 	}
-	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	b := pabst.NewBuilder(cfg, pabst.ModePABST, opts...)
 	hi := b.AddClass("frontend", 7, cfg.L3Ways/2)
 	lo := b.AddClass("batch", 3, cfg.L3Ways/2)
 	for i := 0; i < 16; i++ {

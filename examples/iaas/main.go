@@ -51,11 +51,14 @@ func main() {
 	sys.Warmup(400_000)
 	sys.Run(600_000)
 
-	m := sys.Metrics()
+	// One snapshot reads every tenant's delivery state coherently.
+	snap := sys.Snapshot()
+	m := snap.Window
 	fmt.Println("four tenants, equal 25% entitlements:")
 	for c, t := range tenants {
+		cs := snap.Class(ids[c])
 		fmt.Printf("  %-14s (%-10s)  share %.2f  %.1f B/cyc  IPC %.2f\n",
-			t.name, t.workload, m.ShareOf(ids[c]), m.BytesPerCycle(ids[c]), sys.ClassIPC(ids[c]))
+			t.name, t.workload, cs.Share, cs.BytesPerCycle, cs.IPC)
 	}
 	fmt.Printf("total: %.1f B/cyc of %.1f peak\n", float64(m.TotalBytes())/float64(m.Cycles), cfg.PeakBytesPerCycle())
 	fmt.Println("\nheavy tenants absorb the slack the light tenants leave,")

@@ -1,6 +1,7 @@
 // Quickstart: build the paper's 32-core system, create two QoS classes
 // with a 7:3 bandwidth split, run streaming workloads in both, and verify
-// that PABST delivers the split.
+// that PABST delivers the split — reading everything through one
+// Snapshot and tracing the governors' convergence with an Observer.
 package main
 
 import (
@@ -12,7 +13,13 @@ import (
 
 func main() {
 	cfg := pabst.Default32Config()
-	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+
+	// An observer captures epoch-scoped trace events (governor registers,
+	// arbiter state, DRAM service) into a ring; sinks could additionally
+	// stream them as JSONL/CSV. Passing no observer keeps tracing off at
+	// zero cost.
+	observer := pabst.NewObserver(0)
+	b := pabst.NewBuilder(cfg, pabst.ModePABST, pabst.WithObserver(observer))
 
 	// Two classes of service: weights are the software-visible knob; the
 	// hardware derives strides (inverse weights) from them. Each class
@@ -31,17 +38,36 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Close()
 
 	// Let the governors converge, then measure.
 	sys.Warmup(400_000)
 	sys.Run(400_000)
 
-	m := sys.Metrics()
-	fmt.Printf("entitled shares:  %.2f / %.2f\n", sys.Share(hi), sys.Share(lo))
-	fmt.Printf("observed shares:  %.2f / %.2f\n", m.ShareOf(hi), m.ShareOf(lo))
+	// One Snapshot is the coherent view of everything observable: window
+	// metrics plus per-class, per-tile, and per-controller detail.
+	snap := sys.Snapshot()
+	f, bt := snap.Class(hi), snap.Class(lo)
+	fmt.Printf("entitled shares:  %.2f / %.2f\n", f.EntitledShare, bt.EntitledShare)
+	fmt.Printf("observed shares:  %.2f / %.2f\n", f.Share, bt.Share)
 	fmt.Printf("bandwidth:        %.1f + %.1f = %.1f B/cycle (peak %.1f)\n",
-		m.BytesPerCycle(hi), m.BytesPerCycle(lo),
-		m.BytesPerCycle(hi)+m.BytesPerCycle(lo), cfg.PeakBytesPerCycle())
+		f.BytesPerCycle, bt.BytesPerCycle, f.BytesPerCycle+bt.BytesPerCycle,
+		cfg.PeakBytesPerCycle())
 	fmt.Printf("mean miss latency: frontend %.0f cycles, batch %.0f cycles\n",
-		sys.ClassMissLatency(hi), sys.ClassMissLatency(lo))
+		f.MissLatency, bt.MissLatency)
+
+	// The trace shows the feedback loop at work: count saturated epochs
+	// and read tile 0's final regulator registers from the event ring.
+	satEpochs := 0
+	var last pabst.Event
+	for _, e := range observer.Events() {
+		if e.Kind == pabst.KindGovernor && e.Unit == 0 {
+			last = e
+			if e.Sat {
+				satEpochs++
+			}
+		}
+	}
+	fmt.Printf("trace: %d events, tile-0 governor ended at M=%d (period %d), %d/%d traced epochs saturated\n",
+		observer.Total(), last.M, last.Period, satEpochs, snap.Epochs)
 }

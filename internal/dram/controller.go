@@ -117,6 +117,12 @@ type Stats struct {
 	PendingCycles uint64 // cycles with any queued work
 	RowHits       uint64 // open-page row buffer hits
 	Refreshes     uint64 // refresh commands issued
+
+	// PriorityInversions counts EDF-mode picks where the served read's
+	// virtual deadline was later than the earliest deadline among ready
+	// candidates — i.e. the row-hit-first back end jumped the EDF order
+	// (the Section III-C2 trade of priority for bus efficiency).
+	PriorityInversions uint64
 }
 
 // Controller models one memory channel.
@@ -440,12 +446,16 @@ func (c *Controller) dispatchToBanks(now uint64) {
 func (c *Controller) issueFromBanks(now uint64) {
 	bestBank := -1
 	bestHit := false
+	minDL := ^uint64(0) // earliest deadline among ready candidates
 	for b := range c.banks {
 		bk := &c.banks[b]
 		if len(bk.queue) == 0 || bk.readyAt > now {
 			continue
 		}
 		pkt := bk.queue[0]
+		if pkt.Deadline < minDL {
+			minDL = pkt.Deadline
+		}
 		hit := c.cfg.Policy == OpenPage && bk.openRow == c.rowOf(pkt.Addr)
 		if bestBank == -1 {
 			bestBank, bestHit = b, hit
@@ -467,6 +477,9 @@ func (c *Controller) issueFromBanks(now uint64) {
 	bk := &c.banks[bestBank]
 	pkt := bk.queue[0]
 	bk.queue = bk.queue[1:]
+	if c.sched == SchedEDF && pkt.Deadline > minDL {
+		c.Stats.PriorityInversions++
+	}
 	if c.arbiter != nil {
 		c.arbiter.OnPick(pkt, now)
 	}
@@ -484,10 +497,14 @@ func (c *Controller) issueFromBanks(now uint64) {
 func (c *Controller) pickRead(now uint64) int {
 	best := -1
 	bestHit := false
+	minDL := ^uint64(0) // earliest deadline among ready candidates
 	for i, pkt := range c.readQ {
 		b := &c.banks[c.bankOf(pkt.Addr)]
 		if b.readyAt > now {
 			continue
+		}
+		if pkt.Deadline < minDL {
+			minDL = pkt.Deadline
 		}
 		hit := c.cfg.Policy == OpenPage && b.openRow == c.rowOf(pkt.Addr)
 		if best == -1 {
@@ -505,6 +522,9 @@ func (c *Controller) pickRead(now uint64) int {
 		if c.better(pkt, c.readQ[best]) {
 			best = i
 		}
+	}
+	if c.sched == SchedEDF && best >= 0 && c.readQ[best].Deadline > minDL {
+		c.Stats.PriorityInversions++
 	}
 	return best
 }

@@ -41,14 +41,22 @@ func Full() Scale {
 	return Scale{Name: "full", Warmup: 1_200_000, Measure: 1_000_000, Epoch: 20_000, Window: 10_000}
 }
 
-// Apply stamps the scale's timing parameters and execution knobs onto a
-// system config.
+// Apply stamps the scale's timing parameters onto a system config. The
+// execution knobs travel separately as builder options (Options), which
+// is where all config-free construction settings now live.
 func (s Scale) Apply(cfg pabst.SystemConfig) pabst.SystemConfig {
 	cfg.PABST.EpochCycles = s.Epoch
 	cfg.BWWindow = s.Window
-	cfg.Workers = s.Workers
-	cfg.FastForward = s.FastForward
 	return cfg
+}
+
+// Options returns the scale's execution knobs as builder options;
+// experiments pass them to every pabst.NewBuilder call.
+func (s Scale) Options() []pabst.Option {
+	return []pabst.Option{
+		pabst.WithWorkers(s.Workers),
+		pabst.WithFastForward(s.FastForward),
+	}
 }
 
 // ForEach runs fn(0)..fn(n-1), on at most parallel concurrent goroutines

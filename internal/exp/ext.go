@@ -23,7 +23,7 @@ type ExtStaticResult struct {
 func ExtStatic(scale Scale) (*ExtStaticResult, error) {
 	run := func(mode pabst.Mode) (float64, float64, error) {
 		cfg := scale.Apply(pabst.Default32Config())
-		b := pabst.NewBuilder(cfg, mode)
+		b := pabst.NewBuilder(cfg, mode, scale.Options()...)
 		per := b.AddClass("periodic-70", 7, cfg.L3Ways/2)
 		con := b.AddClass("constant-30", 3, cfg.L3Ways/2)
 		phase := 60 * scale.Epoch
@@ -78,7 +78,7 @@ func ExtSkew(scale Scale) (*ExtSkewResult, error) {
 	run := func(perMC bool) ([]float64, error) {
 		cfg := scale.Apply(pabst.Default32Config())
 		cfg.PABST.PerMCGovernors = perMC
-		b := pabst.NewBuilder(cfg, pabst.ModePABST)
+		b := pabst.NewBuilder(cfg, pabst.ModePABST, scale.Options()...)
 		hot := b.AddClass("hot", 1, cfg.L3Ways/2)
 		uni := b.AddClass("uniform", 1, cfg.L3Ways/2)
 		// The builder needs the system to exist before the filter can
@@ -161,7 +161,7 @@ func ExtNoC(scale Scale) (*ExtNoCResult, error) {
 	run := func(label string, mut func(*pabst.SystemConfig)) (ExtNoCRow, error) {
 		cfg := scale.Apply(pabst.Default32Config())
 		mut(&cfg)
-		b := pabst.NewBuilder(cfg, pabst.ModePABST)
+		b := pabst.NewBuilder(cfg, pabst.ModePABST, scale.Options()...)
 		hi := b.AddClass("hi", 7, cfg.L3Ways/2)
 		lo := b.AddClass("lo", 3, cfg.L3Ways/2)
 		attachStreams(b, hi, 0, 16, false)
@@ -228,7 +228,7 @@ func ExtHetero(scale Scale) (*ExtHeteroResult, error) {
 	run := func(hetero bool) (float64, error) {
 		cfg := scale.Apply(pabst.Default32Config())
 		cfg.PABST.HeterogeneousThreads = hetero
-		b := pabst.NewBuilder(cfg, pabst.ModePABST)
+		b := pabst.NewBuilder(cfg, pabst.ModePABST, scale.Options()...)
 		mixed := b.AddClass("mixed", 1, cfg.L3Ways/2)
 		busy := b.AddClass("busy", 1, cfg.L3Ways/2)
 		b.Attach(0, mixed, pabst.Stream("hot", pabst.TileRegion(0), 128, false))

@@ -29,11 +29,12 @@ type FaultsResult struct {
 
 func runFaultsArm(scale Scale, plan *pabst.FaultPlan) (FaultsRun, pabst.FaultReport, error) {
 	cfg := scale.Apply(pabst.Default32Config())
+	opts := scale.Options()
 	if plan != nil {
-		cfg.Faults = plan
 		cfg.PABST = cfg.PABST.WithDegradation()
+		opts = append(opts, pabst.WithFaultPlan(plan))
 	}
-	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	b := pabst.NewBuilder(cfg, pabst.ModePABST, opts...)
 	hi := b.AddClass("70%-class", 7, cfg.L3Ways/2)
 	lo := b.AddClass("30%-class", 3, cfg.L3Ways/2)
 	attachStreams(b, hi, 0, 16, false)

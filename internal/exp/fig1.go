@@ -41,7 +41,7 @@ type RegulationResult struct {
 // a 3:1 allocation.
 func RunRegulation(scale Scale, mix MixKind, mode pabst.Mode) (RegulationResult, error) {
 	cfg := scale.Apply(pabst.Default32Config())
-	b := pabst.NewBuilder(cfg, mode)
+	b := pabst.NewBuilder(cfg, mode, scale.Options()...)
 	hi := b.AddClass("hi", 3, cfg.L3Ways/2)
 	lo := b.AddClass("lo", 1, cfg.L3Ways/2)
 

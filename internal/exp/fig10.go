@@ -67,7 +67,7 @@ func RunIsolationWorkload(scale Scale, name string) (map[pabst.Mode]IsolationCel
 // aggressor tiles (class 1) at a 32:1 share ratio.
 func buildSpecMix(scale Scale, name string, aggressor bool, mode pabst.Mode) (*pabst.System, error) {
 	cfg := scale.Apply(pabst.Default32Config())
-	b := pabst.NewBuilder(cfg, mode)
+	b := pabst.NewBuilder(cfg, mode, scale.Options()...)
 	spec := b.AddClass("spec", 32, cfg.L3Ways/2)
 	agg := b.AddClass("aggressor", 1, cfg.L3Ways/2)
 	if err := attachSpec(b, spec, name, 0, 16); err != nil {

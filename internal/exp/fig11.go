@@ -50,7 +50,7 @@ func Fig11(scale Scale, workloads []string) ([]Fig11Cell, error) {
 
 func runFig11Shared(scale Scale, name string) (float64, error) {
 	cfg := scale.Apply(pabst.Default32Config())
-	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	b := pabst.NewBuilder(cfg, pabst.ModePABST, scale.Options()...)
 	var classes []pabst.ClassID
 	for c := 0; c < 4; c++ {
 		classes = append(classes, b.AddClass(vmName(c), 1, cfg.L3Ways/4))
@@ -78,7 +78,7 @@ func runFig11Static(scale Scale, name string) (float64, error) {
 	// 8 CPUs alone on a machine whose DRAM runs at quarter frequency,
 	// with the same quarter L3 allocation.
 	cfg := scale.Apply(pabst.Default32Config()).ScaleDRAM(4)
-	b := pabst.NewBuilder(cfg, pabst.ModeNone)
+	b := pabst.NewBuilder(cfg, pabst.ModeNone, scale.Options()...)
 	cls := b.AddClass("vm-static", 1, cfg.L3Ways/4)
 	if err := attachSpec(b, cls, name, 0, 8); err != nil {
 		return 0, err

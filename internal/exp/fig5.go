@@ -22,6 +22,9 @@ type SeriesResult struct {
 	// ConvergedAt is the first measured cycle from which the high class's
 	// share stays within 10% of its entitlement (0 = never).
 	ConvergedAt uint64
+	// Convergence carries the full dynamics analysis of the high class's
+	// share series (settling index, overshoot, steady-state ripple).
+	Convergence pabst.Convergence
 }
 
 // Fig5 reproduces Figure 5: two 16-core read-stream classes with a 7:3
@@ -29,7 +32,7 @@ type SeriesResult struct {
 // hold steady.
 func Fig5(scale Scale) (*SeriesResult, error) {
 	cfg := scale.Apply(pabst.Default32Config())
-	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	b := pabst.NewBuilder(cfg, pabst.ModePABST, scale.Options()...)
 	hi := b.AddClass("70%-class", 7, cfg.L3Ways/2)
 	lo := b.AddClass("30%-class", 3, cfg.L3Ways/2)
 	attachStreams(b, hi, 0, 16, false)
@@ -66,18 +69,15 @@ func Fig5(scale Scale) (*SeriesResult, error) {
 		ser.MeanShare(first, len(res.Points), lo),
 	}
 	// Convergence: first point after which hi stays within ±0.1 of 0.7
-	// for at least 10 consecutive windows.
-	run := 0
+	// for at least 10 consecutive windows, plus overshoot and ripple,
+	// via the shared dynamics analyzer.
+	hiShares := make([]float64, len(res.Points))
 	for i, p := range res.Points {
-		if abs(p.Shares[0]-0.7) <= 0.1 {
-			run++
-			if run == 10 {
-				res.ConvergedAt = res.Points[i-9].Cycle
-				break
-			}
-		} else {
-			run = 0
-		}
+		hiShares[i] = p.Shares[0]
+	}
+	res.Convergence = pabst.AnalyzeConvergence(hiShares, 0.7, 0.1, 10)
+	if res.Convergence.Settled {
+		res.ConvergedAt = res.Points[res.Convergence.SettledAt].Cycle
 	}
 	return res, nil
 }

@@ -31,7 +31,7 @@ type Fig6Result struct {
 // and fall back to its share when the periodic class returns.
 func Fig6(scale Scale) (*Fig6Result, error) {
 	cfg := scale.Apply(pabst.Default32Config())
-	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	b := pabst.NewBuilder(cfg, pabst.ModePABST, scale.Options()...)
 	per := b.AddClass("periodic-70", 7, cfg.L3Ways/2)
 	con := b.AddClass("constant-30", 3, cfg.L3Ways/2)
 

@@ -22,7 +22,7 @@ type Fig8Result struct {
 // roughly 66% / 33%.
 func Fig8(scale Scale) (*Fig8Result, error) {
 	cfg := scale.Apply(pabst.Default32Config())
-	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	b := pabst.NewBuilder(cfg, pabst.ModePABST, scale.Options()...)
 	// The L3 class starts with a deliberately outsized share so its
 	// partition fills quickly during warmup; software then installs the
 	// experiment's 25/50/25 split before measurement — exercising the

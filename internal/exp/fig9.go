@@ -32,7 +32,7 @@ type Fig9Result struct {
 func Fig9(scale Scale) (*Fig9Result, error) {
 	run := func(label string, colocate bool, mode pabst.Mode) (ServiceStats, error) {
 		cfg := scale.Apply(pabst.Scaled8Config())
-		b := pabst.NewBuilder(cfg, mode)
+		b := pabst.NewBuilder(cfg, mode, scale.Options()...)
 		mcCls := b.AddClass("memcached", 20, cfg.L3Ways/2)
 		agCls := b.AddClass("aggressor", 1, cfg.L3Ways/2)
 		server := pabst.MemcachedServer(pabst.TileRegion(0), 11)

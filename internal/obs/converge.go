@@ -1,0 +1,99 @@
+package obs
+
+import "math"
+
+// Convergence summarizes the dynamics of a regulated time series
+// against its target: how fast it settles, how far it overshoots, and
+// how much it ripples once settled. These are the regulator-quality
+// numbers (settling time, overshoot, steady-state error) used to judge
+// feedback controllers; exposing them turns fig4/fig5-style plots into
+// regression-testable scalars.
+type Convergence struct {
+	// Settled reports whether the series ever entered and held the
+	// tolerance band. When false, the remaining fields describe the whole
+	// series (SettledAt is len(samples)).
+	Settled bool
+	// SettledAt is the index of the first sample of the earliest run of
+	// `hold` consecutive in-band samples — the settling point.
+	SettledAt int
+	// Overshoot is the worst excursion beyond the target in the direction
+	// of approach before settling, as a fraction of the target
+	// (0 when the series never crosses the target, or target == 0).
+	Overshoot float64
+	// Ripple is the peak-to-peak spread of the settled region.
+	Ripple float64
+	// Mean is the mean of the settled region (of the whole series when
+	// never settled) — the steady-state value, whose distance from the
+	// target is the steady-state error.
+	Mean float64
+}
+
+// Analyze measures how samples converge to target. A sample is in-band
+// when |sample − target| <= tol; the series counts as settled at the
+// start of the first run of hold consecutive in-band samples (hold <= 0
+// means 1). This is the same rule the Figure 5 experiment applies to
+// class shares (tol 0.1, hold 10), so SettledAt agrees with its
+// ConvergedAt index.
+func Analyze(samples []float64, target, tol float64, hold int) Convergence {
+	if hold <= 0 {
+		hold = 1
+	}
+	c := Convergence{SettledAt: len(samples)}
+	run := 0
+	for i, v := range samples {
+		if math.Abs(v-target) <= tol {
+			run++
+			if run == hold {
+				c.Settled = true
+				c.SettledAt = i - hold + 1
+				break
+			}
+		} else {
+			run = 0
+		}
+	}
+
+	// Overshoot: the series approaches the target from its initial side;
+	// the overshoot is the worst excursion past the target on the far
+	// side, before the settling point.
+	pre := samples[:c.SettledAt]
+	if len(pre) > 0 && target != 0 {
+		below := pre[0] <= target
+		worst := 0.0
+		for _, v := range pre {
+			var exc float64
+			if below {
+				exc = v - target
+			} else {
+				exc = target - v
+			}
+			if exc > worst {
+				worst = exc
+			}
+		}
+		c.Overshoot = worst / math.Abs(target)
+	}
+
+	// Settled region: from the settling point on (whole series if the
+	// band was never held).
+	region := samples[c.SettledAt:]
+	if !c.Settled {
+		region = samples
+	}
+	if len(region) == 0 {
+		return c
+	}
+	lo, hi, sum := region[0], region[0], 0.0
+	for _, v := range region {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		sum += v
+	}
+	c.Ripple = hi - lo
+	c.Mean = sum / float64(len(region))
+	return c
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Sink consumes trace events. Emit is called from the simulation's
+// sequential phase in deterministic order; implementations must not
+// retain the event pointer. Flush drains any buffering.
+type Sink interface {
+	Emit(e *Event)
+	Flush() error
+}
+
+// JSONLSink renders one JSON object per event. Fields are written in a
+// fixed order with only the emitting kind's payload included, so the
+// stream is byte-identical across runs (encoding/json map iteration
+// never enters the picture).
+type JSONLSink struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONLSink wraps w in a buffered JSONL event stream.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: bufio.NewWriter(w)} }
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(e *Event) {
+	if s.err != nil {
+		return
+	}
+	b := s.w
+	fmt.Fprintf(b, `{"kind":%q,"cycle":%d,"epoch":%d`, e.Kind.String(), e.Cycle, e.Epoch)
+	switch e.Kind {
+	case KindEpoch:
+		fmt.Fprintf(b, `,"sat":%t,"bytes":[`, e.Sat)
+		for c := 0; c < e.NumClasses; c++ {
+			if c > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatUint(e.Bytes[c], 10))
+		}
+		b.WriteByte(']')
+	case KindGovernor:
+		fmt.Fprintf(b, `,"tile":%d,"sat":%t,"m":%d,"dm":%d,"period":%d`,
+			e.Unit, e.Sat, e.M, e.DM, e.Period)
+	case KindArbiter:
+		fmt.Fprintf(b, `,"mc":%d,"queue_depth":%d,"last_deadline":%d,"inversions":%d`,
+			e.Unit, e.QueueDepth, e.LastDeadline, e.Inversions)
+	case KindDRAM:
+		fmt.Fprintf(b, `,"mc":%d,"reads":%d,"writes":%d,"row_hits":%d,"refreshes":%d,"bus_busy":%d`,
+			e.Unit, e.Reads, e.Writes, e.RowHits, e.Refreshes, e.BusBusy)
+	case KindFault:
+		fmt.Fprintf(b, `,"injected":%d,"stale":%d,"decays":%d,"resync":%d,"divergence":%d`,
+			e.Injected, e.Stale, e.Decays, e.Resync, e.Divergence)
+	}
+	b.WriteString("}\n")
+	if err := b.Flush(); err == nil {
+		// Flushing per event keeps partial traces usable; buffering
+		// still batches the many small writes of one event.
+	} else {
+		s.err = err
+	}
+}
+
+// Flush implements Sink.
+func (s *JSONLSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// CSVSink renders events as one flat CSV schema covering every kind;
+// fields a kind does not define render as 0. The per-class byte vector
+// is packed into a single semicolon-joined column so the column set
+// does not depend on the class count.
+type CSVSink struct {
+	w      *bufio.Writer
+	err    error
+	header bool
+}
+
+// NewCSVSink wraps w in a buffered CSV event stream.
+func NewCSVSink(w io.Writer) *CSVSink { return &CSVSink{w: bufio.NewWriter(w)} }
+
+// csvHeader is the fixed column set.
+const csvHeader = "kind,cycle,epoch,unit,sat,m,dm,period," +
+	"queue_depth,last_deadline,inversions," +
+	"reads,writes,row_hits,refreshes,bus_busy," +
+	"injected,stale,decays,resync,divergence,bytes\n"
+
+// Emit implements Sink.
+func (s *CSVSink) Emit(e *Event) {
+	if s.err != nil {
+		return
+	}
+	b := s.w
+	if !s.header {
+		b.WriteString(csvHeader)
+		s.header = true
+	}
+	sat := 0
+	if e.Sat {
+		sat = 1
+	}
+	fmt.Fprintf(b, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,",
+		e.Kind.String(), e.Cycle, e.Epoch, e.Unit, sat, e.M, e.DM, e.Period,
+		e.QueueDepth, e.LastDeadline, e.Inversions,
+		e.Reads, e.Writes, e.RowHits, e.Refreshes, e.BusBusy,
+		e.Injected, e.Stale, e.Decays, e.Resync, e.Divergence)
+	for c := 0; c < e.NumClasses; c++ {
+		if c > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(strconv.FormatUint(e.Bytes[c], 10))
+	}
+	b.WriteByte('\n')
+	s.err = b.Flush()
+}
+
+// Flush implements Sink.
+func (s *CSVSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// PromSink folds the event stream into a Prometheus-style text
+// snapshot: gauges carry the most recent value, *_total series
+// accumulate deltas. WriteTo renders the current state with sorted
+// series names, so snapshots are deterministic.
+type PromSink struct {
+	vals  map[string]float64
+	names []string
+}
+
+// NewPromSink returns an empty snapshot accumulator.
+func NewPromSink() *PromSink { return &PromSink{vals: make(map[string]float64)} }
+
+func (p *PromSink) set(name string, v float64) {
+	if _, ok := p.vals[name]; !ok {
+		p.names = append(p.names, name)
+	}
+	p.vals[name] = v
+}
+
+func (p *PromSink) add(name string, v float64) {
+	if _, ok := p.vals[name]; !ok {
+		p.names = append(p.names, name)
+	}
+	p.vals[name] += v
+}
+
+// Emit implements Sink.
+func (p *PromSink) Emit(e *Event) {
+	switch e.Kind {
+	case KindEpoch:
+		p.set("pabst_epoch", float64(e.Epoch))
+		sat := 0.0
+		if e.Sat {
+			sat = 1.0
+		}
+		p.set("pabst_sat", sat)
+		for c := 0; c < e.NumClasses; c++ {
+			p.add(fmt.Sprintf("pabst_class_bytes_total{class=\"%d\"}", c), float64(e.Bytes[c]))
+		}
+	case KindGovernor:
+		u := fmt.Sprintf("{tile=\"%d\"}", e.Unit)
+		p.set("pabst_governor_m"+u, float64(e.M))
+		p.set("pabst_governor_dm"+u, float64(e.DM))
+		p.set("pabst_governor_period"+u, float64(e.Period))
+	case KindArbiter:
+		u := fmt.Sprintf("{mc=\"%d\"}", e.Unit)
+		p.set("pabst_arbiter_queue_depth"+u, float64(e.QueueDepth))
+		p.set("pabst_arbiter_last_deadline"+u, float64(e.LastDeadline))
+		p.add("pabst_arbiter_inversions_total"+u, float64(e.Inversions))
+	case KindDRAM:
+		u := fmt.Sprintf("{mc=\"%d\"}", e.Unit)
+		p.add("pabst_dram_reads_total"+u, float64(e.Reads))
+		p.add("pabst_dram_writes_total"+u, float64(e.Writes))
+		p.add("pabst_dram_row_hits_total"+u, float64(e.RowHits))
+		p.add("pabst_dram_refreshes_total"+u, float64(e.Refreshes))
+		p.add("pabst_dram_bus_busy_cycles_total"+u, float64(e.BusBusy))
+	case KindFault:
+		p.add("pabst_faults_injected_total", float64(e.Injected))
+		p.add("pabst_faults_stale_intervals_total", float64(e.Stale))
+		p.add("pabst_faults_decays_total", float64(e.Decays))
+		p.add("pabst_faults_resync_epochs_total", float64(e.Resync))
+		p.set("pabst_governor_divergence", float64(e.Divergence))
+	}
+}
+
+// Flush implements Sink (a snapshot accumulator has nothing to drain).
+func (p *PromSink) Flush() error { return nil }
+
+// WriteTo renders the snapshot, one "name value" line per series,
+// sorted by series name.
+func (p *PromSink) WriteTo(w io.Writer) (int64, error) {
+	names := append([]string(nil), p.names...)
+	sort.Strings(names)
+	var total int64
+	for _, n := range names {
+		k, err := fmt.Fprintf(w, "%s %s\n", n, formatValue(p.vals[n]))
+		total += int64(k)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// FilterSink forwards only events keep accepts.
+type FilterSink struct {
+	inner Sink
+	keep  func(*Event) bool
+}
+
+// NewFilterSink wraps inner with a predicate.
+func NewFilterSink(inner Sink, keep func(*Event) bool) *FilterSink {
+	return &FilterSink{inner: inner, keep: keep}
+}
+
+// Emit implements Sink.
+func (f *FilterSink) Emit(e *Event) {
+	if f.keep == nil || f.keep(e) {
+		f.inner.Emit(e)
+	}
+}
+
+// Flush implements Sink.
+func (f *FilterSink) Flush() error { return f.inner.Flush() }

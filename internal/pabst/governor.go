@@ -97,6 +97,12 @@ func (g *Governor) Pacer() *Pacer { return g.pacer }
 // Degrade returns the degraded-signal event counts.
 func (g *Governor) Degrade() DegradeStats { return g.degrade }
 
+// ProbeState implements regulate.Probe: the monitor's M and δM plus the
+// installed pacing period, for epoch-boundary trace events.
+func (g *Governor) ProbeState() (m, dm, period uint64, multi bool) {
+	return g.monitor.M(), g.monitor.DM(), g.pacer.Period(), false
+}
+
 // Epoch consumes the epoch heartbeat with the wired-OR saturation signal
 // and installs the new goal period into the pacer. The per-controller
 // vector is ignored: the baseline governor regulates against global

@@ -118,6 +118,12 @@ func (g *MultiGovernor) WatchdogTick(now uint64) {
 // Degrade returns the degraded-signal event counts.
 func (g *MultiGovernor) Degrade() DegradeStats { return g.degrade }
 
+// ProbeState implements regulate.Probe, reporting the channel-0
+// registers as representative (multi = true flags the approximation).
+func (g *MultiGovernor) ProbeState() (m, dm, period uint64, multi bool) {
+	return g.monitors[0].M(), g.monitors[0].DM(), g.pacers[0].Period(), true
+}
+
 // CanIssue implements regulate.Source for the pacer of channel mc.
 func (g *MultiGovernor) CanIssue(now uint64, mc int) bool {
 	return g.pacers[mc].CanIssue(now)

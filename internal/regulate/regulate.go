@@ -118,6 +118,18 @@ type Source interface {
 	Epoch(hb Heartbeat)
 }
 
+// Probe is implemented by sources that expose their regulator registers
+// for observability: the throttle multiplier M, the step magnitude δM,
+// and the installed pacing period. multi marks per-controller
+// regulators, which report their channel-0 registers as representative
+// (all channels share identical inputs per the lockstep property, so
+// channel 0 characterizes the regulator unless channels saturate
+// unevenly). Pass-through and static sources have no registers and do
+// not implement Probe.
+type Probe interface {
+	ProbeState() (m, dm, period uint64, multi bool)
+}
+
 // Watchdog is implemented by sources that degrade gracefully when the
 // heartbeat stops arriving: the tile calls WatchdogTick every cycle so
 // the regulator can notice a stale feedback channel and fall back to a

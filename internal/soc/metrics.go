@@ -3,6 +3,7 @@ package soc
 import (
 	"pabst/internal/mem"
 	"pabst/internal/pabst"
+	"pabst/internal/regulate"
 	"pabst/internal/stats"
 )
 
@@ -179,20 +180,19 @@ func (s *System) Tiles() []*Tile { return s.tiles }
 // GovernorState reports the internal regulator state of a tile for
 // tracing: the throttle multiplier M, the current step δM, and the
 // installed pacing period. ok is false when the tile is idle or runs no
-// adaptive governor (ModeNone, target-only, static).
+// adaptive governor (ModeNone, target-only, static) — exactly the
+// sources that implement regulate.Probe. Per-controller governors
+// report channel 0 as the representative.
 func (s *System) GovernorState(tile int) (m, dm, period uint64, ok bool) {
 	if tile < 0 || tile >= len(s.tiles) || s.tiles[tile] == nil {
 		return 0, 0, 0, false
 	}
-	switch g := s.tiles[tile].src.(type) {
-	case *pabst.Governor:
-		return g.Monitor().M(), g.Monitor().DM(), g.Pacer().Period(), true
-	case *pabst.MultiGovernor:
-		// Report channel 0 as the representative.
-		return g.MonitorOf(0).M(), g.MonitorOf(0).DM(), g.PacerOf(0).Period(), true
-	default:
+	p, ok := s.tiles[tile].src.(regulate.Probe)
+	if !ok {
 		return 0, 0, 0, false
 	}
+	m, dm, period, _ = p.ProbeState()
+	return m, dm, period, true
 }
 
 // L3OccupancyOf returns the number of shared-cache bytes a class

@@ -1,0 +1,172 @@
+package soc
+
+import (
+	"pabst/internal/mem"
+	"pabst/internal/regulate"
+)
+
+// Snapshot is a coherent point-in-time view of the system's observable
+// state: one call replaces the accumulation of one-off accessors
+// (ClassIPC, MCUtilizations, GovernorState, ...) that each re-derived a
+// slice of the same picture. It is a plain value — safe to retain,
+// compare, and serialize after the system moves on.
+type Snapshot struct {
+	// Cycle is the capture time; Epochs counts heartbeats fired; Sat is
+	// the most recent wired-OR saturation signal.
+	Cycle  uint64
+	Epochs uint64
+	Sat    bool
+
+	// SkippedCycles counts idle cycles jumped by fast-forward.
+	SkippedCycles uint64
+
+	// Window summarizes the current measurement window.
+	Window Metrics
+
+	// Classes, Tiles, and MCs are ordered by class ID, tile index, and
+	// channel index respectively. Tiles holds only attached tiles.
+	Classes []ClassSnapshot
+	Tiles   []TileSnapshot
+	MCs     []MCSnapshot
+}
+
+// ClassSnapshot is one QoS class's allocation and delivery state.
+type ClassSnapshot struct {
+	ID     mem.ClassID
+	Name   string
+	Weight uint64
+	// EntitledShare is the weight-proportional share (Eq. 1);
+	// Share is the fraction of window DRAM traffic actually delivered.
+	EntitledShare float64
+	Share         float64
+
+	Bytes         uint64 // window DRAM bytes
+	BytesPerCycle float64
+
+	IPC      float64   // mean over the class's tiles
+	TileIPCs []float64 // per tile running the class, in tile order
+
+	// MissLatency is the mean end-to-end L2-miss latency (window);
+	// MCReadLatency the mean controller front-end latency (lifetime).
+	MissLatency   float64
+	MCReadLatency float64
+
+	// L3OccupancyBytes is the shared-cache footprint held right now.
+	L3OccupancyBytes uint64
+}
+
+// TileSnapshot is one attached tile's state.
+type TileSnapshot struct {
+	Tile     int
+	Class    mem.ClassID
+	IPC      float64
+	Governor GovernorSnapshot
+}
+
+// GovernorSnapshot is a tile regulator's registers. OK is false for
+// sources without an adaptive governor (ModeNone, target-only, static);
+// Multi marks per-controller regulators, which report channel 0.
+type GovernorSnapshot struct {
+	OK            bool
+	Multi         bool
+	M, DM, Period uint64
+}
+
+// MCSnapshot is one memory channel's service state.
+type MCSnapshot struct {
+	MC          int
+	Utilization float64 // data-bus utilization over the window
+	QueuedReads int     // current front-end queue depth
+
+	// Lifetime service counters.
+	Reads, Writes, RowHits, Refreshes uint64
+	PriorityInversions                uint64
+}
+
+// Snapshot captures the system's observable state in one coherent view.
+func (s *System) Snapshot() Snapshot {
+	snap := Snapshot{
+		Cycle:         s.kernel.Now(),
+		Epochs:        s.epochs,
+		Sat:           s.satLast,
+		SkippedCycles: s.kernel.Skipped(),
+		Window:        s.Metrics(),
+	}
+	for _, c := range s.reg.Classes() {
+		snap.Classes = append(snap.Classes, ClassSnapshot{
+			ID:               c.ID,
+			Name:             c.Name,
+			Weight:           s.reg.Weight(c.ID),
+			EntitledShare:    s.reg.Share(c.ID),
+			Share:            snap.Window.ShareOf(c.ID),
+			Bytes:            snap.Window.BytesByClass[c.ID],
+			BytesPerCycle:    snap.Window.BytesPerCycle(c.ID),
+			IPC:              s.ClassIPC(c.ID),
+			TileIPCs:         s.TileIPCs(c.ID),
+			MissLatency:      s.ClassMissLatency(c.ID),
+			MCReadLatency:    s.ClassMCReadLatency(c.ID),
+			L3OccupancyBytes: s.L3OccupancyOf(c.ID),
+		})
+	}
+	for id, t := range s.tiles {
+		if t == nil {
+			continue
+		}
+		ts := TileSnapshot{Tile: id, Class: t.class, IPC: t.core.IPC()}
+		if p, ok := t.src.(regulate.Probe); ok {
+			ts.Governor.OK = true
+			ts.Governor.M, ts.Governor.DM, ts.Governor.Period, ts.Governor.Multi = p.ProbeState()
+		}
+		snap.Tiles = append(snap.Tiles, ts)
+	}
+	util := s.MCUtilizations()
+	for i, mc := range s.mcs {
+		snap.MCs = append(snap.MCs, MCSnapshot{
+			MC:                 i,
+			Utilization:        util[i],
+			QueuedReads:        mc.QueuedReads(),
+			Reads:              mc.Stats.ReadsServed,
+			Writes:             mc.Stats.WritesServed,
+			RowHits:            mc.Stats.RowHits,
+			Refreshes:          mc.Stats.Refreshes,
+			PriorityInversions: mc.Stats.PriorityInversions,
+		})
+	}
+	return snap
+}
+
+// Class returns the snapshot of the given class, or nil if the class is
+// unknown (unlike live registry lookups, a stale ID does not panic).
+func (sn *Snapshot) Class(id mem.ClassID) *ClassSnapshot {
+	for i := range sn.Classes {
+		if sn.Classes[i].ID == id {
+			return &sn.Classes[i]
+		}
+	}
+	return nil
+}
+
+// Tile returns the snapshot of the given tile, or nil when the tile is
+// idle or out of range.
+func (sn *Snapshot) Tile(tile int) *TileSnapshot {
+	for i := range sn.Tiles {
+		if sn.Tiles[i].Tile == tile {
+			return &sn.Tiles[i]
+		}
+	}
+	return nil
+}
+
+// GovernorMs returns the throttle multiplier of every plain (global-SAT)
+// governor in tile order — the lockstep/divergence assertion input.
+// Per-controller governors are excluded: their channels may legitimately
+// hold different multipliers.
+func (sn *Snapshot) GovernorMs() []uint64 {
+	var out []uint64
+	for i := range sn.Tiles {
+		if g := sn.Tiles[i].Governor; g.OK && !g.Multi {
+			out = append(out, g.M)
+		}
+	}
+	return out
+}

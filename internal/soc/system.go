@@ -8,6 +8,7 @@ import (
 	"pabst/internal/fault"
 	"pabst/internal/mem"
 	"pabst/internal/noc"
+	"pabst/internal/obs"
 	"pabst/internal/pabst"
 	"pabst/internal/qos"
 	"pabst/internal/regulate"
@@ -29,6 +30,7 @@ type System struct {
 	tiles  []*Tile // nil entries for idle tiles
 	slices []*Slice
 	mcs    []*dram.Controller
+	arbs   []*pabst.Arbiter // parallel to mcs; nil entries when EDF is off
 	doors  []*frontDoor
 
 	// mcOut holds MC read responses awaiting injection into the modeled
@@ -47,6 +49,16 @@ type System struct {
 	// faults is the configured fault injector; nil (the common case)
 	// means every fault hook is a single pointer check.
 	faults *fault.Injector
+
+	// Observability (see observe.go). obs is nil unless SetObserver armed
+	// tracing; satPerMC is the epochTick scratch vector, reused so the
+	// epoch hook allocates nothing on the synchronous-delivery path.
+	obs      *obs.Observer
+	metrics  *obs.Registry
+	satPerMC []bool
+	obsBytes [mem.MaxClasses]uint64 // cumulative class bytes at last emit
+	obsMC    []obsMCPrev            // per-controller counters at last emit
+	obsFault obsFaultPrev           // fault/degradation counters at last emit
 
 	// Parallel tick state (see parallel.go). par gates the two-phase
 	// stage/commit path; stage is non-nil only inside a parallel compute
@@ -117,9 +129,12 @@ func New(cfg config.System, reg *qos.Registry, mode regulate.Mode) (*System, err
 		if err != nil {
 			return nil, err
 		}
+		var arb *pabst.Arbiter
 		if mode.TargetEnabled() {
-			mc.SetScheduler(dram.SchedEDF, pabst.NewArbiter(reg, cfg.PABST.Slack))
+			arb = pabst.NewArbiter(reg, cfg.PABST.Slack)
+			mc.SetScheduler(dram.SchedEDF, arb)
 		}
+		s.arbs = append(s.arbs, arb)
 		s.mcs = append(s.mcs, mc)
 		s.doors = append(s.doors, &frontDoor{sys: s, mc: i})
 	}
@@ -219,6 +234,8 @@ func (s *System) Finalize() error {
 	}
 
 	ep := s.cfg.PABST.EpochCycles
+	s.satPerMC = make([]bool, len(s.mcs))
+	s.metrics = s.buildMetricRegistry()
 	s.kernel.Every(ep, ep, s.epochTick)
 	s.kernel.Every(s.cfg.BWWindow, s.cfg.BWWindow, s.sampleTick)
 	s.kernel.Register(systemTicker{s})
@@ -279,7 +296,7 @@ type epochMsg struct {
 // epoch bound.
 func (s *System) epochTick(now uint64) {
 	sat := false
-	perMC := make([]bool, len(s.mcs))
+	perMC := s.satPerMC // scratch: synchronous deliveries read it in place
 	for i, mc := range s.mcs {
 		perMC[i] = mc.EpochSaturated()
 		if perMC[i] {
@@ -326,8 +343,12 @@ func (s *System) epochTick(now uint64) {
 			t.src.Epoch(regulate.Heartbeat{Now: now, SatAny: tileSat, SatPerMC: perMC, Resync: resync, GossipM: gossip})
 			continue
 		}
-		s.epochQ.Push(epochMsg{tile: id, sat: tileSat, perMC: perMC, resync: resync, gossip: gossip}, now+lag)
+		// The delayed message outlives this epoch while the scratch vector
+		// is rewritten at the next boundary, so it carries its own copy.
+		s.epochQ.Push(epochMsg{tile: id, sat: tileSat, perMC: append([]bool(nil), perMC...), resync: resync, gossip: gossip}, now+lag)
 	}
+
+	s.emitEpoch(now, sat)
 }
 
 // observeDivergence samples every plain governor's multiplier entering

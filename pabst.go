@@ -226,6 +226,7 @@ type Builder struct {
 	mode Mode
 	reg  *qos.Registry
 
+	observer    *Observer
 	attachments []attachment
 	err         error
 }
@@ -236,9 +237,40 @@ type attachment struct {
 	gen   Generator
 }
 
-// NewBuilder starts a system description.
-func NewBuilder(cfg SystemConfig, mode Mode) *Builder {
-	return &Builder{cfg: cfg, mode: mode, reg: qos.NewRegistry()}
+// Option configures a Builder at construction. Options replace the
+// config-field poking previously duplicated across commands and
+// examples; they apply in order, after cfg is copied into the builder.
+type Option func(*Builder)
+
+// WithWorkers sets the parallel-tick worker count (1 = sequential).
+func WithWorkers(n int) Option {
+	return func(b *Builder) { b.cfg.Workers = n }
+}
+
+// WithFastForward enables (or disables) idle-cycle fast-forward.
+func WithFastForward(on bool) Option {
+	return func(b *Builder) { b.cfg.FastForward = on }
+}
+
+// WithFaultPlan installs a fault-injection plan (nil injects nothing).
+func WithFaultPlan(p *FaultPlan) Option {
+	return func(b *Builder) { b.cfg.Faults = p }
+}
+
+// WithObserver arms epoch-boundary trace emission into o. A nil
+// observer keeps tracing off (the zero-overhead default).
+func WithObserver(o *Observer) Option {
+	return func(b *Builder) { b.observer = o }
+}
+
+// NewBuilder starts a system description. Options, if any, are applied
+// immediately.
+func NewBuilder(cfg SystemConfig, mode Mode, opts ...Option) *Builder {
+	b := &Builder{cfg: cfg, mode: mode, reg: qos.NewRegistry()}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
 }
 
 // AddClass registers a QoS class with a proportional-share weight and an
@@ -271,6 +303,11 @@ func (b *Builder) Build() (*System, error) {
 	}
 	for _, a := range b.attachments {
 		if err := inner.Attach(a.tile, a.class, a.gen); err != nil {
+			return nil, err
+		}
+	}
+	if b.observer != nil {
+		if err := inner.SetObserver(b.observer); err != nil {
 			return nil, err
 		}
 	}
@@ -315,11 +352,32 @@ func (s *System) Metrics() Metrics { return s.inner.Metrics() }
 // Series returns the continuously sampled per-class bandwidth series.
 func (s *System) Series() *Series { return s.inner.Series() }
 
+// Snapshot captures the system's observable state — window metrics plus
+// per-class, per-tile, and per-controller detail — in one coherent
+// value. It subsumes the per-facet accessors below.
+func (s *System) Snapshot() Snapshot { return s.inner.Snapshot() }
+
 // ClassIPC averages core IPC over a class's tiles.
-func (s *System) ClassIPC(class ClassID) float64 { return s.inner.ClassIPC(class) }
+//
+// Deprecated: use Snapshot().Class(class).IPC.
+func (s *System) ClassIPC(class ClassID) float64 {
+	snap := s.Snapshot()
+	if c := snap.Class(class); c != nil {
+		return c.IPC
+	}
+	return 0
+}
 
 // TileIPCs returns per-tile IPCs of a class.
-func (s *System) TileIPCs(class ClassID) []float64 { return s.inner.TileIPCs(class) }
+//
+// Deprecated: use Snapshot().Class(class).TileIPCs.
+func (s *System) TileIPCs(class ClassID) []float64 {
+	snap := s.Snapshot()
+	if c := snap.Class(class); c != nil {
+		return c.TileIPCs
+	}
+	return nil
+}
 
 // SetWeight changes a class's proportional share at run time (the
 // software policy knob); governors and arbiters honor it at the next
@@ -329,21 +387,37 @@ func (s *System) SetWeight(class ClassID, weight uint64) error {
 }
 
 // Share returns a class's entitled proportional share (Eq. 1).
+//
+// Deprecated: use Snapshot().Class(class).EntitledShare.
 func (s *System) Share(class ClassID) float64 { return s.reg.Share(class) }
 
 // ClassMissLatency returns a class's mean end-to-end L2-miss latency in
 // cycles (network injection to response arrival, including L3 hits).
+//
+// Deprecated: use Snapshot().Class(class).MissLatency.
 func (s *System) ClassMissLatency(class ClassID) float64 {
-	return s.inner.ClassMissLatency(class)
+	snap := s.Snapshot()
+	if c := snap.Class(class); c != nil {
+		return c.MissLatency
+	}
+	return 0
 }
 
 // ClassMCReadLatency returns a class's mean memory-controller read
 // latency in cycles (front-end enqueue to last data beat).
+//
+// Deprecated: use Snapshot().Class(class).MCReadLatency.
 func (s *System) ClassMCReadLatency(class ClassID) float64 {
-	return s.inner.ClassMCReadLatency(class)
+	snap := s.Snapshot()
+	if c := snap.Class(class); c != nil {
+		return c.MCReadLatency
+	}
+	return 0
 }
 
 // SaturatedLastEpoch reports the most recent wired-OR SAT signal.
+//
+// Deprecated: use Snapshot().Sat.
 func (s *System) SaturatedLastEpoch() bool { return s.inner.SATLast() }
 
 // MCForAddr returns the memory controller serving addr under the
@@ -352,18 +426,42 @@ func (s *System) MCForAddr(addr Addr) int { return s.inner.MCForAddr(addr) }
 
 // MCUtilizations returns each channel's data-bus utilization over the
 // current measurement window.
-func (s *System) MCUtilizations() []float64 { return s.inner.MCUtilizations() }
+//
+// Deprecated: use Snapshot().MCs[i].Utilization.
+func (s *System) MCUtilizations() []float64 {
+	snap := s.Snapshot()
+	out := make([]float64, len(snap.MCs))
+	for i := range snap.MCs {
+		out[i] = snap.MCs[i].Utilization
+	}
+	return out
+}
 
 // L3OccupancyOf returns the shared-cache bytes a class currently holds
 // (the Section II-B LLC occupancy monitor). It walks the cache arrays;
 // use it for sampling, not per-cycle.
-func (s *System) L3OccupancyOf(class ClassID) uint64 { return s.inner.L3OccupancyOf(class) }
+//
+// Deprecated: use Snapshot().Class(class).L3OccupancyBytes.
+func (s *System) L3OccupancyOf(class ClassID) uint64 {
+	snap := s.Snapshot()
+	if c := snap.Class(class); c != nil {
+		return c.L3OccupancyBytes
+	}
+	return 0
+}
 
 // GovernorState reports a tile's regulator internals for tracing: the
 // throttle multiplier M, the current step δM, and the installed pacing
 // period. ok is false for idle tiles or modes without a governor.
+//
+// Deprecated: use Snapshot().Tile(tile).Governor.
 func (s *System) GovernorState(tile int) (m, dm, period uint64, ok bool) {
-	return s.inner.GovernorState(tile)
+	snap := s.Snapshot()
+	t := snap.Tile(tile)
+	if t == nil || !t.Governor.OK {
+		return 0, 0, 0, false
+	}
+	return t.Governor.M, t.Governor.DM, t.Governor.Period, true
 }
 
 // FaultReport returns the fault-injection and degradation summary for
@@ -374,7 +472,12 @@ func (s *System) FaultReport() FaultReport { return s.inner.FaultReport() }
 // GovernorMs returns every adaptive governor's current throttle
 // multiplier M in tile order — the raw material for lockstep and
 // divergence assertions.
-func (s *System) GovernorMs() []uint64 { return s.inner.GovernorMs() }
+//
+// Deprecated: use Snapshot().GovernorMs.
+func (s *System) GovernorMs() []uint64 {
+	snap := s.Snapshot()
+	return snap.GovernorMs()
+}
 
 // Config returns the system's configuration.
 func (s *System) Config() SystemConfig { return s.inner.Config() }

@@ -1,0 +1,261 @@
+package pabst_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"pabst"
+)
+
+// traceConfig is a small, fast system with short epochs so traces carry
+// a few dozen epochs in well under a second.
+func traceConfig() pabst.SystemConfig {
+	cfg := pabst.Default32Config()
+	cfg.PABST.EpochCycles = 2000
+	cfg.BWWindow = 2000
+	return cfg
+}
+
+// runTrace builds the bursty two-class scenario (idle gaps make
+// fast-forward actually fire) with a JSONL observer under the given
+// execution knobs, runs it, and returns the trace bytes.
+func runTrace(t *testing.T, workers int, ff bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	observer := pabst.NewObserver(0, pabst.NewJSONLSink(&buf))
+	cfg := traceConfig()
+	b := pabst.NewBuilder(cfg, pabst.ModePABST,
+		pabst.WithWorkers(workers), pabst.WithFastForward(ff), pabst.WithObserver(observer))
+	hi := b.AddClass("hi", 7, cfg.L3Ways/2)
+	lo := b.AddClass("lo", 3, cfg.L3Ways/2)
+	for i := 0; i < 8; i++ {
+		b.Attach(i, hi, pabst.Stream("hi", pabst.TileRegion(i), 128, false))
+		b.Attach(16+i, lo, pabst.BurstyTraffic("lo", pabst.TileRegion(16+i), 32, 4000, uint64(i)+1))
+	}
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.Run(60_000)
+	if err := observer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if observer.Total() == 0 {
+		t.Fatal("observer saw no events")
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTraceDeterminism is the observability determinism contract:
+// trace bytes are identical for every combination of worker count and
+// fast-forward, because events are emitted only from the sequential
+// epoch hook in a fixed order.
+func TestGoldenTraceDeterminism(t *testing.T) {
+	golden := runTrace(t, 1, false)
+	for _, workers := range []int{1, 4} {
+		for _, ff := range []bool{false, true} {
+			if workers == 1 && !ff {
+				continue
+			}
+			got := runTrace(t, workers, ff)
+			if !bytes.Equal(got, golden) {
+				t.Errorf("trace diverged at workers=%d ff=%v (%d vs %d bytes)",
+					workers, ff, len(got), len(golden))
+			}
+		}
+	}
+}
+
+// TestObserverDoesNotPerturb: arming an observer must not change any
+// simulated outcome — metric fingerprints match a probe-free run.
+func TestObserverDoesNotPerturb(t *testing.T) {
+	run := func(observer *pabst.Observer) string {
+		cfg := traceConfig()
+		b := pabst.NewBuilder(cfg, pabst.ModePABST, pabst.WithObserver(observer))
+		hi := b.AddClass("hi", 7, cfg.L3Ways/2)
+		lo := b.AddClass("lo", 3, cfg.L3Ways/2)
+		for i := 0; i < 8; i++ {
+			b.Attach(i, hi, pabst.Stream("hi", pabst.TileRegion(i), 128, false))
+			b.Attach(16+i, lo, pabst.Stream("lo", pabst.TileRegion(16+i), 128, false))
+		}
+		sys, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		sys.Run(50_000)
+		return fmt.Sprintf("%+v gov=%v", sys.Metrics(), sys.GovernorMs())
+	}
+	off := run(nil)
+	on := run(pabst.NewObserver(64))
+	if off != on {
+		t.Errorf("observer perturbed the simulation:\n off %s\n on  %s", off, on)
+	}
+}
+
+// TestDisabledProbesZeroAlloc asserts the zero-overhead contract's
+// allocation half: with no observer armed, the tick hot path — including
+// epoch boundaries — allocates nothing. A quiescent system isolates the
+// kernel + probe path from workload-driven allocation.
+func TestDisabledProbesZeroAlloc(t *testing.T) {
+	cfg := pabst.Default32Config()
+	cfg.PABST.EpochCycles = 64
+	cfg.BWWindow = 1 << 40 // no series sample during the measured run
+	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	b.AddClass("idle", 1, cfg.L3Ways)
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.Run(1000) // settle any first-use allocation
+	allocs := testing.AllocsPerRun(10, func() { sys.Run(640) })
+	if allocs != 0 {
+		t.Errorf("disabled-probe tick path allocates: %v allocs per 640 cycles (10 epochs)", allocs)
+	}
+}
+
+// TestSnapshotMatchesDeprecatedAccessors pins the consolidation: every
+// deprecated accessor and its Snapshot field report the same value.
+func TestSnapshotMatchesDeprecatedAccessors(t *testing.T) {
+	cfg := traceConfig()
+	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	hi := b.AddClass("hi", 7, cfg.L3Ways/2)
+	lo := b.AddClass("lo", 3, cfg.L3Ways/2)
+	for i := 0; i < 8; i++ {
+		b.Attach(i, hi, pabst.Stream("hi", pabst.TileRegion(i), 128, false))
+		b.Attach(16+i, lo, pabst.Stream("lo", pabst.TileRegion(16+i), 128, false))
+	}
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.Run(50_000)
+
+	snap := sys.Snapshot()
+	if snap.Cycle != sys.Now() {
+		t.Errorf("Cycle = %d, want %d", snap.Cycle, sys.Now())
+	}
+	if snap.Sat != sys.SaturatedLastEpoch() {
+		t.Error("Sat mismatch")
+	}
+	for _, c := range []pabst.ClassID{hi, lo} {
+		cs := snap.Class(c)
+		if cs == nil {
+			t.Fatalf("class %d missing from snapshot", c)
+		}
+		if cs.IPC != sys.ClassIPC(c) {
+			t.Errorf("class %d IPC %v != %v", c, cs.IPC, sys.ClassIPC(c))
+		}
+		if cs.MissLatency != sys.ClassMissLatency(c) {
+			t.Errorf("class %d MissLatency %v != %v", c, cs.MissLatency, sys.ClassMissLatency(c))
+		}
+		if cs.MCReadLatency != sys.ClassMCReadLatency(c) {
+			t.Errorf("class %d MCReadLatency %v != %v", c, cs.MCReadLatency, sys.ClassMCReadLatency(c))
+		}
+		if cs.L3OccupancyBytes != sys.L3OccupancyOf(c) {
+			t.Errorf("class %d L3 occupancy %v != %v", c, cs.L3OccupancyBytes, sys.L3OccupancyOf(c))
+		}
+		if cs.EntitledShare != sys.Share(c) {
+			t.Errorf("class %d entitled share %v != %v", c, cs.EntitledShare, sys.Share(c))
+		}
+		if got, want := cs.TileIPCs, sys.TileIPCs(c); len(got) != len(want) {
+			t.Errorf("class %d TileIPCs length %d != %d", c, len(got), len(want))
+		}
+	}
+	utils := sys.MCUtilizations()
+	if len(snap.MCs) != len(utils) {
+		t.Fatalf("MCs length %d != %d", len(snap.MCs), len(utils))
+	}
+	for i := range utils {
+		if snap.MCs[i].Utilization != utils[i] {
+			t.Errorf("MC %d utilization %v != %v", i, snap.MCs[i].Utilization, utils[i])
+		}
+	}
+	m, dm, period, ok := sys.GovernorState(0)
+	ts := snap.Tile(0)
+	if !ok || ts == nil || !ts.Governor.OK {
+		t.Fatal("tile 0 governor missing")
+	}
+	if ts.Governor.M != m || ts.Governor.DM != dm || ts.Governor.Period != period {
+		t.Errorf("tile 0 governor %+v != (%d,%d,%d)", ts.Governor, m, dm, period)
+	}
+	if gm := snap.GovernorMs(); len(gm) != len(sys.GovernorMs()) {
+		t.Errorf("GovernorMs length %d != %d", len(gm), len(sys.GovernorMs()))
+	}
+	if snap.Tile(10) != nil {
+		t.Error("idle tile 10 present in snapshot")
+	}
+	if snap.Class(99) != nil {
+		t.Error("unknown class present in snapshot")
+	}
+}
+
+// TestOptionsMatchConfigFields pins that options are exactly equivalent
+// to the config fields they replace.
+func TestOptionsMatchConfigFields(t *testing.T) {
+	run := func(b *pabst.Builder, cfgL3Ways int) string {
+		c := b.AddClass("c", 1, cfgL3Ways)
+		for i := 0; i < 4; i++ {
+			b.Attach(i, c, pabst.Stream("s", pabst.TileRegion(i), 128, false))
+		}
+		sys, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		sys.Run(30_000)
+		return fmt.Sprintf("%+v", sys.Metrics())
+	}
+	cfg := traceConfig()
+	viaOpts := run(pabst.NewBuilder(cfg, pabst.ModePABST,
+		pabst.WithWorkers(2), pabst.WithFastForward(true)), cfg.L3Ways)
+	cfg2 := traceConfig()
+	cfg2.Workers = 2
+	cfg2.FastForward = true
+	viaCfg := run(pabst.NewBuilder(cfg2, pabst.ModePABST), cfg2.L3Ways)
+	if viaOpts != viaCfg {
+		t.Errorf("options and config fields disagree:\n opts %s\n cfg  %s", viaOpts, viaCfg)
+	}
+}
+
+// TestMetricRegistryRender exercises the pull-style registry end to end.
+func TestMetricRegistryRender(t *testing.T) {
+	cfg := traceConfig()
+	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	hi := b.AddClass("hi", 7, cfg.L3Ways/2)
+	b.AddClass("lo", 3, cfg.L3Ways/2)
+	for i := 0; i < 4; i++ {
+		b.Attach(i, hi, pabst.Stream("hi", pabst.TileRegion(i), 128, false))
+	}
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.Run(20_000)
+
+	var sb strings.Builder
+	if err := sys.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"pabst_cycle 20000",
+		"pabst_epochs_total 9",
+		`pabst_class_entitled_share{class="hi"} 0.7`,
+		`pabst_mc_reads_total{mc="0"} `,
+		`pabst_governor_m{tile="0"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+	if v, ok := sys.MetricRegistry().Sample("pabst_cycle"); !ok || v != 20000 {
+		t.Errorf("Sample(pabst_cycle) = %v, %v", v, ok)
+	}
+}
