@@ -4,23 +4,38 @@
 
 GO ?= go
 
-.PHONY: all build check robust bench bench-parallel bench-obs faults clean
+.PHONY: all build check robust bench bench-parallel bench-obs bench-ckpt faults lint-deprecated clean
 
 all: check
 
 build:
 	$(GO) build ./...
 
-check: build
+check: build lint-deprecated
 	$(GO) vet ./...
 	$(GO) test ./...
 
 # Robustness tier: the full suite under the race detector (slower;
 # includes the fault-injection chaos sweeps, the parallel-kernel
 # determinism matrix, and the golden-trace determinism test), plus the
-# observability overhead gate.
-robust: bench-obs
+# observability overhead and checkpoint warm-start gates.
+robust: bench-obs bench-ckpt
 	$(GO) test -race ./...
+
+# Deprecated-accessor gate: no in-repo caller may use the one-off System
+# observation accessors superseded by Snapshot(). pabst.go keeps the
+# shims themselves, trace_test.go deliberately pins shim-vs-snapshot
+# equivalence, and snap.GovernorMs( is the blessed Snapshot method of
+# the same name.
+lint-deprecated:
+	@matches=$$(grep -rnE '\.(ClassIPC|TileIPCs|ClassMissLatency|ClassMCReadLatency|SaturatedLastEpoch|MCUtilizations|L3OccupancyOf|GovernorState|GovernorMs|Share)\(' \
+		--include='*.go' cmd examples internal/exp policy *.go \
+		| grep -v '^pabst\.go:' | grep -v '^trace_test\.go:' | grep -v 'snap\.GovernorMs(' || true); \
+	if [ -n "$$matches" ]; then \
+		echo "$$matches"; \
+		echo 'lint-deprecated: use Snapshot() instead of the accessors above'; \
+		exit 1; \
+	fi
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
@@ -38,6 +53,13 @@ bench-parallel:
 # configuration must stay within noise of the probe-free baseline.
 bench-obs:
 	$(GO) run ./cmd/pabstbench -suite obs -out BENCH_obs.json
+
+# Checkpoint subsystem gate. Measures serialized size, save/restore
+# latency, and the warm-start speedup of restoring one shared
+# post-warmup checkpoint across a reweighted sweep; every warm-started
+# run must match its cold twin byte-for-byte. Writes BENCH_ckpt.json.
+bench-ckpt:
+	$(GO) run ./cmd/pabstbench -suite ckpt -warmup 400000 -cycles 150000 -out BENCH_ckpt.json
 
 # Quick clean-vs-faulted comparison (the BENCH_faults.json scenario).
 faults:

@@ -1,0 +1,286 @@
+package pabst
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pabst/internal/ckpt"
+	"pabst/internal/config"
+	"pabst/internal/soc"
+	"pabst/internal/workload"
+)
+
+// CheckpointVersion is the binary checkpoint format version this build
+// writes and reads.
+const CheckpointVersion = ckpt.Version
+
+// Typed checkpoint errors. Callers branch with errors.Is.
+var (
+	// ErrCkptVersion marks a checkpoint written by an incompatible
+	// format version.
+	ErrCkptVersion = ckpt.ErrVersion
+	// ErrCkptCorrupt marks a truncated, bit-flipped, or otherwise
+	// unparseable checkpoint.
+	ErrCkptCorrupt = ckpt.ErrCorrupt
+	// ErrCkptMismatch marks a structurally valid checkpoint that
+	// describes a different machine than the one restoring it.
+	ErrCkptMismatch = ckpt.ErrMismatch
+	// ErrCkptUnsupported marks a system that cannot be checkpointed (or
+	// a checkpoint that cannot be restored) because a component — e.g. a
+	// closure-based generator — has no serializable description.
+	ErrCkptUnsupported = ckpt.ErrUnsupported
+)
+
+// CheckpointInfo is a checkpoint's self-describing prefix, readable
+// without building a system.
+type CheckpointInfo struct {
+	Version     uint32
+	Cycle       uint64
+	Fingerprint [32]byte
+}
+
+// ReadCheckpointInfo decodes just the header of a checkpoint stream —
+// enough for tooling to display what a file contains and decide whether
+// it matches the run being resumed.
+func ReadCheckpointInfo(r io.Reader) (CheckpointInfo, error) {
+	cr, err := ckpt.NewReader(r)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	h := cr.Header()
+	return CheckpointInfo{Version: ckpt.Version, Cycle: h.Cycle, Fingerprint: h.Fingerprint}, nil
+}
+
+// fpDoc is the canonical structural description hashed into a
+// checkpoint's fingerprint: the configuration with the wall-clock-only
+// execution knobs zeroed (Workers and FastForward never change simulated
+// state, so they must not change the fingerprint), the regulation mode,
+// and the class and attachment layout. Weights are excluded — they are
+// runtime state (SetWeight), carried in the payload instead.
+type fpDoc struct {
+	Config  config.System `json:"config"`
+	Mode    string        `json:"mode"`
+	Classes []fpClass     `json:"classes"`
+	Tiles   []fpTile      `json:"tiles"`
+}
+
+type fpClass struct {
+	Name   string `json:"name"`
+	L3Ways int    `json:"l3_ways"`
+}
+
+type fpTile struct {
+	Tile  int    `json:"tile"`
+	Class int    `json:"class"`
+	Gen   string `json:"gen"`
+}
+
+func normalizeConfig(cfg config.System) config.System {
+	cfg.Workers = 0
+	cfg.FastForward = false
+	return cfg
+}
+
+func fingerprintOf(inner *soc.System) ([32]byte, error) {
+	doc := fpDoc{Config: normalizeConfig(inner.Config()), Mode: inner.Mode().String()}
+	for _, c := range inner.Registry().Classes() {
+		doc.Classes = append(doc.Classes, fpClass{Name: c.Name, L3Ways: c.L3Ways})
+	}
+	for _, a := range inner.Attachments() {
+		doc.Tiles = append(doc.Tiles, fpTile{Tile: a.Tile, Class: int(a.Class), Gen: a.Gen.Name()})
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return sha256.Sum256(raw), nil
+}
+
+// Fingerprint returns the sha256 of the system's structural description:
+// configuration (minus the wall-clock-only Workers/FastForward knobs),
+// mode, classes, and attachments. Two systems restore each other's
+// checkpoints iff their fingerprints match.
+func (s *System) Fingerprint() ([32]byte, error) { return fingerprintOf(s.inner) }
+
+// ckptMeta rides in the checkpoint header and carries everything
+// pabst.Restore needs to rebuild the machine without caller help:
+// the (normalized) configuration, the mode, the classes with their
+// creation parameters, and each attachment's generator build recipe.
+// An attachment whose generator has no recipe (closures, recorders,
+// replayed traces) leaves Spec.Kind empty; such checkpoints restore
+// only through Builder.Restore, where the caller reconstructs the
+// generators itself.
+type ckptMeta struct {
+	Config  config.System `json:"config"`
+	Mode    string        `json:"mode"`
+	Classes []metaClass   `json:"classes"`
+	Attach  []metaAttach  `json:"attach"`
+}
+
+type metaClass struct {
+	Name   string `json:"name"`
+	Weight uint64 `json:"weight"`
+	L3Ways int    `json:"l3_ways"`
+}
+
+type metaAttach struct {
+	Tile  int                `json:"tile"`
+	Class int                `json:"class"`
+	Spec  workload.BuildSpec `json:"spec"`
+}
+
+// Checkpoint serializes the complete simulated machine to w: a
+// self-describing header (format version, structural fingerprint,
+// current cycle, rebuild metadata) followed by every component's state
+// in canonical order and a CRC trailer. A restored system is
+// bit-identical to the saved one: running both for the same number of
+// cycles produces byte-equal metrics under any Workers/FastForward
+// combination.
+//
+// The system must contain only checkpointable generators; a closure-
+// based generator fails with ErrCkptUnsupported.
+func (s *System) Checkpoint(w io.Writer) error {
+	fp, err := fingerprintOf(s.inner)
+	if err != nil {
+		return err
+	}
+	meta := ckptMeta{Config: normalizeConfig(s.inner.Config()), Mode: s.inner.Mode().String()}
+	for _, c := range s.reg.Classes() {
+		meta.Classes = append(meta.Classes, metaClass{Name: c.Name, Weight: c.Weight, L3Ways: c.L3Ways})
+	}
+	for _, a := range s.inner.Attachments() {
+		ma := metaAttach{Tile: a.Tile, Class: int(a.Class)}
+		if d, ok := a.Gen.(workload.Describable); ok {
+			ma.Spec = d.BuildSpec()
+		}
+		meta.Attach = append(meta.Attach, ma)
+	}
+	rawMeta, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	cw := ckpt.NewWriter(w, ckpt.Header{Fingerprint: fp, Cycle: s.Now(), Meta: rawMeta})
+	s.inner.SaveState(cw)
+	return cw.Close()
+}
+
+// Restore rebuilds a system entirely from a checkpoint written by
+// System.Checkpoint: the header metadata supplies the configuration,
+// mode, classes, and workload recipes; the payload supplies the state.
+// Options apply after the metadata (use WithWorkers/WithFastForward to
+// restore onto different execution settings — both are wall-clock-only
+// and preserve bit-identical outputs). Installing a different fault
+// plan than the checkpoint's fails with ErrCkptMismatch.
+//
+// Checkpoints containing generators without build recipes (closures,
+// recorders, trace replayers) fail with ErrCkptUnsupported; restore
+// those through Builder.Restore on a builder that reconstructs the same
+// machine.
+func Restore(r io.Reader, opts ...Option) (*System, error) {
+	cr, err := ckpt.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var meta ckptMeta
+	if err := json.Unmarshal(cr.Header().Meta, &meta); err != nil {
+		return nil, fmt.Errorf("%w: checkpoint metadata: %v", ErrCkptCorrupt, err)
+	}
+	mode, err := ParseMode(meta.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("%w: checkpoint mode: %v", ErrCkptCorrupt, err)
+	}
+	b := NewBuilder(meta.Config, mode)
+	for _, c := range meta.Classes {
+		b.AddClass(c.Name, c.Weight, c.L3Ways)
+	}
+	for _, a := range meta.Attach {
+		if a.Spec.Kind == "" {
+			return nil, fmt.Errorf("%w: tile %d generator has no build recipe; use Builder.Restore", ErrCkptUnsupported, a.Tile)
+		}
+		gen, err := workload.FromBuildSpec(a.Spec)
+		if err != nil {
+			return nil, err
+		}
+		b.Attach(a.Tile, ClassID(a.Class), gen)
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	return b.restoreFrom(cr)
+}
+
+// Restore builds the system this builder describes and overlays the
+// checkpointed state from r onto it. The builder must describe the same
+// machine that wrote the checkpoint — same configuration (Workers and
+// FastForward excepted), mode, classes, and attachments — which is
+// verified against the header fingerprint before any state is touched;
+// a disagreement fails with ErrCkptMismatch.
+//
+// Unlike the package-level Restore, this path handles generators that
+// cannot describe their own construction (closures, recorders, trace
+// replayers): the builder reconstructs them, the checkpoint overlays
+// their cursors.
+func (b *Builder) Restore(r io.Reader) (*System, error) {
+	cr, err := ckpt.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return b.restoreFrom(cr)
+}
+
+func (b *Builder) restoreFrom(cr *ckpt.Reader) (*System, error) {
+	sys, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.restoreReader(cr); err != nil {
+		sys.Close()
+		return nil, err
+	}
+	return sys, nil
+}
+
+// RestoreFrom overlays a checkpoint onto this system in place. The
+// checkpoint must have been written by a structurally identical system,
+// which is verified against the header fingerprint before any state is
+// touched. The system may already have run — every stateful component
+// is overlaid wholesale — but a failure mid-restore (a corrupt payload)
+// leaves it partially overlaid and unusable.
+func (s *System) RestoreFrom(r io.Reader) error {
+	cr, err := ckpt.NewReader(r)
+	if err != nil {
+		return err
+	}
+	return s.restoreReader(cr)
+}
+
+func (s *System) restoreReader(cr *ckpt.Reader) error {
+	fp, err := fingerprintOf(s.inner)
+	if err != nil {
+		return err
+	}
+	if h := cr.Header(); fp != h.Fingerprint {
+		return fmt.Errorf("%w: checkpoint fingerprint %x…, this system is %x…",
+			ErrCkptMismatch, h.Fingerprint[:8], fp[:8])
+	}
+	s.inner.RestoreState(cr)
+	return cr.Close()
+}
+
+// RunContext advances the simulation by up to cycles, checking ctx for
+// cancellation at epoch boundaries. It returns how many cycles actually
+// ran, with ctx.Err() when it stopped early. The clock advances exactly
+// as Run would; cancellation only decides where it stops.
+func (s *System) RunContext(ctx context.Context, cycles uint64) (uint64, error) {
+	return s.inner.RunContext(ctx, cycles)
+}
+
+// WarmupContext runs up to cycles under ctx and resets measurement
+// state only if the warmup completed; a canceled warmup leaves the
+// counters inspectable.
+func (s *System) WarmupContext(ctx context.Context, cycles uint64) (uint64, error) {
+	return s.inner.WarmupContext(ctx, cycles)
+}

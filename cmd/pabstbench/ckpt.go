@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"pabst"
+)
+
+// CkptRun is one reweighted sweep point of the warm-start comparison:
+// the same measurement reached by a cold warmup versus by restoring the
+// shared checkpoint, with the post-restore weight change applied to both.
+type CkptRun struct {
+	Weight      uint64  `json:"weight"`
+	ColdSeconds float64 `json:"cold_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+	Speedup     float64 `json:"speedup"`
+	// Identical reports whether the warm-started run's output matched the
+	// cold run byte-for-byte — the checkpoint contract.
+	Identical bool `json:"identical"`
+}
+
+// CkptReport is the BENCH_ckpt.json document. Self-contained like the
+// other suite reports, so format changes elsewhere never invalidate
+// recorded checkpoint baselines.
+type CkptReport struct {
+	Host struct {
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GoMaxProcs int    `json:"gomaxprocs"`
+	} `json:"host"`
+	Warmup uint64 `json:"warmup"`
+	Cycles uint64 `json:"cycles"`
+
+	// The checkpoint itself: payload size and codec latency for the
+	// 32-tile Figure 5 machine.
+	CkptBytes      int     `json:"ckpt_bytes"`
+	SaveSeconds    float64 `json:"save_seconds"`
+	RestoreSeconds float64 `json:"restore_seconds"`
+
+	// The headline: restoring versus re-simulating the warmup.
+	ColdWarmupSeconds float64 `json:"cold_warmup_seconds"`
+	WarmStartSpeedup  float64 `json:"warm_start_speedup"`
+	Identical         bool    `json:"identical"`
+
+	// Sweep restores the one shared checkpoint into several reweighted
+	// measurement runs (the ForEachWarm pattern).
+	Sweep []CkptRun `json:"sweep"`
+}
+
+// ckptSuite measures the checkpoint subsystem on the saturating 7:3
+// stream machine: serialized size, save/restore latency, and the
+// warm-start speedup of restoring a shared post-warmup checkpoint
+// instead of re-simulating the warmup — with byte-identity of every
+// warm-started run verified against its cold twin.
+func ckptSuite(warmup, cycles uint64, out string) {
+	var rep CkptReport
+	rep.Host.GOOS = runtime.GOOS
+	rep.Host.GOARCH = runtime.GOARCH
+	rep.Host.NumCPU = runtime.NumCPU()
+	rep.Host.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.Warmup = warmup
+	rep.Cycles = cycles
+
+	cfg := pabst.Default32Config()
+	cfg.PABST.EpochCycles = 10_000
+
+	// Cold reference: pay the warmup once, then checkpoint it.
+	coldSys, classes := streamSystem(cfg)
+	start := time.Now()
+	coldSys.Warmup(warmup)
+	rep.ColdWarmupSeconds = time.Since(start).Seconds()
+
+	var ck bytes.Buffer
+	start = time.Now()
+	check(coldSys.Checkpoint(&ck))
+	rep.SaveSeconds = time.Since(start).Seconds()
+	rep.CkptBytes = ck.Len()
+
+	start = time.Now()
+	warmSys, err := pabst.Restore(bytes.NewReader(ck.Bytes()))
+	check(err)
+	rep.RestoreSeconds = time.Since(start).Seconds()
+	if rep.RestoreSeconds > 0 {
+		rep.WarmStartSpeedup = rep.ColdWarmupSeconds / rep.RestoreSeconds
+	}
+
+	// Both machines run the measurement; the outputs must be byte-equal.
+	coldSys.Run(cycles)
+	warmSys.Run(cycles)
+	rep.Identical = fingerprint(coldSys, classes) == fingerprint(warmSys, classes)
+	coldSys.Close()
+	warmSys.Close()
+
+	// Sweep: the amortization story. Each point changes the high class's
+	// weight after warmup and measures; the warm arm restores the shared
+	// checkpoint, the cold arm re-simulates the whole warmup.
+	for _, w := range []uint64{5, 3, 1} {
+		cs, ccls := streamSystem(cfg)
+		start = time.Now()
+		cs.Warmup(warmup)
+		check(cs.SetWeight(ccls[0], w))
+		cs.Run(cycles)
+		coldT := time.Since(start).Seconds()
+		coldFP := fingerprint(cs, ccls)
+		cs.Close()
+
+		start = time.Now()
+		ws, err := pabst.Restore(bytes.NewReader(ck.Bytes()))
+		check(err)
+		check(ws.SetWeight(ccls[0], w))
+		ws.Run(cycles)
+		warmT := time.Since(start).Seconds()
+		warmFP := fingerprint(ws, ccls)
+		ws.Close()
+
+		run := CkptRun{Weight: w, ColdSeconds: coldT, WarmSeconds: warmT, Identical: coldFP == warmFP}
+		if warmT > 0 {
+			run.Speedup = coldT / warmT
+		}
+		rep.Sweep = append(rep.Sweep, run)
+	}
+
+	b, err := json.MarshalIndent(&rep, "", "  ")
+	check(err)
+	check(os.WriteFile(out, append(b, '\n'), 0o644))
+	fmt.Printf("wrote %s\n", out)
+	fmt.Printf("checkpoint: %d bytes, save %.3fs, restore %.3fs (cold warmup %.2fs, %.1fx)\n",
+		rep.CkptBytes, rep.SaveSeconds, rep.RestoreSeconds, rep.ColdWarmupSeconds, rep.WarmStartSpeedup)
+	for _, r := range rep.Sweep {
+		same := "identical"
+		if !r.Identical {
+			same = "OUTPUT DIVERGED"
+		}
+		fmt.Printf("%-22s %-26s %8.2fs  %5.2fx  %s\n", "ckpt-sweep",
+			fmt.Sprintf("weight=%d warm-vs-cold", r.Weight), r.WarmSeconds, r.Speedup, same)
+	}
+	if !rep.Identical {
+		fmt.Fprintln(os.Stderr, "pabstbench: warm-started run diverged from cold run")
+		os.Exit(1)
+	}
+	for _, r := range rep.Sweep {
+		if !r.Identical {
+			fmt.Fprintln(os.Stderr, "pabstbench: warm-started sweep point diverged from cold run")
+			os.Exit(1)
+		}
+	}
+}

@@ -13,9 +13,15 @@
 // The disabled-probe run must stay fingerprint-identical to an
 // instrumented run: observation never changes a simulated outcome.
 //
+// With -suite ckpt it measures the checkpoint subsystem — serialized
+// size, save/restore latency, and the warm-start speedup of restoring a
+// shared post-warmup checkpoint across a reweighted sweep — and writes
+// BENCH_ckpt.json. Every warm-started run must match its cold twin
+// byte-for-byte.
+//
 // Usage:
 //
-//	pabstbench [-suite parallel|obs] [-cycles n] [-warmup n] [-out file.json]
+//	pabstbench [-suite parallel|obs|ckpt] [-cycles n] [-warmup n] [-out file.json]
 package main
 
 import (
@@ -75,12 +81,18 @@ func main() {
 		}
 		obsSuite(*warmup, *cycles, *out)
 		return
+	case "ckpt":
+		if *out == "" {
+			*out = "BENCH_ckpt.json"
+		}
+		ckptSuite(*warmup, *cycles, *out)
+		return
 	case "parallel":
 		if *out == "" {
 			*out = "BENCH_parallel.json"
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "pabstbench: unknown -suite %q (want parallel or obs)\n", *suite)
+		fmt.Fprintf(os.Stderr, "pabstbench: unknown -suite %q (want parallel, obs, or ckpt)\n", *suite)
 		os.Exit(2)
 	}
 
@@ -227,9 +239,11 @@ func burstySystem(cfg pabst.SystemConfig, opts ...pabst.Option) (*pabst.System, 
 // fingerprint renders the run's observable statistics for byte-for-byte
 // comparison across knob settings.
 func fingerprint(sys *pabst.System, classes []pabst.ClassID) string {
-	s := fmt.Sprintf("metrics=%+v gov=%v", sys.Metrics(), sys.GovernorMs())
+	snap := sys.Snapshot()
+	s := fmt.Sprintf("metrics=%+v gov=%v", snap.Window, snap.GovernorMs())
 	for _, c := range classes {
-		s += fmt.Sprintf(" c%d=%v/%v/%v", c, sys.ClassIPC(c), sys.TileIPCs(c), sys.ClassMissLatency(c))
+		cs := snap.Class(c)
+		s += fmt.Sprintf(" c%d=%v/%v/%v", c, cs.IPC, cs.TileIPCs, cs.MissLatency)
 	}
 	return s
 }

@@ -5,12 +5,16 @@
 // Usage:
 //
 //	pabstsim [-scale quick|full] [-series] [-spec name,name,...]
-//	         [-workers n] [-parallel n] [-ff] <experiment>...
+//	         [-workers n] [-parallel n] [-ff] [-ckpt dir] [-resume] <experiment>...
 //	pabstsim -list
 //
 // The -workers, -parallel, and -ff flags change only wall-clock speed;
 // every experiment's output is bit-identical at any setting (see
-// DESIGN.md, "Parallel deterministic kernel").
+// DESIGN.md, "Parallel deterministic kernel"). -ckpt names a directory
+// of post-warmup checkpoints: repeat runs of the same machine restore
+// the warmed state instead of re-simulating it, again bit-identically
+// (fig5 measures the warmup trajectory itself and always runs cold).
+// -resume makes a checkpoint miss an error.
 //
 // Experiments: table3, fig1, fig5, fig6, fig7, fig8, fig9, fig10, fig11,
 // fig12, all.
@@ -59,11 +63,17 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines per simulation (0/1 = sequential tick); results are bit-identical at any setting")
 	parallel := flag.Int("parallel", 0, "concurrent simulations in multi-run experiments (0/1 = one at a time)")
 	ff := flag.Bool("ff", false, "fast-forward provably idle cycles (bit-identical; helps bursty workloads)")
+	ckptDir := flag.String("ckpt", "", "directory for post-warmup checkpoints; repeat runs restore instead of re-warming (bit-identical)")
+	resume := flag.Bool("resume", false, "require a stored checkpoint (a miss is an error); implies -ckpt")
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments {
 			fmt.Printf("%-8s %s\n", e.name, e.desc)
+		}
+		fmt.Println("\nworkloads (for -spec; see pabst.Workloads):")
+		for _, w := range pabst.Workloads() {
+			fmt.Printf("%-12s %-24s %s\n", w.Name, w.Args, w.Desc)
 		}
 		return
 	}
@@ -80,12 +90,17 @@ func main() {
 	scale.Workers = *workers
 	scale.Parallel = *parallel
 	scale.FastForward = *ff
+	scale.Ckpt = *ckptDir
+	scale.Resume = *resume
+	if scale.Resume && scale.Ckpt == "" {
+		fatalf("-resume needs -ckpt <dir>")
+	}
 
 	var workloads []string
 	if *specs != "" {
 		workloads = strings.Split(*specs, ",")
 		for _, w := range workloads {
-			if _, err := pabst.SpecProxy(w, pabst.TileRegion(0), 1); err != nil {
+			if _, err := pabst.WorkloadByName(w, pabst.TileRegion(0), 1); err != nil {
 				fatalf("%v", err)
 			}
 		}

@@ -135,6 +135,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent sweep points (0/1 = sequential)")
 	workers := flag.Int("workers", 0, "worker goroutines per simulation (0/1 = sequential tick)")
 	ff := flag.Bool("ff", false, "fast-forward provably idle cycles")
+	ckptDir := flag.String("ckpt", "", "directory for post-warmup checkpoints; repeat runs restore instead of re-warming (bit-identical)")
+	resume := flag.Bool("resume", false, "require a stored checkpoint for every point (a miss is an error); implies -ckpt")
 	flag.Parse()
 
 	var scale exp.Scale
@@ -149,6 +151,12 @@ func main() {
 	}
 	scale.Workers = *workers
 	scale.FastForward = *ff
+	scale.Ckpt = *ckptDir
+	scale.Resume = *resume
+	if scale.Resume && scale.Ckpt == "" {
+		fmt.Fprintln(os.Stderr, "pabstsweep: -resume needs -ckpt <dir>")
+		os.Exit(1)
+	}
 
 	for _, s := range sweeps() {
 		if *param != "" && s.name != *param {
@@ -191,6 +199,18 @@ func main() {
 	}
 }
 
+// mustWorkload resolves a generator through the shared workload
+// registry; the names used here are fixed, so failure is a programming
+// error.
+func mustWorkload(name string, r pabst.Region, seed uint64, args ...uint64) pabst.Generator {
+	gen, err := pabst.WorkloadByName(name, r, seed, args...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pabstsweep: %v\n", err)
+		os.Exit(1)
+	}
+	return gen
+}
+
 // runStreams is the canonical 7:3 allocation between two 16-core stream
 // classes under full PABST.
 func runStreams(scale exp.Scale, mut func(*pabst.SystemConfig)) (shareHi, totalBpc float64) {
@@ -200,16 +220,15 @@ func runStreams(scale exp.Scale, mut func(*pabst.SystemConfig)) (shareHi, totalB
 	hi := b.AddClass("hi", 7, cfg.L3Ways/2)
 	lo := b.AddClass("lo", 3, cfg.L3Ways/2)
 	for i := 0; i < 16; i++ {
-		b.Attach(i, hi, pabst.Stream("hi", pabst.TileRegion(i), 128, false))
-		b.Attach(16+i, lo, pabst.Stream("lo", pabst.TileRegion(16+i), 128, false))
+		b.Attach(i, hi, mustWorkload("stream", pabst.TileRegion(i), 0, 128))
+		b.Attach(16+i, lo, mustWorkload("stream", pabst.TileRegion(16+i), 0, 128))
 	}
-	sys, err := b.Build()
+	sys, err := exp.WarmedSystem(scale, b)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pabstsweep: %v\n", err)
 		os.Exit(1)
 	}
 	defer sys.Close()
-	sys.Warmup(scale.Warmup)
 	sys.Run(scale.Measure)
 	m := sys.Metrics()
 	return m.ShareOf(hi), m.BytesPerCycle(hi) + m.BytesPerCycle(lo)
@@ -223,16 +242,15 @@ func runChaser(scale exp.Scale, mut func(*pabst.SystemConfig)) float64 {
 	hi := b.AddClass("chaser", 3, cfg.L3Ways/2)
 	lo := b.AddClass("stream", 1, cfg.L3Ways/2)
 	for i := 0; i < 16; i++ {
-		b.Attach(i, hi, pabst.Chaser("chaser", pabst.TileRegion(i), 8, uint64(i)+1))
-		b.Attach(16+i, lo, pabst.Stream("s", pabst.TileRegion(16+i), 128, true))
+		b.Attach(i, hi, mustWorkload("chaser", pabst.TileRegion(i), uint64(i)+1, 8))
+		b.Attach(16+i, lo, mustWorkload("stream", pabst.TileRegion(16+i), 0, 128, 1))
 	}
-	sys, err := b.Build()
+	sys, err := exp.WarmedSystem(scale, b)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pabstsweep: %v\n", err)
 		os.Exit(1)
 	}
 	defer sys.Close()
-	sys.Warmup(scale.Warmup)
 	sys.Run(scale.Measure)
 	return sys.Metrics().ShareOf(hi)
 }

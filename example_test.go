@@ -24,7 +24,8 @@ func ExampleNewBuilder() {
 		fmt.Println(err)
 		return
 	}
-	fmt.Printf("entitled: %.2f / %.2f\n", sys.Share(hi), sys.Share(lo))
+	snap := sys.Snapshot()
+	fmt.Printf("entitled: %.2f / %.2f\n", snap.Class(hi).EntitledShare, snap.Class(lo).EntitledShare)
 
 	sys.Warmup(200_000)
 	sys.Run(200_000)
@@ -48,12 +49,14 @@ func ExampleSystem_SetWeight() {
 		b.Attach(4+i, c, pabst.Stream("b", pabst.TileRegion(4+i), 128, false))
 	}
 	sys, _ := b.Build()
-	fmt.Printf("before: %.2f\n", sys.Share(a))
+	before := sys.Snapshot()
+	fmt.Printf("before: %.2f\n", before.Class(a).EntitledShare)
 	if err := sys.SetWeight(a, 3); err != nil {
 		fmt.Println(err)
 		return
 	}
-	fmt.Printf("after: %.2f\n", sys.Share(a))
+	after := sys.Snapshot()
+	fmt.Printf("after: %.2f\n", after.Class(a).EntitledShare)
 	// Output:
 	// before: 0.50
 	// after: 0.75

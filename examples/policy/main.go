@@ -42,9 +42,9 @@ func main() {
 
 	sys.ResetStats()
 	sys.Run(100_000)
-	m := sys.Metrics()
+	snap := sys.Snapshot()
 	fmt.Printf("\nconverged: weight=%d, service latency %.0f cycles (target 280), background %.1f B/cyc\n",
-		ctl.Weight(), sys.ClassMissLatency(svc), m.BytesPerCycle(bg))
+		ctl.Weight(), snap.Class(svc).MissLatency, snap.Class(bg).BytesPerCycle)
 	fmt.Println("the controller found the smallest service weight that meets the")
 	fmt.Println("latency target, leaving the rest of the machine to the background job.")
 }

@@ -1,0 +1,57 @@
+package cache
+
+import (
+	"fmt"
+
+	"pabst/internal/ckpt"
+	"pabst/internal/mem"
+)
+
+// SaveState implements ckpt.Saver: every line plus the LRU clock and the
+// four stat counters. Partitions are structural (re-applied from the
+// config by the system's Finalize) and are not saved.
+func (c *Cache) SaveState(w *ckpt.Writer) {
+	w.Int(len(c.lines))
+	for i := range c.lines {
+		l := &c.lines[i]
+		w.Bool(l.valid)
+		if !l.valid {
+			continue
+		}
+		w.U64(l.tag)
+		w.U8(uint8(l.class))
+		w.Bool(l.dirty)
+		w.U64(l.used)
+	}
+	w.U64(c.clock)
+	w.U64(c.Hits)
+	w.U64(c.Misses)
+	w.U64(c.Evictions)
+	w.U64(c.DirtyEvictions)
+}
+
+// RestoreState implements ckpt.Restorer onto a cache with identical
+// geometry.
+func (c *Cache) RestoreState(r *ckpt.Reader) {
+	if n := r.Int(); n != len(c.lines) {
+		r.Fail(fmt.Errorf("%w: cache has %d lines, checkpoint has %d", ckpt.ErrMismatch, len(c.lines), n))
+		return
+	}
+	for i := range c.lines {
+		l := &c.lines[i]
+		l.valid = r.Bool()
+		if !l.valid {
+			*l = line{}
+			continue
+		}
+		l.tag = r.U64()
+		l.class = mem.ClassID(r.U8())
+		l.dirty = r.Bool()
+		l.used = r.U64()
+	}
+	c.clock = r.U64()
+	c.Hits = r.U64()
+	c.Misses = r.U64()
+	c.Evictions = r.U64()
+	c.DirtyEvictions = r.U64()
+}

@@ -1,0 +1,407 @@
+// Package ckpt implements the versioned binary checkpoint format for the
+// simulated machine.
+//
+// A checkpoint is a single self-describing stream:
+//
+//	magic   "PABSTCKP"                 8 bytes
+//	version uint32                     format version (currently 1)
+//	header  fingerprint [32]byte       sha256 of the structural build config
+//	        cycle       uint64         kernel cycle at save time
+//	        meta        []byte         JSON build description (config + attachments)
+//	payload section-tagged component state, canonical walk order
+//	trailer crc64 (ECMA) over every preceding byte
+//
+// The payload is a flat sequence of little-endian primitives produced by
+// components walking their state in a canonical, documented order (see
+// DESIGN.md, "Checkpoint & state contract"). Section tags are short
+// length-prefixed strings written between component groups; they carry no
+// data but turn a walk-order bug into an immediate typed error instead of
+// silently misassigned state.
+//
+// Versioning rule: any change to the walk order, to a component's field
+// set, or to a primitive encoding bumps Version. There is no in-place
+// migration — a version mismatch is a typed ErrVersion and the caller
+// re-runs from scratch.
+package ckpt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc64"
+	"io"
+	"math"
+)
+
+// Version is the current checkpoint format version. Bump it on any
+// walk-order or encoding change; restore refuses other versions.
+const Version uint32 = 1
+
+var magic = [8]byte{'P', 'A', 'B', 'S', 'T', 'C', 'K', 'P'}
+
+var (
+	// ErrVersion reports a checkpoint written by a different format
+	// version than this build understands.
+	ErrVersion = errors.New("ckpt: unsupported checkpoint version")
+
+	// ErrCorrupt reports a damaged stream: bad magic, truncation, a CRC
+	// mismatch, or a section tag out of order.
+	ErrCorrupt = errors.New("ckpt: corrupt checkpoint")
+
+	// ErrMismatch reports a structural disagreement between the
+	// checkpoint and the system restoring it (different config
+	// fingerprint, different component shape).
+	ErrMismatch = errors.New("ckpt: checkpoint does not match this system")
+
+	// ErrUnsupported reports a component that cannot be checkpointed
+	// (e.g. a workload generator built from a closure the format cannot
+	// describe).
+	ErrUnsupported = errors.New("ckpt: component does not support checkpointing")
+)
+
+// Saver is implemented by components that can serialize their mutable
+// state. Structural fields (wiring, geometry, callbacks) are NOT saved;
+// they are rebuilt from the config before RestoreState overlays state.
+type Saver interface {
+	SaveState(w *Writer)
+}
+
+// Restorer is the inverse of Saver: overlay previously saved state onto
+// a freshly built component. The component must already have the same
+// structure (geometry, wiring) as the one that saved.
+type Restorer interface {
+	RestoreState(r *Reader)
+}
+
+// Header is the self-describing prefix of every checkpoint.
+type Header struct {
+	// Fingerprint identifies the structural build configuration; restore
+	// refuses a system whose fingerprint differs.
+	Fingerprint [32]byte
+	// Cycle is the kernel cycle at save time.
+	Cycle uint64
+	// Meta is a JSON build description sufficient to reconstruct the
+	// system (config plus class/tile/workload attachments) when the
+	// caller does not supply a builder. Empty when the saving system
+	// contained components the format cannot describe.
+	Meta []byte
+}
+
+const (
+	maxMetaLen    = 16 << 20 // sanity bound on the JSON build description
+	maxBytesLen   = 64 << 20 // sanity bound on any single []byte field
+	maxSectionLen = 64       // section tags are short identifiers
+)
+
+// Writer serializes a checkpoint. Errors are sticky: the first failure
+// latches and every later call is a no-op, so component walks can write
+// unconditionally and check once at Close.
+type Writer struct {
+	w   *bufio.Writer
+	crc hash.Hash64
+	err error
+	buf [8]byte
+}
+
+// NewWriter starts a checkpoint stream on w and writes the magic,
+// version, and header.
+func NewWriter(w io.Writer, h Header) *Writer {
+	crc := crc64.New(crc64.MakeTable(crc64.ECMA))
+	cw := &Writer{w: bufio.NewWriter(io.MultiWriter(w, crc)), crc: crc}
+	// The CRC must cover the buffered bytes, so hash inside the tee: the
+	// bufio.Writer wraps a MultiWriter(w, crc) and everything flushed
+	// through it is hashed exactly once.
+	cw.write(magic[:])
+	cw.U32(Version)
+	cw.write(h.Fingerprint[:])
+	cw.U64(h.Cycle)
+	cw.Bytes(h.Meta)
+	return cw
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(p)
+}
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	w.write(w.buf[:8])
+}
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.write(w.buf[:4])
+}
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.write([]byte{v}) }
+
+// I64 writes a little-endian int64 (two's complement).
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as int64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// Bool writes a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// F64 writes a float64 by IEEE-754 bits.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes writes a length-prefixed byte slice. A nil slice and an empty
+// slice are distinguished (length ^uint64(0) marks nil) because some
+// components carry nil-vs-empty semantics.
+func (w *Writer) Bytes(p []byte) {
+	if p == nil {
+		w.U64(^uint64(0))
+		return
+	}
+	w.U64(uint64(len(p)))
+	w.write(p)
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U64(uint64(len(s)))
+	w.write([]byte(s))
+}
+
+// Section writes a walk-order guard tag. The reader must consume the
+// identical tag at the same position or the restore fails with
+// ErrCorrupt.
+func (w *Writer) Section(name string) {
+	w.U8(0xA5) // section sentinel, unlikely in accidental misalignment
+	w.String(name)
+}
+
+// Fail latches an error (used by components that discover an
+// unserializable member mid-walk).
+func (w *Writer) Fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// Err returns the latched error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Close appends the CRC trailer and flushes. It returns the first error
+// encountered anywhere in the stream.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	// The buffered writer only feeds the hash on flush, so flush before
+	// sampling the sum.
+	if w.err = w.w.Flush(); w.err != nil {
+		return w.err
+	}
+	sum := w.crc.Sum64()
+	binary.LittleEndian.PutUint64(w.buf[:8], sum)
+	// The trailer itself is not hashed; write it straight through.
+	if _, err := w.w.Write(w.buf[:8]); err != nil {
+		w.err = err
+		return err
+	}
+	if w.err = w.w.Flush(); w.err != nil {
+		return w.err
+	}
+	return nil
+}
+
+// Reader deserializes a checkpoint. Errors are sticky like the Writer's;
+// decode walks read unconditionally and check once at Close. On error
+// every primitive returns the zero value.
+type Reader struct {
+	r      io.Reader
+	crc    hash.Hash64
+	err    error
+	buf    [8]byte
+	header Header
+}
+
+// NewReader consumes the magic, version, and header from r. It returns
+// ErrCorrupt for bad magic or truncation and ErrVersion for a format
+// version this build does not understand.
+func NewReader(r io.Reader) (*Reader, error) {
+	crc := crc64.New(crc64.MakeTable(crc64.ECMA))
+	cr := &Reader{r: io.TeeReader(bufio.NewReader(r), crc), crc: crc}
+	var m [8]byte
+	cr.read(m[:])
+	if cr.err != nil {
+		return nil, fmt.Errorf("%w: short magic", ErrCorrupt)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	v := cr.U32()
+	if cr.err != nil {
+		return nil, fmt.Errorf("%w: truncated version", ErrCorrupt)
+	}
+	if v != Version {
+		return nil, fmt.Errorf("%w: file version %d, this build reads %d", ErrVersion, v, Version)
+	}
+	cr.read(cr.header.Fingerprint[:])
+	cr.header.Cycle = cr.U64()
+	cr.header.Meta = cr.bytesBounded(maxMetaLen)
+	if cr.err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	return cr, nil
+}
+
+// Header returns the checkpoint's self-describing prefix.
+func (r *Reader) Header() Header { return r.header }
+
+func (r *Reader) read(p []byte) {
+	if r.err != nil {
+		for i := range p {
+			p[i] = 0
+		}
+		return
+	}
+	if _, err := io.ReadFull(r.r, p); err != nil {
+		r.err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+		for i := range p {
+			p[i] = 0
+		}
+	}
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	r.read(r.buf[:8])
+	return binary.LittleEndian.Uint64(r.buf[:8])
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	r.read(r.buf[:4])
+	return binary.LittleEndian.Uint32(r.buf[:4])
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	r.read(r.buf[:1])
+	return r.buf[0]
+}
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int64 into an int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// Bool reads a one-byte bool. Any nonzero byte besides 1 is corruption.
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.Fail(fmt.Errorf("%w: invalid bool encoding", ErrCorrupt))
+		return false
+	}
+}
+
+// F64 reads an IEEE-754 float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bytes reads a length-prefixed byte slice (nil preserved).
+func (r *Reader) Bytes() []byte { return r.bytesBounded(maxBytesLen) }
+
+func (r *Reader) bytesBounded(max uint64) []byte {
+	n := r.U64()
+	if n == ^uint64(0) {
+		return nil
+	}
+	if n > max {
+		r.Fail(fmt.Errorf("%w: byte field length %d exceeds bound", ErrCorrupt, n))
+		return nil
+	}
+	p := make([]byte, n)
+	r.read(p)
+	if r.err != nil {
+		return nil
+	}
+	return p
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.U64()
+	if n > maxBytesLen {
+		r.Fail(fmt.Errorf("%w: string length %d exceeds bound", ErrCorrupt, n))
+		return ""
+	}
+	p := make([]byte, n)
+	r.read(p)
+	return string(p)
+}
+
+// Section consumes a walk-order guard tag and fails with ErrCorrupt if
+// the stream does not carry the expected tag at this position.
+func (r *Reader) Section(name string) {
+	if r.err != nil {
+		return
+	}
+	if s := r.U8(); s != 0xA5 {
+		r.Fail(fmt.Errorf("%w: expected section %q, found unaligned data", ErrCorrupt, name))
+		return
+	}
+	n := r.U64()
+	if n > maxSectionLen {
+		r.Fail(fmt.Errorf("%w: expected section %q, found unaligned data", ErrCorrupt, name))
+		return
+	}
+	p := make([]byte, n)
+	r.read(p)
+	if r.err == nil && string(p) != name {
+		r.Fail(fmt.Errorf("%w: expected section %q, found %q", ErrCorrupt, name, string(p)))
+	}
+}
+
+// Fail latches an error.
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Err returns the latched error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Close verifies the CRC trailer. Call after the full payload walk; it
+// returns the first error latched anywhere, or ErrCorrupt if the
+// trailer does not match the bytes read.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	want := r.crc.Sum64() // CRC of everything consumed so far
+	// The trailer was written outside the hash; read it raw (the tee
+	// hashes it too, but we already captured the sum).
+	r.read(r.buf[:8])
+	if r.err != nil {
+		return fmt.Errorf("%w: missing CRC trailer", ErrCorrupt)
+	}
+	got := binary.LittleEndian.Uint64(r.buf[:8])
+	if got != want {
+		return fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	return nil
+}

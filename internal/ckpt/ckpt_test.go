@@ -1,0 +1,180 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func roundTrip(t *testing.T, write func(*Writer), read func(*Reader)) {
+	t.Helper()
+	var buf bytes.Buffer
+	h := Header{Cycle: 42, Meta: []byte(`{"k":1}`)}
+	h.Fingerprint[0] = 0xAB
+	w := NewWriter(&buf, h)
+	write(w)
+	if err := w.Close(); err != nil {
+		t.Fatalf("writer close: %v", err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("reader open: %v", err)
+	}
+	if got := r.Header(); got.Cycle != 42 || got.Fingerprint[0] != 0xAB || string(got.Meta) != `{"k":1}` {
+		t.Fatalf("header round-trip mismatch: %+v", got)
+	}
+	read(r)
+	if err := r.Close(); err != nil {
+		t.Fatalf("reader close: %v", err)
+	}
+}
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	roundTrip(t,
+		func(w *Writer) {
+			w.Section("prim")
+			w.U64(1<<63 + 7)
+			w.U32(0xDEADBEEF)
+			w.U8(200)
+			w.I64(-12345)
+			w.Int(-9)
+			w.Bool(true)
+			w.Bool(false)
+			w.F64(3.5)
+			w.Bytes([]byte{1, 2, 3})
+			w.Bytes(nil)
+			w.Bytes([]byte{})
+			w.String("hello")
+		},
+		func(r *Reader) {
+			r.Section("prim")
+			if v := r.U64(); v != 1<<63+7 {
+				t.Errorf("U64 = %d", v)
+			}
+			if v := r.U32(); v != 0xDEADBEEF {
+				t.Errorf("U32 = %x", v)
+			}
+			if v := r.U8(); v != 200 {
+				t.Errorf("U8 = %d", v)
+			}
+			if v := r.I64(); v != -12345 {
+				t.Errorf("I64 = %d", v)
+			}
+			if v := r.Int(); v != -9 {
+				t.Errorf("Int = %d", v)
+			}
+			if !r.Bool() || r.Bool() {
+				t.Errorf("Bool round-trip failed")
+			}
+			if v := r.F64(); v != 3.5 {
+				t.Errorf("F64 = %v", v)
+			}
+			if v := r.Bytes(); !bytes.Equal(v, []byte{1, 2, 3}) {
+				t.Errorf("Bytes = %v", v)
+			}
+			if v := r.Bytes(); v != nil {
+				t.Errorf("nil Bytes = %v", v)
+			}
+			if v := r.Bytes(); v == nil || len(v) != 0 {
+				t.Errorf("empty Bytes = %v", v)
+			}
+			if v := r.String(); v != "hello" {
+				t.Errorf("String = %q", v)
+			}
+		})
+}
+
+func writeSample(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{Cycle: 7})
+	w.Section("a")
+	w.U64(99)
+	w.Section("b")
+	w.String("payload")
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestVersionMismatch(t *testing.T) {
+	raw := writeSample(t)
+	raw[8]++ // version is the uint32 right after the 8-byte magic
+	_, err := NewReader(bytes.NewReader(raw))
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	raw := writeSample(t)
+	raw[0] ^= 0xFF
+	_, err := NewReader(bytes.NewReader(raw))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	raw := writeSample(t)
+	for _, cut := range []int{4, len(raw) / 2, len(raw) - 4} {
+		r, err := NewReader(bytes.NewReader(raw[:cut]))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("cut %d: want ErrCorrupt, got %v", cut, err)
+			}
+			continue
+		}
+		r.Section("a")
+		r.U64()
+		r.Section("b")
+		_ = r.String()
+		if err := r.Close(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut %d: want ErrCorrupt at close, got %v", cut, err)
+		}
+	}
+}
+
+func TestBitFlipCaughtByCRC(t *testing.T) {
+	raw := writeSample(t)
+	// Flip one payload byte (past magic+version+header, before trailer).
+	raw[len(raw)-12] ^= 0x01
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt, got %v", err)
+		}
+		return
+	}
+	r.Section("a")
+	r.U64()
+	r.Section("b")
+	_ = r.String()
+	if err := r.Close(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt from CRC, got %v", err)
+	}
+}
+
+func TestSectionMismatch(t *testing.T) {
+	raw := writeSample(t)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	r.Section("wrong")
+	if err := r.Err(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt on wrong section, got %v", err)
+	}
+}
+
+func TestStickyWriterError(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{})
+	w.Fail(ErrUnsupported)
+	w.U64(1)
+	w.String("x")
+	if err := w.Close(); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("want latched ErrUnsupported, got %v", err)
+	}
+}

@@ -1,0 +1,103 @@
+package dram
+
+import (
+	"fmt"
+
+	"pabst/internal/ckpt"
+	"pabst/internal/mem"
+)
+
+// SaveState implements ckpt.Saver: front-end queues (in order), per-bank
+// timing and queues, bus/mode registers, the saturation-monitor
+// integrals, refresh and freeze deadlines, and every stat counter.
+// Geometry, scheduler selection, the arbiter, and the responder closure
+// are structural and rebuilt from the config.
+//
+// The reservation counters are saved too: they are always zero between
+// full system ticks (a reservation is granted and consumed within one
+// tick), but saving them keeps the walk honest if that invariant ever
+// changes — a nonzero restored value is exactly as saved, not guessed.
+func (c *Controller) SaveState(w *ckpt.Writer) {
+	mem.SavePacketList(w, c.readQ)
+	mem.SavePacketList(w, c.writeQ)
+	w.Int(c.reservedReads)
+	w.Int(c.reservedWrites)
+	w.Int(len(c.banks))
+	for i := range c.banks {
+		b := &c.banks[i]
+		w.U64(b.readyAt)
+		w.I64(b.openRow)
+		mem.SavePacketList(w, b.queue)
+	}
+	w.U64(c.busFreeAt)
+	w.Bool(c.lastWrite)
+	w.Bool(c.writeMode)
+	w.U64(c.occIntegral)
+	w.U64(c.occCycles)
+	w.U64(c.nextRefresh)
+	w.U64(c.frozenUntil)
+
+	s := &c.Stats
+	w.U64(s.ReadsServed)
+	w.U64(s.WritesServed)
+	for i := range s.BytesByClass {
+		w.U64(s.BytesByClass[i])
+	}
+	w.U64(s.ReadLatencySum)
+	for i := range s.ReadsByClass {
+		w.U64(s.ReadsByClass[i])
+	}
+	for i := range s.ReadLatencyByClass {
+		w.U64(s.ReadLatencyByClass[i])
+	}
+	w.U64(s.BusBusyCycles)
+	w.U64(s.PendingCycles)
+	w.U64(s.RowHits)
+	w.U64(s.Refreshes)
+	w.U64(s.PriorityInversions)
+}
+
+// RestoreState implements ckpt.Restorer onto a controller with identical
+// geometry.
+func (c *Controller) RestoreState(r *ckpt.Reader) {
+	c.readQ = mem.LoadPacketList(r)
+	c.writeQ = mem.LoadPacketList(r)
+	c.reservedReads = r.Int()
+	c.reservedWrites = r.Int()
+	if n := r.Int(); n != len(c.banks) {
+		r.Fail(fmt.Errorf("%w: MC %d has %d banks, checkpoint has %d", ckpt.ErrMismatch, c.ID, len(c.banks), n))
+		return
+	}
+	for i := range c.banks {
+		b := &c.banks[i]
+		b.readyAt = r.U64()
+		b.openRow = r.I64()
+		b.queue = mem.LoadPacketList(r)
+	}
+	c.busFreeAt = r.U64()
+	c.lastWrite = r.Bool()
+	c.writeMode = r.Bool()
+	c.occIntegral = r.U64()
+	c.occCycles = r.U64()
+	c.nextRefresh = r.U64()
+	c.frozenUntil = r.U64()
+
+	s := &c.Stats
+	s.ReadsServed = r.U64()
+	s.WritesServed = r.U64()
+	for i := range s.BytesByClass {
+		s.BytesByClass[i] = r.U64()
+	}
+	s.ReadLatencySum = r.U64()
+	for i := range s.ReadsByClass {
+		s.ReadsByClass[i] = r.U64()
+	}
+	for i := range s.ReadLatencyByClass {
+		s.ReadLatencyByClass[i] = r.U64()
+	}
+	s.BusBusyCycles = r.U64()
+	s.PendingCycles = r.U64()
+	s.RowHits = r.U64()
+	s.Refreshes = r.U64()
+	s.PriorityInversions = r.U64()
+}

@@ -32,12 +32,11 @@ func ExtStatic(scale Scale) (*ExtStaticResult, error) {
 			b.Attach(i, per, pabst.Periodic("periodic", pabst.TileRegion(i), cached, phase, phase))
 		}
 		attachStreams(b, con, 16, 32, false)
-		sys, err := b.Build()
+		sys, err := WarmedSystem(scale, b)
 		if err != nil {
 			return 0, 0, err
 		}
 		defer sys.Close()
-		sys.Warmup(scale.Warmup)
 		sys.Run(4 * phase)
 		return sys.Metrics().BytesPerCycle(con), cfg.PeakBytesPerCycle(), nil
 	}
@@ -101,9 +100,19 @@ func ExtSkew(scale Scale) (*ExtSkewResult, error) {
 		}
 		sys = built
 		defer sys.Close()
+		// The filtered streams above are closures over the built system, so
+		// this machine has no checkpointable description; it always warms
+		// cold (WarmedSystem would reach the same outcome via its
+		// ErrCkptUnsupported fallback, but the store lookup needs a built
+		// system first — which this experiment constructs by hand anyway).
 		sys.Warmup(scale.Warmup)
 		sys.Run(scale.Measure)
-		return sys.MCUtilizations(), nil
+		snap := sys.Snapshot()
+		util := make([]float64, len(snap.MCs))
+		for i := range snap.MCs {
+			util[i] = snap.MCs[i].Utilization
+		}
+		return util, nil
 	}
 	g, err := run(false)
 	if err != nil {
@@ -166,12 +175,11 @@ func ExtNoC(scale Scale) (*ExtNoCResult, error) {
 		lo := b.AddClass("lo", 3, cfg.L3Ways/2)
 		attachStreams(b, hi, 0, 16, false)
 		attachStreams(b, lo, 16, 32, false)
-		sys, err := b.Build()
+		sys, err := WarmedSystem(scale, b)
 		if err != nil {
 			return ExtNoCRow{}, err
 		}
 		defer sys.Close()
-		sys.Warmup(scale.Warmup)
 		sys.Run(scale.Measure)
 		m := sys.Metrics()
 		return ExtNoCRow{
@@ -237,12 +245,11 @@ func ExtHetero(scale Scale) (*ExtHeteroResult, error) {
 			b.Attach(i, mixed, pabst.Stream("quiet", quiet, 128, false))
 		}
 		attachStreams(b, busy, 16, 32, false)
-		sys, err := b.Build()
+		sys, err := WarmedSystem(scale, b)
 		if err != nil {
 			return 0, err
 		}
 		defer sys.Close()
-		sys.Warmup(scale.Warmup)
 		sys.Run(scale.Measure)
 		return sys.Metrics().BytesPerCycle(mixed), nil
 	}

@@ -39,12 +39,11 @@ func runFaultsArm(scale Scale, plan *pabst.FaultPlan) (FaultsRun, pabst.FaultRep
 	lo := b.AddClass("30%-class", 3, cfg.L3Ways/2)
 	attachStreams(b, hi, 0, 16, false)
 	attachStreams(b, lo, 16, 32, false)
-	sys, err := b.Build()
+	sys, err := WarmedSystem(scale, b)
 	if err != nil {
 		return FaultsRun{}, pabst.FaultReport{}, err
 	}
 	defer sys.Close()
-	sys.Warmup(scale.Warmup)
 	sys.Run(scale.Measure)
 	m := sys.Metrics()
 	run := FaultsRun{

@@ -55,12 +55,11 @@ func RunRegulation(scale Scale, mix MixKind, mode pabst.Mode) (RegulationResult,
 	}
 	attachStreams(b, lo, 16, 32, true)
 
-	sys, err := b.Build()
+	sys, err := WarmedSystem(scale, b)
 	if err != nil {
 		return RegulationResult{}, err
 	}
 	defer sys.Close()
-	sys.Warmup(scale.Warmup)
 	sys.Run(scale.Measure)
 	m := sys.Metrics()
 

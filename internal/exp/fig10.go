@@ -31,26 +31,32 @@ type IsolationResult struct {
 func RunIsolationWorkload(scale Scale, name string) (map[pabst.Mode]IsolationCell, []float64, float64, error) {
 	// Isolated reference: 16 SPEC tiles alone with the same (limited)
 	// cache allocation.
-	isoSys, err := buildSpecMix(scale, name, false, pabst.ModeNone)
+	isoB, err := buildSpecMix(scale, name, false, pabst.ModeNone)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	isoSys.Warmup(scale.Warmup)
+	isoSys, err := WarmedSystem(scale, isoB)
+	if err != nil {
+		return nil, nil, 0, err
+	}
 	isoSys.Run(scale.Measure)
-	isoIPC := isoSys.TileIPCs(0)
+	isoIPC := specTileIPCs(isoSys)
 	isoEff := isoSys.Metrics().Efficiency
 	isoSys.Close()
 
 	cells := make(map[pabst.Mode]IsolationCell)
 	for _, mode := range modeList() {
-		sys, err := buildSpecMix(scale, name, true, mode)
+		b, err := buildSpecMix(scale, name, true, mode)
 		if err != nil {
 			return nil, nil, 0, err
 		}
-		sys.Warmup(scale.Warmup)
+		sys, err := WarmedSystem(scale, b)
+		if err != nil {
+			return nil, nil, 0, err
+		}
 		sys.Run(scale.Measure)
 		m := sys.Metrics()
-		coIPC := sys.TileIPCs(0)
+		coIPC := specTileIPCs(sys)
 		sys.Close()
 		cells[mode] = IsolationCell{
 			Workload:         name,
@@ -63,9 +69,9 @@ func RunIsolationWorkload(scale Scale, name string) (map[pabst.Mode]IsolationCel
 	return cells, isoIPC, isoEff, nil
 }
 
-// buildSpecMix assembles 16 SPEC tiles (class 0) and optionally 16 stream
+// buildSpecMix describes 16 SPEC tiles (class 0) and optionally 16 stream
 // aggressor tiles (class 1) at a 32:1 share ratio.
-func buildSpecMix(scale Scale, name string, aggressor bool, mode pabst.Mode) (*pabst.System, error) {
+func buildSpecMix(scale Scale, name string, aggressor bool, mode pabst.Mode) (*pabst.Builder, error) {
 	cfg := scale.Apply(pabst.Default32Config())
 	b := pabst.NewBuilder(cfg, mode, scale.Options()...)
 	spec := b.AddClass("spec", 32, cfg.L3Ways/2)
@@ -76,7 +82,17 @@ func buildSpecMix(scale Scale, name string, aggressor bool, mode pabst.Mode) (*p
 	if aggressor {
 		attachStreams(b, agg, 16, 32, false)
 	}
-	return b.Build()
+	return b, nil
+}
+
+// specTileIPCs reads the SPEC class's per-tile IPCs (class 0 in every
+// buildSpecMix machine) from a coherent snapshot.
+func specTileIPCs(sys *pabst.System) []float64 {
+	snap := sys.Snapshot()
+	if c := snap.Class(0); c != nil {
+		return c.TileIPCs
+	}
+	return nil
 }
 
 func weightedSlowdown(iso, co []float64) float64 {

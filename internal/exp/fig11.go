@@ -60,16 +60,16 @@ func runFig11Shared(scale Scale, name string) (float64, error) {
 			return 0, err
 		}
 	}
-	sys, err := b.Build()
+	sys, err := WarmedSystem(scale, b)
 	if err != nil {
 		return 0, err
 	}
 	defer sys.Close()
-	sys.Warmup(scale.Warmup)
 	sys.Run(scale.Measure)
+	snap := sys.Snapshot()
 	var sum float64
 	for _, cls := range classes {
-		sum += sys.ClassIPC(cls)
+		sum += snap.Class(cls).IPC
 	}
 	return sum / 4, nil
 }
@@ -83,14 +83,14 @@ func runFig11Static(scale Scale, name string) (float64, error) {
 	if err := attachSpec(b, cls, name, 0, 8); err != nil {
 		return 0, err
 	}
-	sys, err := b.Build()
+	sys, err := WarmedSystem(scale, b)
 	if err != nil {
 		return 0, err
 	}
 	defer sys.Close()
-	sys.Warmup(scale.Warmup)
 	sys.Run(scale.Measure)
-	return sys.ClassIPC(cls), nil
+	snap := sys.Snapshot()
+	return snap.Class(cls).IPC, nil
 }
 
 func vmName(i int) string {

@@ -40,12 +40,11 @@ func Fig9(scale Scale) (*Fig9Result, error) {
 		if colocate {
 			attachStreams(b, agCls, 1, 8, false)
 		}
-		sys, err := b.Build()
+		sys, err := WarmedSystem(scale, b)
 		if err != nil {
 			return ServiceStats{}, err
 		}
 		defer sys.Close()
-		sys.Warmup(scale.Warmup)
 		server.ResetStats()
 		sys.Run(scale.Measure * 2) // service times need many transactions
 		h := server.ServiceTimes()

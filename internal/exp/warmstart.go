@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pabst"
+)
+
+// CkptPath names the checkpoint file for a machine fingerprint and a
+// warmup length inside a store directory. The fingerprint keys the
+// structure (config, mode, classes, attachments), the warmup length the
+// trajectory — together they guarantee a hit is bit-identical to
+// re-running the warmup.
+func CkptPath(dir string, fp [32]byte, warmup uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%x-w%d.ckpt", fp[:16], warmup))
+}
+
+// WarmedSystem builds the system a builder describes and brings it to
+// the post-warmup state, going through the scale's checkpoint store when
+// Scale.Ckpt names a directory: a stored checkpoint matching the
+// machine's fingerprint and the warmup length is restored instead of
+// re-simulating the warmup, and a cold warmup saves its result for the
+// next run (temp-file + rename, so a crash never leaves a torn file).
+// Scale.Resume makes a store miss an error instead of a cold warmup —
+// use it to assert a crashed sweep is actually resuming.
+//
+// Restoring is bit-identical to warming up: the measured run that
+// follows produces byte-equal results either way.
+func WarmedSystem(scale Scale, b *pabst.Builder) (*pabst.System, error) {
+	sys, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if scale.Ckpt == "" {
+		sys.Warmup(scale.Warmup)
+		return sys, nil
+	}
+	fp, err := sys.Fingerprint()
+	if err != nil {
+		sys.Close()
+		return nil, err
+	}
+	path := CkptPath(scale.Ckpt, fp, scale.Warmup)
+	if f, err := os.Open(path); err == nil {
+		rerr := sys.RestoreFrom(f)
+		f.Close()
+		if rerr != nil {
+			// A failed in-place restore leaves the system partially
+			// overlaid; surface it rather than warming up a broken
+			// machine. Deleting the named file clears the condition.
+			sys.Close()
+			return nil, fmt.Errorf("exp: restore %s: %w (delete the file to re-warm)", path, rerr)
+		}
+		return sys, nil
+	}
+	if scale.Resume {
+		sys.Close()
+		return nil, fmt.Errorf("exp: resume: no checkpoint at %s", path)
+	}
+	sys.Warmup(scale.Warmup)
+	if err := saveCkpt(sys, path); err != nil {
+		// A machine with closure-based generators has no serializable
+		// description; it simply runs cold every time. Anything else
+		// (disk full, permissions) is a real error.
+		if errors.Is(err, pabst.ErrCkptUnsupported) {
+			return sys, nil
+		}
+		sys.Close()
+		return nil, err
+	}
+	return sys, nil
+}
+
+// saveCkpt writes a system checkpoint atomically.
+func saveCkpt(sys *pabst.System, path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	if err := sys.Checkpoint(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ForEachWarm amortizes one warmup across n sweep points. The build
+// factory must return a fresh builder (fresh generator instances)
+// describing the same machine on every call. The first builder's system
+// is warmed once — through the scale's checkpoint store when configured
+// — and checkpointed in memory; every point then restores that
+// checkpoint into its own system (milliseconds, against warmups of
+// millions of cycles) and runs fn, on at most Scale.Parallel concurrent
+// goroutines.
+//
+// Only use this when the points vary runtime knobs (weights via
+// SetWeight, extra Run length); anything baked into the builder —
+// config, mode, classes, attachments — changes the fingerprint and must
+// re-warm. Convergence experiments (fig5) measure the warmup trajectory
+// itself and must not share one.
+func ForEachWarm(scale Scale, build func() (*pabst.Builder, error), n int, fn func(i int, sys *pabst.System) error) error {
+	b, err := build()
+	if err != nil {
+		return err
+	}
+	warm, err := WarmedSystem(scale, b)
+	if err != nil {
+		return err
+	}
+	var ck bytes.Buffer
+	err = warm.Checkpoint(&ck)
+	warm.Close()
+	if err != nil {
+		return err
+	}
+	return ForEach(scale.Parallel, n, func(i int) error {
+		bi, err := build()
+		if err != nil {
+			return err
+		}
+		sys, err := bi.Restore(bytes.NewReader(ck.Bytes()))
+		if err != nil {
+			return err
+		}
+		defer sys.Close()
+		return fn(i, sys)
+	})
+}

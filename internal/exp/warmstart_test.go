@@ -1,0 +1,188 @@
+package exp
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pabst"
+)
+
+// warmBuilder describes the small 3:1 two-stream machine used by every
+// warm-start test; each call returns fresh generator instances.
+func warmBuilder(scale Scale) func() (*pabst.Builder, error) {
+	return func() (*pabst.Builder, error) {
+		cfg := scale.Apply(pabst.Scaled8Config())
+		b := pabst.NewBuilder(cfg, pabst.ModePABST, scale.Options()...)
+		hi := b.AddClass("hi", 3, cfg.L3Ways/2)
+		lo := b.AddClass("lo", 1, cfg.L3Ways/2)
+		attachStreams(b, hi, 0, 4, false)
+		attachStreams(b, lo, 4, 8, true)
+		return b, nil
+	}
+}
+
+// measure runs the measured phase and renders the observable outcome.
+func measure(scale Scale, sys *pabst.System) string {
+	sys.Run(scale.Measure)
+	snap := sys.Snapshot()
+	return render(snap.Window) + render(snap.GovernorMs())
+}
+
+// TestWarmedSystemStoreRoundTrip pins the store contract: a cold run
+// populates the directory, a second run restores from it, and both
+// produce byte-identical measurements.
+func TestWarmedSystemStoreRoundTrip(t *testing.T) {
+	scale := tinyScale()
+	scale.Ckpt = t.TempDir()
+	build := warmBuilder(scale)
+
+	// Cold reference without any store.
+	plain := scale
+	plain.Ckpt = ""
+	b, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := WarmedSystem(plain, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := measure(scale, ref)
+	ref.Close()
+
+	// First store run warms cold and saves.
+	b, err = build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := WarmedSystem(scale, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := measure(scale, sys)
+	sys.Close()
+	if got != want {
+		t.Fatalf("cold store run diverged from plain run:\n%s\n%s", got, want)
+	}
+	files, err := filepath.Glob(filepath.Join(scale.Ckpt, "*.ckpt"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("store holds %v (err %v), want one checkpoint", files, err)
+	}
+
+	// Second run must hit the store and still match byte-for-byte.
+	b, err = build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err = WarmedSystem(scale, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = measure(scale, sys)
+	sys.Close()
+	if got != want {
+		t.Fatalf("restored run diverged from cold run:\n%s\n%s", got, want)
+	}
+}
+
+// TestWarmedSystemResumeMiss pins that Resume turns a store miss into an
+// error instead of silently warming cold.
+func TestWarmedSystemResumeMiss(t *testing.T) {
+	scale := tinyScale()
+	scale.Ckpt = t.TempDir()
+	scale.Resume = true
+	b, err := warmBuilder(scale)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WarmedSystem(scale, b); err == nil {
+		t.Fatal("resume with an empty store succeeded")
+	} else if !strings.Contains(err.Error(), "no checkpoint") {
+		t.Fatalf("resume miss error = %v", err)
+	}
+}
+
+// TestWarmedSystemCorruptStore pins that a damaged checkpoint surfaces a
+// hard error naming the file rather than silently re-warming.
+func TestWarmedSystemCorruptStore(t *testing.T) {
+	scale := tinyScale()
+	scale.Ckpt = t.TempDir()
+	build := warmBuilder(scale)
+	b, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := WarmedSystem(scale, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+	files, _ := filepath.Glob(filepath.Join(scale.Ckpt, "*.ckpt"))
+	if len(files) != 1 {
+		t.Fatalf("store holds %v", files)
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2]++
+	if err := os.WriteFile(files[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err = build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WarmedSystem(scale, b); err == nil {
+		t.Fatal("corrupt checkpoint restored silently")
+	} else if !errors.Is(err, pabst.ErrCkptCorrupt) {
+		t.Fatalf("corrupt store error = %v", err)
+	}
+}
+
+// TestForEachWarm pins the amortized sweep: every reweighted point
+// restored from the shared in-memory checkpoint matches the same point
+// reached by its own cold warmup.
+func TestForEachWarm(t *testing.T) {
+	scale := tinyScale()
+	build := warmBuilder(scale)
+	weights := []uint64{3, 2, 1}
+
+	// Cold references, one full warmup each.
+	want := make([]string, len(weights))
+	for i, w := range weights {
+		b, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := WarmedSystem(scale, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.SetWeight(0, w); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = measure(scale, sys)
+		sys.Close()
+	}
+
+	got := make([]string, len(weights))
+	err := ForEachWarm(scale, build, len(weights), func(i int, sys *pabst.System) error {
+		if err := sys.SetWeight(0, weights[i]); err != nil {
+			return err
+		}
+		got[i] = measure(scale, sys)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range weights {
+		if got[i] != want[i] {
+			t.Fatalf("warm point %d (weight %d) diverged:\n%s\n%s", i, weights[i], got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package fault
+
+import "pabst/internal/ckpt"
+
+// SaveState implements ckpt.Saver: the three per-domain RNG cursors and
+// the injected-fault counters. The plan itself is structural (part of
+// the config fingerprint — an injector exists iff the plan is active).
+func (in *Injector) SaveState(w *ckpt.Writer) {
+	in.satRNG.SaveState(w)
+	in.dramRNG.SaveState(w)
+	in.nocRNG.SaveState(w)
+	in.counters.SaveState(w)
+}
+
+// RestoreState implements ckpt.Restorer.
+func (in *Injector) RestoreState(r *ckpt.Reader) {
+	in.satRNG.RestoreState(r)
+	in.dramRNG.RestoreState(r)
+	in.nocRNG.RestoreState(r)
+	in.counters.RestoreState(r)
+}

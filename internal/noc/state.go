@@ -1,0 +1,73 @@
+package noc
+
+import (
+	"fmt"
+
+	"pabst/internal/ckpt"
+	"pabst/internal/mem"
+)
+
+// SaveState implements ckpt.Saver: every router's input queues (packets
+// in flight through the fabric), output-port busy windows, and
+// round-robin pointer, plus the fabric stats. Geometry and the delivery
+// callback are structural.
+func (n *Network) SaveState(w *ckpt.Writer) {
+	w.Int(len(n.routers))
+	for ri := range n.routers {
+		r := &n.routers[ri]
+		for p := 0; p < numPorts; p++ {
+			w.Int(len(r.in[p]))
+			for _, msg := range r.in[p] {
+				mem.SavePacket(w, msg.pkt)
+				w.Int(msg.dst)
+				w.Int(msg.flits)
+				w.U64(msg.readyAt)
+			}
+		}
+		for p := 0; p < numPorts; p++ {
+			w.U64(r.busy[p])
+		}
+		w.Int(r.rrNext)
+	}
+	w.U64(n.Delivered)
+	w.U64(n.TotalHops)
+	w.U64(n.InjectFails)
+}
+
+// RestoreState implements ckpt.Restorer onto a fabric with identical
+// geometry.
+func (n *Network) RestoreState(r *ckpt.Reader) {
+	if c := r.Int(); c != len(n.routers) {
+		r.Fail(fmt.Errorf("%w: fabric has %d routers, checkpoint has %d", ckpt.ErrMismatch, len(n.routers), c))
+		return
+	}
+	for ri := range n.routers {
+		rt := &n.routers[ri]
+		for p := 0; p < numPorts; p++ {
+			cnt := r.Int()
+			if r.Err() != nil {
+				return
+			}
+			if cnt < 0 || cnt > 1<<24 {
+				r.Fail(fmt.Errorf("%w: router queue length %d", ckpt.ErrCorrupt, cnt))
+				return
+			}
+			rt.in[p] = rt.in[p][:0]
+			for i := 0; i < cnt; i++ {
+				var msg netMsg
+				msg.pkt = mem.LoadPacket(r)
+				msg.dst = r.Int()
+				msg.flits = r.Int()
+				msg.readyAt = r.U64()
+				rt.in[p] = append(rt.in[p], msg)
+			}
+		}
+		for p := 0; p < numPorts; p++ {
+			rt.busy[p] = r.U64()
+		}
+		rt.rrNext = r.Int()
+	}
+	n.Delivered = r.U64()
+	n.TotalHops = r.U64()
+	n.InjectFails = r.U64()
+}

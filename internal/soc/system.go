@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"context"
 	"fmt"
 
 	"pabst/internal/config"
@@ -489,16 +490,52 @@ func (s *System) deliverResponse(pkt *mem.Packet, mcID int, doneAt uint64) {
 
 // Run advances the system by cycles. Finalize must have been called.
 func (s *System) Run(cycles uint64) {
+	s.RunContext(context.Background(), cycles)
+}
+
+// RunContext advances the system by up to cycles, checking ctx for
+// cancellation at epoch boundaries, and returns how many cycles were
+// actually simulated plus ctx.Err() when it stopped early. The clock
+// advances exactly as an uninterrupted Run would — the kernel already
+// visits every epoch boundary to fire the heartbeat hook, so chunking
+// there changes nothing but where the loop can stop.
+func (s *System) RunContext(ctx context.Context, cycles uint64) (uint64, error) {
 	if !s.finalized {
 		panic("soc: Run before Finalize")
 	}
-	s.kernel.Run(cycles)
+	ep := s.cfg.PABST.EpochCycles
+	if ep == 0 {
+		ep = cycles
+	}
+	done := uint64(0)
+	for done < cycles {
+		if err := ctx.Err(); err != nil {
+			return done, err
+		}
+		step := cycles - done
+		if rem := ep - s.kernel.Now()%ep; rem < step {
+			step = rem
+		}
+		s.kernel.Run(step)
+		done += step
+	}
+	return done, nil
 }
 
 // Warmup runs cycles and then resets measurement state.
 func (s *System) Warmup(cycles uint64) {
-	s.Run(cycles)
-	s.ResetStats()
+	s.WarmupContext(context.Background(), cycles)
+}
+
+// WarmupContext runs up to cycles under ctx and, only if the warmup ran
+// to completion, resets measurement state. A canceled warmup leaves the
+// counters untouched so the partial progress is still inspectable.
+func (s *System) WarmupContext(ctx context.Context, cycles uint64) (uint64, error) {
+	done, err := s.RunContext(ctx, cycles)
+	if err == nil {
+		s.ResetStats()
+	}
+	return done, err
 }
 
 // sliceOf hashes a line to its L3 slice. A multiplicative hash spreads

@@ -31,7 +31,8 @@ func TestL3OccupancyMonitor(t *testing.T) {
 	}
 	sys.Warmup(400_000)
 
-	occ := sys.L3OccupancyOf(res)
+	snap := sys.Snapshot()
+	occ := snap.Class(res).L3OccupancyBytes
 	if occ < footprint/2 {
 		t.Fatalf("resident class occupies %d B of its %d B footprint", occ, footprint)
 	}
@@ -40,7 +41,7 @@ func TestL3OccupancyMonitor(t *testing.T) {
 		t.Fatalf("occupancy %d exceeds the class partition %d", occ, partition)
 	}
 	// The aggressor's occupancy is bounded by its own partition too.
-	if aggOcc := sys.L3OccupancyOf(agg); aggOcc > partition {
+	if aggOcc := snap.Class(agg).L3OccupancyBytes; aggOcc > partition {
 		t.Fatalf("aggressor occupancy %d exceeds its partition %d", aggOcc, partition)
 	}
 }

@@ -28,10 +28,11 @@ func TestBuilderEndToEnd(t *testing.T) {
 	if math.Abs(m.ShareOf(hi)-0.75) > 0.08 {
 		t.Fatalf("hi share %.2f, want ~0.75", m.ShareOf(hi))
 	}
-	if sys.ClassIPC(hi) == 0 || sys.ClassIPC(lo) == 0 {
+	snap := sys.Snapshot()
+	if snap.Class(hi).IPC == 0 || snap.Class(lo).IPC == 0 {
 		t.Fatal("classes made no progress")
 	}
-	if sys.ClassMissLatency(hi) == 0 || sys.ClassMCReadLatency(hi) == 0 {
+	if snap.Class(hi).MissLatency == 0 || snap.Class(hi).MCReadLatency == 0 {
 		t.Fatal("latency accounting empty")
 	}
 	if sys.Now() != 300_000 {
@@ -114,8 +115,9 @@ func TestSetWeightLive(t *testing.T) {
 	if err := sys.SetWeight(a, 4); err != nil {
 		t.Fatal(err)
 	}
-	if got := sys.Share(a); got != 0.8 {
-		t.Fatalf("Share after reweight = %.2f", got)
+	reweighted := sys.Snapshot()
+	if got := reweighted.Class(a).EntitledShare; got != 0.8 {
+		t.Fatalf("entitled share after reweight = %.2f", got)
 	}
 	sys.Warmup(150_000)
 	sys.Run(100_000)

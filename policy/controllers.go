@@ -44,7 +44,12 @@ func (c *LatencyTarget) Step(sys System) (string, error) {
 	if c.MaxWeight == 0 {
 		c.MaxWeight = 64
 	}
-	lat := sys.ClassMissLatency(c.Class)
+	snap := sys.Snapshot()
+	cs := snap.Class(c.Class)
+	if cs == nil {
+		return "", fmt.Errorf("unknown class %d", c.Class)
+	}
+	lat := cs.MissLatency
 	switch {
 	case lat > c.TargetCycles && c.weight < c.MaxWeight:
 		c.weight = clampWeight(c.weight*2, c.MaxWeight)
@@ -97,7 +102,12 @@ func (c *BandwidthFloor) Step(sys System) (string, error) {
 	if c.MaxWeight == 0 {
 		c.MaxWeight = 64
 	}
-	got := sys.Metrics().BytesPerCycle(c.Class)
+	snap := sys.Snapshot()
+	cs := snap.Class(c.Class)
+	if cs == nil {
+		return "", fmt.Errorf("unknown class %d", c.Class)
+	}
+	got := cs.BytesPerCycle
 	switch {
 	case got < c.FloorBytesPerCycle && c.weight < c.MaxWeight:
 		c.weight = clampWeight(c.weight*2, c.MaxWeight)

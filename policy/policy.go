@@ -21,11 +21,11 @@ import (
 )
 
 // System is the view controllers have of a running machine. *pabst.System
-// satisfies it.
+// satisfies it. Controllers observe through Snapshot — one coherent view
+// of every class's delivery state — and act through SetWeight.
 type System interface {
 	SetWeight(class pabst.ClassID, weight uint64) error
-	ClassMissLatency(class pabst.ClassID) float64
-	Metrics() pabst.Metrics
+	Snapshot() pabst.Snapshot
 	ResetStats()
 	Run(cycles uint64)
 }

@@ -40,7 +40,8 @@ func TestLatencyTargetMeetsSLO(t *testing.T) {
 	// Measure a final window under the converged weight.
 	sys.ResetStats()
 	sys.Run(100_000)
-	if lat := sys.ClassMissLatency(svc); lat > target*1.15 {
+	snap := sys.Snapshot()
+	if lat := snap.Class(svc).MissLatency; lat > target*1.15 {
 		t.Fatalf("controller left latency at %.0f, target %d", lat, target)
 	}
 	if w := ctl.Weight(); w < 2 {

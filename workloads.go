@@ -1,0 +1,79 @@
+package pabst
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pabst/internal/workload"
+)
+
+// WorkloadInfo describes one entry of the workload registry.
+type WorkloadInfo struct {
+	Name string // registry key for WorkloadByName
+	Args string // human-readable numeric-argument signature
+	Desc string
+}
+
+// Workloads lists every workload constructible by name: the synthetic
+// microbenchmark kinds plus the eight SPEC proxies. Commands use this
+// registry instead of each maintaining its own constructor switch.
+func Workloads() []WorkloadInfo {
+	out := []WorkloadInfo{
+		{"stream", "[strideBytes [write01]]", "bandwidth-limited sequential streamer (default stride 128, read-only)"},
+		{"chaser", "[chains]", "latency-limited pointer chaser (default 4 independent chains)"},
+		{"periodic", "[ddrCycles cacheCycles]", "alternates memory-resident and cache-resident phases"},
+		{"bursty", "[burstOps idleGap]", "clustered traffic: read bursts separated by compute gaps"},
+		{"memcached", "", "transaction-serving proxy (chase + copy + think)"},
+	}
+	var specs []string
+	for _, p := range workload.SpecSuite() {
+		specs = append(specs, p.Name)
+	}
+	sort.Strings(specs)
+	for _, name := range specs {
+		out = append(out, WorkloadInfo{name, "", "SPEC CPU 2006 proxy"})
+	}
+	return out
+}
+
+// WorkloadByName builds a registered workload on region r. The seed
+// feeds any randomized generator (ignored by deterministic kinds); args
+// are kind-specific, optional, and documented per entry by Workloads.
+func WorkloadByName(name string, r Region, seed uint64, args ...uint64) (Generator, error) {
+	arg := func(i int, def uint64) uint64 {
+		if i < len(args) {
+			return args[i]
+		}
+		return def
+	}
+	switch name {
+	case "stream":
+		return Stream(name, r, arg(0, 128), arg(1, 0) != 0), nil
+	case "chaser":
+		return Chaser(name, r, int(arg(0, 4)), seed), nil
+	case "periodic":
+		// Carve a cache-resident window off the front of the region; the
+		// remainder is the memory-resident phase's footprint.
+		cachedSize := uint64(256 << 10)
+		if cachedSize > r.Size/2 {
+			cachedSize = r.Size / 2
+		}
+		cached := Region{Base: r.Base, Size: cachedSize}
+		ddr := Region{Base: r.Base + Addr(cachedSize), Size: r.Size - cachedSize}
+		return Periodic(name, ddr, cached, arg(0, 100_000), arg(1, 100_000)), nil
+	case "bursty":
+		return BurstyTraffic(name, r, int(arg(0, 64)), int(arg(1, 20_000)), seed), nil
+	case "memcached":
+		return workload.NewMemcached(workload.DefaultMemcachedParams(), r, seed)
+	default:
+		if p, ok := workload.SpecByName(name); ok {
+			return workload.NewSpec(p, r, seed)
+		}
+		var known []string
+		for _, w := range Workloads() {
+			known = append(known, w.Name)
+		}
+		return nil, fmt.Errorf("pabst: unknown workload %q (known: %s)", name, strings.Join(known, ", "))
+	}
+}
