@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build check robust bench bench-parallel bench-obs bench-ckpt faults lint-deprecated clean
+.PHONY: all build check robust bench bench-parallel bench-obs bench-ckpt bench-hotpath faults lint-deprecated clean
 
 all: check
 
@@ -18,8 +18,8 @@ check: build lint-deprecated
 # Robustness tier: the full suite under the race detector (slower;
 # includes the fault-injection chaos sweeps, the parallel-kernel
 # determinism matrix, and the golden-trace determinism test), plus the
-# observability overhead and checkpoint warm-start gates.
-robust: bench-obs bench-ckpt
+# observability overhead, checkpoint warm-start, and hot-path gates.
+robust: bench-obs bench-ckpt bench-hotpath
 	$(GO) test -race ./...
 
 # Deprecated-accessor gate: no in-repo caller may use the one-off System
@@ -60,6 +60,15 @@ bench-obs:
 # run must match its cold twin byte-for-byte. Writes BENCH_ckpt.json.
 bench-ckpt:
 	$(GO) run ./cmd/pabstbench -suite ckpt -warmup 400000 -cycles 150000 -out BENCH_ckpt.json
+
+# Hot-path gate. Times the indexed memory-controller datapath against
+# the frozen pre-index scan (dram.RefController) at front-end queue
+# depths 8/32/128 under identical deterministic traffic, recording
+# ns/cycle, allocs/cycle, and a service-stream fingerprint per run.
+# The indexed run must stay allocation-free and fingerprint-identical
+# to the scan. Writes BENCH_hotpath.json.
+bench-hotpath:
+	$(GO) run ./cmd/pabstbench -suite hotpath -out BENCH_hotpath.json
 
 # Quick clean-vs-faulted comparison (the BENCH_faults.json scenario).
 faults:

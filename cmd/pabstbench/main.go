@@ -19,9 +19,15 @@
 // BENCH_ckpt.json. Every warm-started run must match its cold twin
 // byte-for-byte.
 //
+// With -suite hotpath it isolates the memory-controller datapath and
+// times the indexed scheduler against the frozen pre-index scan at
+// several queue depths, recording ns/cycle, allocs/cycle, and a
+// service-stream fingerprint per run in BENCH_hotpath.json.
+//
 // Usage:
 //
-//	pabstbench [-suite parallel|obs|ckpt] [-cycles n] [-warmup n] [-out file.json]
+//	pabstbench [-suite parallel|obs|ckpt|hotpath] [-cycles n] [-warmup n]
+//	           [-out file.json] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"pabst"
@@ -68,11 +75,14 @@ type Report struct {
 }
 
 func main() {
-	suite := flag.String("suite", "parallel", "benchmark suite: parallel or obs")
+	suite := flag.String("suite", "parallel", "benchmark suite: parallel, obs, ckpt, or hotpath")
 	cycles := flag.Uint64("cycles", 500_000, "measured cycles per kernel run")
 	warmup := flag.Uint64("warmup", 200_000, "warmup cycles per kernel run")
 	out := flag.String("out", "", "output path (default BENCH_<suite>.json)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	defer profiles(*cpuprofile, *memprofile)()
 
 	switch *suite {
 	case "obs":
@@ -87,12 +97,18 @@ func main() {
 		}
 		ckptSuite(*warmup, *cycles, *out)
 		return
+	case "hotpath":
+		if *out == "" {
+			*out = "BENCH_hotpath.json"
+		}
+		hotpathSuite(*warmup, *cycles, *out)
+		return
 	case "parallel":
 		if *out == "" {
 			*out = "BENCH_parallel.json"
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "pabstbench: unknown -suite %q (want parallel, obs, or ckpt)\n", *suite)
+		fmt.Fprintf(os.Stderr, "pabstbench: unknown -suite %q (want parallel, obs, ckpt, or hotpath)\n", *suite)
 		os.Exit(2)
 	}
 
@@ -337,6 +353,33 @@ func obsSuite(warmup, cycles uint64, out string) {
 		}
 		fmt.Printf("%-26s %8.2fs  %+6.2f%%  %8d events  %s\n",
 			r.Name, r.WallSeconds, 100*r.Overhead, r.Events, same)
+	}
+}
+
+// profiles starts a CPU profile (if requested) and returns the function
+// that stops it and snapshots the heap (if requested). It runs via defer
+// on the normal exit path; error exits through check() skip it, which is
+// fine — a failed run's profile is not interesting.
+func profiles(cpu, heap string) func() {
+	var cf *os.File
+	if cpu != "" {
+		var err error
+		cf, err = os.Create(cpu)
+		check(err)
+		check(pprof.StartCPUProfile(cf))
+	}
+	return func() {
+		if cf != nil {
+			pprof.StopCPUProfile()
+			check(cf.Close())
+		}
+		if heap != "" {
+			f, err := os.Create(heap)
+			check(err)
+			runtime.GC()
+			check(pprof.WriteHeapProfile(f))
+			check(f.Close())
+		}
 	}
 }
 

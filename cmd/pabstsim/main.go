@@ -5,7 +5,8 @@
 // Usage:
 //
 //	pabstsim [-scale quick|full] [-series] [-spec name,name,...]
-//	         [-workers n] [-parallel n] [-ff] [-ckpt dir] [-resume] <experiment>...
+//	         [-workers n] [-parallel n] [-ff] [-ckpt dir] [-resume]
+//	         [-cpuprofile f] [-memprofile f] <experiment>...
 //	pabstsim -list
 //
 // The -workers, -parallel, and -ff flags change only wall-clock speed;
@@ -24,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -65,7 +68,10 @@ func main() {
 	ff := flag.Bool("ff", false, "fast-forward provably idle cycles (bit-identical; helps bursty workloads)")
 	ckptDir := flag.String("ckpt", "", "directory for post-warmup checkpoints; repeat runs restore instead of re-warming (bit-identical)")
 	resume := flag.Bool("resume", false, "require a stored checkpoint (a miss is an error); implies -ckpt")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	defer profiles(*cpuprofile, *memprofile)()
 
 	if *list {
 		for _, e := range experiments {
@@ -231,6 +237,33 @@ func printSeries(r *exp.SeriesResult) {
 			fmt.Printf("%16.3f", s)
 		}
 		fmt.Printf("%12.2f\n", p.BpcSum)
+	}
+}
+
+// profiles starts a CPU profile (if requested) and returns the function
+// that stops it and snapshots the heap (if requested). It runs via defer
+// on the normal exit path; fatalf exits skip it, which is fine — a
+// failed run's profile is not interesting.
+func profiles(cpu, heap string) func() {
+	var cf *os.File
+	if cpu != "" {
+		var err error
+		cf, err = os.Create(cpu)
+		check(err)
+		check(pprof.StartCPUProfile(cf))
+	}
+	return func() {
+		if cf != nil {
+			pprof.StopCPUProfile()
+			check(cf.Close())
+		}
+		if heap != "" {
+			f, err := os.Create(heap)
+			check(err)
+			runtime.GC()
+			check(pprof.WriteHeapProfile(f))
+			check(f.Close())
+		}
 	}
 }
 

@@ -1,0 +1,37 @@
+package pabst_test
+
+import (
+	"testing"
+
+	"pabst"
+)
+
+// TestSteadyStateTickZeroAlloc pins the zero-allocation hot path end to
+// end: a saturated two-class stream system — tiles missing every few
+// cycles, packets crossing the fabric, the controllers' EDF index churning
+// — must allocate nothing per cycle once warmed, with observability
+// disabled. This is the whole-system counterpart of the quiescent
+// TestDisabledProbesZeroAlloc: every miss exercises the MSHR table, the
+// packet pool, the per-MC rings, and the pooled response path.
+func TestSteadyStateTickZeroAlloc(t *testing.T) {
+	cfg := pabst.Default32Config()
+	cfg.PABST.EpochCycles = 2000
+	cfg.BWWindow = 1 << 40 // no series sample during the measured run
+	b := pabst.NewBuilder(cfg, pabst.ModePABST)
+	hi := b.AddClass("hi", 7, cfg.L3Ways/2)
+	lo := b.AddClass("lo", 3, cfg.L3Ways/2)
+	for i := 0; i < 16; i++ {
+		b.Attach(i, hi, pabst.Stream("hi", pabst.TileRegion(i), 128, false))
+		b.Attach(16+i, lo, pabst.Stream("lo", pabst.TileRegion(16+i), 128, false))
+	}
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.Run(60_000) // settle pools, rings, caches, and index sizing
+	allocs := testing.AllocsPerRun(5, func() { sys.Run(4000) })
+	if allocs != 0 {
+		t.Errorf("steady-state tick allocates: %v allocs per 4000 cycles (2 epochs)", allocs)
+	}
+}

@@ -196,15 +196,31 @@ func (c *Cache) Contains(addr mem.Addr) bool {
 }
 
 // OccupancyByClass counts valid lines held by each class, the monitoring
-// feature existing QoS architectures expose for the shared cache.
+// feature existing QoS architectures expose for the shared cache. It
+// allocates a map per call; monitoring loops should use OccupancyInto.
 func (c *Cache) OccupancyByClass() map[mem.ClassID]int {
-	occ := make(map[mem.ClassID]int)
-	for i := range c.lines {
-		if c.lines[i].valid {
-			occ[c.lines[i].class]++
+	var occ [mem.MaxClasses]int
+	c.OccupancyInto(&occ)
+	m := make(map[mem.ClassID]int)
+	for cls, n := range occ {
+		if n > 0 {
+			m[mem.ClassID(cls)] = n
 		}
 	}
-	return occ
+	return m
+}
+
+// OccupancyInto is the allocation-free variant of OccupancyByClass: dst
+// is zeroed and filled with each class's valid-line count.
+func (c *Cache) OccupancyInto(dst *[mem.MaxClasses]int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := range c.lines {
+		if c.lines[i].valid {
+			dst[c.lines[i].class]++
+		}
+	}
 }
 
 // WaysOf reports the partition assigned to class; ok is false when the

@@ -87,7 +87,7 @@ type Core struct {
 	fetchClock uint64 // program-order fetch front, advanced by gaps
 
 	gapQ   sim.DelayQueue[uint64] // seqs waiting out their compute gap
-	readyQ []uint64               // seqs ready to issue, FIFO
+	readyQ sim.Ring[uint64]       // seqs ready to issue, FIFO
 
 	outstanding int // issued, not yet done
 
@@ -195,24 +195,24 @@ func (c *Core) wake(now uint64) {
 			continue // stale entry from a recycled slot
 		}
 		s.state = slotReady
-		c.readyQ = append(c.readyQ, seq)
+		c.readyQ.PushBack(seq)
 	}
 }
 
 func (c *Core) issue(now uint64) {
 	issued := 0
-	for issued < c.cfg.IssueWidth && len(c.readyQ) > 0 {
-		seq := c.readyQ[0]
+	for issued < c.cfg.IssueWidth && c.readyQ.Len() > 0 {
+		seq, _ := c.readyQ.Front()
 		s := c.slotAt(seq)
 		if s.seq != seq || s.state != slotReady {
-			c.readyQ = c.readyQ[1:]
+			c.readyQ.PopFront()
 			continue
 		}
 		status, doneAt := c.port.Access(s.op.Addr, s.op.Write, now, seq)
 		if status == AccessBlocked {
 			return // head-of-line retry next cycle
 		}
-		c.readyQ = c.readyQ[1:]
+		c.readyQ.PopFront()
 		s.state = slotIssued
 		c.outstanding++
 		if c.obsIssue != nil && s.op.Tag != 0 {
@@ -284,7 +284,7 @@ func (c *Core) retire(now uint64) {
 // expiry or the head op's completion. Ops waiting on in-flight misses
 // wake through CompleteMiss, which the tile's inbox accounts for.
 func (c *Core) NextEventAt(from uint64) uint64 {
-	if len(c.readyQ) > 0 || c.tail-c.head < uint64(len(c.slots)) {
+	if c.readyQ.Len() > 0 || c.tail-c.head < uint64(len(c.slots)) {
 		return from
 	}
 	next := ^uint64(0)

@@ -34,9 +34,9 @@ func (c *Core) SaveState(w *ckpt.Writer) {
 	w.U64(c.tail)
 	w.U64(c.fetchClock)
 	sim.SaveDelayQueue(w, &c.gapQ, func(w *ckpt.Writer, seq uint64) { w.U64(seq) })
-	w.Int(len(c.readyQ))
-	for _, seq := range c.readyQ {
-		w.U64(seq)
+	w.Int(c.readyQ.Len())
+	for i := 0; i < c.readyQ.Len(); i++ {
+		w.U64(c.readyQ.At(i))
 	}
 	w.Int(c.outstanding)
 	w.U64(c.instsRetired)
@@ -79,9 +79,9 @@ func (c *Core) RestoreState(r *ckpt.Reader) {
 		r.Fail(fmt.Errorf("%w: core readyQ length %d", ckpt.ErrCorrupt, n))
 		return
 	}
-	c.readyQ = c.readyQ[:0]
+	c.readyQ.Clear()
 	for i := 0; i < n; i++ {
-		c.readyQ = append(c.readyQ, r.U64())
+		c.readyQ.PushBack(r.U64())
 	}
 	c.outstanding = r.Int()
 	c.instsRetired = r.U64()

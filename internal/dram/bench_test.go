@@ -1,6 +1,7 @@
 package dram
 
 import (
+	"math/rand"
 	"testing"
 
 	"pabst/internal/mem"
@@ -31,5 +32,84 @@ func BenchmarkControllerIdle(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mc.Tick(uint64(i))
+	}
+}
+
+// benchIndexed drives the indexed controller with pooled packets under
+// EDF at one front-end queue depth. One iteration is one cycle; with the
+// pool in the loop the steady state must report 0 allocs/op.
+func benchIndexed(b *testing.B, depth, bankQ int) {
+	cfg := testCfg()
+	cfg.FrontReadQ = depth
+	cfg.BankQueueDepth = bankQ
+	var pool mem.Pool
+	mc, _ := NewController(0, cfg, func(p *mem.Packet, _ uint64) { pool.Put(p) })
+	mc.SetScheduler(SchedEDF, &diffArbiter{rng: rand.New(rand.NewSource(7))})
+	mc.SetReleaser(pool.Put)
+	pool.Grow(depth + cfg.FrontWriteQ)
+	seq := 0
+	drive := func(now uint64) {
+		for mc.TryReserveRead() {
+			p := pool.Get()
+			p.Addr = lineOnBank(cfg, seq%cfg.Banks, seq/cfg.Banks%4)
+			p.Kind = mem.Read
+			seq++
+			mc.ArriveRead(p, now)
+		}
+		if seq%7 == 0 && mc.TryReserveWrite() {
+			p := pool.Get()
+			p.Addr = lineOnBank(cfg, seq%cfg.Banks, 0)
+			p.Kind = mem.Writeback
+			mc.ArriveWrite(p, now)
+		}
+		mc.Tick(now)
+	}
+	for now := uint64(0); now < 4096; now++ { // settle pool and index sizing
+		drive(now)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drive(4096 + uint64(i))
+	}
+}
+
+// BenchmarkPickIssueDepth* measure the single-stage EDF datapath
+// (pickRead + issueRead) at the three BENCH_hotpath.json queue depths.
+func BenchmarkPickIssueDepth8(b *testing.B)   { benchIndexed(b, 8, 0) }
+func BenchmarkPickIssueDepth32(b *testing.B)  { benchIndexed(b, 32, 0) }
+func BenchmarkPickIssueDepth128(b *testing.B) { benchIndexed(b, 128, 0) }
+
+// BenchmarkDispatchIssueBanked measures the two-stage organization
+// (dispatchToBanks + issueFromBanks) at the deepest front queue.
+func BenchmarkDispatchIssueBanked(b *testing.B) { benchIndexed(b, 128, 3) }
+
+// BenchmarkScanReferenceDepth128 is the frozen pre-index scan on the
+// same traffic shape — the in-process twin of the BENCH_hotpath.json
+// baseline, so `go test -bench` alone can show the index's effect.
+func BenchmarkScanReferenceDepth128(b *testing.B) {
+	cfg := testCfg()
+	cfg.FrontReadQ = 128
+	ref := NewRefController(cfg, func(*mem.Packet, uint64) {})
+	ref.SetScheduler(SchedEDF, &diffArbiter{rng: rand.New(rand.NewSource(7))})
+	seq := 0
+	drive := func(now uint64) {
+		for ref.QueuedReads() < cfg.FrontReadQ {
+			p := &mem.Packet{Addr: lineOnBank(cfg, seq%cfg.Banks, seq/cfg.Banks%4), Kind: mem.Read}
+			seq++
+			ref.ArriveRead(p, now)
+		}
+		if seq%7 == 0 && ref.QueuedWrites() < cfg.FrontWriteQ {
+			ref.ArriveWrite(&mem.Packet{Addr: lineOnBank(cfg, seq%cfg.Banks, 0), Kind: mem.Writeback}, now)
+		}
+		ref.Tick(now)
+	}
+	for now := uint64(0); now < 4096; now++ {
+		drive(now)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drive(4096 + uint64(i))
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"pabst/internal/mem"
+	"pabst/internal/sim"
 )
 
 // Config sizes one memory controller (one channel).
@@ -84,7 +85,10 @@ const (
 
 // Arbiter is implemented by the PABST priority arbiter. OnAccept runs when
 // a read enters the front end (assigning pkt.Deadline); OnPick runs when
-// the scheduler selects a read for service.
+// the scheduler selects a read for service. Implementations may read the
+// packet's fields during the call but must not retain the pointer: once
+// the transaction completes the packet is recycled and rewritten (see the
+// ownership contract on mem.Pool).
 type Arbiter interface {
 	OnAccept(pkt *mem.Packet, now uint64)
 	OnPick(pkt *mem.Packet, now uint64)
@@ -92,12 +96,27 @@ type Arbiter interface {
 
 // Responder receives completed reads. doneAt is the cycle the last data
 // beat leaves the channel; the SoC layer adds NoC latency on top.
+// Ownership of the packet transfers to the responder.
 type Responder func(pkt *mem.Packet, doneAt uint64)
+
+// Releaser receives served writeback packets so their owner can recycle
+// them. A nil releaser simply drops served writes.
+type Releaser func(pkt *mem.Packet)
+
+// wentry is one queued writeback. seq is the write arrival sequence
+// number: Enq stamps are non-decreasing in arrival order, so min-seq
+// among ready bank heads is exactly the old oldest-Enq (ties by queue
+// position) scan order.
+type wentry struct {
+	pkt *mem.Packet
+	seq uint64
+}
 
 type bank struct {
 	readyAt uint64
-	openRow int64 // -1 when closed
-	queue   []*mem.Packet
+	openRow int64                 // -1 when closed
+	queue   sim.Ring[*mem.Packet] // two-stage back-end queue (FIFO)
+	writes  sim.Ring[wentry]      // per-bank write bucket (FIFO by seq)
 }
 
 // Stats aggregates per-controller counters. Byte counters are cumulative;
@@ -125,13 +144,18 @@ type Stats struct {
 	PriorityInversions uint64
 }
 
-// Controller models one memory channel.
+// Controller models one memory channel. The front-end read queue lives
+// in an incrementally-maintained per-bank index (see sched.go) so the
+// per-cycle pick is O(banks) instead of O(queue depth); writes sit in
+// per-bank FIFO rings picked by arrival sequence.
 type Controller struct {
 	ID  int
 	cfg Config
 
-	readQ  []*mem.Packet
-	writeQ []*mem.Packet
+	fe *frontSched // front-end read index
+
+	nWrites int    // writes queued across all bank buckets
+	wseq    uint64 // next write arrival sequence number
 
 	reservedReads  int
 	reservedWrites int
@@ -148,6 +172,7 @@ type Controller struct {
 	sched   ReadSched
 	arbiter Arbiter
 	respond Responder
+	release Releaser
 
 	// Saturation monitor state: integral of read queue occupancy since
 	// the last epoch boundary (Section III-C1).
@@ -180,8 +205,17 @@ func NewController(id int, cfg Config, respond Responder) (*Controller, error) {
 		rowShift:  cfg.AddrShift + uint(bits.TrailingZeros(uint(cfg.Banks))) + uint(bits.TrailingZeros(uint(cfg.RowLines))),
 		respond:   respond,
 	}
+	// Row-hit candidate heaps are only needed when the single-pool pick
+	// prefers open-row requests; the two-stage back end checks its bank
+	// heads directly.
+	useHit := cfg.Policy == OpenPage && cfg.BankQueueDepth == 0
+	c.fe = newFrontSched(cfg.Banks, cfg.FrontReadQ, useHit)
 	for i := range c.banks {
 		c.banks[i].openRow = -1
+		c.banks[i].writes.Grow(cfg.FrontWriteQ)
+		if cfg.BankQueueDepth > 0 {
+			c.banks[i].queue.Grow(cfg.BankQueueDepth)
+		}
 	}
 	return c, nil
 }
@@ -194,7 +228,16 @@ func (c *Controller) SetScheduler(s ReadSched, a Arbiter) {
 	}
 	c.sched = s
 	c.arbiter = a
+	if edf := s == SchedEDF; edf != c.fe.edf {
+		c.fe.edf = edf
+		if c.fe.count > 0 {
+			c.fe.reorder()
+		}
+	}
 }
+
+// SetReleaser installs the hook that receives served writeback packets.
+func (c *Controller) SetReleaser(r Releaser) { c.release = r }
 
 // Config returns the controller's configuration.
 func (c *Controller) Config() Config { return c.cfg }
@@ -216,7 +259,7 @@ func (c *Controller) rowOf(addr mem.Addr) int64 {
 // slot is held until then so that in-flight NoC traffic can never
 // overflow the queue.
 func (c *Controller) TryReserveRead() bool {
-	if len(c.readQ)+c.reservedReads >= c.cfg.FrontReadQ {
+	if c.fe.count+c.reservedReads >= c.cfg.FrontReadQ {
 		return false
 	}
 	c.reservedReads++
@@ -225,7 +268,7 @@ func (c *Controller) TryReserveRead() bool {
 
 // TryReserveWrite grants a front-end write slot if one is free.
 func (c *Controller) TryReserveWrite() bool {
-	if len(c.writeQ)+c.reservedWrites >= c.cfg.FrontWriteQ {
+	if c.nWrites+c.reservedWrites >= c.cfg.FrontWriteQ {
 		return false
 	}
 	c.reservedWrites++
@@ -243,7 +286,13 @@ func (c *Controller) ArriveRead(pkt *mem.Packet, now uint64) {
 	if c.arbiter != nil {
 		c.arbiter.OnAccept(pkt, now)
 	}
-	c.readQ = append(c.readQ, pkt)
+	c.insertRead(pkt)
+}
+
+// insertRead indexes a read whose Deadline/Enq stamps are already set.
+func (c *Controller) insertRead(pkt *mem.Packet) {
+	b := c.bankOf(pkt.Addr)
+	c.fe.insert(pkt, int32(b), c.rowOf(pkt.Addr), c.banks[b].openRow)
 }
 
 // ArriveWrite places a previously reserved writeback into the write queue.
@@ -253,25 +302,33 @@ func (c *Controller) ArriveWrite(pkt *mem.Packet, now uint64) {
 	}
 	c.reservedWrites--
 	pkt.Enq = now
-	c.writeQ = append(c.writeQ, pkt)
+	c.insertWrite(pkt)
+}
+
+// insertWrite buckets a stamped write by bank, tagging it with the next
+// arrival sequence number.
+func (c *Controller) insertWrite(pkt *mem.Packet) {
+	c.banks[c.bankOf(pkt.Addr)].writes.PushBack(wentry{pkt: pkt, seq: c.wseq})
+	c.wseq++
+	c.nWrites++
 }
 
 // QueuedReads returns the current front-end read queue depth (the
 // saturation monitor's subject; bank queues are counted separately).
-func (c *Controller) QueuedReads() int { return len(c.readQ) }
+func (c *Controller) QueuedReads() int { return c.fe.count }
 
 // BankQueued returns reads dispatched into back-end bank queues
 // (two-stage organization only).
 func (c *Controller) BankQueued() int {
 	n := 0
 	for b := range c.banks {
-		n += len(c.banks[b].queue)
+		n += c.banks[b].queue.Len()
 	}
 	return n
 }
 
 // QueuedWrites returns the current write queue depth.
-func (c *Controller) QueuedWrites() int { return len(c.writeQ) }
+func (c *Controller) QueuedWrites() int { return c.nWrites }
 
 // EpochSaturated implements the paper's saturation monitor: it reports
 // whether the average read-queue occupancy since the previous call
@@ -316,12 +373,12 @@ func (c *Controller) Frozen(now uint64) bool { return now < c.frozenUntil }
 // FastForward, and in-flight data bursts were already scheduled onto the
 // responder when they issued.
 func (c *Controller) NextEventAt(from uint64) uint64 {
-	if len(c.readQ) > 0 || len(c.writeQ) > 0 ||
+	if c.fe.count > 0 || c.nWrites > 0 ||
 		c.reservedReads > 0 || c.reservedWrites > 0 || from < c.frozenUntil {
 		return from
 	}
 	for b := range c.banks {
-		if len(c.banks[b].queue) > 0 {
+		if c.banks[b].queue.Len() > 0 {
 			return from
 		}
 	}
@@ -365,9 +422,9 @@ func (c *Controller) FastForward(from, to uint64) {
 // state, performs refresh, manages read/write mode, and issues at most
 // one access.
 func (c *Controller) Tick(now uint64) {
-	c.occIntegral += uint64(len(c.readQ))
+	c.occIntegral += uint64(c.fe.count)
 	c.occCycles++
-	if len(c.readQ) > 0 || len(c.writeQ) > 0 {
+	if c.fe.count > 0 || c.nWrites > 0 {
 		c.Stats.PendingCycles++
 	}
 
@@ -391,11 +448,11 @@ func (c *Controller) Tick(now uint64) {
 
 	// Read/write mode with hysteresis.
 	if c.writeMode {
-		if len(c.writeQ) == 0 || (len(c.writeQ) <= c.cfg.WriteLowWater && len(c.readQ) > 0) {
+		if c.nWrites == 0 || (c.nWrites <= c.cfg.WriteLowWater && c.fe.count > 0) {
 			c.writeMode = false
 		}
 	} else {
-		if len(c.writeQ) >= c.cfg.WriteHighWater || (len(c.readQ) == 0 && len(c.writeQ) > 0) {
+		if c.nWrites >= c.cfg.WriteHighWater || (c.fe.count == 0 && c.nWrites > 0) {
 			c.writeMode = true
 		}
 	}
@@ -421,24 +478,29 @@ func (c *Controller) Tick(now uint64) {
 
 // dispatchToBanks is the two-stage front end: move the best-priority read
 // whose bank queue has room from the front-end queue into that bank's
-// queue (one dispatch per cycle).
+// queue (one dispatch per cycle). Each bank heap's top is its best
+// candidate, so the pick compares one node per non-full bank.
 func (c *Controller) dispatchToBanks(now uint64) {
-	best := -1
-	for i, pkt := range c.readQ {
-		if len(c.banks[c.bankOf(pkt.Addr)].queue) >= c.cfg.BankQueueDepth {
+	f := c.fe
+	best := int32(-1)
+	for b := range c.banks {
+		if c.banks[b].queue.Len() >= c.cfg.BankQueueDepth {
 			continue
 		}
-		if best == -1 || c.better(pkt, c.readQ[best]) {
-			best = i
+		top := f.banks[b].all.top()
+		if top < 0 {
+			continue
+		}
+		if best < 0 || f.less(top, best) {
+			best = top
 		}
 	}
 	if best < 0 {
 		return
 	}
-	pkt := c.readQ[best]
-	c.readQ = append(c.readQ[:best], c.readQ[best+1:]...)
-	bk := &c.banks[c.bankOf(pkt.Addr)]
-	bk.queue = append(bk.queue, pkt)
+	b := f.nodes[best].bank
+	pkt := f.remove(best)
+	c.banks[b].queue.PushBack(pkt)
 }
 
 // issueFromBanks is the two-stage back end: among ready banks' queue
@@ -446,40 +508,103 @@ func (c *Controller) dispatchToBanks(now uint64) {
 func (c *Controller) issueFromBanks(now uint64) {
 	bestBank := -1
 	bestHit := false
+	var bestPkt *mem.Packet
 	minDL := ^uint64(0) // earliest deadline among ready candidates
 	for b := range c.banks {
 		bk := &c.banks[b]
-		if len(bk.queue) == 0 || bk.readyAt > now {
+		if bk.readyAt > now {
 			continue
 		}
-		pkt := bk.queue[0]
+		pkt, ok := bk.queue.Front()
+		if !ok {
+			continue
+		}
 		if pkt.Deadline < minDL {
 			minDL = pkt.Deadline
 		}
 		hit := c.cfg.Policy == OpenPage && bk.openRow == c.rowOf(pkt.Addr)
 		if bestBank == -1 {
-			bestBank, bestHit = b, hit
+			bestBank, bestHit, bestPkt = b, hit, pkt
 			continue
 		}
 		if hit != bestHit {
 			if hit {
-				bestBank, bestHit = b, hit
+				bestBank, bestHit, bestPkt = b, hit, pkt
 			}
 			continue
 		}
-		if c.better(pkt, c.banks[bestBank].queue[0]) {
-			bestBank = b
+		if c.better(pkt, bestPkt) {
+			bestBank, bestPkt = b, pkt
 		}
 	}
 	if bestBank < 0 {
 		return
 	}
-	bk := &c.banks[bestBank]
-	pkt := bk.queue[0]
-	bk.queue = bk.queue[1:]
+	pkt, _ := c.banks[bestBank].queue.PopFront()
 	if c.sched == SchedEDF && pkt.Deadline > minDL {
 		c.Stats.PriorityInversions++
 	}
+	c.serveRead(pkt, now)
+}
+
+// issueRead is the single-pool pick: at most one candidate per ready
+// bank (its open-row heap top if non-empty, else its all-heap top),
+// row hits first, then the scheduling order. This is bit-identical to
+// the old whole-queue scan — see the equivalence note in sched.go.
+func (c *Controller) issueRead(now uint64) {
+	f := c.fe
+	best := int32(-1)
+	bestHit := false
+	minDL := ^uint64(0) // earliest deadline among ready candidates
+	for b := range c.banks {
+		if c.banks[b].readyAt > now {
+			continue
+		}
+		bi := &f.banks[b]
+		top := bi.all.top()
+		if top < 0 {
+			continue
+		}
+		// Under EDF the all-heap top carries the bank's earliest
+		// deadline (the heap order is deadline-major).
+		if f.edf {
+			if dl := f.nodes[top].dl; dl < minDL {
+				minDL = dl
+			}
+		}
+		cand, hit := top, false
+		if f.useHit {
+			if h := bi.hit.top(); h >= 0 {
+				cand, hit = h, true
+			}
+		}
+		switch {
+		case best < 0:
+			best, bestHit = cand, hit
+		case hit != bestHit:
+			if hit {
+				best, bestHit = cand, hit
+			}
+		default:
+			if f.less(cand, best) {
+				best = cand
+			}
+		}
+	}
+	if best < 0 {
+		return
+	}
+	if c.sched == SchedEDF && f.nodes[best].dl > minDL {
+		c.Stats.PriorityInversions++
+	}
+	pkt := f.remove(best)
+	c.serveRead(pkt, now)
+}
+
+// serveRead performs the bank access, stats, and response for a read
+// selected by either organization. Ownership of the packet passes to
+// the responder.
+func (c *Controller) serveRead(pkt *mem.Packet, now uint64) {
 	if c.arbiter != nil {
 		c.arbiter.OnPick(pkt, now)
 	}
@@ -491,42 +616,6 @@ func (c *Controller) issueFromBanks(now uint64) {
 	c.Stats.ReadsByClass[pkt.Class]++
 	c.Stats.ReadLatencyByClass[pkt.Class] += doneAt - pkt.Enq
 	c.respond(pkt, doneAt)
-}
-
-// pickRead returns the index in readQ to service, or -1.
-func (c *Controller) pickRead(now uint64) int {
-	best := -1
-	bestHit := false
-	minDL := ^uint64(0) // earliest deadline among ready candidates
-	for i, pkt := range c.readQ {
-		b := &c.banks[c.bankOf(pkt.Addr)]
-		if b.readyAt > now {
-			continue
-		}
-		if pkt.Deadline < minDL {
-			minDL = pkt.Deadline
-		}
-		hit := c.cfg.Policy == OpenPage && b.openRow == c.rowOf(pkt.Addr)
-		if best == -1 {
-			best, bestHit = i, hit
-			continue
-		}
-		// First-ready: row hits beat misses (back-end arbiter of
-		// Section III-C2); ties break by schedule policy.
-		if hit != bestHit {
-			if hit {
-				best, bestHit = i, hit
-			}
-			continue
-		}
-		if c.better(pkt, c.readQ[best]) {
-			best = i
-		}
-	}
-	if c.sched == SchedEDF && best >= 0 && c.readQ[best].Deadline > minDL {
-		c.Stats.PriorityInversions++
-	}
-	return best
 }
 
 // better reports whether a should be served before b under the active
@@ -540,54 +629,45 @@ func (c *Controller) better(a, b *mem.Packet) bool {
 	return a.Enq < b.Enq
 }
 
-func (c *Controller) issueRead(now uint64) {
-	i := c.pickRead(now)
-	if i < 0 {
-		return
-	}
-	pkt := c.readQ[i]
-	c.readQ = append(c.readQ[:i], c.readQ[i+1:]...)
-	if c.arbiter != nil {
-		c.arbiter.OnPick(pkt, now)
-	}
-	dataStart := c.access(now, pkt.Addr, false)
-	doneAt := dataStart + uint64(c.cfg.Timing.TBurst)
-
-	c.Stats.ReadsServed++
-	c.Stats.BytesByClass[pkt.Class] += mem.LineSize
-	c.Stats.ReadLatencySum += doneAt - pkt.Enq
-	c.Stats.ReadsByClass[pkt.Class]++
-	c.Stats.ReadLatencyByClass[pkt.Class] += doneAt - pkt.Enq
-	c.respond(pkt, doneAt)
-}
-
 func (c *Controller) issueWrite(now uint64) {
 	// Writes are served oldest-first among ready banks (the paper leaves
-	// write selection unmodified).
-	best := -1
-	for i, pkt := range c.writeQ {
-		if c.banks[c.bankOf(pkt.Addr)].readyAt > now {
+	// write selection unmodified). Each bank bucket is FIFO, so its head
+	// carries the bank's lowest sequence number and the scan is O(banks).
+	bestBank := -1
+	var bestSeq uint64
+	for b := range c.banks {
+		bk := &c.banks[b]
+		if bk.readyAt > now {
 			continue
 		}
-		if best == -1 || pkt.Enq < c.writeQ[best].Enq {
-			best = i
+		e, ok := bk.writes.Front()
+		if !ok {
+			continue
+		}
+		if bestBank == -1 || e.seq < bestSeq {
+			bestBank, bestSeq = b, e.seq
 		}
 	}
-	if best < 0 {
+	if bestBank < 0 {
 		return
 	}
-	pkt := c.writeQ[best]
-	c.writeQ = append(c.writeQ[:best], c.writeQ[best+1:]...)
+	e, _ := c.banks[bestBank].writes.PopFront()
+	c.nWrites--
+	pkt := e.pkt
 	c.access(now, pkt.Addr, true)
 	c.Stats.WritesServed++
 	c.Stats.BytesByClass[pkt.Class] += mem.LineSize
+	if c.release != nil {
+		c.release(pkt)
+	}
 }
 
 // access performs the bank/bus timing for one line transfer and returns
 // the cycle its data burst starts.
 func (c *Controller) access(now uint64, addr mem.Addr, write bool) uint64 {
 	t := &c.cfg.Timing
-	bk := &c.banks[c.bankOf(addr)]
+	b := c.bankOf(addr)
+	bk := &c.banks[b]
 	row := c.rowOf(addr)
 
 	casDelay := t.TCL
@@ -610,7 +690,14 @@ func (c *Controller) access(now uint64, addr mem.Addr, write bool) uint64 {
 		default:
 			cmdDone = now + uint64(t.TRCD+casDelay)
 		}
-		bk.openRow = row
+		if bk.openRow != row {
+			bk.openRow = row
+			// The open row changed, so this bank's row-hit candidate
+			// set is stale; rebuild it (single-pool open-page only).
+			if c.fe.useHit {
+				c.fe.rebuildHit(int32(b), row)
+			}
+		}
 	}
 	if rowHit {
 		c.Stats.RowHits++

@@ -2,24 +2,32 @@ package dram
 
 import (
 	"fmt"
+	"sort"
 
 	"pabst/internal/ckpt"
 	"pabst/internal/mem"
 )
 
-// SaveState implements ckpt.Saver: front-end queues (in order), per-bank
-// timing and queues, bus/mode registers, the saturation-monitor
+// SaveState implements ckpt.Saver: front-end queues (in arrival order),
+// per-bank timing and queues, bus/mode registers, the saturation-monitor
 // integrals, refresh and freeze deadlines, and every stat counter.
 // Geometry, scheduler selection, the arbiter, and the responder closure
 // are structural and rebuilt from the config.
+//
+// The byte layout is the flat-queue format the controller has always
+// used: the scheduling index is an acceleration structure, so the walk
+// linearizes it back to arrival order (the order the old readQ/writeQ
+// slices held) and RestoreState rebuilds the index from that list.
+// Nothing about the packet pool or node slab is serialized — see the
+// ownership contract on mem.Pool.
 //
 // The reservation counters are saved too: they are always zero between
 // full system ticks (a reservation is granted and consumed within one
 // tick), but saving them keeps the walk honest if that invariant ever
 // changes — a nonzero restored value is exactly as saved, not guessed.
 func (c *Controller) SaveState(w *ckpt.Writer) {
-	mem.SavePacketList(w, c.readQ)
-	mem.SavePacketList(w, c.writeQ)
+	mem.SavePacketList(w, c.frontReads())
+	mem.SavePacketList(w, c.frontWrites())
 	w.Int(c.reservedReads)
 	w.Int(c.reservedWrites)
 	w.Int(len(c.banks))
@@ -27,7 +35,11 @@ func (c *Controller) SaveState(w *ckpt.Writer) {
 		b := &c.banks[i]
 		w.U64(b.readyAt)
 		w.I64(b.openRow)
-		mem.SavePacketList(w, b.queue)
+		q := make([]*mem.Packet, b.queue.Len())
+		for j := range q {
+			q[j] = b.queue.At(j)
+		}
+		mem.SavePacketList(w, q)
 	}
 	w.U64(c.busFreeAt)
 	w.Bool(c.lastWrite)
@@ -57,11 +69,49 @@ func (c *Controller) SaveState(w *ckpt.Writer) {
 	w.U64(s.PriorityInversions)
 }
 
+// frontReads linearizes the front-end read index back to arrival order.
+func (c *Controller) frontReads() []*mem.Packet {
+	type entry struct {
+		seq uint64
+		pkt *mem.Packet
+	}
+	entries := make([]entry, 0, c.fe.count)
+	for b := range c.fe.banks {
+		for _, id := range c.fe.banks[b].all.items {
+			n := &c.fe.nodes[id]
+			entries = append(entries, entry{n.seq, n.pkt})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	out := make([]*mem.Packet, len(entries))
+	for i := range entries {
+		out[i] = entries[i].pkt
+	}
+	return out
+}
+
+// frontWrites linearizes the per-bank write buckets back to arrival order.
+func (c *Controller) frontWrites() []*mem.Packet {
+	entries := make([]wentry, 0, c.nWrites)
+	for b := range c.banks {
+		wq := &c.banks[b].writes
+		for j := 0; j < wq.Len(); j++ {
+			entries = append(entries, wq.At(j))
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	out := make([]*mem.Packet, len(entries))
+	for i := range entries {
+		out[i] = entries[i].pkt
+	}
+	return out
+}
+
 // RestoreState implements ckpt.Restorer onto a controller with identical
 // geometry.
 func (c *Controller) RestoreState(r *ckpt.Reader) {
-	c.readQ = mem.LoadPacketList(r)
-	c.writeQ = mem.LoadPacketList(r)
+	reads := mem.LoadPacketList(r)
+	writes := mem.LoadPacketList(r)
 	c.reservedReads = r.Int()
 	c.reservedWrites = r.Int()
 	if n := r.Int(); n != len(c.banks) {
@@ -72,7 +122,11 @@ func (c *Controller) RestoreState(r *ckpt.Reader) {
 		b := &c.banks[i]
 		b.readyAt = r.U64()
 		b.openRow = r.I64()
-		b.queue = mem.LoadPacketList(r)
+		b.queue.Clear()
+		for _, pkt := range mem.LoadPacketList(r) {
+			b.queue.PushBack(pkt)
+		}
+		b.writes.Clear()
 	}
 	c.busFreeAt = r.U64()
 	c.lastWrite = r.Bool()
@@ -100,4 +154,23 @@ func (c *Controller) RestoreState(r *ckpt.Reader) {
 	s.RowHits = r.U64()
 	s.Refreshes = r.U64()
 	s.PriorityInversions = r.U64()
+	if r.Err() != nil {
+		return
+	}
+
+	// Rebuild the scheduling index from the linearized queues. Arrival
+	// sequence numbers restart from zero; only their relative order
+	// matters, and insertion in list order reproduces it. This runs
+	// after the per-bank open rows are restored so row-hit membership
+	// is computed against the right rows.
+	c.fe = newFrontSched(c.cfg.Banks, c.cfg.FrontReadQ, c.fe.useHit)
+	c.fe.edf = c.sched == SchedEDF
+	for _, pkt := range reads {
+		c.insertRead(pkt)
+	}
+	c.nWrites = 0
+	c.wseq = 0
+	for _, pkt := range writes {
+		c.insertWrite(pkt)
+	}
 }

@@ -70,7 +70,7 @@ func TestTwoStageBankQueueDepthRespected(t *testing.T) {
 	}
 	for now := uint64(0); now < 2000; now++ {
 		mc.Tick(now)
-		if n := len(mc.banks[3].queue); n > cfg.BankQueueDepth {
+		if n := mc.banks[3].queue.Len(); n > cfg.BankQueueDepth {
 			t.Fatalf("bank queue depth %d exceeds %d", n, cfg.BankQueueDepth)
 		}
 	}

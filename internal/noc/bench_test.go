@@ -1,0 +1,42 @@
+package noc
+
+import (
+	"testing"
+
+	"pabst/internal/mem"
+)
+
+// BenchmarkNetworkHop measures the per-cycle cost of the contention
+// mesh with traffic in flight: pooled packets injected from a corner
+// tile toward the MC as fast as backpressure allows, recycled on
+// delivery. One op is one network cycle; the steady state must be
+// allocation-free.
+func BenchmarkNetworkHop(b *testing.B) {
+	var pool mem.Pool
+	n, err := NewNetwork(Config{
+		Cols: 4, Rows: 2, NumMCs: 1,
+		RouterDelay: 1, LinkDelay: 1, BaseDelay: 4,
+	}, DefaultNetParams(), func(pkt *mem.Packet, dst int, now uint64) {
+		pool.Put(pkt)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	drive := func(now uint64) {
+		pkt := pool.Get()
+		pkt.Addr = mem.Addr(now % 64 * mem.LineSize)
+		pkt.Kind = mem.Read
+		if !n.TrySend(pkt, n.TileNode(0), n.MCNode(0), false) {
+			pool.Put(pkt) // backpressured: recycle and retry next cycle
+		}
+		n.Tick(now)
+	}
+	for now := uint64(0); now < 4096; now++ { // settle pool and queues
+		drive(now)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drive(4096 + uint64(i))
+	}
+}

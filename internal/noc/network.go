@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pabst/internal/mem"
+	"pabst/internal/sim"
 )
 
 // Network is the optional contention-modeled mesh: store-and-forward
@@ -56,7 +57,7 @@ type netMsg struct {
 
 type router struct {
 	x, y   int
-	in     [numPorts][]netMsg
+	in     [numPorts]sim.Ring[netMsg]
 	busy   [numPorts]uint64 // output port busy-until cycle
 	rrNext int
 }
@@ -154,7 +155,7 @@ func (n *Network) flitsOf(pkt *mem.Packet, toMem bool) int {
 // backpressure that makes link bandwidth a real resource.
 func (n *Network) TrySend(pkt *mem.Packet, src, dst int, carriesData bool) bool {
 	r := &n.routers[n.nodeRouter[src]]
-	if len(r.in[portLocal]) >= n.queueCap {
+	if r.in[portLocal].Len() >= n.queueCap {
 		n.InjectFails++
 		return false
 	}
@@ -162,7 +163,7 @@ func (n *Network) TrySend(pkt *mem.Packet, src, dst int, carriesData bool) bool 
 	if carriesData {
 		flits = n.dataFlit
 	}
-	r.in[portLocal] = append(r.in[portLocal], netMsg{pkt: pkt, dst: dst, flits: flits})
+	r.in[portLocal].PushBack(netMsg{pkt: pkt, dst: dst, flits: flits})
 	return true
 }
 
@@ -217,16 +218,19 @@ func (n *Network) Tick(now uint64) {
 		var granted [numPorts]bool
 		for k := 0; k < numPorts; k++ {
 			p := (r.rrNext + k) % numPorts
-			q := r.in[p]
-			if len(q) == 0 || q[0].readyAt > now {
+			q := &r.in[p]
+			if q.Len() == 0 {
 				continue
 			}
-			msg := q[0]
+			msg, _ := q.Front()
+			if msg.readyAt > now {
+				continue
+			}
 			dr := n.nodeRouter[msg.dst]
 			out := n.routePort(ri, dr)
 			if out == portLocal {
 				// Ejection: unbounded, the endpoint absorbs it.
-				r.in[p] = q[1:]
+				q.PopFront()
 				n.Delivered++
 				n.deliver(msg.pkt, msg.dst, now)
 				continue
@@ -236,14 +240,14 @@ func (n *Network) Tick(now uint64) {
 			}
 			next := &n.routers[n.neighbor(ri, out)]
 			inPort := oppositePort(out)
-			if len(next.in[inPort]) >= n.queueCap {
+			if next.in[inPort].Len() >= n.queueCap {
 				continue // backpressure
 			}
-			r.in[p] = q[1:]
+			q.PopFront()
 			granted[out] = true
 			r.busy[out] = now + hop*uint64(msg.flits)
 			msg.readyAt = now + hop*uint64(msg.flits)
-			next.in[inPort] = append(next.in[inPort], msg)
+			next.in[inPort].PushBack(msg)
 			n.TotalHops++
 		}
 		r.rrNext = (r.rrNext + 1) % numPorts
@@ -270,7 +274,7 @@ func (n *Network) Pending() int {
 	total := 0
 	for ri := range n.routers {
 		for p := 0; p < numPorts; p++ {
-			total += len(n.routers[ri].in[p])
+			total += n.routers[ri].in[p].Len()
 		}
 	}
 	return total

@@ -16,8 +16,10 @@ func (n *Network) SaveState(w *ckpt.Writer) {
 	for ri := range n.routers {
 		r := &n.routers[ri]
 		for p := 0; p < numPorts; p++ {
-			w.Int(len(r.in[p]))
-			for _, msg := range r.in[p] {
+			q := &r.in[p]
+			w.Int(q.Len())
+			for i := 0; i < q.Len(); i++ {
+				msg := q.At(i)
 				mem.SavePacket(w, msg.pkt)
 				w.Int(msg.dst)
 				w.Int(msg.flits)
@@ -52,14 +54,14 @@ func (n *Network) RestoreState(r *ckpt.Reader) {
 				r.Fail(fmt.Errorf("%w: router queue length %d", ckpt.ErrCorrupt, cnt))
 				return
 			}
-			rt.in[p] = rt.in[p][:0]
+			rt.in[p].Clear()
 			for i := 0; i < cnt; i++ {
 				var msg netMsg
 				msg.pkt = mem.LoadPacket(r)
 				msg.dst = r.Int()
 				msg.flits = r.Int()
 				msg.readyAt = r.U64()
-				rt.in[p] = append(rt.in[p], msg)
+				rt.in[p].PushBack(msg)
 			}
 		}
 		for p := 0; p < numPorts; p++ {

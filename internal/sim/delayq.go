@@ -21,6 +21,16 @@ type delayEntry[T any] struct {
 // Len returns the number of queued items, ready or not.
 func (q *DelayQueue[T]) Len() int { return len(q.entries) }
 
+// Grow pre-allocates capacity for n queued entries so a warmed queue
+// never reallocates its backing array.
+func (q *DelayQueue[T]) Grow(n int) {
+	if n > cap(q.entries) {
+		entries := make([]delayEntry[T], len(q.entries), n)
+		copy(entries, q.entries)
+		q.entries = entries
+	}
+}
+
 // Push schedules item to become available at cycle readyAt.
 func (q *DelayQueue[T]) Push(item T, readyAt uint64) {
 	q.entries = append(q.entries, delayEntry[T]{readyAt: readyAt, seq: q.seq, item: item})

@@ -1,0 +1,93 @@
+package sim
+
+// Ring is a growable FIFO ring buffer. It replaces the
+// `q = append(q[:0], q[1:]...)` and `q = q[1:]` slice-queue idioms on the
+// simulator's hot paths: PushBack and PopFront are O(1), dequeue never
+// memmoves, and — unlike the re-sliced-tail idiom — a popped slot is
+// cleared immediately, so the queue retains no reference to items it no
+// longer holds (the readQ trailing-slot leak this type was built to
+// close).
+//
+// The buffer grows by doubling when full and never shrinks; after a
+// warmup period a queue with a bounded population stops allocating
+// entirely, which the zero-alloc steady-state tests rely on.
+type Ring[T any] struct {
+	buf  []T
+	head int // index of the front element
+	n    int // population
+}
+
+// Len returns the number of queued items.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Grow ensures capacity for at least n items without further allocation.
+func (r *Ring[T]) Grow(n int) {
+	if n > len(r.buf) {
+		r.resize(n)
+	}
+}
+
+// PushBack appends an item at the tail.
+func (r *Ring[T]) PushBack(v T) {
+	if r.n == len(r.buf) {
+		grown := 2 * r.n
+		if grown < 8 {
+			grown = 8
+		}
+		r.resize(grown)
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+// PopFront removes and returns the head item; ok is false when empty.
+func (r *Ring[T]) PopFront() (v T, ok bool) {
+	if r.n == 0 {
+		return v, false
+	}
+	var zero T
+	v = r.buf[r.head]
+	r.buf[r.head] = zero // release the reference
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v, true
+}
+
+// Front returns the head item without removing it; ok is false when
+// empty.
+func (r *Ring[T]) Front() (v T, ok bool) {
+	if r.n == 0 {
+		return v, false
+	}
+	return r.buf[r.head], true
+}
+
+// Clear empties the ring, releasing every held reference but keeping the
+// buffer capacity.
+func (r *Ring[T]) Clear() {
+	var zero T
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = zero
+	}
+	r.head = 0
+	r.n = 0
+}
+
+// At returns the i-th item from the front (0 = head). It panics when i
+// is out of range, like a slice index.
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.n {
+		panic("sim: ring index out of range")
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// resize re-packs the population at the start of a fresh buffer.
+func (r *Ring[T]) resize(capacity int) {
+	buf := make([]T, capacity)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = buf
+	r.head = 0
+}

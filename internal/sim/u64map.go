@@ -1,0 +1,139 @@
+package sim
+
+// U64Map is an open-addressed uint64→uint64 hash table with linear
+// probing and backward-shift deletion. It replaces small map[uint64]uint64
+// bookkeeping on hot paths (e.g. workload transaction start times): after
+// warmup a bounded-population table performs Put/Get/Delete without
+// touching the allocator, where the built-in map allocates on insert
+// after deletes and keeps tombstone buckets alive.
+//
+// The zero value is ready to use. Not safe for concurrent use.
+type U64Map struct {
+	keys []uint64
+	vals []uint64
+	live []bool
+	n    int
+}
+
+const u64MapMinSize = 16
+
+func u64hash(x uint64) uint64 {
+	// SplitMix64 finalizer: full-avalanche, cheap, and deterministic.
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Len returns the number of stored keys.
+func (m *U64Map) Len() int { return m.n }
+
+// Get returns the value for key and whether it is present.
+func (m *U64Map) Get(key uint64) (uint64, bool) {
+	if m.n == 0 {
+		return 0, false
+	}
+	mask := uint64(len(m.keys) - 1)
+	for i := u64hash(key) & mask; m.live[i]; i = (i + 1) & mask {
+		if m.keys[i] == key {
+			return m.vals[i], true
+		}
+	}
+	return 0, false
+}
+
+// Put inserts or overwrites key.
+func (m *U64Map) Put(key, val uint64) {
+	if len(m.keys) == 0 || m.n*4 >= len(m.keys)*3 {
+		m.grow()
+	}
+	mask := uint64(len(m.keys) - 1)
+	i := u64hash(key) & mask
+	for m.live[i] {
+		if m.keys[i] == key {
+			m.vals[i] = val
+			return
+		}
+		i = (i + 1) & mask
+	}
+	m.keys[i] = key
+	m.vals[i] = val
+	m.live[i] = true
+	m.n++
+}
+
+// Delete removes key if present, compacting its probe run so lookups
+// never need tombstones.
+func (m *U64Map) Delete(key uint64) {
+	if m.n == 0 {
+		return
+	}
+	mask := uint64(len(m.keys) - 1)
+	i := u64hash(key) & mask
+	for {
+		if !m.live[i] {
+			return
+		}
+		if m.keys[i] == key {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	m.n--
+	// Backward-shift: pull later members of the probe run into the hole
+	// when their home slot precedes it.
+	j := i
+	for k := (j + 1) & mask; m.live[k]; k = (k + 1) & mask {
+		home := u64hash(m.keys[k]) & mask
+		if (k-home)&mask >= (k-j)&mask {
+			m.keys[j] = m.keys[k]
+			m.vals[j] = m.vals[k]
+			j = k
+		}
+	}
+	m.live[j] = false
+}
+
+// Grow pre-sizes the table so n keys fit without rehashing.
+func (m *U64Map) Grow(n int) {
+	need := u64MapMinSize
+	for need*3 < n*4 {
+		need *= 2
+	}
+	if need > len(m.keys) {
+		m.rehash(need)
+	}
+}
+
+// Range calls fn for every entry in unspecified order. fn must not
+// mutate the map.
+func (m *U64Map) Range(fn func(key, val uint64)) {
+	for i := range m.keys {
+		if m.live[i] {
+			fn(m.keys[i], m.vals[i])
+		}
+	}
+}
+
+func (m *U64Map) grow() {
+	size := u64MapMinSize
+	if len(m.keys) > 0 {
+		size = len(m.keys) * 2
+	}
+	m.rehash(size)
+}
+
+func (m *U64Map) rehash(size int) {
+	keys, vals, live := m.keys, m.vals, m.live
+	m.keys = make([]uint64, size)
+	m.vals = make([]uint64, size)
+	m.live = make([]bool, size)
+	m.n = 0
+	for i := range keys {
+		if live[i] {
+			m.Put(keys[i], vals[i])
+		}
+	}
+}

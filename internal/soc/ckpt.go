@@ -2,7 +2,6 @@ package soc
 
 import (
 	"fmt"
-	"sort"
 
 	"pabst/internal/ckpt"
 	"pabst/internal/mem"
@@ -353,30 +352,27 @@ func (t *Tile) saveState(w *ckpt.Writer) {
 	}
 	sim.SaveDelayQueue(w, &t.inbox, mem.SavePacket)
 
-	// MSHRs in sorted-key order (map iteration is random; checkpoints must
-	// not be). A nil waiter list is the prefetch marker — the key exists
-	// but no core op waits — and is distinct from any demand entry.
-	keys := make([]uint64, 0, len(t.mshr))
-	for k := range t.mshr {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	// MSHRs in sorted-key order (table iteration follows hash placement;
+	// checkpoints must not). The ^uint64(0) waiter count is the prefetch
+	// marker — the line is in flight but no core op waits — and is
+	// distinct from any demand entry.
+	keys := t.mshr.sortedLines(make([]uint64, 0, t.mshr.len()))
 	w.Int(len(keys))
 	for _, k := range keys {
 		w.U64(k)
-		waiters := t.mshr[k]
-		if waiters == nil {
+		e := t.mshr.lookup(k)
+		if e.prefetch {
 			w.U64(^uint64(0))
 			continue
 		}
-		w.U64(uint64(len(waiters)))
-		for _, tok := range waiters {
-			w.U64(tok)
+		w.U64(uint64(e.n))
+		for i := int32(0); i < e.n; i++ {
+			w.U64(e.waiter(i))
 		}
 	}
 
-	for _, q := range t.missQ {
-		mem.SavePacketList(w, q)
+	for i := range t.missQ {
+		savePacketRing(w, &t.missQ[i])
 	}
 	w.Int(t.queued)
 	w.Int(t.rrMC)
@@ -415,30 +411,29 @@ func (t *Tile) restoreState(r *ckpt.Reader) {
 		r.Fail(fmt.Errorf("%w: MSHR count %d", ckpt.ErrCorrupt, n))
 		return
 	}
-	t.mshr = make(map[uint64][]uint64, n)
+	t.mshr.reset()
 	for i := 0; i < n; i++ {
 		k := r.U64()
 		cnt := r.U64()
 		if cnt == ^uint64(0) {
-			t.mshr[k] = nil // prefetch in flight: present, no waiters
+			t.mshr.insert(k, true) // prefetch in flight: present, no waiters
 			continue
 		}
 		if cnt > 1<<20 {
 			r.Fail(fmt.Errorf("%w: MSHR waiter count %d", ckpt.ErrCorrupt, cnt))
 			return
 		}
-		waiters := make([]uint64, cnt)
-		for j := range waiters {
-			waiters[j] = r.U64()
+		e := t.mshr.insert(k, false)
+		for j := uint64(0); j < cnt; j++ {
+			e.addWaiter(r.U64())
 		}
 		if r.Err() != nil {
 			return
 		}
-		t.mshr[k] = waiters
 	}
 
 	for i := range t.missQ {
-		t.missQ[i] = mem.LoadPacketList(r)
+		loadPacketRing(r, &t.missQ[i])
 	}
 	t.queued = r.Int()
 	t.rrMC = r.Int()
@@ -491,19 +486,49 @@ func loadOutMsg(r *ckpt.Reader) outMsg {
 func (d *frontDoor) saveState(w *ckpt.Writer) {
 	sim.SaveDelayQueue(w, &d.inbox, mem.SavePacket)
 	for c := range d.reads {
-		mem.SavePacketList(w, d.reads[c])
+		savePacketRing(w, &d.reads[c])
 	}
 	w.Int(d.readCount)
 	w.Int(d.rrNext)
-	mem.SavePacketList(w, d.writes)
+	savePacketRing(w, &d.writes)
 }
 
 func (d *frontDoor) restoreState(r *ckpt.Reader) {
 	sim.LoadDelayQueue(r, &d.inbox, mem.LoadPacket)
 	for c := range d.reads {
-		d.reads[c] = mem.LoadPacketList(r)
+		loadPacketRing(r, &d.reads[c])
 	}
 	d.readCount = r.Int()
 	d.rrNext = r.Int()
-	d.writes = mem.LoadPacketList(r)
+	loadPacketRing(r, &d.writes)
+}
+
+// savePacketRing walks a packet ring front-to-back in the list format of
+// mem.SavePacketList (a ring is never nil, so the count is always
+// explicit).
+func savePacketRing(w *ckpt.Writer, q *sim.Ring[*mem.Packet]) {
+	w.U64(uint64(q.Len()))
+	for i := 0; i < q.Len(); i++ {
+		mem.SavePacket(w, q.At(i))
+	}
+}
+
+// loadPacketRing refills a ring from the list format, accepting the
+// legacy nil marker as empty.
+func loadPacketRing(r *ckpt.Reader, q *sim.Ring[*mem.Packet]) {
+	q.Clear()
+	n := r.U64()
+	if n == ^uint64(0) {
+		return
+	}
+	if n > 1<<24 {
+		r.Fail(fmt.Errorf("%w: packet queue length %d", ckpt.ErrCorrupt, n))
+		return
+	}
+	for i := uint64(0); i < n; i++ {
+		q.PushBack(mem.LoadPacket(r))
+		if r.Err() != nil {
+			return
+		}
+	}
 }

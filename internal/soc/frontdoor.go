@@ -24,20 +24,20 @@ type frontDoor struct {
 
 	inbox sim.DelayQueue[*mem.Packet]
 
-	reads     [mem.MaxClasses][]*mem.Packet
+	reads     [mem.MaxClasses]sim.Ring[*mem.Packet]
 	readCount int
 	rrNext    int
 
-	writes []*mem.Packet
+	writes sim.Ring[*mem.Packet]
 }
 
 // park accepts an arrived packet into the appropriate waiting room.
 func (d *frontDoor) park(pkt *mem.Packet) {
 	if pkt.Kind == mem.Writeback {
-		d.writes = append(d.writes, pkt)
+		d.writes.PushBack(pkt)
 		return
 	}
-	d.reads[pkt.Class] = append(d.reads[pkt.Class], pkt)
+	d.reads[pkt.Class].PushBack(pkt)
 	d.readCount++
 }
 
@@ -59,22 +59,22 @@ func (d *frontDoor) tick(now uint64) {
 	for d.readCount > 0 && skipped < mem.MaxClasses {
 		cls := d.rrNext
 		d.rrNext = (d.rrNext + 1) % mem.MaxClasses
-		q := d.reads[cls]
-		if len(q) == 0 {
+		q := &d.reads[cls]
+		if q.Len() == 0 {
 			skipped++
 			continue
 		}
 		if !mc.TryReserveRead() {
 			break
 		}
-		mc.ArriveRead(q[0], now)
-		d.reads[cls] = q[1:]
+		pkt, _ := q.PopFront()
+		mc.ArriveRead(pkt, now)
 		d.readCount--
 		skipped = 0
 	}
 	// Writes: FIFO (never prioritized, per the paper).
-	for len(d.writes) > 0 && mc.TryReserveWrite() {
-		mc.ArriveWrite(d.writes[0], now)
-		d.writes = d.writes[1:]
+	for d.writes.Len() > 0 && mc.TryReserveWrite() {
+		pkt, _ := d.writes.PopFront()
+		mc.ArriveWrite(pkt, now)
 	}
 }

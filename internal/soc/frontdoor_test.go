@@ -60,12 +60,7 @@ func TestFrontDoorRoundRobinAcrossClasses(t *testing.T) {
 	if q.QueuedReads() != 4 {
 		t.Fatalf("queued %d", q.QueuedReads())
 	}
-	var cls1 int
-	for _, p := range d.reads[1] {
-		_ = p
-		cls1++
-	}
-	if cls1 != 0 {
+	if cls1 := d.reads[1].Len(); cls1 != 0 {
 		t.Fatalf("class 1 still has %d parked requests; RR should have admitted both", cls1)
 	}
 }
@@ -78,7 +73,8 @@ func TestFrontDoorFIFOWithinClass(t *testing.T) {
 	d.park(c)
 	d.tick(0)
 	// Two slots: a and b admitted, c still parked.
-	if d.Parked() != 1 || d.reads[0][0] != c {
+	front, _ := d.reads[0].Front()
+	if d.Parked() != 1 || front != c {
 		t.Fatal("within-class admission is not FIFO")
 	}
 }

@@ -199,9 +199,11 @@ func (s *System) GovernorState(tile int) (m, dm, period uint64, ok bool) {
 // currently holds — the LLC occupancy monitor existing QoS architectures
 // expose (Section II-B).
 func (s *System) L3OccupancyOf(class mem.ClassID) uint64 {
+	var occ [mem.MaxClasses]int
 	var lines uint64
 	for _, sl := range s.slices {
-		lines += uint64(sl.cache.OccupancyByClass()[class])
+		sl.cache.OccupancyInto(&occ)
+		lines += uint64(occ[class])
 	}
 	return lines * mem.LineSize
 }

@@ -46,6 +46,11 @@ const (
 	// phase). The probe itself must run at commit time because it
 	// mutates shared replacement state.
 	opL2Writeback
+	// opDoorWB materializes an L3 dirty-victim writeback at commit: the
+	// slice phase records only (addr, class, door, at) and the commit
+	// draws the packet from the shared writeback pool, which slice
+	// shards must not touch mid-compute.
+	opDoorWB
 )
 
 // stagedOp is one deferred cross-shard effect.
@@ -70,9 +75,10 @@ type tileStage struct {
 // parStage holds every phase's staging buffers, allocated once at
 // Finalize and reused (truncated, not freed) every cycle.
 type parStage struct {
-	mc    [][]stagedOp // responses per controller
-	slice [][]stagedOp // sends per slice
+	mc    [][]stagedOp     // responses per controller
+	slice [][]stagedOp     // sends per slice
 	tile  []tileStage
+	wbRel [][]*mem.Packet // served writebacks per controller, awaiting release
 }
 
 func newParStage(tiles, slices, mcs int) *parStage {
@@ -80,6 +86,7 @@ func newParStage(tiles, slices, mcs int) *parStage {
 		mc:    make([][]stagedOp, mcs),
 		slice: make([][]stagedOp, slices),
 		tile:  make([]tileStage, tiles),
+		wbRel: make([][]*mem.Packet, mcs),
 	}
 }
 
@@ -102,6 +109,10 @@ func (s *System) tickParallel(now uint64) {
 			s.tiles[op.pkt.SrcTile].inbox.Push(op.pkt, op.at)
 		}
 		st.mc[i] = st.mc[i][:0]
+		for _, pkt := range st.wbRel[i] {
+			s.wbPool.Put(pkt)
+		}
+		st.wbRel[i] = st.wbRel[i][:0]
 	}
 
 	// --- Phase 2: L3 slices, in the cycle's rotated order ------------
@@ -120,6 +131,14 @@ func (s *System) tickParallel(now uint64) {
 				s.doors[op.dst].inbox.Push(op.pkt, op.at)
 			case opPushTile:
 				s.tiles[op.dst].inbox.Push(op.pkt, op.at)
+			case opDoorWB:
+				pkt := s.wbPool.Get()
+				pkt.Addr = op.addr.Line()
+				pkt.Kind = mem.Writeback
+				pkt.Class = op.class
+				pkt.SrcTile = i
+				pkt.MC = op.dst
+				s.doors[op.dst].inbox.Push(pkt, op.at)
 			}
 		}
 		st.slice[i] = st.slice[i][:0]
@@ -204,7 +223,7 @@ func (s *System) nextEventAt(from uint64) uint64 {
 		consider(at)
 	}
 	for _, d := range s.doors {
-		if d.readCount > 0 || len(d.writes) > 0 {
+		if d.readCount > 0 || d.writes.Len() > 0 {
 			return from
 		}
 		if _, at, ok := d.inbox.Peek(); ok {

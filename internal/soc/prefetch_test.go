@@ -75,7 +75,7 @@ func TestPrefetchRespectsMSHRBound(t *testing.T) {
 	cfg := testCfg8()
 	for i := 0; i < 3000; i++ {
 		sys.Run(1)
-		if n := len(sys.tiles[0].mshr); n > cfg.MaxMSHRs {
+		if n := sys.tiles[0].mshr.len(); n > cfg.MaxMSHRs {
 			t.Fatalf("MSHRs %d exceed %d with prefetching", n, cfg.MaxMSHRs)
 		}
 	}

@@ -136,12 +136,27 @@ func (sl *Slice) tick(now uint64) {
 			pkt.WBGen = true
 		}
 		sl.WBByClass[charged]++
-		sl.sendToMC(&mem.Packet{
-			Addr:    res.Victim.Addr.Line(),
-			Kind:    mem.Writeback,
-			Class:   charged,
-			SrcTile: sl.id,
-		}, now+uint64(sl.sys.cfg.L3HitLat))
+		sl.sendWB(res.Victim.Addr, charged, now+uint64(sl.sys.cfg.L3HitLat))
 	}
 	sl.sendToMC(pkt, now+uint64(sl.sys.cfg.L3HitLat))
+}
+
+// sendWB forwards a dirty-victim writeback to the owning controller's
+// front door. During the parallel slice phase the writeback is staged as
+// plain data (opDoorWB) and a pooled packet is materialized at commit —
+// the shared writeback pool must not be touched from a slice shard. On
+// sequential paths it draws from the pool directly.
+func (sl *Slice) sendWB(addr mem.Addr, class mem.ClassID, now uint64) {
+	if st := sl.sys.stage; st != nil && sl.sys.net == nil {
+		mc := sl.sys.mcOf(addr)
+		lat := uint64(sl.sys.mesh.TileToMC(sl.id, mc))
+		st.slice[sl.id] = append(st.slice[sl.id], stagedOp{kind: opDoorWB, dst: mc, at: now + lat, addr: addr, class: class})
+		return
+	}
+	pkt := sl.sys.wbPool.Get()
+	pkt.Addr = addr.Line()
+	pkt.Kind = mem.Writeback
+	pkt.Class = class
+	pkt.SrcTile = sl.id
+	sl.sendToMC(pkt, now)
 }

@@ -179,7 +179,7 @@ func TestMSHRBound(t *testing.T) {
 	}
 	for i := 0; i < 5000; i++ {
 		sys.Run(1)
-		if n := len(sys.tiles[0].mshr); n > cfg.MaxMSHRs {
+		if n := sys.tiles[0].mshr.len(); n > cfg.MaxMSHRs {
 			t.Fatalf("MSHR occupancy %d exceeds %d", n, cfg.MaxMSHRs)
 		}
 	}

@@ -69,6 +69,12 @@ type System struct {
 	parStage *parStage
 	stage    *parStage
 
+	// wbPool recycles writeback packets (L2 and L3 dirty victims). They
+	// are allocated and released only at sequential points of the tick —
+	// the parallel path stages both the allocation (opDoorWB) and the
+	// controller's release (parStage.wbRel) for its commit phases.
+	wbPool mem.Pool
+
 	// Degradation observability (tracked only when faults are active):
 	// per-epoch governor divergence and re-convergence bookkeeping.
 	divergeMax     uint64 // max over epochs of (max M − min M) across governors
@@ -130,6 +136,7 @@ func New(cfg config.System, reg *qos.Registry, mode regulate.Mode) (*System, err
 		if err != nil {
 			return nil, err
 		}
+		mc.SetReleaser(func(pkt *mem.Packet) { s.releaseWB(pkt, i) })
 		var arb *pabst.Arbiter
 		if mode.TargetEnabled() {
 			arb = pabst.NewArbiter(reg, cfg.PABST.Slack)
@@ -137,7 +144,17 @@ func New(cfg config.System, reg *qos.Registry, mode regulate.Mode) (*System, err
 		}
 		s.arbs = append(s.arbs, arb)
 		s.mcs = append(s.mcs, mc)
-		s.doors = append(s.doors, &frontDoor{sys: s, mc: i})
+		d := &frontDoor{sys: s, mc: i}
+		// Pre-size the waiting rooms to their common-case occupancy:
+		// parked reads mirror the controller's front queue, and the
+		// in-flight inbox is bounded by the tiles' aggregate MSHR count
+		// (rare overflow beyond these still grows on demand).
+		for c := range d.reads {
+			d.reads[c].Grow(cfg.DRAM.FrontReadQ)
+		}
+		d.writes.Grow(cfg.DRAM.FrontWriteQ)
+		d.inbox.Grow(cfg.NumTiles() * cfg.MaxMSHRs / cfg.NumMCs)
+		s.doors = append(s.doors, d)
 	}
 
 	for i := 0; i < cfg.NumTiles(); i++ {
@@ -457,6 +474,19 @@ func (s *System) tick(now uint64) {
 			t.tick(now)
 		}
 	}
+}
+
+// releaseWB returns a served writeback packet to the pool. A controller
+// serves writes mid-Tick; on the parallel path that is inside phase-1
+// compute, so the release is staged per controller and drained at the
+// phase-1 commit in ascending controller order — the pool's LIFO order
+// stays identical at every worker count.
+func (s *System) releaseWB(pkt *mem.Packet, mcID int) {
+	if st := s.stage; st != nil {
+		st.wbRel[mcID] = append(st.wbRel[mcID], pkt)
+		return
+	}
+	s.wbPool.Put(pkt)
 }
 
 // deliverResponse routes a completed read from MC mc back to its source

@@ -33,15 +33,21 @@ type Tile struct {
 	inbox sim.DelayQueue[*mem.Packet]
 
 	// mshr maps an outstanding miss line to the core op tokens waiting
-	// on it (coalescing). Its size is the MSHR occupancy.
-	mshr map[uint64][]uint64
+	// on it (coalescing). Its population is the MSHR occupancy.
+	mshr *mshrTable
 
 	// missQ holds misses awaiting pacer clearance to enter the NoC, one
 	// FIFO per destination controller so per-MC pacing never suffers
 	// head-of-line blocking across channels.
-	missQ  [][]*mem.Packet
+	missQ  []sim.Ring[*mem.Packet]
 	queued int
 	rrMC   int
+
+	// pool recycles this tile's demand and prefetch packets. Every read
+	// the tile injects returns to this tile (responses route to SrcTile),
+	// so the pool is shard-local: the parallel tick's tile phase touches
+	// it from exactly one goroutine.
+	pool mem.Pool
 
 	prefetches uint64
 }
@@ -59,8 +65,17 @@ func newTile(s *System, id int, class mem.ClassID, gen workload.Generator) (*Til
 			SizeBytes: s.cfg.L2Bytes,
 			Ways:      s.cfg.L2Ways,
 		}),
-		mshr:  make(map[uint64][]uint64),
-		missQ: make([][]*mem.Packet, s.cfg.NumMCs),
+		mshr:  newMSHRTable(s.cfg.MaxMSHRs),
+		missQ: make([]sim.Ring[*mem.Packet], s.cfg.NumMCs),
+	}
+	// Pre-size every structure whose occupancy is bounded by the MSHR
+	// count, so the steady-state miss path never grows a backing array:
+	// at most MaxMSHRs misses are outstanding, each holding one pooled
+	// packet, queued toward one MC, with one response in flight back.
+	t.pool.Grow(s.cfg.MaxMSHRs)
+	t.inbox.Grow(s.cfg.MaxMSHRs)
+	for i := range t.missQ {
+		t.missQ[i].Grow(s.cfg.MaxMSHRs)
 	}
 	switch {
 	case !s.mode.SourceEnabled():
@@ -100,8 +115,8 @@ func (t *Tile) Access(addr mem.Addr, write bool, now uint64, token uint64) (cpu.
 	// Coalesce with an outstanding miss to the same line before probing
 	// the caches: the fill has not arrived yet (the cache state was
 	// updated optimistically at miss time, so a lookup would hit).
-	if waiters, busy := t.mshr[lineID]; busy {
-		t.mshr[lineID] = append(waiters, token)
+	if e := t.mshr.lookup(lineID); e != nil {
+		e.addWaiter(token)
 		return cpu.AccessPending, 0
 	}
 
@@ -122,12 +137,12 @@ func (t *Tile) Access(addr mem.Addr, write bool, now uint64, token uint64) (cpu.
 	if res.Hit {
 		return cpu.AccessDone, now + uint64(t.sys.cfg.L2HitLat)
 	}
-	if len(t.mshr) >= t.sys.cfg.MaxMSHRs {
+	if t.mshr.len() >= t.sys.cfg.MaxMSHRs {
 		return cpu.AccessBlocked, 0
 	}
-	t.mshr[lineID] = []uint64{token}
-	pkt := &mem.Packet{Addr: line, Kind: mem.Read, Class: t.class, SrcTile: t.id, MC: t.sys.mcOf(line)}
-	t.missQ[pkt.MC] = append(t.missQ[pkt.MC], pkt)
+	t.mshr.insert(lineID, false).addWaiter(token)
+	pkt := t.newMiss(line)
+	t.missQ[pkt.MC].PushBack(pkt)
 	t.queued++
 	t.src.OnDemand(now)
 
@@ -144,25 +159,38 @@ func (t *Tile) Access(addr mem.Addr, write bool, now uint64, token uint64) (cpu.
 	return cpu.AccessPending, 0
 }
 
+// newMiss fills a pooled packet for an L2 miss to line. The tile owns
+// the packet until it injects it into the NoC; it regains ownership when
+// the response lands in its inbox and releases it back to the pool.
+func (t *Tile) newMiss(line mem.Addr) *mem.Packet {
+	pkt := t.pool.Get()
+	pkt.Addr = line
+	pkt.Kind = mem.Read
+	pkt.Class = t.class
+	pkt.SrcTile = t.id
+	pkt.MC = t.sys.mcOf(line)
+	return pkt
+}
+
 // prefetch issues a speculative fill for line if it is absent, not
 // already in flight, and an MSHR is free. No core op waits on it; the
 // fill is installed when the response arrives like any other miss.
 func (t *Tile) prefetch(line mem.Addr, now uint64) {
 	lineID := line.LineID()
-	if _, busy := t.mshr[lineID]; busy {
+	if t.mshr.lookup(lineID) != nil {
 		return
 	}
-	if len(t.mshr) >= t.sys.cfg.MaxMSHRs {
+	if t.mshr.len() >= t.sys.cfg.MaxMSHRs {
 		return
 	}
 	if t.l2.Contains(line) {
 		return
 	}
 	res := t.l2.Access(line, false, t.class) // allocate the frame
-	t.mshr[lineID] = nil                     // no waiters
+	t.mshr.insert(lineID, true)              // no waiters
 	t.prefetches++
-	pkt := &mem.Packet{Addr: line, Kind: mem.Read, Class: t.class, SrcTile: t.id, MC: t.sys.mcOf(line)}
-	t.missQ[pkt.MC] = append(t.missQ[pkt.MC], pkt)
+	pkt := t.newMiss(line)
+	t.missQ[pkt.MC].PushBack(pkt)
 	t.queued++
 	t.src.OnDemand(now)
 	if res.Evicted && res.Victim.Dirty {
@@ -204,14 +232,19 @@ func (t *Tile) tick(now uint64) {
 			t.sys.e2eLatCnt[pkt.Class]++
 		}
 		lineID := pkt.Addr.LineID()
-		waiters, ok := t.mshr[lineID]
-		if !ok {
+		e := t.mshr.lookup(lineID)
+		if e == nil {
 			panic(fmt.Sprintf("soc: response for line %#x with no MSHR", lineID))
 		}
-		delete(t.mshr, lineID)
-		for _, tok := range waiters {
-			t.core.CompleteMiss(tok, now)
+		// CompleteMiss never re-enters the MSHR (it only arms gap-queue
+		// wakeups), so draining waiters before removing the entry is safe.
+		for i := int32(0); i < e.n; i++ {
+			t.core.CompleteMiss(e.waiter(i), now)
 		}
+		t.mshr.remove(lineID)
+		// The response's round trip is over; the tile owns it again and
+		// recycles it for a future miss.
+		t.pool.Put(pkt)
 	}
 
 	// One network injection per cycle, gated by the pacer of the miss's
@@ -221,11 +254,11 @@ func (t *Tile) tick(now uint64) {
 		for tries := 0; tries < len(t.missQ); tries++ {
 			mc := t.rrMC
 			t.rrMC = (t.rrMC + 1) % len(t.missQ)
-			q := t.missQ[mc]
-			if len(q) == 0 || !t.src.CanIssue(now, mc) {
+			q := &t.missQ[mc]
+			if q.Len() == 0 || !t.src.CanIssue(now, mc) {
 				continue
 			}
-			pkt := q[0]
+			pkt, _ := q.Front()
 			slice := t.sys.sliceOf(pkt.Addr)
 			var faultLat uint64
 			if t.sys.faults != nil {
@@ -251,7 +284,7 @@ func (t *Tile) tick(now uint64) {
 				lat := uint64(t.sys.mesh.TileToTile(t.id, slice)) + faultLat
 				t.sys.slices[slice].inbox.Push(pkt, now+lat)
 			}
-			t.missQ[mc] = q[1:]
+			q.PopFront()
 			t.queued--
 			t.src.OnIssue(now, mc)
 			pkt.Issue = now
@@ -271,10 +304,12 @@ func (s *System) l2Writeback(addr mem.Addr, class mem.ClassID, now uint64) {
 	if slice.cache.Writeback(addr, class) {
 		return
 	}
-	slice.sendToMC(&mem.Packet{
-		Addr:    addr.Line(),
-		Kind:    mem.Writeback,
-		Class:   class,
-		SrcTile: slice.id,
-	}, now)
+	// Only ever reached sequentially (directly, or replayed at the tile
+	// phase's commit), so the shared writeback pool is safe here.
+	pkt := s.wbPool.Get()
+	pkt.Addr = addr.Line()
+	pkt.Kind = mem.Writeback
+	pkt.Class = class
+	pkt.SrcTile = slice.id
+	slice.sendToMC(pkt, now)
 }

@@ -195,7 +195,7 @@ func TestTileBlockedWhenMSHRsFull(t *testing.T) {
 	}
 	for i := 0; i < 3000; i++ {
 		sys.Run(1)
-		if n := len(sys.tiles[0].mshr); n > cfg.MaxMSHRs {
+		if n := sys.tiles[0].mshr.len(); n > cfg.MaxMSHRs {
 			t.Fatalf("MSHR map %d > limit %d", n, cfg.MaxMSHRs)
 		}
 	}

@@ -45,7 +45,7 @@ type Memcached struct {
 	opInTxn int
 	txn     uint64
 
-	startedAt map[uint64]uint64 // txn -> first-op issue cycle
+	startedAt sim.U64Map // txn -> first-op issue cycle
 	hist      stats.Hist
 }
 
@@ -58,10 +58,9 @@ func NewMemcached(p MemcachedParams, region Region, seed uint64) (*Memcached, er
 		return nil, fmt.Errorf("workload: empty memcached region")
 	}
 	return &Memcached{
-		p:         p,
-		region:    region,
-		rng:       sim.NewRNG(seed),
-		startedAt: make(map[uint64]uint64),
+		p:      p,
+		region: region,
+		rng:    sim.NewRNG(seed),
 	}, nil
 }
 
@@ -120,7 +119,7 @@ func (m *Memcached) Next(op *Op) {
 // OnIssue implements IssueObserver: records transaction start.
 func (m *Memcached) OnIssue(now uint64, tag uint64) {
 	if tag%2 == 1 {
-		m.startedAt[(tag-1)/2] = now
+		m.startedAt.Put((tag-1)/2, now)
 	}
 }
 
@@ -129,9 +128,9 @@ func (m *Memcached) OnIssue(now uint64, tag uint64) {
 func (m *Memcached) OnComplete(now uint64, tag uint64) {
 	if tag%2 == 0 && tag > 0 {
 		txn := (tag - 2) / 2
-		if start, ok := m.startedAt[txn]; ok {
+		if start, ok := m.startedAt.Get(txn); ok {
 			m.hist.Add(now - start)
-			delete(m.startedAt, txn)
+			m.startedAt.Delete(txn)
 		}
 	}
 }

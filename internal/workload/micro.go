@@ -157,7 +157,7 @@ type Bursty struct {
 	inBurst  int
 	burst    uint64
 
-	startedAt map[uint64]uint64
+	startedAt sim.U64Map
 	hist      stats.Hist
 }
 
@@ -171,7 +171,7 @@ func NewBursty(name string, region Region, burstOps, idleGap int, seed uint64) *
 	}
 	return &Bursty{
 		name: name, region: region, burstOps: burstOps, idleGap: idleGap,
-		rng: sim.NewRNG(seed), startedAt: make(map[uint64]uint64),
+		rng: sim.NewRNG(seed),
 	}
 }
 
@@ -203,7 +203,7 @@ func (b *Bursty) Next(op *Op) {
 // OnIssue implements IssueObserver: burst start.
 func (b *Bursty) OnIssue(now uint64, tag uint64) {
 	if tag%2 == 1 {
-		b.startedAt[(tag-1)/2] = now
+		b.startedAt.Put((tag-1)/2, now)
 	}
 }
 
@@ -211,9 +211,9 @@ func (b *Bursty) OnIssue(now uint64, tag uint64) {
 func (b *Bursty) OnComplete(now uint64, tag uint64) {
 	if tag%2 == 0 && tag > 0 {
 		id := (tag - 2) / 2
-		if start, ok := b.startedAt[id]; ok && now >= start {
+		if start, ok := b.startedAt.Get(id); ok && now >= start {
 			b.hist.Add(now - start)
-			delete(b.startedAt, id)
+			b.startedAt.Delete(id)
 		}
 	}
 }

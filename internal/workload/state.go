@@ -6,39 +6,40 @@ import (
 
 	"pabst/internal/ckpt"
 	"pabst/internal/mem"
+	"pabst/internal/sim"
 )
 
-// saveU64Map serializes a map in sorted-key order (maps iterate randomly;
-// checkpoints must not).
-func saveU64Map(w *ckpt.Writer, m map[uint64]uint64) {
-	keys := make([]uint64, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
+// saveU64Map serializes a table in sorted-key order (iteration follows
+// hash placement; checkpoints must not) — the same byte format as the
+// map it replaced.
+func saveU64Map(w *ckpt.Writer, m *sim.U64Map) {
+	keys := make([]uint64, 0, m.Len())
+	m.Range(func(k, _ uint64) { keys = append(keys, k) })
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	w.Int(len(keys))
 	for _, k := range keys {
+		v, _ := m.Get(k)
 		w.U64(k)
-		w.U64(m[k])
+		w.U64(v)
 	}
 }
 
-func loadU64Map(r *ckpt.Reader) map[uint64]uint64 {
+func loadU64Map(r *ckpt.Reader, m *sim.U64Map) {
 	n := r.Int()
 	if n < 0 || n > 1<<24 {
 		r.Fail(fmt.Errorf("%w: map size %d", ckpt.ErrCorrupt, n))
-		return map[uint64]uint64{}
+		return
 	}
-	m := make(map[uint64]uint64, n)
+	*m = sim.U64Map{}
+	m.Grow(n)
 	for i := 0; i < n; i++ {
 		k := r.U64()
 		v := r.U64()
 		if r.Err() != nil {
-			break
+			return
 		}
-		m[k] = v
+		m.Put(k, v)
 	}
-	return m
 }
 
 // SaveState implements ckpt.Saver.
@@ -70,7 +71,7 @@ func (b *Bursty) SaveState(w *ckpt.Writer) {
 	b.rng.SaveState(w)
 	w.Int(b.inBurst)
 	w.U64(b.burst)
-	saveU64Map(w, b.startedAt)
+	saveU64Map(w, &b.startedAt)
 	b.hist.SaveState(w)
 }
 
@@ -79,7 +80,7 @@ func (b *Bursty) RestoreState(r *ckpt.Reader) {
 	b.rng.RestoreState(r)
 	b.inBurst = r.Int()
 	b.burst = r.U64()
-	b.startedAt = loadU64Map(r)
+	loadU64Map(r, &b.startedAt)
 	b.hist.RestoreState(r)
 }
 
@@ -114,7 +115,7 @@ func (m *Memcached) SaveState(w *ckpt.Writer) {
 	m.rng.SaveState(w)
 	w.Int(m.opInTxn)
 	w.U64(m.txn)
-	saveU64Map(w, m.startedAt)
+	saveU64Map(w, &m.startedAt)
 	m.hist.SaveState(w)
 }
 
@@ -123,7 +124,7 @@ func (m *Memcached) RestoreState(r *ckpt.Reader) {
 	m.rng.RestoreState(r)
 	m.opInTxn = r.Int()
 	m.txn = r.U64()
-	m.startedAt = loadU64Map(r)
+	loadU64Map(r, &m.startedAt)
 	m.hist.RestoreState(r)
 }
 
