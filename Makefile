@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build check robust bench bench-parallel bench-obs bench-ckpt bench-hotpath faults lint-deprecated clean
+.PHONY: all build check robust bench bench-parallel bench-obs bench-ckpt bench-hotpath serve-smoke faults lint-deprecated clean
 
 all: check
 
@@ -17,9 +17,10 @@ check: build lint-deprecated
 
 # Robustness tier: the full suite under the race detector (slower;
 # includes the fault-injection chaos sweeps, the parallel-kernel
-# determinism matrix, and the golden-trace determinism test), plus the
-# observability overhead, checkpoint warm-start, and hot-path gates.
-robust: bench-obs bench-ckpt bench-hotpath
+# determinism matrix, the golden-trace determinism test, and the sweep
+# service's chaos acceptance), plus the observability overhead,
+# checkpoint warm-start, hot-path, and sweep-service smoke gates.
+robust: bench-obs bench-ckpt bench-hotpath serve-smoke
 	$(GO) test -race ./...
 
 # Deprecated-accessor gate: no in-repo caller may use the one-off System
@@ -69,6 +70,13 @@ bench-ckpt:
 # to the scan. Writes BENCH_hotpath.json.
 bench-hotpath:
 	$(GO) run ./cmd/pabstbench -suite hotpath -out BENCH_hotpath.json
+
+# Sweep-service gate. Runs the control plane end to end over real HTTP
+# — submit a batch, complete, drain, journal compacts to empty — and
+# checks that duplicate specs report identical result fingerprints.
+# Writes BENCH_serve.json with submit-to-complete and drain latency.
+serve-smoke:
+	$(GO) run ./cmd/pabstserve -smoke -out BENCH_serve.json
 
 # Quick clean-vs-faulted comparison (the BENCH_faults.json scenario).
 faults:

@@ -3,10 +3,14 @@
 // F, pacer burst credit, arbiter slack, front-end queue depth, page
 // policy, and gain inertia.
 //
-// Each sweep point runs the canonical 7:3 two-stream-class allocation and
-// reports how well the split converged and how much throughput the system
-// sustained; the slack sweep additionally runs the chaser mix, where the
-// arbiter matters most.
+// Each sweep point is an exp.RunSpec — the same serializable unit of
+// work the sweep service (cmd/pabstserve) executes — so a point run
+// here and the equivalent job submitted over REST produce bit-identical
+// machines and results. Every point runs the canonical 7:3
+// two-stream-class allocation and reports how well the split converged
+// and how much throughput the system sustained; the slack and bankq
+// sweeps additionally run the chaser mix, where the arbiter matters
+// most.
 //
 // Usage:
 //
@@ -20,112 +24,43 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 
-	"pabst"
-	"pabst/internal/dram"
 	"pabst/internal/exp"
 )
 
-type point struct {
-	label string
-	mut   func(*pabst.SystemConfig)
-}
-
+// sweep is one named parameter axis; values feed exp.SetParam through a
+// RunSpec, labels render the table rows.
 type sweep struct {
-	name   string
-	desc   string
-	points []point
+	param  string
+	labels []string
+	values []uint64
 	chaser bool // also run the chaser mix (latency-sensitive)
 }
 
 func sweeps() []sweep {
-	u64 := func(set func(*pabst.SystemConfig, uint64), vals ...uint64) []point {
-		var pts []point
+	num := func(param string, chaser bool, vals ...uint64) sweep {
+		s := sweep{param: param, values: vals, chaser: chaser}
 		for _, v := range vals {
-			v := v
-			pts = append(pts, point{fmt.Sprintf("%d", v), func(c *pabst.SystemConfig) { set(c, v) }})
+			s.labels = append(s.labels, fmt.Sprintf("%d", v))
 		}
-		return pts
+		return s
 	}
 	return []sweep{
-		{
-			name: "epoch", desc: "governor epoch length (cycles)",
-			points: u64(func(c *pabst.SystemConfig, v uint64) { c.PABST.EpochCycles = v },
-				500, 1000, 2000, 5000, 10000, 20000),
-		},
-		{
-			name: "scalef", desc: "rate scale factor F (Eq. 3)",
-			points: u64(func(c *pabst.SystemConfig, v uint64) { c.PABST.ScaleF = v },
-				16, 64, 256, 1024, 4096),
-		},
-		{
-			name: "burst", desc: "pacer burst credit (requests)",
-			points: []point{
-				{"1", func(c *pabst.SystemConfig) { c.PABST.BurstCredit = 1 }},
-				{"4", func(c *pabst.SystemConfig) { c.PABST.BurstCredit = 4 }},
-				{"16", func(c *pabst.SystemConfig) { c.PABST.BurstCredit = 16 }},
-				{"64", func(c *pabst.SystemConfig) { c.PABST.BurstCredit = 64 }},
-			},
-		},
-		{
-			name: "slack", desc: "arbiter deadline slack (virtual ticks)", chaser: true,
-			points: u64(func(c *pabst.SystemConfig, v uint64) { c.PABST.Slack = v },
-				8, 32, 128, 512, 4096),
-		},
-		{
-			name: "queue", desc: "MC front-end read queue depth",
-			points: []point{
-				{"8", func(c *pabst.SystemConfig) {
-					c.DRAM.FrontReadQ = 8
-					c.DRAM.FrontWriteQ = 8
-					c.DRAM.WriteHighWater = 6
-					c.DRAM.WriteLowWater = 2
-				}},
-				{"16", func(c *pabst.SystemConfig) {
-					c.DRAM.FrontReadQ = 16
-					c.DRAM.FrontWriteQ = 16
-					c.DRAM.WriteHighWater = 12
-					c.DRAM.WriteLowWater = 4
-				}},
-				{"32", func(c *pabst.SystemConfig) {}},
-				{"64", func(c *pabst.SystemConfig) {
-					c.DRAM.FrontReadQ = 64
-					c.DRAM.FrontWriteQ = 64
-					c.DRAM.WriteHighWater = 48
-					c.DRAM.WriteLowWater = 16
-				}},
-			},
-		},
-		{
-			name: "page", desc: "DRAM page policy",
-			points: []point{
-				{"closed", func(c *pabst.SystemConfig) {}},
-				{"open", func(c *pabst.SystemConfig) { c.DRAM.Policy = dram.OpenPage }},
-			},
-		},
-		{
-			name: "bankq", desc: "MC organization: single-pool vs two-stage bank queues", chaser: true,
-			points: []point{
-				{"pool", func(c *pabst.SystemConfig) {}},
-				{"bankq-1", func(c *pabst.SystemConfig) { c.DRAM.BankQueueDepth = 1 }},
-				{"bankq-2", func(c *pabst.SystemConfig) { c.DRAM.BankQueueDepth = 2 }},
-				{"bankq-4", func(c *pabst.SystemConfig) { c.DRAM.BankQueueDepth = 4 }},
-			},
-		},
-		{
-			name: "inertia", desc: "epochs of stability before the gain grows",
-			points: []point{
-				{"0", func(c *pabst.SystemConfig) { c.PABST.Inertia = 0 }},
-				{"1", func(c *pabst.SystemConfig) { c.PABST.Inertia = 1 }},
-				{"3", func(c *pabst.SystemConfig) { c.PABST.Inertia = 3 }},
-				{"6", func(c *pabst.SystemConfig) { c.PABST.Inertia = 6 }},
-				{"10", func(c *pabst.SystemConfig) { c.PABST.Inertia = 10 }},
-			},
-		},
+		num("epoch", false, 500, 1000, 2000, 5000, 10000, 20000),
+		num("scalef", false, 16, 64, 256, 1024, 4096),
+		num("burst", false, 1, 4, 16, 64),
+		num("slack", true, 8, 32, 128, 512, 4096),
+		num("queue", false, 8, 16, 32, 64),
+		{param: "page", labels: []string{"closed", "open"}, values: []uint64{0, 1}},
+		{param: "bankq", chaser: true,
+			labels: []string{"pool", "bankq-1", "bankq-2", "bankq-4"},
+			values: []uint64{0, 1, 2, 4}},
+		num("inertia", false, 0, 1, 3, 6, 10),
 	}
 }
 
@@ -139,30 +74,22 @@ func main() {
 	resume := flag.Bool("resume", false, "require a stored checkpoint for every point (a miss is an error); implies -ckpt")
 	flag.Parse()
 
-	var scale exp.Scale
-	switch *scaleName {
-	case "quick":
-		scale = exp.Quick()
-	case "full":
-		scale = exp.Full()
-	default:
+	if _, err := exp.ScaleByName(*scaleName); err != nil {
 		fmt.Fprintf(os.Stderr, "pabstsweep: unknown scale %q\n", *scaleName)
 		os.Exit(1)
 	}
-	scale.Workers = *workers
-	scale.FastForward = *ff
-	scale.Ckpt = *ckptDir
-	scale.Resume = *resume
-	if scale.Resume && scale.Ckpt == "" {
+	if *resume && *ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "pabstsweep: -resume needs -ckpt <dir>")
 		os.Exit(1)
 	}
+	ex := exp.Exec{Workers: *workers, FastForward: *ff, Ckpt: *ckptDir, Resume: *resume}
 
 	for _, s := range sweeps() {
-		if *param != "" && s.name != *param {
+		if *param != "" && s.param != *param {
 			continue
 		}
-		fmt.Printf("== sweep %s: %s ==\n", s.name, s.desc)
+		desc, _ := exp.ParamDesc(s.param)
+		fmt.Printf("== sweep %s: %s ==\n", s.param, desc)
 		fmt.Printf("%-10s %12s %12s %12s", "value", "share-hi", "err-70/30", "total-B/cyc")
 		if s.chaser {
 			fmt.Printf(" %14s", "chaser-share")
@@ -173,23 +100,32 @@ func main() {
 		type res struct {
 			shHi, bpc, chaser float64
 		}
-		results := make([]res, len(s.points))
-		err := exp.ForEach(*parallel, len(s.points), func(i int) error {
-			shHi, bpc := runStreams(scale, s.points[i].mut)
-			r := res{shHi: shHi, bpc: bpc}
-			if s.chaser {
-				r.chaser = runChaser(scale, s.points[i].mut)
+		results := make([]res, len(s.values))
+		err := exp.ForEach(*parallel, len(s.values), func(i int) error {
+			params := map[string]uint64{s.param: s.values[i]}
+			spec := exp.RunSpec{Bench: exp.BenchStreams, Scale: *scaleName, Params: params}
+			r, err := spec.Run(context.Background(), ex, exp.RunIO{})
+			if err != nil {
+				return err
 			}
-			results[i] = r
+			results[i] = res{shHi: r.ShareHi, bpc: r.TotalBPC}
+			if s.chaser {
+				cspec := exp.RunSpec{Bench: exp.BenchChaser, Scale: *scaleName, Params: params}
+				cr, err := cspec.Run(context.Background(), ex, exp.RunIO{})
+				if err != nil {
+					return err
+				}
+				results[i].chaser = cr.ShareHi
+			}
 			return nil
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pabstsweep: %v\n", err)
 			os.Exit(1)
 		}
-		for i, p := range s.points {
+		for i, label := range s.labels {
 			r := results[i]
-			fmt.Printf("%-10s %12.3f %12.1f%% %12.1f", p.label, r.shHi, math.Abs(r.shHi-0.7)/0.7*100, r.bpc)
+			fmt.Printf("%-10s %12.3f %12.1f%% %12.1f", label, r.shHi, math.Abs(r.shHi-0.7)/0.7*100, r.bpc)
 			if s.chaser {
 				fmt.Printf(" %14.3f", r.chaser)
 			}
@@ -197,60 +133,4 @@ func main() {
 		}
 		fmt.Println()
 	}
-}
-
-// mustWorkload resolves a generator through the shared workload
-// registry; the names used here are fixed, so failure is a programming
-// error.
-func mustWorkload(name string, r pabst.Region, seed uint64, args ...uint64) pabst.Generator {
-	gen, err := pabst.WorkloadByName(name, r, seed, args...)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pabstsweep: %v\n", err)
-		os.Exit(1)
-	}
-	return gen
-}
-
-// runStreams is the canonical 7:3 allocation between two 16-core stream
-// classes under full PABST.
-func runStreams(scale exp.Scale, mut func(*pabst.SystemConfig)) (shareHi, totalBpc float64) {
-	cfg := scale.Apply(pabst.Default32Config())
-	mut(&cfg)
-	b := pabst.NewBuilder(cfg, pabst.ModePABST, scale.Options()...)
-	hi := b.AddClass("hi", 7, cfg.L3Ways/2)
-	lo := b.AddClass("lo", 3, cfg.L3Ways/2)
-	for i := 0; i < 16; i++ {
-		b.Attach(i, hi, mustWorkload("stream", pabst.TileRegion(i), 0, 128))
-		b.Attach(16+i, lo, mustWorkload("stream", pabst.TileRegion(16+i), 0, 128))
-	}
-	sys, err := exp.WarmedSystem(scale, b)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pabstsweep: %v\n", err)
-		os.Exit(1)
-	}
-	defer sys.Close()
-	sys.Run(scale.Measure)
-	m := sys.Metrics()
-	return m.ShareOf(hi), m.BytesPerCycle(hi) + m.BytesPerCycle(lo)
-}
-
-// runChaser gives the 3:1 high share to the latency-sensitive chaser.
-func runChaser(scale exp.Scale, mut func(*pabst.SystemConfig)) float64 {
-	cfg := scale.Apply(pabst.Default32Config())
-	mut(&cfg)
-	b := pabst.NewBuilder(cfg, pabst.ModePABST, scale.Options()...)
-	hi := b.AddClass("chaser", 3, cfg.L3Ways/2)
-	lo := b.AddClass("stream", 1, cfg.L3Ways/2)
-	for i := 0; i < 16; i++ {
-		b.Attach(i, hi, mustWorkload("chaser", pabst.TileRegion(i), uint64(i)+1, 8))
-		b.Attach(16+i, lo, mustWorkload("stream", pabst.TileRegion(16+i), 0, 128, 1))
-	}
-	sys, err := exp.WarmedSystem(scale, b)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pabstsweep: %v\n", err)
-		os.Exit(1)
-	}
-	defer sys.Close()
-	sys.Run(scale.Measure)
-	return sys.Metrics().ShareOf(hi)
 }

@@ -26,6 +26,7 @@ package ckpt
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -60,6 +61,28 @@ var (
 	// describe).
 	ErrUnsupported = errors.New("ckpt: component does not support checkpointing")
 )
+
+// Verify checks a complete checkpoint image for structural integrity
+// without touching any component state: magic, version, header bounds,
+// and the CRC trailer over the full stream. It reports the same typed
+// errors a restore would (ErrCorrupt, ErrVersion), which lets callers
+// quarantine a damaged file before any in-place overlay begins. A nil
+// return guarantees the byte stream is exactly what the Writer produced;
+// it does not prove the checkpoint matches any particular system — that
+// is the restore-time fingerprint check's job.
+func Verify(raw []byte) error {
+	if _, err := NewReader(bytes.NewReader(raw)); err != nil {
+		return err
+	}
+	// NewReader consumed a valid header, so the image is comfortably
+	// longer than the 8-byte trailer.
+	body, trailer := raw[:len(raw)-8], raw[len(raw)-8:]
+	sum := crc64.Checksum(body, crc64.MakeTable(crc64.ECMA))
+	if binary.LittleEndian.Uint64(trailer) != sum {
+		return fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	return nil
+}
 
 // Saver is implemented by components that can serialize their mutable
 // state. Structural fields (wiring, geometry, callbacks) are NOT saved;

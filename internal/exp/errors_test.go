@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pabst"
+	"pabst/internal/config"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want FailureClass
+	}{
+		{"nil", nil, FailNone},
+		{"canceled", context.Canceled, FailCanceled},
+		{"deadline", context.DeadlineExceeded, FailCanceled},
+		{"wrapped-canceled", fmt.Errorf("run: %w", context.Canceled), FailCanceled},
+		{"invalid-config", fmt.Errorf("x: %w", config.ErrInvalid), FailTerminal},
+		{"ckpt-version", fmt.Errorf("x: %w", pabst.ErrCkptVersion), FailTerminal},
+		{"ckpt-mismatch", fmt.Errorf("x: %w", pabst.ErrCkptMismatch), FailTerminal},
+		{"ckpt-unsupported", fmt.Errorf("x: %w", pabst.ErrCkptUnsupported), FailTerminal},
+		{"ckpt-corrupt", fmt.Errorf("x: %w", pabst.ErrCkptCorrupt), FailRetryable},
+		{"unknown", errors.New("disk on fire"), FailRetryable},
+		{"explicit-retryable", Retryable(errors.New("x")), FailRetryable},
+		{"explicit-terminal", Terminal(errors.New("x")), FailTerminal},
+		// Explicit markers outrank the default rules.
+		{"terminal-wrapped-corrupt", Terminal(fmt.Errorf("x: %w", pabst.ErrCkptCorrupt)), FailTerminal},
+		{"retryable-wrapped-invalid", Retryable(fmt.Errorf("x: %w", config.ErrInvalid)), FailRetryable},
+		// ErrInterrupted wraps a context error → canceled; the partial-
+		// checkpoint special case is the supervisor's errors.Is branch.
+		{"interrupted", fmt.Errorf("%w: %w", ErrInterrupted, context.Canceled), FailCanceled},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if Retryable(nil) != nil || Terminal(nil) != nil {
+		t.Error("nil wrapping not nil-safe")
+	}
+}
+
+// TestForEachStopsAfterError pins the audit: after the first failure no
+// NEW index starts; in-flight indices finish.
+func TestForEachStopsAfterError(t *testing.T) {
+	const n = 64
+	var started atomic.Int64
+	boom := errors.New("boom")
+	err := ForEach(2, n, func(i int) error {
+		started.Add(1)
+		if i == 0 {
+			return boom
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// 2 workers: index 0 fails almost immediately; the other worker may
+	// claim a handful before observing the stop flag, but nowhere near
+	// all of them.
+	if s := started.Load(); s >= n {
+		t.Fatalf("all %d indices started despite an early failure", s)
+	}
+}
+
+// TestForEachCtxCancel pins prompt cancellation propagation.
+func TestForEachCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	errc := make(chan error, 1)
+	go func() {
+		errc <- ForEachCtx(ctx, 2, 1000, func(i int) error {
+			started.Add(1)
+			time.Sleep(2 * time.Millisecond)
+			return nil
+		})
+	}()
+	for started.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ForEachCtx did not return after cancel")
+	}
+	if s := started.Load(); s >= 1000 {
+		t.Fatalf("cancellation did not stop new indices (%d started)", s)
+	}
+	// Sequential path honors ctx too.
+	if err := ForEachCtx(ctx, 1, 5, func(int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sequential ForEachCtx under canceled ctx = %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -69,14 +70,27 @@ func (s Scale) Options() []pabst.Option {
 }
 
 // ForEach runs fn(0)..fn(n-1), on at most parallel concurrent goroutines
-// when parallel > 1, inline otherwise. Every index runs to completion
-// even after a failure (each holds a live simulation that must finish or
-// tear down); the first error is returned. Callers write results into
+// when parallel > 1, inline otherwise. Failures propagate promptly: after
+// the first error no NEW index is started — in-flight indices still run
+// to completion, because each holds a live simulation that must finish or
+// tear down — and the first error is returned. Callers write results into
 // index i of a pre-sized slice, so output order never depends on
 // scheduling.
 func ForEach(parallel, n int, fn func(int) error) error {
+	return ForEachCtx(context.Background(), parallel, n, fn)
+}
+
+// ForEachCtx is ForEach under a context: once ctx is done no new index
+// is started and ctx.Err() is returned (unless a worker error landed
+// first). Cancellation of an index already running is fn's job — pass a
+// ctx-aware fn (e.g. one built on RunSpec.Run or System.RunContext) when
+// long indices must stop mid-simulation.
+func ForEachCtx(ctx context.Context, parallel, n int, fn func(int) error) error {
 	if parallel <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -88,25 +102,35 @@ func ForEach(parallel, n int, fn func(int) error) error {
 	}
 	var (
 		next     atomic.Int64
+		stop     atomic.Bool
 		mu       sync.Mutex
 		firstErr error
 		wg       sync.WaitGroup
 	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
 	wg.Add(parallel)
 	for w := 0; w < parallel; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !stop.Load() {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+					fail(err)
+					return
 				}
 			}
 		}()

@@ -1,0 +1,366 @@
+package exp
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"pabst"
+	"pabst/internal/config"
+	"pabst/internal/dram"
+)
+
+// paramDef is one named, serializable configuration override. The
+// registry is the full set of sweepable design parameters from
+// DESIGN.md; pabstsweep's tables and the sweep service's job specs both
+// resolve through it, so a job submitted over REST and a CLI sweep point
+// with the same name/value produce bit-identical machines.
+type paramDef struct {
+	desc string
+	set  func(*pabst.SystemConfig, uint64)
+}
+
+var paramRegistry = map[string]paramDef{
+	"epoch": {"governor epoch length (cycles)",
+		func(c *pabst.SystemConfig, v uint64) { c.PABST.EpochCycles = v }},
+	"scalef": {"rate scale factor F (Eq. 3)",
+		func(c *pabst.SystemConfig, v uint64) { c.PABST.ScaleF = v }},
+	"burst": {"pacer burst credit (requests)",
+		func(c *pabst.SystemConfig, v uint64) { c.PABST.BurstCredit = int(v) }},
+	"slack": {"arbiter deadline slack (virtual ticks)",
+		func(c *pabst.SystemConfig, v uint64) { c.PABST.Slack = v }},
+	"queue": {"MC front-end queue depth (write watermarks scale as 3/4 and 1/4)",
+		func(c *pabst.SystemConfig, v uint64) {
+			c.DRAM.FrontReadQ = int(v)
+			c.DRAM.FrontWriteQ = int(v)
+			c.DRAM.WriteHighWater = int(v * 3 / 4)
+			c.DRAM.WriteLowWater = int(v / 4)
+		}},
+	"page": {"DRAM page policy (0 = closed, 1 = open)",
+		func(c *pabst.SystemConfig, v uint64) {
+			if v == 1 {
+				c.DRAM.Policy = dram.OpenPage
+			} else {
+				c.DRAM.Policy = dram.ClosedPage
+			}
+		}},
+	"bankq": {"two-stage bank queue depth (0 = single pool)",
+		func(c *pabst.SystemConfig, v uint64) { c.DRAM.BankQueueDepth = int(v) }},
+	"inertia": {"epochs of stability before the gain grows",
+		func(c *pabst.SystemConfig, v uint64) { c.PABST.Inertia = int(v) }},
+}
+
+// ParamNames lists the sweepable parameter names, sorted.
+func ParamNames() []string {
+	names := make([]string, 0, len(paramRegistry))
+	for n := range paramRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParamDesc describes a sweep parameter; ok is false for unknown names.
+func ParamDesc(name string) (desc string, ok bool) {
+	d, ok := paramRegistry[name]
+	return d.desc, ok
+}
+
+// SetParam applies one named override to a system configuration. An
+// unknown name is a terminal failure wrapping config.ErrInvalid — no
+// retry can make an unrecognized parameter valid.
+func SetParam(cfg *pabst.SystemConfig, name string, v uint64) error {
+	d, ok := paramRegistry[name]
+	if !ok {
+		return Terminal(fmt.Errorf("%w: unknown sweep parameter %q (have %v)",
+			config.ErrInvalid, name, ParamNames()))
+	}
+	d.set(cfg, v)
+	return nil
+}
+
+// ScaleByName resolves the built-in experiment scales.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "quick":
+		return Quick(), nil
+	case "full":
+		return Full(), nil
+	default:
+		return Scale{}, Terminal(fmt.Errorf("%w: unknown scale %q (quick or full)", config.ErrInvalid, name))
+	}
+}
+
+// Exec carries the wall-clock-only execution environment a run executes
+// under: how many worker goroutines shard each simulation, whether idle
+// cycles fast-forward, and where the warm-start checkpoint store lives.
+// None of it changes simulated outcomes.
+type Exec struct {
+	Workers     int
+	FastForward bool
+	// Ckpt names the warm-start store directory ("" disables); Resume
+	// turns a store miss into an error (see Scale).
+	Ckpt   string
+	Resume bool
+	// Scales optionally overrides scale-name resolution (tests register
+	// tiny scales); nil falls back to ScaleByName.
+	Scales map[string]Scale
+}
+
+// Scale resolves a scale name under this environment and stamps the
+// execution knobs onto it.
+func (ex Exec) Scale(name string) (Scale, error) {
+	sc, ok := ex.Scales[name]
+	if !ok {
+		var err error
+		if sc, err = ScaleByName(name); err != nil {
+			return Scale{}, err
+		}
+	}
+	sc.Workers = ex.Workers
+	sc.FastForward = ex.FastForward
+	sc.Ckpt = ex.Ckpt
+	sc.Resume = ex.Resume
+	return sc, nil
+}
+
+// Benchmark names understood by RunSpec.
+const (
+	// BenchStreams is the canonical 7:3 allocation between two 16-core
+	// stream classes under full PABST.
+	BenchStreams = "streams"
+	// BenchChaser gives a 3:1 high share to latency-sensitive pointer
+	// chasers against a background stream class.
+	BenchChaser = "chaser"
+)
+
+// RunSpec is a serializable, self-contained description of one canonical
+// benchmark run — the unit of work for the sweep service and the CLI
+// alike. Two specs with equal fingerprints build bit-identical machines
+// and therefore produce bit-identical results, which is what makes
+// at-least-once job execution safe: re-running a requeued spec cannot
+// change its answer.
+type RunSpec struct {
+	// Bench selects the workload mix: BenchStreams or BenchChaser.
+	Bench string `json:"bench"`
+	// Scale names the experiment scale ("quick" or "full", or a name the
+	// executing environment registered).
+	Scale string `json:"scale"`
+	// Params are named configuration overrides applied through SetParam.
+	Params map[string]uint64 `json:"params,omitempty"`
+}
+
+// Validate rejects malformed specs with terminal errors.
+func (rs RunSpec) Validate() error {
+	switch rs.Bench {
+	case BenchStreams, BenchChaser:
+	default:
+		return Terminal(fmt.Errorf("%w: unknown bench %q (%s or %s)",
+			config.ErrInvalid, rs.Bench, BenchStreams, BenchChaser))
+	}
+	if rs.Scale == "" {
+		return Terminal(fmt.Errorf("%w: empty scale name", config.ErrInvalid))
+	}
+	for name := range rs.Params {
+		if _, ok := paramRegistry[name]; !ok {
+			return Terminal(fmt.Errorf("%w: unknown sweep parameter %q (have %v)",
+				config.ErrInvalid, name, ParamNames()))
+		}
+	}
+	return nil
+}
+
+// Fingerprint returns the sha256 of the spec's canonical rendering
+// (sorted parameter order). It identifies the configuration, not a
+// particular execution: the idempotence key for job deduplication and
+// result caching.
+func (rs RunSpec) Fingerprint() string {
+	s := fmt.Sprintf("bench=%s scale=%s", rs.Bench, rs.Scale)
+	names := make([]string, 0, len(rs.Params))
+	for n := range rs.Params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s += fmt.Sprintf(" %s=%d", n, rs.Params[n])
+	}
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(s)))
+}
+
+// RunResult is the measured outcome of a completed spec.
+type RunResult struct {
+	// ShareHi is the high-weight class's fraction of DRAM traffic.
+	ShareHi float64 `json:"share_hi"`
+	// TotalBPC is the machine's total measured bytes per cycle.
+	TotalBPC float64 `json:"total_bpc"`
+	// Fingerprint hashes the run's full observable statistics; equal
+	// specs produce equal fingerprints regardless of workers,
+	// fast-forward, warm starts, or checkpoint-resumed execution.
+	Fingerprint string `json:"fingerprint"`
+	// Cycles is how many measured cycles THIS call executed (after a
+	// partial-checkpoint resume it is only the remainder).
+	Cycles uint64 `json:"cycles"`
+}
+
+// ErrInterrupted marks a run stopped by context cancellation after
+// saving a resumable mid-measure checkpoint through RunIO.Save. It
+// wraps the context error, so Classify still reports FailCanceled; a
+// supervisor distinguishes it with errors.Is to requeue the job with
+// its partial state instead of restarting from scratch.
+var ErrInterrupted = errors.New("exp: run interrupted, partial checkpoint saved")
+
+// RunIO wires a run into a supervisor: where to resume from, where to
+// checkpoint on interruption, and a liveness heartbeat.
+type RunIO struct {
+	// Resume, when non-nil, is a mid-measure checkpoint previously saved
+	// by an interrupted run of the SAME spec; the run restores it and
+	// executes only the remaining cycles.
+	Resume io.Reader
+	// Save, when non-nil, is called on context cancellation to obtain a
+	// sink for a mid-measure checkpoint; success is reported as
+	// ErrInterrupted instead of the bare context error.
+	Save func() (io.WriteCloser, error)
+	// Beat, when non-nil, is called after every measured chunk with
+	// (cycles done, cycles total) — the supervisor's wedge detector. It
+	// also fires during a cold warmup with done == 0, pure liveness.
+	Beat func(done, total uint64)
+}
+
+// Run executes the spec under ctx and the given environment. The warmup
+// goes through the warm-start checkpoint store when the environment
+// names one; cancellation during warmup returns the context error
+// (warmups re-run from the store, so no partial state is worth saving).
+// The measured phase runs in chunks so cancellation, heartbeats, and
+// checkpoint-and-requeue all get a word in edgewise: on cancellation
+// with RunIO.Save wired, the machine state is checkpointed and
+// ErrInterrupted returned; a later call with that checkpoint as
+// RunIO.Resume finishes the measurement bit-identically to an
+// uninterrupted run.
+func (rs RunSpec) Run(ctx context.Context, ex Exec, rio RunIO) (RunResult, error) {
+	if err := rs.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	sc, err := ex.Scale(rs.Scale)
+	if err != nil {
+		return RunResult{}, err
+	}
+	cfg := sc.Apply(pabst.Default32Config())
+	names := make([]string, 0, len(rs.Params))
+	for n := range rs.Params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := SetParam(&cfg, n, rs.Params[n]); err != nil {
+			return RunResult{}, err
+		}
+	}
+
+	b, classes := rs.build(cfg, sc)
+	var sys *pabst.System
+	if rio.Resume != nil {
+		// A stale or damaged partial checkpoint is retryable by
+		// definition: the supervisor drops the partial and the next
+		// attempt runs the spec from scratch.
+		if sys, err = b.Restore(rio.Resume); err != nil {
+			return RunResult{}, Retryable(fmt.Errorf("resume from partial checkpoint: %w", err))
+		}
+	} else {
+		var warmBeat func(uint64, uint64)
+		if rio.Beat != nil {
+			warmBeat = func(uint64, uint64) { rio.Beat(0, sc.Measure) }
+		}
+		if sys, err = WarmedSystemBeat(ctx, sc, b, warmBeat); err != nil {
+			return RunResult{}, err
+		}
+	}
+	defer sys.Close()
+
+	// Measured-phase accounting rides on the kernel clock: every path to
+	// this point (cold warmup, warm-start restore, partial resume) leaves
+	// Now() at Warmup + measured-cycles-done.
+	done := sys.Now() - sc.Warmup
+	total := sc.Measure
+	if sys.Now() < sc.Warmup || done > total {
+		return RunResult{}, Retryable(fmt.Errorf("partial checkpoint at cycle %d outside measure window [%d, %d]",
+			sys.Now(), sc.Warmup, sc.Warmup+total))
+	}
+	start := done
+	chunk := total / 32
+	if chunk == 0 {
+		chunk = 1
+	}
+	for done < total {
+		step := total - done
+		if step > chunk {
+			step = chunk
+		}
+		ran, rerr := sys.RunContext(ctx, step)
+		done += ran
+		if rio.Beat != nil {
+			rio.Beat(done, total)
+		}
+		if rerr != nil {
+			if rio.Save != nil && done < total {
+				if w, werr := rio.Save(); werr == nil {
+					serr := sys.Checkpoint(w)
+					if cerr := w.Close(); serr == nil && cerr == nil {
+						return RunResult{Cycles: done - start},
+							fmt.Errorf("%w after %d/%d measured cycles: %w", ErrInterrupted, done, total, rerr)
+					}
+				}
+				// Failing to save the partial degrades the interruption
+				// to a plain cancellation: the job restarts from scratch.
+			}
+			return RunResult{Cycles: done - start}, rerr
+		}
+	}
+
+	m := sys.Metrics()
+	res := RunResult{ShareHi: m.ShareOf(classes[0]), Cycles: done - start}
+	for _, c := range classes {
+		res.TotalBPC += m.BytesPerCycle(c)
+	}
+	res.Fingerprint = resultFingerprint(sys, classes)
+	return res, nil
+}
+
+// build assembles the benchmark's builder; classes[0] is the high-weight
+// class whose share the result reports.
+func (rs RunSpec) build(cfg pabst.SystemConfig, sc Scale) (*pabst.Builder, []pabst.ClassID) {
+	b := pabst.NewBuilder(cfg, pabst.ModePABST, sc.Options()...)
+	switch rs.Bench {
+	case BenchChaser:
+		hi := b.AddClass("chaser", 3, cfg.L3Ways/2)
+		lo := b.AddClass("stream", 1, cfg.L3Ways/2)
+		for i := 0; i < 16; i++ {
+			b.Attach(i, hi, pabst.Chaser("chaser", pabst.TileRegion(i), 8, uint64(i)+1))
+			b.Attach(16+i, lo, pabst.Stream("stream", pabst.TileRegion(16+i), 128, true))
+		}
+		return b, []pabst.ClassID{hi, lo}
+	default: // BenchStreams; Validate already rejected anything else
+		hi := b.AddClass("hi", 7, cfg.L3Ways/2)
+		lo := b.AddClass("lo", 3, cfg.L3Ways/2)
+		for i := 0; i < 16; i++ {
+			b.Attach(i, hi, pabst.Stream("stream", pabst.TileRegion(i), 128, false))
+			b.Attach(16+i, lo, pabst.Stream("stream", pabst.TileRegion(16+i), 128, false))
+		}
+		return b, []pabst.ClassID{hi, lo}
+	}
+}
+
+// resultFingerprint hashes a run's observable statistics — window
+// metrics, governor rates, and per-class IPC/latency vectors — for
+// byte-for-byte comparison across execution environments.
+func resultFingerprint(sys *pabst.System, classes []pabst.ClassID) string {
+	snap := sys.Snapshot()
+	s := fmt.Sprintf("metrics=%+v gov=%v", snap.Window, snap.GovernorMs())
+	for _, c := range classes {
+		cs := snap.Class(c)
+		s += fmt.Sprintf(" c%d=%v/%v/%v", c, cs.IPC, cs.TileIPCs, cs.MissLatency)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(s)))
+}

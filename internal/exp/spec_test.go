@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"pabst"
+	"pabst/internal/config"
+)
+
+// tinyExec registers the tiny scale so specs resolve it by name.
+func tinyExec() Exec {
+	return Exec{Scales: map[string]Scale{"tiny": tinyScale()}}
+}
+
+func TestRunSpecValidate(t *testing.T) {
+	good := RunSpec{Bench: BenchStreams, Scale: "quick", Params: map[string]uint64{"epoch": 1000}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	for name, spec := range map[string]RunSpec{
+		"bad-bench": {Bench: "nope", Scale: "quick"},
+		"no-scale":  {Bench: BenchStreams},
+		"bad-param": {Bench: BenchStreams, Scale: "quick", Params: map[string]uint64{"warp": 9}},
+	} {
+		err := spec.Validate()
+		if err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+		if Classify(err) != FailTerminal || !errors.Is(err, config.ErrInvalid) {
+			t.Fatalf("%s: error %v not terminal/invalid", name, err)
+		}
+	}
+	if _, err := ScaleByName("nope"); Classify(err) != FailTerminal {
+		t.Fatalf("unknown scale not terminal: %v", err)
+	}
+}
+
+func TestRunSpecFingerprint(t *testing.T) {
+	a := RunSpec{Bench: BenchStreams, Scale: "quick", Params: map[string]uint64{"epoch": 1000, "slack": 32}}
+	b := RunSpec{Bench: BenchStreams, Scale: "quick", Params: map[string]uint64{"slack": 32, "epoch": 1000}}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint depends on map iteration order")
+	}
+	c := RunSpec{Bench: BenchStreams, Scale: "quick", Params: map[string]uint64{"epoch": 2000, "slack": 32}}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different params share a fingerprint")
+	}
+}
+
+func TestSetParamUnknown(t *testing.T) {
+	cfg := Quick().Apply(pabst.Default32Config())
+	if err := SetParam(&cfg, "warp", 9); Classify(err) != FailTerminal {
+		t.Fatalf("unknown param not terminal: %v", err)
+	}
+	if err := SetParam(&cfg, "queue", 16); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DRAM.FrontReadQ != 16 || cfg.DRAM.WriteHighWater != 12 || cfg.DRAM.WriteLowWater != 4 {
+		t.Fatalf("queue param watermarks wrong: %+v", cfg.DRAM)
+	}
+}
+
+// TestRunSpecDeterministic pins that the same spec produces the same
+// result fingerprint across calls and across both bench kinds.
+func TestRunSpecDeterministic(t *testing.T) {
+	for _, bench := range []string{BenchStreams, BenchChaser} {
+		spec := RunSpec{Bench: bench, Scale: "tiny", Params: map[string]uint64{"slack": 64}}
+		r1, err := spec.Run(context.Background(), tinyExec(), RunIO{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := spec.Run(context.Background(), tinyExec(), RunIO{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Fingerprint == "" || r1.Fingerprint != r2.Fingerprint {
+			t.Fatalf("%s: fingerprints %q vs %q", bench, r1.Fingerprint, r2.Fingerprint)
+		}
+		if r1.Cycles != tinyScale().Measure {
+			t.Fatalf("%s: measured %d cycles, want %d", bench, r1.Cycles, tinyScale().Measure)
+		}
+	}
+	// The streams bench converges near its 7:3 split even at tiny scale.
+	spec := RunSpec{Bench: BenchStreams, Scale: "tiny"}
+	r, err := spec.Run(context.Background(), tinyExec(), RunIO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ShareHi < 0.55 || r.ShareHi > 0.85 {
+		t.Fatalf("streams share-hi %.3f implausible", r.ShareHi)
+	}
+}
+
+// closeBuffer adapts bytes.Buffer to io.WriteCloser for RunIO.Save.
+type closeBuffer struct{ bytes.Buffer }
+
+func (c *closeBuffer) Close() error { return nil }
+
+// TestRunSpecInterruptResume is the control plane's keystone: cancel a
+// run mid-measure, checkpoint the partial state, resume it in a second
+// call, and get a result fingerprint byte-identical to an uninterrupted
+// run.
+func TestRunSpecInterruptResume(t *testing.T) {
+	spec := RunSpec{Bench: BenchStreams, Scale: "tiny", Params: map[string]uint64{"epoch": 1000}}
+
+	ref, err := spec.Run(context.Background(), tinyExec(), RunIO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel after roughly a third of the measurement via the beat hook.
+	ctx, cancel := context.WithCancel(context.Background())
+	var partial closeBuffer
+	rio := RunIO{
+		Beat: func(done, total uint64) {
+			if done >= total/3 {
+				cancel()
+			}
+		},
+		Save: func() (io.WriteCloser, error) { return &partial, nil },
+	}
+	res, err := spec.Run(ctx, tinyExec(), rio)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run error = %v, want ErrInterrupted", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatal("ErrInterrupted must wrap the context error")
+	}
+	if res.Cycles == 0 || res.Cycles >= tinyScale().Measure {
+		t.Fatalf("interrupted after %d cycles, want a strict prefix", res.Cycles)
+	}
+	if partial.Len() == 0 {
+		t.Fatal("no partial checkpoint written")
+	}
+
+	// Resume and finish.
+	res2, err := spec.Run(context.Background(), tinyExec(),
+		RunIO{Resume: bytes.NewReader(partial.Bytes())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cycles != tinyScale().Measure-res.Cycles {
+		t.Fatalf("resume ran %d cycles, want the remaining %d",
+			res2.Cycles, tinyScale().Measure-res.Cycles)
+	}
+	if res2.Fingerprint != ref.Fingerprint {
+		t.Fatalf("resumed fingerprint diverged:\n%s\n%s", res2.Fingerprint, ref.Fingerprint)
+	}
+
+	// A garbage partial is retryable, not fatal.
+	_, err = spec.Run(context.Background(), tinyExec(),
+		RunIO{Resume: bytes.NewReader([]byte("not a checkpoint"))})
+	if Classify(err) != FailRetryable {
+		t.Fatalf("garbage partial classified %v (%v), want retryable", Classify(err), err)
+	}
+}

@@ -2,13 +2,34 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"pabst"
+	"pabst/internal/ckpt"
 )
+
+// StoreStats counts warm-start checkpoint-store outcomes process-wide.
+// The serve control plane exports them as metrics; tests read them to
+// pin the quarantine behavior. Counters only ever increase.
+type StoreStats struct {
+	Hits        atomic.Uint64 // restores served from the store
+	Misses      atomic.Uint64 // absent files (cold warmup follows)
+	Saves       atomic.Uint64 // post-warmup checkpoints written
+	Quarantines atomic.Uint64 // corrupt/mismatched files set aside
+}
+
+// StoreEvents is the process-wide store counter set.
+var StoreEvents StoreStats
+
+// QuarantineSuffix is appended to a corrupt checkpoint's name when the
+// store sets it aside. Quarantined files are never read again; they are
+// kept for postmortem instead of deleted.
+const QuarantineSuffix = ".quarantined"
 
 // CkptPath names the checkpoint file for a machine fingerprint and a
 // warmup length inside a store directory. The fingerprint keys the
@@ -20,23 +41,79 @@ func CkptPath(dir string, fp [32]byte, warmup uint64) string {
 }
 
 // WarmedSystem builds the system a builder describes and brings it to
-// the post-warmup state, going through the scale's checkpoint store when
-// Scale.Ckpt names a directory: a stored checkpoint matching the
-// machine's fingerprint and the warmup length is restored instead of
+// the post-warmup state; see WarmedSystemCtx.
+func WarmedSystem(scale Scale, b *pabst.Builder) (*pabst.System, error) {
+	return WarmedSystemCtx(context.Background(), scale, b)
+}
+
+// WarmedSystemCtx is WarmedSystemBeat without a liveness hook.
+func WarmedSystemCtx(ctx context.Context, scale Scale, b *pabst.Builder) (*pabst.System, error) {
+	return WarmedSystemBeat(ctx, scale, b, nil)
+}
+
+// warmup brings a freshly built system through its warmup phase. With a
+// beat hook the cycles run in chunks so a supervisor sees liveness
+// during the multi-million-cycle warmups; chunked RunContext calls
+// followed by one ResetStats are exactly WarmupContext, so the warmed
+// state is bit-identical either way.
+func warmup(ctx context.Context, sys *pabst.System, cycles uint64, beat func(done, total uint64)) error {
+	if beat == nil {
+		_, err := sys.WarmupContext(ctx, cycles)
+		return err
+	}
+	chunk := cycles / 32
+	if chunk == 0 {
+		chunk = 1
+	}
+	var done uint64
+	for done < cycles {
+		step := cycles - done
+		if step > chunk {
+			step = chunk
+		}
+		ran, err := sys.RunContext(ctx, step)
+		done += ran
+		beat(done, cycles)
+		if err != nil {
+			return err
+		}
+	}
+	sys.ResetStats()
+	return nil
+}
+
+// WarmedSystemBeat builds the system a builder describes and brings it
+// to the post-warmup state under ctx, calling beat (when non-nil) as
+// warmup cycles advance so a supervisor can tell a long warmup from a
+// wedged worker. It goes through the scale's checkpoint store when
+// Scale.Ckpt names a directory: a stored checkpoint matching
+// the machine's fingerprint and the warmup length is restored instead of
 // re-simulating the warmup, and a cold warmup saves its result for the
 // next run (temp-file + rename, so a crash never leaves a torn file).
-// Scale.Resume makes a store miss an error instead of a cold warmup —
-// use it to assert a crashed sweep is actually resuming.
+//
+// The store is self-healing: every stored file is integrity-checked
+// (magic, version, CRC trailer) BEFORE any state is overlaid, and a
+// corrupt, truncated, or wrong-version file is quarantined — renamed
+// aside with QuarantineSuffix and counted in StoreEvents.Quarantines —
+// after which the run simply warms up cold and re-saves. A structurally
+// valid checkpoint for a different machine (fingerprint mismatch, which
+// the restore detects before touching state) is quarantined the same
+// way. Only Scale.Resume turns these into errors: resume asserts saved
+// work exists, and a quarantined file is a miss.
 //
 // Restoring is bit-identical to warming up: the measured run that
-// follows produces byte-equal results either way.
-func WarmedSystem(scale Scale, b *pabst.Builder) (*pabst.System, error) {
+// follows produces byte-equal results either way. Cancellation during a
+// cold warmup returns ctx.Err() with nothing saved.
+func WarmedSystemBeat(ctx context.Context, scale Scale, b *pabst.Builder, beat func(done, total uint64)) (*pabst.System, error) {
 	sys, err := b.Build()
 	if err != nil {
 		return nil, err
 	}
 	if scale.Ckpt == "" {
-		sys.Warmup(scale.Warmup)
+		if err := warmup(ctx, sys, scale.Warmup, beat); err != nil {
+			sys.Close()
+			return nil, err
+		}
 		return sys, nil
 	}
 	fp, err := sys.Fingerprint()
@@ -45,23 +122,46 @@ func WarmedSystem(scale Scale, b *pabst.Builder) (*pabst.System, error) {
 		return nil, err
 	}
 	path := CkptPath(scale.Ckpt, fp, scale.Warmup)
-	if f, err := os.Open(path); err == nil {
-		rerr := sys.RestoreFrom(f)
-		f.Close()
-		if rerr != nil {
-			// A failed in-place restore leaves the system partially
-			// overlaid; surface it rather than warming up a broken
-			// machine. Deleting the named file clears the condition.
-			sys.Close()
-			return nil, fmt.Errorf("exp: restore %s: %w (delete the file to re-warm)", path, rerr)
+	raw, readErr := os.ReadFile(path)
+	if readErr == nil {
+		if verr := ckpt.Verify(raw); verr != nil {
+			quarantine(path)
+			if scale.Resume {
+				sys.Close()
+				return nil, fmt.Errorf("exp: resume: checkpoint at %s quarantined: %w", path, verr)
+			}
+		} else if rerr := sys.RestoreFrom(bytes.NewReader(raw)); rerr != nil {
+			if errors.Is(rerr, pabst.ErrCkptMismatch) {
+				// The fingerprint check precedes any overlay, so the
+				// machine is untouched; set the impostor aside and warm
+				// up cold.
+				quarantine(path)
+				if scale.Resume {
+					sys.Close()
+					return nil, fmt.Errorf("exp: resume: checkpoint at %s quarantined: %w", path, rerr)
+				}
+			} else {
+				// A CRC-valid stream that still fails mid-walk left the
+				// system partially overlaid; nothing sound to fall back
+				// onto.
+				sys.Close()
+				return nil, fmt.Errorf("exp: restore %s: %w (delete the file to re-warm)", path, rerr)
+			}
+		} else {
+			StoreEvents.Hits.Add(1)
+			return sys, nil
 		}
-		return sys, nil
+	} else {
+		StoreEvents.Misses.Add(1)
 	}
 	if scale.Resume {
 		sys.Close()
 		return nil, fmt.Errorf("exp: resume: no checkpoint at %s", path)
 	}
-	sys.Warmup(scale.Warmup)
+	if err := warmup(ctx, sys, scale.Warmup, beat); err != nil {
+		sys.Close()
+		return nil, err
+	}
 	if err := saveCkpt(sys, path); err != nil {
 		// A machine with closure-based generators has no serializable
 		// description; it simply runs cold every time. Anything else
@@ -72,7 +172,18 @@ func WarmedSystem(scale Scale, b *pabst.Builder) (*pabst.System, error) {
 		sys.Close()
 		return nil, err
 	}
+	StoreEvents.Saves.Add(1)
 	return sys, nil
+}
+
+// quarantine sets a damaged store file aside so no later run trips over
+// it; if even the rename fails the file is removed outright. Either way
+// the event is counted.
+func quarantine(path string) {
+	if err := os.Rename(path, path+QuarantineSuffix); err != nil {
+		os.Remove(path)
+	}
+	StoreEvents.Quarantines.Add(1)
 }
 
 // saveCkpt writes a system checkpoint atomically.

@@ -8,7 +8,17 @@ import (
 	"testing"
 
 	"pabst"
+	"pabst/internal/ckpt"
 )
+
+// ckptVerifyFile integrity-checks a stored checkpoint image.
+func ckptVerifyFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return ckpt.Verify(raw)
+}
 
 // warmBuilder describes the small 3:1 two-stream machine used by every
 // warm-start test; each call returns fresh generator instances.
@@ -105,13 +115,31 @@ func TestWarmedSystemResumeMiss(t *testing.T) {
 	}
 }
 
-// TestWarmedSystemCorruptStore pins that a damaged checkpoint surfaces a
-// hard error naming the file rather than silently re-warming.
+// TestWarmedSystemCorruptStore pins the self-healing store contract: a
+// damaged checkpoint is quarantined (renamed aside, counted), the run
+// falls back to a cold warmup with results identical to a store-free
+// run, and the re-saved checkpoint serves the next hit.
 func TestWarmedSystemCorruptStore(t *testing.T) {
 	scale := tinyScale()
 	scale.Ckpt = t.TempDir()
 	build := warmBuilder(scale)
+
+	// Store-free reference.
+	plain := scale
+	plain.Ckpt = ""
 	b, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := WarmedSystem(plain, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := measure(scale, ref)
+	ref.Close()
+
+	// Populate the store, then damage the file.
+	b, err = build()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,14 +160,71 @@ func TestWarmedSystemCorruptStore(t *testing.T) {
 	if err := os.WriteFile(files[0], raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
+
+	// The damaged file must be quarantined, not restored and not fatal.
+	before := StoreEvents.Quarantines.Load()
+	b, err = build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err = WarmedSystem(scale, b)
+	if err != nil {
+		t.Fatalf("corrupt store was not healed: %v", err)
+	}
+	got := measure(scale, sys)
+	sys.Close()
+	if got != want {
+		t.Fatalf("cold fallback diverged from plain run:\n%s\n%s", got, want)
+	}
+	if n := StoreEvents.Quarantines.Load(); n != before+1 {
+		t.Fatalf("quarantine counter %d, want %d", n, before+1)
+	}
+	if q, _ := filepath.Glob(filepath.Join(scale.Ckpt, "*"+QuarantineSuffix)); len(q) != 1 {
+		t.Fatalf("quarantined files %v, want exactly one", q)
+	}
+	// The fallback warmup re-saved a good checkpoint.
+	if files, _ = filepath.Glob(filepath.Join(scale.Ckpt, "*.ckpt")); len(files) != 1 {
+		t.Fatalf("store not repopulated: %v", files)
+	}
+	if err := ckptVerifyFile(files[0]); err != nil {
+		t.Fatalf("re-saved checkpoint does not verify: %v", err)
+	}
+}
+
+// TestWarmedSystemResumeCorrupt pins that Resume treats a quarantined
+// file as a miss and errors instead of silently running cold.
+func TestWarmedSystemResumeCorrupt(t *testing.T) {
+	scale := tinyScale()
+	scale.Ckpt = t.TempDir()
+	build := warmBuilder(scale)
+	b, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := WarmedSystem(scale, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+	files, _ := filepath.Glob(filepath.Join(scale.Ckpt, "*.ckpt"))
+	if len(files) != 1 {
+		t.Fatalf("store holds %v", files)
+	}
+	if err := os.Truncate(files[0], 16); err != nil {
+		t.Fatal(err)
+	}
+	scale.Resume = true
 	b, err = build()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := WarmedSystem(scale, b); err == nil {
-		t.Fatal("corrupt checkpoint restored silently")
+		t.Fatal("resume restored a truncated checkpoint")
 	} else if !errors.Is(err, pabst.ErrCkptCorrupt) {
-		t.Fatalf("corrupt store error = %v", err)
+		t.Fatalf("resume-corrupt error = %v", err)
+	}
+	if q, _ := filepath.Glob(filepath.Join(scale.Ckpt, "*"+QuarantineSuffix)); len(q) != 1 {
+		t.Fatalf("quarantined files %v, want exactly one", q)
 	}
 }
 

@@ -1,0 +1,35 @@
+// Package serve is the sweep control plane: a supervised job system
+// that turns the one-shot sweep CLI into long-running, fault-tolerant
+// infrastructure.
+//
+// A job is an exp.RunSpec — a serializable description of one canonical
+// benchmark run. The service admits jobs into a bounded queue (rejecting
+// with a typed error when full, never growing without bound), executes
+// them on a fixed worker pool with per-job deadlines and cancellation
+// threaded through the simulator's RunContext, retries retryable
+// failures with exponential backoff and deterministic jitter, isolates
+// panicking simulations to the job that caused them, and watches worker
+// heartbeats so a wedged worker is cancelled, abandoned, and replaced
+// rather than silently stalling the queue.
+//
+// Durability follows an at-least-once contract. Every accepted job is
+// appended to a JSONL journal before Submit returns; completion and
+// failure are journaled as they happen; on restart the journal is
+// replayed and every non-terminal job re-enters the queue exactly once.
+// Re-execution is safe because a spec's config fingerprint pins its
+// simulated outcome: running the same spec twice produces bit-identical
+// results, so at-least-once execution plus idempotent results equals
+// effective exactly-once semantics.
+//
+// Graceful drain (SIGTERM/SIGINT in cmd/pabstserve) stops admission,
+// gives in-flight jobs a grace period to finish, then cancels the rest;
+// a cancelled run checkpoints its mid-measure machine state and is
+// requeued with that partial checkpoint, so the restarted service
+// finishes the measurement bit-identically to an uninterrupted run.
+// Queued jobs survive via journal compaction.
+//
+// Observability rides on the existing internal/obs registry: queue
+// depth, in-flight count, per-outcome counters, supervisor activity,
+// and the warm-start checkpoint store's hit/miss/quarantine counters,
+// all rendered as Prometheus text by the REST layer's /metrics.
+package serve

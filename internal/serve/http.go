@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"pabst/internal/exp"
+	"pabst/internal/obs"
+)
+
+// submitRequest is the POST /jobs body: the spec plus per-job options.
+type submitRequest struct {
+	Spec exp.RunSpec   `json:"spec"`
+	Opts SubmitOptions `json:"opts"`
+}
+
+// Handler returns the service's REST surface on a fresh mux:
+//
+//	POST /jobs     submit a job       → 202 JobView | 429 full | 503 draining | 400 invalid
+//	GET  /jobs     list all jobs      → 200 [JobView]
+//	GET  /jobs/{id} one job           → 200 JobView | 404
+//	POST /drain    begin graceful drain (returns when drained)
+//	GET  /healthz  liveness           → 200 always
+//	GET  /readyz   readiness          → 200 accepting | 503 draining/closed
+//	GET  /metrics  Prometheus text    → 200
+func (s *Service) Handler() http.Handler {
+	reg := s.Registry()
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req submitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		v, err := s.Submit(req.Spec, req.Opts)
+		if err != nil {
+			httpError(w, submitStatus(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusAccepted, v)
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.List())
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, err := s.Get(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+
+	mux.HandleFunc("POST /drain", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Drain(r.Context()); err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "drained"})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			httpError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		writeProm(w, reg)
+	})
+
+	return mux
+}
+
+func writeProm(w http.ResponseWriter, reg *obs.Registry) {
+	_ = reg.WriteProm(w)
+}
+
+// submitStatus maps admission errors to HTTP status codes.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	jl, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec()
+	want := []rec{
+		{Op: opSubmit, ID: "j-000000", Spec: &spec, MaxAttempts: 3},
+		{Op: opRequeue, ID: "j-000000", Attempt: 1, Partial: "/tmp/p.ckpt"},
+		{Op: opDone, ID: "j-000000", ResultFP: "abc", ShareHi: 0.7},
+	}
+	for _, r := range want {
+		if err := jl.append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jl.close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("loaded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Op != want[i].Op || got[i].ID != want[i].ID ||
+			got[i].Attempt != want[i].Attempt || got[i].Partial != want[i].Partial ||
+			got[i].ResultFP != want[i].ResultFP {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if got[0].Spec == nil || got[0].Spec.Bench != spec.Bench {
+		t.Fatalf("spec did not survive the round trip: %+v", got[0].Spec)
+	}
+}
+
+// TestJournalTornTail pins crash tolerance: a half-written final line
+// (the signature of dying mid-append) is dropped; every complete record
+// before it survives.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	jl, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec()
+	if err := jl.append(rec{Op: opSubmit, ID: "j-000000", Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.append(rec{Op: opSubmit, ID: "j-000001", Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	jl.close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"done","id":"j-00`) // torn mid-crash
+	f.Close()
+
+	got, err := loadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].ID != "j-000001" {
+		t.Fatalf("torn-tail load = %+v, want the 2 complete records", got)
+	}
+}
+
+func TestJournalMissingFile(t *testing.T) {
+	got, err := loadJournal(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || got != nil {
+		t.Fatalf("missing journal = %v, %v; want empty, nil", got, err)
+	}
+}
+
+// TestJournalRewrite pins compaction: the file is atomically replaced
+// with just the given records and stays appendable.
+func TestJournalRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	jl, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec()
+	for i := 0; i < 5; i++ {
+		if err := jl.append(rec{Op: opSubmit, ID: "j-old", Spec: &spec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jl.rewrite([]rec{{Op: opSubmit, ID: "j-live", Spec: &spec}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.append(rec{Op: opRequeue, ID: "j-live", Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	jl.close()
+	got, err := loadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "j-live" || got[1].Op != opRequeue {
+		t.Fatalf("post-rewrite journal = %+v", got)
+	}
+
+	// An empty rewrite empties the file.
+	jl2, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jl2.rewrite(nil); err != nil {
+		t.Fatal(err)
+	}
+	jl2.close()
+	fi, _ := os.Stat(path)
+	if fi.Size() != 0 {
+		t.Fatalf("empty rewrite left %d bytes", fi.Size())
+	}
+}
+
+// TestRecoverIgnoresUnknownOps pins forward compatibility: records with
+// unknown ops are skipped, not fatal.
+func TestRecoverIgnoresUnknownOps(t *testing.T) {
+	cfg := testConfig(t, okRunner)
+	path := filepath.Join(cfg.Dir, "journal.jsonl")
+	spec := tinySpec()
+	jl, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.append(rec{Op: opSubmit, ID: "j-000007", Spec: &spec, MaxAttempts: 2})
+	jl.append(rec{Op: "vibe-check", ID: "j-000007"})
+	jl.close()
+
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	v, err := s.Get("j-000007")
+	if err != nil || v.State != StateQueued || v.MaxAttempts != 2 {
+		t.Fatalf("recovered job = %+v, %v", v, err)
+	}
+	// New ids continue past recovered ones.
+	nv, err := s.Submit(tinySpec(), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv.ID != "j-000008" {
+		t.Fatalf("next id %s, want j-000008", nv.ID)
+	}
+}

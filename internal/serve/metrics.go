@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"pabst/internal/exp"
+	"pabst/internal/obs"
+)
+
+// metrics are the service's lifetime counters. Everything is atomic so
+// gauges sample without the service lock.
+type metrics struct {
+	submitted      atomic.Int64
+	rejected       atomic.Int64
+	started        atomic.Int64
+	completed      atomic.Int64
+	failed         atomic.Int64
+	canceled       atomic.Int64
+	retried        atomic.Int64
+	requeued       atomic.Int64
+	recovered      atomic.Int64
+	panics         atomic.Int64
+	wedgeCancels   atomic.Int64
+	workerRestarts atomic.Int64
+	journalErrs    atomic.Int64
+	latencyNS      atomic.Int64 // summed submit→complete latency
+}
+
+// Registry builds an obs registry over the service's live state: job
+// counters, queue/worker gauges, cumulative submit-to-complete latency,
+// and the warm-start checkpoint store's health counters. The REST
+// layer renders it at /metrics.
+func (s *Service) Registry() *obs.Registry {
+	r := obs.NewRegistry()
+	counter := func(name string, c *atomic.Int64) {
+		r.Register(name, func() float64 { return float64(c.Load()) })
+	}
+	counter("pabst_serve_jobs_submitted_total", &s.m.submitted)
+	counter("pabst_serve_jobs_rejected_total", &s.m.rejected)
+	counter("pabst_serve_attempts_started_total", &s.m.started)
+	counter("pabst_serve_jobs_completed_total", &s.m.completed)
+	counter("pabst_serve_jobs_failed_total", &s.m.failed)
+	counter("pabst_serve_jobs_canceled_total", &s.m.canceled)
+	counter("pabst_serve_jobs_retried_total", &s.m.retried)
+	counter("pabst_serve_jobs_requeued_total", &s.m.requeued)
+	counter("pabst_serve_jobs_recovered_total", &s.m.recovered)
+	counter("pabst_serve_job_panics_total", &s.m.panics)
+	counter("pabst_serve_wedge_cancels_total", &s.m.wedgeCancels)
+	counter("pabst_serve_worker_restarts_total", &s.m.workerRestarts)
+	counter("pabst_serve_journal_errors_total", &s.m.journalErrs)
+	r.Register("pabst_serve_submit_to_complete_seconds_sum", func() float64 {
+		return float64(s.m.latencyNS.Load()) / 1e9
+	})
+	r.Register("pabst_serve_queue_depth", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.queue) + s.backoff)
+	})
+	r.Register("pabst_serve_inflight", func() float64 {
+		return float64(s.inflight())
+	})
+	r.Register("pabst_serve_workers_live", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.liveWorkers)
+	})
+	r.Register("pabst_serve_draining", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.draining {
+			return 1
+		}
+		return 0
+	})
+	counterU := func(name string, c *atomic.Uint64) {
+		r.Register(name, func() float64 { return float64(c.Load()) })
+	}
+	counterU("pabst_ckpt_store_hits_total", &exp.StoreEvents.Hits)
+	counterU("pabst_ckpt_store_misses_total", &exp.StoreEvents.Misses)
+	counterU("pabst_ckpt_store_saves_total", &exp.StoreEvents.Saves)
+	counterU("pabst_ckpt_store_quarantines_total", &exp.StoreEvents.Quarantines)
+	return r
+}

@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pabst/internal/exp"
+)
+
+// tinyScale is a sub-second experiment scale for service tests.
+func tinyScale() exp.Scale {
+	return exp.Scale{Name: "tiny", Warmup: 10_000, Measure: 15_000, Epoch: 2000, Window: 2000}
+}
+
+func tinySpec() exp.RunSpec {
+	return exp.RunSpec{Bench: exp.BenchStreams, Scale: "tiny"}
+}
+
+// testConfig builds a fast-timing service config over a fresh dir.
+func testConfig(t *testing.T, runner Runner) Config {
+	t.Helper()
+	return Config{
+		Dir:              t.TempDir(),
+		QueueDepth:       64,
+		Workers:          2,
+		MaxAttempts:      3,
+		BackoffBase:      2 * time.Millisecond,
+		BackoffMax:       20 * time.Millisecond,
+		HeartbeatTimeout: time.Second,
+		DrainGrace:       50 * time.Millisecond,
+		Exec:             exp.Exec{Scales: map[string]exp.Scale{"tiny": tinyScale()}},
+		Runner:           runner,
+	}
+}
+
+// okRunner completes instantly with a fingerprint derived from the spec,
+// mimicking the determinism contract without simulating.
+func okRunner(ctx context.Context, spec exp.RunSpec, env RunEnv) (exp.RunResult, error) {
+	return exp.RunResult{Fingerprint: "fp-" + spec.Fingerprint(), Cycles: 1}, nil
+}
+
+// waitFor polls until cond holds or the deadline trips the test. The
+// deadline is generous: under the race detector on a small machine a
+// real-simulation sweep takes tens of seconds.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func mustState(t *testing.T, s *Service, id string, want JobState) {
+	t.Helper()
+	waitFor(t, fmt.Sprintf("job %s to reach %s", id, want), func() bool {
+		v, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("get %s: %v", id, err)
+		}
+		return v.State == want
+	})
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s, err := New(testConfig(t, okRunner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Submit(exp.RunSpec{Bench: "nope", Scale: "tiny"}, SubmitOptions{}); exp.Classify(err) != exp.FailTerminal {
+		t.Fatalf("bad bench accepted: %v", err)
+	}
+	if _, err := s.Submit(exp.RunSpec{Bench: exp.BenchStreams, Scale: "galactic"}, SubmitOptions{}); exp.Classify(err) != exp.FailTerminal {
+		t.Fatalf("unknown scale accepted: %v", err)
+	}
+}
+
+// TestAdmissionControl pins the bounded queue: beyond QueueDepth
+// waiting jobs, Submit rejects with ErrQueueFull; during a drain it
+// rejects with ErrDraining.
+func TestAdmissionControl(t *testing.T) {
+	release := make(chan struct{})
+	blocking := func(ctx context.Context, spec exp.RunSpec, env RunEnv) (exp.RunResult, error) {
+		select {
+		case <-release:
+			return exp.RunResult{Fingerprint: "x"}, nil
+		case <-ctx.Done():
+			return exp.RunResult{}, ctx.Err()
+		}
+	}
+	cfg := testConfig(t, blocking)
+	cfg.QueueDepth = 4
+	cfg.Workers = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Start()
+
+	// One job occupies the worker; QueueDepth more wait.
+	first, err := s.Submit(tinySpec(), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustState(t, s, first.ID, StateRunning)
+	for i := 0; i < cfg.QueueDepth; i++ {
+		if _, err := s.Submit(tinySpec(), SubmitOptions{}); err != nil {
+			t.Fatalf("submit %d rejected: %v", i, err)
+		}
+	}
+	waitFor(t, "queue to fill", func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.queue) == cfg.QueueDepth
+	})
+	if _, err := s.Submit(tinySpec(), SubmitOptions{}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-depth submit error = %v, want ErrQueueFull", err)
+	}
+
+	close(release)
+	done := make(chan error, 1)
+	go func() { done <- s.Drain(context.Background()) }()
+	waitFor(t, "draining", func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.draining
+	})
+	if _, err := s.Submit(tinySpec(), SubmitOptions{}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain error = %v, want ErrDraining", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetryBackoff pins the retry loop: two retryable failures, then
+// success on the third attempt.
+func TestRetryBackoff(t *testing.T) {
+	var calls atomic.Int64
+	flaky := func(ctx context.Context, spec exp.RunSpec, env RunEnv) (exp.RunResult, error) {
+		if calls.Add(1) < 3 {
+			return exp.RunResult{}, errors.New("transient disk weather")
+		}
+		return exp.RunResult{Fingerprint: "ok"}, nil
+	}
+	s, err := New(testConfig(t, flaky))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Start()
+	v, err := s.Submit(tinySpec(), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustState(t, s, v.ID, StateDone)
+	got, _ := s.Get(v.ID)
+	if got.Attempt != 3 || got.Result == nil || got.Result.Fingerprint != "ok" {
+		t.Fatalf("job after retries: %+v", got)
+	}
+	if n := s.m.retried.Load(); n != 2 {
+		t.Fatalf("retried counter %d, want 2", n)
+	}
+}
+
+// TestRetryExhaustion pins the attempt budget: a persistently failing
+// job ends Failed after MaxAttempts, and its failure is journaled.
+func TestRetryExhaustion(t *testing.T) {
+	always := func(ctx context.Context, spec exp.RunSpec, env RunEnv) (exp.RunResult, error) {
+		return exp.RunResult{}, errors.New("never works")
+	}
+	cfg := testConfig(t, always)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Start()
+	v, err := s.Submit(tinySpec(), SubmitOptions{MaxAttempts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustState(t, s, v.ID, StateFailed)
+	got, _ := s.Get(v.ID)
+	if got.Attempt != 2 {
+		t.Fatalf("failed after attempt %d, want 2", got.Attempt)
+	}
+}
+
+// TestTerminalNoRetry pins that a terminal failure is never retried.
+func TestTerminalNoRetry(t *testing.T) {
+	var calls atomic.Int64
+	terminal := func(ctx context.Context, spec exp.RunSpec, env RunEnv) (exp.RunResult, error) {
+		calls.Add(1)
+		return exp.RunResult{}, exp.Terminal(errors.New("config rot"))
+	}
+	s, err := New(testConfig(t, terminal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Start()
+	v, err := s.Submit(tinySpec(), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustState(t, s, v.ID, StateFailed)
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("terminal failure ran %d times", n)
+	}
+}
+
+// TestPanicIsolation pins that a panicking simulation fails only its
+// own job; the worker survives to run the next one.
+func TestPanicIsolation(t *testing.T) {
+	bomber := func(ctx context.Context, spec exp.RunSpec, env RunEnv) (exp.RunResult, error) {
+		if spec.Bench == exp.BenchChaser {
+			panic("index out of range in someone's DRAM model")
+		}
+		return exp.RunResult{Fingerprint: "fine"}, nil
+	}
+	cfg := testConfig(t, bomber)
+	cfg.Workers = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Start()
+	bad, err := s.Submit(exp.RunSpec{Bench: exp.BenchChaser, Scale: "tiny"}, SubmitOptions{MaxAttempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := s.Submit(tinySpec(), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustState(t, s, bad.ID, StateFailed)
+	mustState(t, s, good.ID, StateDone)
+	if n := s.m.panics.Load(); n != 1 {
+		t.Fatalf("panic counter %d, want 1", n)
+	}
+	gotBad, _ := s.Get(bad.ID)
+	if gotBad.FailureClass != exp.FailRetryable.String() {
+		t.Fatalf("panic classified %q, want retryable", gotBad.FailureClass)
+	}
+}
+
+// TestDeadline pins per-job deadlines: an attempt overrunning its
+// budget is cancelled and the job lands in StateCanceled.
+func TestDeadline(t *testing.T) {
+	sleeper := func(ctx context.Context, spec exp.RunSpec, env RunEnv) (exp.RunResult, error) {
+		<-ctx.Done()
+		return exp.RunResult{}, ctx.Err()
+	}
+	s, err := New(testConfig(t, sleeper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Start()
+	v, err := s.Submit(tinySpec(), SubmitOptions{Deadline: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustState(t, s, v.ID, StateCanceled)
+}
+
+// TestDrainRequeueRecover is the graceful-drain contract in miniature:
+// an in-flight job is cancelled, checkpoints a partial, is requeued and
+// journaled; a second service over the same dir recovers it and
+// finishes from the partial.
+func TestDrainRequeueRecover(t *testing.T) {
+	interruptible := func(ctx context.Context, spec exp.RunSpec, env RunEnv) (exp.RunResult, error) {
+		<-ctx.Done()
+		if err := os.WriteFile(env.Save, []byte("partial-state"), 0o644); err != nil {
+			return exp.RunResult{}, err
+		}
+		return exp.RunResult{}, fmt.Errorf("%w: %w", exp.ErrInterrupted, ctx.Err())
+	}
+	cfg := testConfig(t, interruptible)
+	cfg.Workers = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	v, err := s.Submit(tinySpec(), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustState(t, s, v.ID, StateRunning)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get(v.ID)
+	if got.State != StateQueued || !got.HasPartial || got.Attempt != 0 {
+		t.Fatalf("after drain: %+v", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second incarnation resumes from the partial.
+	var resumed atomic.Bool
+	cfg.Runner = func(ctx context.Context, spec exp.RunSpec, env RunEnv) (exp.RunResult, error) {
+		raw, err := os.ReadFile(env.Resume)
+		if err != nil || string(raw) != "partial-state" {
+			return exp.RunResult{}, fmt.Errorf("partial not offered for resume: %q %v", raw, err)
+		}
+		resumed.Store(true)
+		return exp.RunResult{Fingerprint: "resumed"}, nil
+	}
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if n := s2.m.recovered.Load(); n != 1 {
+		t.Fatalf("recovered %d jobs, want 1", n)
+	}
+	s2.Start()
+	mustState(t, s2, v.ID, StateDone)
+	if !resumed.Load() {
+		t.Fatal("second incarnation did not resume from the partial")
+	}
+	// Once everything is done, a drain compacts the journal to empty.
+	if err := s2.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(filepath.Join(cfg.Dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("journal holds %d bytes after a clean drain, want 0", fi.Size())
+	}
+}
+
+// TestWedgeRecovery pins the supervisor: a worker stuck past the
+// heartbeat timeout that ignores cancellation is abandoned and
+// replaced, and its job runs to completion on the fresh worker.
+func TestWedgeRecovery(t *testing.T) {
+	stuck := make(chan struct{})
+	defer close(stuck)
+	var calls atomic.Int64
+	wedgy := func(ctx context.Context, spec exp.RunSpec, env RunEnv) (exp.RunResult, error) {
+		if calls.Add(1) == 1 {
+			<-stuck // no beats, no ctx: a true wedge
+			return exp.RunResult{}, errors.New("husk awoke")
+		}
+		return exp.RunResult{Fingerprint: "recovered"}, nil
+	}
+	cfg := testConfig(t, wedgy)
+	cfg.Workers = 1
+	cfg.HeartbeatTimeout = 40 * time.Millisecond
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Start()
+	v, err := s.Submit(tinySpec(), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustState(t, s, v.ID, StateDone)
+	if n := s.m.workerRestarts.Load(); n != 1 {
+		t.Fatalf("worker restarts %d, want 1", n)
+	}
+	if n := s.m.wedgeCancels.Load(); n != 1 {
+		t.Fatalf("wedge cancels %d, want 1", n)
+	}
+	got, _ := s.Get(v.ID)
+	if got.Result.Fingerprint != "recovered" {
+		t.Fatalf("job result %+v", got.Result)
+	}
+}
