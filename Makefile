@@ -4,14 +4,14 @@
 
 GO ?= go
 
-.PHONY: all build check robust bench bench-parallel bench-obs bench-ckpt bench-hotpath serve-smoke faults lint-deprecated clean
+.PHONY: all build check robust bench bench-parallel bench-obs bench-ckpt bench-hotpath bench-policies serve-smoke faults lint-deprecated lint-docs clean
 
 all: check
 
 build:
 	$(GO) build ./...
 
-check: build lint-deprecated
+check: build lint-deprecated lint-docs
 	$(GO) vet ./...
 	$(GO) test ./...
 
@@ -19,8 +19,9 @@ check: build lint-deprecated
 # includes the fault-injection chaos sweeps, the parallel-kernel
 # determinism matrix, the golden-trace determinism test, and the sweep
 # service's chaos acceptance), plus the observability overhead,
-# checkpoint warm-start, hot-path, and sweep-service smoke gates.
-robust: bench-obs bench-ckpt bench-hotpath serve-smoke
+# checkpoint warm-start, hot-path, cross-policy Pareto, and
+# sweep-service smoke gates.
+robust: bench-obs bench-ckpt bench-hotpath bench-policies serve-smoke
 	$(GO) test -race ./...
 
 # Deprecated-accessor gate: no in-repo caller may use the one-off System
@@ -77,6 +78,21 @@ bench-hotpath:
 # Writes BENCH_serve.json with submit-to-complete and drain latency.
 serve-smoke:
 	$(GO) run ./cmd/pabstserve -smoke -out BENCH_serve.json
+
+# Cross-policy Pareto gate. Sweeps every registered QoS mechanism pair
+# (pabst+pabst, bankreg+fcfs, lmsar+fcfs, none+dpq) across the
+# utilization axis on the 7:3 stream mix and records each load's Pareto
+# frontier on (share fidelity, hi-class p99 latency). Writes
+# BENCH_policies.json; see EXPERIMENTS.md "Cross-policy Pareto sweep".
+bench-policies:
+	$(GO) run ./cmd/pabstsweep -policies -scale quick -parallel 6 -workers 2 -out BENCH_policies.json
+
+# Documentation gate. Validates intra-repo markdown links, requires a
+# package comment on every internal package, and fails if a registered
+# QoS policy is missing from the generated reference (docs/POLICIES.md —
+# regenerate with `go run ./cmd/pabstdocs -write`).
+lint-docs:
+	$(GO) run ./cmd/pabstdocs
 
 # Quick clean-vs-faulted comparison (the BENCH_faults.json scenario).
 faults:

@@ -5,9 +5,16 @@
 // Usage:
 //
 //	pabstsim [-scale quick|full] [-series] [-spec name,name,...]
-//	         [-workers n] [-parallel n] [-ff] [-ckpt dir] [-resume]
-//	         [-cpuprofile f] [-memprofile f] <experiment>...
+//	         [-policy src+tgt] [-workers n] [-parallel n] [-ff]
+//	         [-ckpt dir] [-resume] [-cpuprofile f] [-memprofile f]
+//	         <experiment>...
 //	pabstsim -list
+//	pabstsim -list-policies
+//
+// -policy pins every system an experiment builds to an explicit QoS
+// policy pair from the plugin registry ("src+tgt"; either half may be
+// empty to keep that side's mode default). -list-policies prints the
+// registry: each mechanism's name, kind, parameters, and paper citation.
 //
 // The -workers, -parallel, and -ff flags change only wall-clock speed;
 // every experiment's output is bit-identical at any setting (see
@@ -58,6 +65,8 @@ var experiments = []struct {
 func main() {
 	scaleName := flag.String("scale", "full", "experiment scale: quick or full")
 	list := flag.Bool("list", false, "list experiments and exit")
+	listPolicies := flag.Bool("list-policies", false, "list registered QoS policy mechanisms and exit")
+	policy := flag.String("policy", "", "QoS policy pair `src+tgt` for every system built (empty halves keep mode defaults)")
 	series := flag.Bool("series", false, "print full time series for fig5/fig6")
 	jsonOut := flag.Bool("json", false, "emit result tables as JSON instead of text")
 	specs := flag.String("spec", "", "comma-separated SPEC proxy subset for fig10-12 (default: all)")
@@ -83,6 +92,10 @@ func main() {
 		}
 		return
 	}
+	if *listPolicies {
+		printPolicies()
+		return
+	}
 
 	var scale exp.Scale
 	switch *scaleName {
@@ -101,6 +114,11 @@ func main() {
 	if scale.Resume && scale.Ckpt == "" {
 		fatalf("-resume needs -ckpt <dir>")
 	}
+	src, tgt, err := pabst.ParsePolicyPair(*policy)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	scale.SourcePolicy, scale.TargetPolicy = src, tgt
 
 	var workloads []string
 	if *specs != "" {
@@ -223,6 +241,21 @@ func main() {
 			fmt.Printf("[%s: %.1fs]\n\n", name, time.Since(start).Seconds())
 		}
 	}
+}
+
+// printPolicies renders the QoS policy registry: every mechanism's
+// name, kind, consumed parameters, and the paper it reproduces.
+func printPolicies() {
+	fmt.Printf("%-9s %-7s %-56s %s\n", "name", "kind", "description [params]", "citation")
+	for _, p := range pabst.Policies() {
+		desc := p.Desc
+		if p.Params != "" {
+			desc += " [" + p.Params + "]"
+		}
+		fmt.Printf("%-9s %-7s %-56s %s\n", p.Name, p.Kind, desc, p.Cite)
+	}
+	fmt.Println("\nselect with -policy src+tgt (pabstsim, pabstsweep) or the RunSpec \"policy\" field (pabstserve);")
+	fmt.Println("either half may be empty to keep that side's mode default.")
 }
 
 func printSeries(r *exp.SeriesResult) {

@@ -15,12 +15,22 @@
 // Usage:
 //
 //	pabstsweep [-scale quick|full] [-param name] [-parallel n] [-workers n]
+//	pabstsweep -policies [-out BENCH_policies.json] [-csv policies.csv]
 //
 // By default every sweep point runs one after another. -parallel n runs
 // up to n points concurrently (each on its own isolated system) and
 // -workers n shards each simulation's per-cycle work; both change only
 // wall-clock time — every point's numbers are bit-identical at any
 // setting.
+//
+// -policy src+tgt pins every parameter-sweep point to an explicit QoS
+// policy pair from the plugin registry (either half may be empty to keep
+// its mode default; see pabstsim -list-policies for the names).
+// -policies switches to the cross-policy Pareto comparison instead: each
+// registered mechanism pair runs the 7:3 stream mix across the
+// utilization axis, and the tool reports each load's Pareto frontier on
+// (share fidelity, hi-class p99 latency), optionally serializing the
+// points with -out (JSON) and -csv.
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"math"
 	"os"
 
+	"pabst"
 	"pabst/internal/exp"
 )
 
@@ -72,6 +83,10 @@ func main() {
 	ff := flag.Bool("ff", false, "fast-forward provably idle cycles")
 	ckptDir := flag.String("ckpt", "", "directory for post-warmup checkpoints; repeat runs restore instead of re-warming (bit-identical)")
 	resume := flag.Bool("resume", false, "require a stored checkpoint for every point (a miss is an error); implies -ckpt")
+	policy := flag.String("policy", "", "QoS policy pair `src+tgt` for every sweep point (empty halves keep mode defaults)")
+	policies := flag.Bool("policies", false, "run the cross-policy Pareto comparison instead of parameter sweeps")
+	outJSON := flag.String("out", "", "with -policies: write the sweep points as JSON to this `file`")
+	outCSV := flag.String("csv", "", "with -policies: write the sweep points as CSV to this `file`")
 	flag.Parse()
 
 	if _, err := exp.ScaleByName(*scaleName); err != nil {
@@ -82,7 +97,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pabstsweep: -resume needs -ckpt <dir>")
 		os.Exit(1)
 	}
+	if _, _, err := pabst.ParsePolicyPair(*policy); err != nil {
+		fmt.Fprintf(os.Stderr, "pabstsweep: %v\n", err)
+		os.Exit(1)
+	}
 	ex := exp.Exec{Workers: *workers, FastForward: *ff, Ckpt: *ckptDir, Resume: *resume}
+
+	if *policies {
+		if err := runPolicies(*scaleName, *parallel, ex, *outJSON, *outCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "pabstsweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	for _, s := range sweeps() {
 		if *param != "" && s.param != *param {
@@ -103,14 +130,14 @@ func main() {
 		results := make([]res, len(s.values))
 		err := exp.ForEach(*parallel, len(s.values), func(i int) error {
 			params := map[string]uint64{s.param: s.values[i]}
-			spec := exp.RunSpec{Bench: exp.BenchStreams, Scale: *scaleName, Params: params}
+			spec := exp.RunSpec{Bench: exp.BenchStreams, Scale: *scaleName, Params: params, Policy: *policy}
 			r, err := spec.Run(context.Background(), ex, exp.RunIO{})
 			if err != nil {
 				return err
 			}
 			results[i] = res{shHi: r.ShareHi, bpc: r.TotalBPC}
 			if s.chaser {
-				cspec := exp.RunSpec{Bench: exp.BenchChaser, Scale: *scaleName, Params: params}
+				cspec := exp.RunSpec{Bench: exp.BenchChaser, Scale: *scaleName, Params: params, Policy: *policy}
 				cr, err := cspec.Run(context.Background(), ex, exp.RunIO{})
 				if err != nil {
 					return err
@@ -133,4 +160,53 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runPolicies executes the cross-policy Pareto comparison: every
+// registered mechanism pair across the utilization axis, printed as a
+// table and optionally serialized to JSON/CSV files.
+func runPolicies(scaleName string, parallel int, ex exp.Exec, outJSON, outCSV string) error {
+	sc, err := exp.ScaleByName(scaleName)
+	if err != nil {
+		return err
+	}
+	sc.Workers, sc.FastForward = ex.Workers, ex.FastForward
+	sc.Ckpt, sc.Resume = ex.Ckpt, ex.Resume
+	sc.Parallel = parallel
+
+	table, points, err := exp.RunPolicyPareto(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(table.String())
+
+	if outJSON != "" {
+		f, err := os.Create(outJSON)
+		if err != nil {
+			return err
+		}
+		if err := exp.WritePolicyJSON(f, sc.Name, points); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d points)\n", outJSON, len(points))
+	}
+	if outCSV != "" {
+		f, err := os.Create(outCSV)
+		if err != nil {
+			return err
+		}
+		if err := exp.WritePolicyCSV(f, points); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d points)\n", outCSV, len(points))
+	}
+	return nil
 }

@@ -9,7 +9,12 @@
 // Usage:
 //
 //	pabsttrace [-epochs n] [-epoch cycles] [-whi w] [-wlo w]
-//	           [-format jsonl|csv] [-events epoch,governor,...] [-tile n] > trace
+//	           [-policy src+tgt] [-format jsonl|csv]
+//	           [-events epoch,governor,...] [-tile n] > trace
+//
+// -policy swaps in a QoS policy pair from the plugin registry (see
+// pabstsim -list-policies); probe-backed mechanisms emit governor events
+// with their own register semantics.
 package main
 
 import (
@@ -30,7 +35,14 @@ func main() {
 	events := flag.String("events", "", "comma-separated event kinds to keep (default all): epoch,governor,arbiter,dram,fault")
 	tile := flag.Int("tile", -1, "restrict governor events to one tile (-1 = all)")
 	workers := flag.Int("workers", 1, "parallel tick workers (1 = sequential; output is identical either way)")
+	policy := flag.String("policy", "", "QoS policy pair `src+tgt` from the plugin registry (empty halves keep PABST defaults)")
 	flag.Parse()
+
+	srcPol, tgtPol, err := pabst.ParsePolicyPair(*policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pabsttrace: %v\n", err)
+		os.Exit(2)
+	}
 
 	var sink pabst.Sink
 	switch *format {
@@ -55,7 +67,8 @@ func main() {
 	cfg.BWWindow = *epoch
 
 	b := pabst.NewBuilder(cfg, pabst.ModePABST,
-		pabst.WithWorkers(*workers), pabst.WithObserver(observer))
+		pabst.WithWorkers(*workers), pabst.WithObserver(observer),
+		pabst.WithPolicy(srcPol, tgtPol))
 	hi := b.AddClass("hi", *wHi, cfg.L3Ways/2)
 	lo := b.AddClass("lo", *wLo, cfg.L3Ways/2)
 	for i := 0; i < 16; i++ {

@@ -38,7 +38,10 @@ import (
 
 // Version is the current checkpoint format version. Bump it on any
 // walk-order or encoding change; restore refuses other versions.
-const Version uint32 = 1
+//
+// History: v1 was the initial format; v2 added the per-tile and
+// per-class-baseline latency histograms to the soc walk.
+const Version uint32 = 2
 
 var magic = [8]byte{'P', 'A', 'B', 'S', 'T', 'C', 'K', 'P'}
 

@@ -13,6 +13,7 @@ import (
 	"pabst/internal/noc"
 	"pabst/internal/pabst"
 	"pabst/internal/qos"
+	"pabst/internal/qospolicy"
 )
 
 // System describes one simulated machine. All latencies are in cycles of
@@ -96,6 +97,13 @@ type System struct {
 	// instead of spinning through them.
 	Workers     int  `json:",omitempty"`
 	FastForward bool `json:",omitempty"`
+
+	// SourcePolicy/TargetPolicy select QoS mechanisms by registry name
+	// (see internal/qospolicy). Empty fields keep the defaults derived
+	// from the regulation mode, so existing configurations — and their
+	// checkpoint fingerprints — are unchanged.
+	SourcePolicy string `json:",omitempty"`
+	TargetPolicy string `json:",omitempty"`
 }
 
 // NumTiles returns the tile (= core = L3 slice) count.
@@ -235,6 +243,14 @@ func (s *System) Validate() error {
 	}
 	if s.Workers < 0 {
 		return fmt.Errorf("config: Workers: negative worker count %d: %w", s.Workers, ErrInvalid)
+	}
+	if s.SourcePolicy != "" && !qospolicy.ValidSource(s.SourcePolicy) {
+		return fmt.Errorf("config: SourcePolicy: unknown policy %q (have %v): %w",
+			s.SourcePolicy, qospolicy.SourceNames(), ErrInvalid)
+	}
+	if s.TargetPolicy != "" && !qospolicy.ValidTarget(s.TargetPolicy) {
+		return fmt.Errorf("config: TargetPolicy: unknown policy %q (have %v): %w",
+			s.TargetPolicy, qospolicy.TargetNames(), ErrInvalid)
 	}
 	return nil
 }

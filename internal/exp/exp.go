@@ -31,6 +31,13 @@ type Scale struct {
 	FastForward bool
 	Parallel    int
 
+	// SourcePolicy/TargetPolicy select QoS mechanisms by registry name
+	// for every system the experiment builds; empty strings keep the
+	// mode-derived defaults. Unlike the execution knobs these DO change
+	// simulated outcomes — they are the cross-policy comparison axis.
+	SourcePolicy string
+	TargetPolicy string
+
 	// Ckpt names a directory for post-warmup checkpoints: experiments
 	// that route through WarmedSystem restore a matching checkpoint
 	// instead of re-simulating the warmup, and save one after any cold
@@ -66,6 +73,7 @@ func (s Scale) Options() []pabst.Option {
 	return []pabst.Option{
 		pabst.WithWorkers(s.Workers),
 		pabst.WithFastForward(s.FastForward),
+		pabst.WithPolicy(s.SourcePolicy, s.TargetPolicy),
 	}
 }
 

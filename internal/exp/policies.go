@@ -1,0 +1,222 @@
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pabst"
+)
+
+// PolicyPair names one source+target mechanism combination from the
+// policy-plugin registry.
+type PolicyPair struct {
+	Source string `json:"source"`
+	Target string `json:"target"`
+}
+
+func (p PolicyPair) String() string { return p.Source + "+" + p.Target }
+
+// ParetoPairs returns the four mechanisms the cross-policy comparison
+// sweeps: the full PABST pair and the three related-work schemes, each
+// living on the half of the source/target split its paper occupies.
+func ParetoPairs() []PolicyPair {
+	return []PolicyPair{
+		{"pabst", "pabst"},  // adaptive source governor + EDF target arbiter
+		{"bankreg", "fcfs"}, // per-channel budgets, unmanaged target
+		{"lmsar", "fcfs"},   // LMS-predictive source pacing, unmanaged target
+		{"none", "dpq"},     // unmanaged source, bounded-latency target arbiter
+	}
+}
+
+// ParetoLoads returns the utilization axis: active tiles per class on
+// the 7:3 two-stream-class mix. 4 leaves the memory system uncontended,
+// 16 saturates it.
+func ParetoLoads() []int { return []int{4, 8, 16} }
+
+// paretoEntitledHi is the high class's entitled share under 7:3 weights.
+const paretoEntitledHi = 0.7
+
+// ParetoPoint is one (policy pair, load) measurement: how faithfully the
+// pair delivered the 7:3 split, at what tail latency, and how much of
+// the machine it kept busy.
+type ParetoPoint struct {
+	Source string `json:"source"`
+	Target string `json:"target"`
+	// Load is the number of active tiles per class.
+	Load int `json:"load"`
+
+	// ShareHi is the high class's observed DRAM-traffic fraction;
+	// ShareErr is its relative error against the 0.7 entitlement, in
+	// percent — the throughput-share-fidelity axis.
+	ShareHi  float64 `json:"share_hi"`
+	ShareErr float64 `json:"share_err_pct"`
+	// P99Hi / P99Lo are the classes' p99 end-to-end miss latencies in
+	// cycles — the tail-latency axis.
+	P99Hi uint64 `json:"p99_hi"`
+	P99Lo uint64 `json:"p99_lo"`
+	// BusUtil and TotalBPC report delivered throughput.
+	BusUtil  float64 `json:"bus_util"`
+	TotalBPC float64 `json:"total_bpc"`
+
+	// Frontier marks the point Pareto-optimal among the pairs at its
+	// load: no other pair is at least as good on both ShareErr and P99Hi
+	// and strictly better on one.
+	Frontier bool `json:"frontier"`
+}
+
+// RunPolicyPoint measures one policy pair at one load: `load` tiles of a
+// weight-7 stream class against `load` tiles of a weight-3 stream class.
+func RunPolicyPoint(scale Scale, pair PolicyPair, load int) (ParetoPoint, error) {
+	if load < 1 || load > 16 {
+		return ParetoPoint{}, fmt.Errorf("exp: pareto load %d outside [1,16]", load)
+	}
+	cfg := scale.Apply(pabst.Default32Config())
+	cfg.SourcePolicy, cfg.TargetPolicy = pair.Source, pair.Target
+	b := pabst.NewBuilder(cfg, pabst.ModePABST, scale.Options()...)
+	hi := b.AddClass("hi", 7, cfg.L3Ways/2)
+	lo := b.AddClass("lo", 3, cfg.L3Ways/2)
+	attachStreams(b, hi, 0, load, true)
+	attachStreams(b, lo, 16, 16+load, true)
+
+	sys, err := WarmedSystem(scale, b)
+	if err != nil {
+		return ParetoPoint{}, err
+	}
+	defer sys.Close()
+	sys.Run(scale.Measure)
+	m := sys.Metrics()
+
+	p := ParetoPoint{
+		Source:   pair.Source,
+		Target:   pair.Target,
+		Load:     load,
+		ShareHi:  m.ShareOf(hi),
+		P99Hi:    sys.ClassTailLatency(hi, 99),
+		P99Lo:    sys.ClassTailLatency(lo, 99),
+		BusUtil:  m.BusUtilization,
+		TotalBPC: m.BytesPerCycle(hi) + m.BytesPerCycle(lo),
+	}
+	p.ShareErr = abs(p.ShareHi-paretoEntitledHi) / paretoEntitledHi * 100
+	return p, nil
+}
+
+// RunPolicyPareto sweeps every ParetoPairs mechanism across the
+// ParetoLoads utilization axis and marks each load's Pareto frontier on
+// (share fidelity, hi-class p99 tail latency). Points are independent
+// simulations, run on the scale's bounded pool.
+func RunPolicyPareto(scale Scale) (*Table, []ParetoPoint, error) {
+	pairs, loads := ParetoPairs(), ParetoLoads()
+	type cell struct {
+		pair PolicyPair
+		load int
+	}
+	var cells []cell
+	for _, pair := range pairs {
+		for _, load := range loads {
+			cells = append(cells, cell{pair, load})
+		}
+	}
+	points := make([]ParetoPoint, len(cells))
+	err := ForEach(scale.Parallel, len(cells), func(i int) error {
+		p, err := RunPolicyPoint(scale, cells[i].pair, cells[i].load)
+		if err != nil {
+			return fmt.Errorf("%s load=%d: %w", cells[i].pair, cells[i].load, err)
+		}
+		points[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	markFrontier(points)
+
+	t := &Table{
+		Title:   "Cross-policy Pareto: share fidelity vs p99 tail latency (7:3 streams)",
+		Columns: []string{"load", "share-hi", "err-%", "p99-hi", "bus-util", "frontier"},
+	}
+	for _, p := range points {
+		front := 0.0
+		if p.Frontier {
+			front = 1
+		}
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("%s+%s", p.Source, p.Target),
+			Values: map[string]float64{
+				"load":     float64(p.Load),
+				"share-hi": p.ShareHi,
+				"err-%":    p.ShareErr,
+				"p99-hi":   float64(p.P99Hi),
+				"bus-util": p.BusUtil,
+				"frontier": front,
+			},
+		})
+	}
+	return t, points, nil
+}
+
+// markFrontier flags, within each load group, the points no other point
+// dominates on (ShareErr, P99Hi) — lower is better on both axes.
+func markFrontier(points []ParetoPoint) {
+	for i := range points {
+		dominated := false
+		for j := range points {
+			if i == j || points[j].Load != points[i].Load {
+				continue
+			}
+			jNoWorse := points[j].ShareErr <= points[i].ShareErr && points[j].P99Hi <= points[i].P99Hi
+			jBetter := points[j].ShareErr < points[i].ShareErr || points[j].P99Hi < points[i].P99Hi
+			if jNoWorse && jBetter {
+				dominated = true
+				break
+			}
+		}
+		points[i].Frontier = !dominated
+	}
+}
+
+// PolicyBench is the serialized form of one cross-policy sweep —
+// BENCH_policies.json.
+type PolicyBench struct {
+	Scale  string        `json:"scale"`
+	Mix    string        `json:"mix"`
+	Points []ParetoPoint `json:"points"`
+}
+
+// WritePolicyJSON writes the sweep as indented JSON.
+func WritePolicyJSON(w io.Writer, scale string, points []ParetoPoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(PolicyBench{Scale: scale, Mix: "streams-7:3", Points: points})
+}
+
+// WritePolicyCSV writes the sweep as CSV, one row per (pair, load).
+func WritePolicyCSV(w io.Writer, points []ParetoPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"source", "target", "load", "share_hi", "share_err_pct", "p99_hi", "p99_lo", "bus_util", "total_bpc", "frontier"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		front := "0"
+		if p.Frontier {
+			front = "1"
+		}
+		rec := []string{
+			p.Source, p.Target,
+			fmt.Sprintf("%d", p.Load),
+			fmt.Sprintf("%.6f", p.ShareHi),
+			fmt.Sprintf("%.3f", p.ShareErr),
+			fmt.Sprintf("%d", p.P99Hi),
+			fmt.Sprintf("%d", p.P99Lo),
+			fmt.Sprintf("%.6f", p.BusUtil),
+			fmt.Sprintf("%.6f", p.TotalBPC),
+			front,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,218 @@
+package exp
+
+import (
+	"context"
+	"testing"
+
+	"pabst"
+)
+
+// The policy-plugin refactor's core acceptance criterion: routing every
+// regulation mode through the qospolicy registry must be invisible. The
+// fingerprints below were captured on the pre-plugin mode switches
+// (direct governor/arbiter construction in internal/soc) on the tiny
+// 3:1 stream machine and the tiny RunSpec benches; the registry-built
+// systems must reproduce them bit for bit, at every workers ×
+// fast-forward setting. If a fingerprint here changes, the plugin seam
+// leaked into simulated behavior — that is a bug, not a baseline bump.
+
+// tinyGoldenScale is the capture machine: small enough for the full
+// matrix to run in tests, long enough for the governor to act.
+func tinyGoldenScale() Scale {
+	return Scale{Name: "tiny", Warmup: 40_000, Measure: 60_000, Epoch: 2000, Window: 2000}
+}
+
+// goldenModeFPs maps each legacy mode to its pre-refactor result
+// fingerprint on the tiny 3:1 stream machine.
+var goldenModeFPs = map[string]string{
+	"none":          "3bf0cdc1c1e12dc4f89636cced4e3924f6b6aae5a36a862e5eade2273a84b0e7",
+	"source-only":   "28daf5d38f4dd5dff1181c8e174c60dff488793e4095f42be21ed655388e6e35",
+	"target-only":   "658ae35fae3230b22e8e171c10cb2795ea4982b12c50779b138a98e69a22cabe",
+	"pabst":         "32761ed744352c8f71af62129adda1a71c17f8059d04940f7bbb4a02e70288e3",
+	"static-source": "fc63d8929bf916bb0655d890d4794f78c84a365cc3b7b41c4be5e66ac572f1bd",
+}
+
+// goldenBenchFPs pins the RunSpec path (config → spec → registry) on the
+// same scale.
+var goldenBenchFPs = map[string]string{
+	BenchStreams: "fd2336ca76e252774e2c9c65ced5dbd21b2a7f403150cb201e388f999d6b1691",
+	BenchChaser:  "a5bc0b7d9a58986ecb6c5b844e60833becdf99cd00882e1d7da3a9cdfba01724",
+}
+
+// execMatrix is the workers × fast-forward grid the golden and matrix
+// tests sweep; all cells must agree.
+var execMatrix = []struct {
+	workers int
+	ff      bool
+}{
+	{1, false},
+	{1, true},
+	{4, false},
+	{4, true},
+}
+
+func tinyModeFP(sc Scale, mode pabst.Mode) (string, error) {
+	cfg := sc.Apply(pabst.Default32Config())
+	b := pabst.NewBuilder(cfg, mode, sc.Options()...)
+	hi := b.AddClass("hi", 3, cfg.L3Ways/2)
+	lo := b.AddClass("lo", 1, cfg.L3Ways/2)
+	attachStreams(b, hi, 0, 16, true)
+	attachStreams(b, lo, 16, 32, true)
+	sys, err := b.Build()
+	if err != nil {
+		return "", err
+	}
+	defer sys.Close()
+	sys.Warmup(sc.Warmup)
+	sys.Run(sc.Measure)
+	return resultFingerprint(sys, []pabst.ClassID{hi, lo}), nil
+}
+
+// TestPolicyGoldenModes proves the registry-built regulators are
+// bit-identical to the pre-plugin wiring for every legacy mode, across
+// the execution-knob matrix.
+func TestPolicyGoldenModes(t *testing.T) {
+	for _, mode := range pabst.Modes() {
+		mode := mode
+		want, ok := goldenModeFPs[mode.String()]
+		if !ok {
+			t.Fatalf("no golden fingerprint for mode %s", mode)
+		}
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, ex := range execMatrix {
+				sc := tinyGoldenScale()
+				sc.Workers, sc.FastForward = ex.workers, ex.ff
+				fp, err := tinyModeFP(sc, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fp != want {
+					t.Errorf("workers=%d ff=%v: fingerprint %s, want pre-refactor %s",
+						ex.workers, ex.ff, fp, want)
+				}
+			}
+		})
+	}
+}
+
+// TestPolicyGoldenSpecs pins the RunSpec execution path (the unit the
+// sweep CLI and the serve control plane share) to its pre-refactor
+// fingerprints, and checks an explicit Policy naming the mode's own
+// pair changes nothing but the spec identity.
+func TestPolicyGoldenSpecs(t *testing.T) {
+	ex := Exec{Scales: map[string]Scale{"tiny": tinyGoldenScale()}}
+	for bench, want := range goldenBenchFPs {
+		r, err := RunSpec{Bench: bench, Scale: "tiny"}.Run(context.Background(), ex, RunIO{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Fingerprint != want {
+			t.Errorf("%s: fingerprint %s, want pre-refactor %s", bench, r.Fingerprint, want)
+		}
+		// The benches run ModePABST; naming pabst+pabst explicitly must
+		// reproduce the same simulation.
+		rp, err := RunSpec{Bench: bench, Scale: "tiny", Policy: "pabst+pabst"}.Run(context.Background(), ex, RunIO{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.Fingerprint != want {
+			t.Errorf("%s policy=pabst+pabst: fingerprint %s, want %s", bench, rp.Fingerprint, want)
+		}
+	}
+}
+
+// TestPolicyMatrix runs every registered source×target pair on a
+// fig1-style machine and demands a stable fingerprint across the
+// execution-knob matrix — the determinism contract of the policy
+// registry, enforced for present and future mechanisms alike.
+func TestPolicyMatrix(t *testing.T) {
+	base := Scale{Name: "tiny", Warmup: 20_000, Measure: 30_000, Epoch: 2000, Window: 2000}
+	for _, src := range pabst.SourcePolicies() {
+		for _, tgt := range pabst.TargetPolicies() {
+			src, tgt := src, tgt
+			t.Run(src+"+"+tgt, func(t *testing.T) {
+				t.Parallel()
+				want := ""
+				for _, ex := range execMatrix {
+					sc := base
+					sc.Workers, sc.FastForward = ex.workers, ex.ff
+					sc.SourcePolicy, sc.TargetPolicy = src, tgt
+					fp, err := tinyModeFP(sc, pabst.ModePABST)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want == "" {
+						want = fp
+						continue
+					}
+					if fp != want {
+						t.Errorf("workers=%d ff=%v: fingerprint %s diverged from %s",
+							ex.workers, ex.ff, fp, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPolicyPoint sanity-checks one Pareto harness cell end to end:
+// PABST at the contended load must deliver the 7:3 split and a bounded
+// hi-class tail.
+func TestPolicyPoint(t *testing.T) {
+	sc := tinyGoldenScale()
+	p, err := RunPolicyPoint(sc, PolicyPair{Source: "pabst", Target: "pabst"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ShareErr > 10 {
+		t.Errorf("pabst+pabst load=16: share error %.1f%% (share %.3f), want <10%%", p.ShareErr, p.ShareHi)
+	}
+	if p.P99Hi == 0 {
+		t.Error("pabst+pabst load=16: zero hi-class p99 latency — histogram not wired")
+	}
+	if p.P99Lo < p.P99Hi {
+		t.Errorf("pabst+pabst load=16: lo-class p99 %d < hi-class p99 %d — prioritization inverted", p.P99Lo, p.P99Hi)
+	}
+}
+
+// TestPolicyParetoFrontier checks the frontier marking on a synthetic
+// point set: dominated points must be excluded, ties and trade-offs
+// kept, per load group.
+func TestPolicyParetoFrontier(t *testing.T) {
+	pts := []ParetoPoint{
+		{Load: 4, ShareErr: 1, P99Hi: 100},   // dominates the next point
+		{Load: 4, ShareErr: 2, P99Hi: 200},   // dominated
+		{Load: 4, ShareErr: 0.5, P99Hi: 300}, // trade-off: stays
+		{Load: 8, ShareErr: 2, P99Hi: 200},   // other load group: stays
+	}
+	markFrontier(pts)
+	want := []bool{true, false, true, true}
+	for i, p := range pts {
+		if p.Frontier != want[i] {
+			t.Errorf("point %d (load=%d err=%.1f p99=%d): frontier=%v, want %v",
+				i, p.Load, p.ShareErr, p.P99Hi, p.Frontier, want[i])
+		}
+	}
+}
+
+// TestPolicySpecFingerprintCompat pins the spec-identity rule: a spec
+// with no policy override must keep its historical fingerprint key
+// (serve journals and checkpoint stores survive the upgrade), while a
+// policy override must produce a distinct key.
+func TestPolicySpecFingerprintCompat(t *testing.T) {
+	plain := RunSpec{Bench: BenchStreams, Scale: "quick"}
+	if fp := plain.Fingerprint(); fp != (RunSpec{Bench: BenchStreams, Scale: "quick", Policy: ""}).Fingerprint() {
+		t.Fatalf("empty policy changed spec fingerprint: %s", fp)
+	}
+	withPolicy := RunSpec{Bench: BenchStreams, Scale: "quick", Policy: "bankreg+dpq"}
+	if plain.Fingerprint() == withPolicy.Fingerprint() {
+		t.Error("policy override did not change the spec fingerprint — sweep dedup would collide")
+	}
+	for _, bad := range []string{"bankreg", "nope+fcfs", "pabst+nope"} {
+		spec := RunSpec{Bench: BenchStreams, Scale: "quick", Policy: bad}
+		if err := spec.Validate(); err == nil {
+			t.Errorf("Validate accepted bad policy %q", bad)
+		}
+	}
+}

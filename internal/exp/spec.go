@@ -151,6 +151,11 @@ type RunSpec struct {
 	Scale string `json:"scale"`
 	// Params are named configuration overrides applied through SetParam.
 	Params map[string]uint64 `json:"params,omitempty"`
+	// Policy optionally selects a "source+target" QoS policy pair by
+	// registry name (either half may be empty to keep that side's
+	// default). Empty means the bench's standard PABST pair, and is
+	// fingerprint-compatible with specs from before the field existed.
+	Policy string `json:"policy,omitempty"`
 }
 
 // Validate rejects malformed specs with terminal errors.
@@ -170,6 +175,11 @@ func (rs RunSpec) Validate() error {
 				config.ErrInvalid, name, ParamNames()))
 		}
 	}
+	if rs.Policy != "" {
+		if _, _, err := pabst.ParsePolicyPair(rs.Policy); err != nil {
+			return Terminal(fmt.Errorf("%w: %w", config.ErrInvalid, err))
+		}
+	}
 	return nil
 }
 
@@ -187,6 +197,11 @@ func (rs RunSpec) Fingerprint() string {
 	for _, n := range names {
 		s += fmt.Sprintf(" %s=%d", n, rs.Params[n])
 	}
+	// Appended only when set, so pre-policy specs keep their historical
+	// fingerprints (the dedup keys of already-persisted sweep results).
+	if rs.Policy != "" {
+		s += fmt.Sprintf(" policy=%s", rs.Policy)
+	}
 	return fmt.Sprintf("%x", sha256.Sum256([]byte(s)))
 }
 
@@ -196,6 +211,9 @@ type RunResult struct {
 	ShareHi float64 `json:"share_hi"`
 	// TotalBPC is the machine's total measured bytes per cycle.
 	TotalBPC float64 `json:"total_bpc"`
+	// P99Hi is the high-weight class's p99 end-to-end miss latency in
+	// cycles over the measurement window.
+	P99Hi uint64 `json:"p99_hi,omitempty"`
 	// Fingerprint hashes the run's full observable statistics; equal
 	// specs produce equal fingerprints regardless of workers,
 	// fast-forward, warm starts, or checkpoint-resumed execution.
@@ -257,6 +275,13 @@ func (rs RunSpec) Run(ctx context.Context, ex Exec, rio RunIO) (RunResult, error
 		if err := SetParam(&cfg, n, rs.Params[n]); err != nil {
 			return RunResult{}, err
 		}
+	}
+	if rs.Policy != "" {
+		src, tgt, perr := pabst.ParsePolicyPair(rs.Policy)
+		if perr != nil {
+			return RunResult{}, Terminal(perr) // unreachable past Validate
+		}
+		cfg.SourcePolicy, cfg.TargetPolicy = src, tgt
 	}
 
 	b, classes := rs.build(cfg, sc)
@@ -320,7 +345,11 @@ func (rs RunSpec) Run(ctx context.Context, ex Exec, rio RunIO) (RunResult, error
 	}
 
 	m := sys.Metrics()
-	res := RunResult{ShareHi: m.ShareOf(classes[0]), Cycles: done - start}
+	res := RunResult{
+		ShareHi: m.ShareOf(classes[0]),
+		P99Hi:   sys.ClassTailLatency(classes[0], 99),
+		Cycles:  done - start,
+	}
 	for _, c := range classes {
 		res.TotalBPC += m.BytesPerCycle(c)
 	}

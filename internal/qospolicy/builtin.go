@@ -1,0 +1,57 @@
+package qospolicy
+
+import (
+	"pabst/internal/dram"
+	"pabst/internal/pabst"
+	"pabst/internal/regulate"
+)
+
+// The built-in mechanisms: the PABST halves and the two baselines the
+// paper compares against. Their factories reproduce the construction
+// the pre-plugin mode switches performed, argument for argument, which
+// is what keeps the mode-derived pairs fingerprint-identical.
+func init() {
+	registerSource(Info{
+		Name: "none",
+		Desc: "pass-through: no source regulation (baseline)",
+		Cite: "Hower, Cain, Waldspurger, \"PABST\", HPCA 2017 (ModeNone baseline)",
+	}, func(SourceEnv) regulate.Source { return regulate.Unthrottled{} })
+
+	registerSource(Info{
+		Name:   "static",
+		Desc:   "fixed non-work-conserving rate limit from the configured share",
+		Params: "BurstCredit",
+		Cite:   "clock-modulation / MITTS-style static limiting, per PABST Section II",
+	}, func(env SourceEnv) regulate.Source {
+		return pabst.NewStaticLimiter(env.Params, env.Reg, env.Class, env.PeakBytesPerCycle)
+	})
+
+	registerSource(Info{
+		Name:   "pabst",
+		Desc:   "adaptive SAT-feedback governor (per-channel pacers when PerMCGovernors)",
+		Params: "EpochCycles, ScaleF, Inertia, BurstCredit, M*/Shift* bounds, PerMCGovernors, watchdog/resync knobs",
+		Cite:   "Hower, Cain, Waldspurger, \"PABST\", HPCA 2017 (Section III-B)",
+	}, func(env SourceEnv) regulate.Source {
+		if env.Params.PerMCGovernors {
+			return pabst.NewMultiGovernor(env.Params, env.Reg, env.Class, env.NumMCs, env.MCOf)
+		}
+		return pabst.NewGovernor(env.Params, env.Reg, env.Class)
+	})
+
+	registerTarget(Info{
+		Name: "fcfs",
+		Desc: "first-come first-served front end, no prioritization (baseline)",
+		Cite: "Hower, Cain, Waldspurger, \"PABST\", HPCA 2017 (ModeNone baseline)",
+	}, func(TargetEnv) (dram.ReadSched, dram.Arbiter) {
+		return dram.SchedFCFS, nil
+	})
+
+	registerTarget(Info{
+		Name:   "pabst",
+		Desc:   "fair earliest-virtual-deadline arbiter with slack-capped credit",
+		Params: "Slack",
+		Cite:   "Hower, Cain, Waldspurger, \"PABST\", HPCA 2017 (Section III-C2)",
+	}, func(env TargetEnv) (dram.ReadSched, dram.Arbiter) {
+		return dram.SchedEDF, pabst.NewArbiter(env.Reg, env.Params.Slack)
+	})
+}

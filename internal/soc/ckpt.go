@@ -67,6 +67,9 @@ func (s *System) SaveState(w *ckpt.Writer) {
 		w.U64(s.e2eLatCnt[c])
 	}
 	saveSnapshot(w, &s.base)
+	for c := range s.baseLat {
+		s.baseLat[c].SaveState(w)
+	}
 	for c := range s.obsBytes {
 		w.U64(s.obsBytes[c])
 	}
@@ -113,8 +116,8 @@ func (s *System) SaveState(w *ckpt.Writer) {
 	w.Section("mcs")
 	for i, mc := range s.mcs {
 		mc.SaveState(w)
-		if s.arbs[i] != nil {
-			s.arbs[i].SaveState(w)
+		if sv, ok := s.arbs[i].(ckpt.Saver); ok {
+			sv.SaveState(w)
 		}
 	}
 
@@ -167,6 +170,9 @@ func (s *System) RestoreState(r *ckpt.Reader) {
 		s.e2eLatCnt[c] = r.U64()
 	}
 	loadSnapshot(r, &s.base)
+	for c := range s.baseLat {
+		s.baseLat[c].RestoreState(r)
+	}
 	for c := range s.obsBytes {
 		s.obsBytes[c] = r.U64()
 	}
@@ -226,8 +232,8 @@ func (s *System) RestoreState(r *ckpt.Reader) {
 	r.Section("mcs")
 	for i, mc := range s.mcs {
 		mc.RestoreState(r)
-		if s.arbs[i] != nil {
-			s.arbs[i].RestoreState(r)
+		if rs, ok := s.arbs[i].(ckpt.Restorer); ok {
+			rs.RestoreState(r)
 		}
 		if r.Err() != nil {
 			return
@@ -377,6 +383,7 @@ func (t *Tile) saveState(w *ckpt.Writer) {
 	w.Int(t.queued)
 	w.Int(t.rrMC)
 	w.U64(t.prefetches)
+	t.lat.SaveState(w)
 
 	gen := t.core.Generator()
 	if sv, ok := gen.(ckpt.Saver); ok {
@@ -438,6 +445,7 @@ func (t *Tile) restoreState(r *ckpt.Reader) {
 	t.queued = r.Int()
 	t.rrMC = r.Int()
 	t.prefetches = r.U64()
+	t.lat.RestoreState(r)
 
 	gen := t.core.Generator()
 	if res, ok := gen.(ckpt.Restorer); ok {

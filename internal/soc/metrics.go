@@ -45,6 +45,14 @@ func (s *System) ResetStats() {
 		}
 	}
 	s.base = s.snapshotNow()
+	for c := range s.baseLat {
+		s.baseLat[c] = stats.Hist{}
+	}
+	for _, t := range s.tiles {
+		if t != nil {
+			s.baseLat[t.class].Merge(&t.lat)
+		}
+	}
 }
 
 func (s *System) snapshotNow() snapshot {
@@ -104,6 +112,28 @@ func (s *System) ClassMissLatency(class mem.ClassID) float64 {
 		return 0
 	}
 	return float64(s.e2eLatSum[class]-s.base.e2eLatSum[class]) / float64(cnt)
+}
+
+// ClassLatencyHist returns the class's end-to-end L2-miss latency
+// distribution over the current measurement window: the merge of the
+// class's tile histograms minus the baseline captured at ResetStats.
+func (s *System) ClassLatencyHist(class mem.ClassID) stats.Hist {
+	var h stats.Hist
+	for _, t := range s.tiles {
+		if t != nil && t.class == class {
+			h.Merge(&t.lat)
+		}
+	}
+	h.Sub(&s.baseLat[class])
+	return h
+}
+
+// ClassTailLatency returns the p-th percentile (0 < p <= 100) of a
+// class's end-to-end L2-miss latency in cycles over the current
+// measurement window, with the histogram's ~6% relative resolution.
+func (s *System) ClassTailLatency(class mem.ClassID, p float64) uint64 {
+	h := s.ClassLatencyHist(class)
+	return h.Percentile(p)
 }
 
 // ClassMCReadLatency returns the mean front-end queueing + service

@@ -86,8 +86,10 @@ func (s *System) emitEpoch(now uint64, sat bool) {
 	}
 
 	for i, mc := range s.mcs {
-		arb := s.arbs[i]
-		if arb == nil {
+		// Any arbiter exposing a deadline horizon gets the epoch trace
+		// event; arbiter-free targets (plain FCFS) have nothing to report.
+		arb, ok := s.arbs[i].(interface{ LastPicked() uint64 })
+		if !ok {
 			continue
 		}
 		prev := &s.obsMC[i]

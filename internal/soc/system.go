@@ -12,6 +12,7 @@ import (
 	"pabst/internal/obs"
 	"pabst/internal/pabst"
 	"pabst/internal/qos"
+	"pabst/internal/qospolicy"
 	"pabst/internal/regulate"
 	"pabst/internal/sim"
 	"pabst/internal/stats"
@@ -31,8 +32,13 @@ type System struct {
 	tiles  []*Tile // nil entries for idle tiles
 	slices []*Slice
 	mcs    []*dram.Controller
-	arbs   []*pabst.Arbiter // parallel to mcs; nil entries when EDF is off
+	arbs   []dram.Arbiter // parallel to mcs; nil entries for arbiter-free targets
 	doors  []*frontDoor
+
+	// srcPolicy/tgtPolicy are the resolved policy-pair names: explicit
+	// config selections, else the mode-derived defaults (see qospolicy).
+	srcPolicy string
+	tgtPolicy string
 
 	// mcOut holds MC read responses awaiting injection into the modeled
 	// network (ready at the data completion cycle).
@@ -88,6 +94,10 @@ type System struct {
 	e2eLatSum [mem.MaxClasses]uint64
 	e2eLatCnt [mem.MaxClasses]uint64
 
+	// baseLat holds each class's merged tile latency histogram as of the
+	// last ResetStats; window percentiles subtract it from the live merge.
+	baseLat [mem.MaxClasses]stats.Hist
+
 	base snapshot // counters at the last ResetStats
 }
 
@@ -116,16 +126,19 @@ func New(cfg config.System, reg *qos.Registry, mode regulate.Mode) (*System, err
 	if err != nil {
 		return nil, err
 	}
+	srcPolicy, tgtPolicy := qospolicy.Resolve(cfg.SourcePolicy, cfg.TargetPolicy, mode)
 	s := &System{
-		cfg:    cfg,
-		mode:   mode,
-		reg:    reg,
-		kernel: &sim.Kernel{},
-		mesh:   mesh,
-		tiles:  make([]*Tile, cfg.NumTiles()),
-		slices: make([]*Slice, cfg.NumTiles()),
-		series: stats.NewSeries(cfg.BWWindow),
-		faults: fault.NewInjector(cfg.Faults, cfg.Seed),
+		cfg:       cfg,
+		mode:      mode,
+		reg:       reg,
+		kernel:    &sim.Kernel{},
+		mesh:      mesh,
+		tiles:     make([]*Tile, cfg.NumTiles()),
+		slices:    make([]*Slice, cfg.NumTiles()),
+		series:    stats.NewSeries(cfg.BWWindow),
+		faults:    fault.NewInjector(cfg.Faults, cfg.Seed),
+		srcPolicy: srcPolicy,
+		tgtPolicy: tgtPolicy,
 	}
 
 	for i := 0; i < cfg.NumMCs; i++ {
@@ -137,10 +150,15 @@ func New(cfg config.System, reg *qos.Registry, mode regulate.Mode) (*System, err
 			return nil, err
 		}
 		mc.SetReleaser(func(pkt *mem.Packet) { s.releaseWB(pkt, i) })
-		var arb *pabst.Arbiter
-		if mode.TargetEnabled() {
-			arb = pabst.NewArbiter(reg, cfg.PABST.Slack)
-			mc.SetScheduler(dram.SchedEDF, arb)
+		sched, arb, err := qospolicy.NewTarget(tgtPolicy, qospolicy.TargetEnv{Params: cfg.PABST, Reg: reg})
+		if err != nil {
+			return nil, err
+		}
+		// Plain FCFS with no arbiter is the controller's construction
+		// default; skipping the redundant SetScheduler keeps the baseline
+		// path byte-identical to the pre-plugin wiring.
+		if sched != dram.SchedFCFS || arb != nil {
+			mc.SetScheduler(sched, arb)
 		}
 		s.arbs = append(s.arbs, arb)
 		s.mcs = append(s.mcs, mc)
@@ -192,6 +210,9 @@ func (s *System) Config() config.System { return s.cfg }
 
 // Mode returns the regulation mode.
 func (s *System) Mode() regulate.Mode { return s.mode }
+
+// Policies returns the resolved (source, target) policy-pair names.
+func (s *System) Policies() (source, target string) { return s.srcPolicy, s.tgtPolicy }
 
 // Registry returns the QoS registry.
 func (s *System) Registry() *qos.Registry { return s.reg }

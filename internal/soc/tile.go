@@ -6,9 +6,10 @@ import (
 	"pabst/internal/cache"
 	"pabst/internal/cpu"
 	"pabst/internal/mem"
-	"pabst/internal/pabst"
+	"pabst/internal/qospolicy"
 	"pabst/internal/regulate"
 	"pabst/internal/sim"
+	"pabst/internal/stats"
 	"pabst/internal/workload"
 )
 
@@ -50,6 +51,13 @@ type Tile struct {
 	pool mem.Pool
 
 	prefetches uint64
+
+	// lat is the tile's end-to-end L2-miss latency histogram (network
+	// injection to response arrival). It is shard-local — written only on
+	// this tile's tick, which the parallel path runs on a single goroutine
+	// — so recording needs no staging; readers merge per class at
+	// sequential points (see System.ClassTailLatency).
+	lat stats.Hist
 }
 
 func newTile(s *System, id int, class mem.ClassID, gen workload.Generator) (*Tile, error) {
@@ -77,16 +85,18 @@ func newTile(s *System, id int, class mem.ClassID, gen workload.Generator) (*Til
 	for i := range t.missQ {
 		t.missQ[i].Grow(s.cfg.MaxMSHRs)
 	}
-	switch {
-	case !s.mode.SourceEnabled():
-		t.src = regulate.Unthrottled{}
-	case s.mode == regulate.ModeStaticSource:
-		t.src = pabst.NewStaticLimiter(s.cfg.PABST, s.reg, class, s.cfg.PeakBytesPerCycle())
-	case s.cfg.PABST.PerMCGovernors:
-		t.src = pabst.NewMultiGovernor(s.cfg.PABST, s.reg, class, s.cfg.NumMCs, s.mcOf)
-	default:
-		t.src = pabst.NewGovernor(s.cfg.PABST, s.reg, class)
+	src, err := qospolicy.NewSource(s.srcPolicy, qospolicy.SourceEnv{
+		Params:            s.cfg.PABST,
+		Reg:               s.reg,
+		Class:             class,
+		NumMCs:            s.cfg.NumMCs,
+		MCOf:              s.mcOf,
+		PeakBytesPerCycle: s.cfg.PeakBytesPerCycle(),
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.src = src
 	if wd, ok := t.src.(regulate.Watchdog); ok && s.cfg.PABST.WatchdogCycles > 0 {
 		t.wd = wd
 	}
@@ -222,6 +232,7 @@ func (t *Tile) tick(now uint64) {
 			break
 		}
 		t.src.OnResponse(pkt, now)
+		t.lat.Add(now - pkt.Issue)
 		if st := t.sys.stage; st != nil {
 			// Parallel compute: accumulate locally; the counters are
 			// pure sums, merged at commit.

@@ -126,6 +126,33 @@ func (h *Hist) Merge(other *Hist) {
 	h.sum += other.sum
 }
 
+// Sub removes a baseline snapshot from h, leaving the distribution of
+// the samples recorded after the snapshot was taken — the measurement-
+// window delta. base must be an earlier snapshot of the same sample
+// stream (every base bucket a prefix of h's). The exact min/max of the
+// surviving samples are unrecoverable from bucket counts, so both are
+// re-derived from bucket bounds (lower bounds; Percentile's edge clamps
+// become approximate, the interior rank scan is unaffected).
+func (h *Hist) Sub(base *Hist) {
+	for b := range h.buckets {
+		h.buckets[b] -= base.buckets[b]
+	}
+	h.count -= base.count
+	h.sum -= base.sum
+	h.min, h.max = 0, 0
+	first := true
+	for b := range h.buckets {
+		if h.buckets[b] == 0 {
+			continue
+		}
+		if first {
+			h.min = histBucketLow(b)
+			first = false
+		}
+		h.max = histBucketLow(b)
+	}
+}
+
 // String summarizes the distribution.
 func (h *Hist) String() string {
 	return fmt.Sprintf("n=%d mean=%.1f p50=%d p95=%d p99=%d max=%d",

@@ -203,3 +203,46 @@ func TestSeriesBadRangePanics(t *testing.T) {
 	}()
 	s.MeanShare(0, 1, 0)
 }
+
+func TestHistSub(t *testing.T) {
+	// A baseline snapshot then more samples: Sub must leave exactly the
+	// post-snapshot distribution.
+	var h, base Hist
+	for i := uint64(1); i <= 100; i++ {
+		h.Add(i)
+		base.Add(i)
+	}
+	var want Hist
+	for i := uint64(1000); i < 1200; i++ {
+		h.Add(i)
+		want.Add(i)
+	}
+	h.Sub(&base)
+	if h.Count() != want.Count() {
+		t.Fatalf("Count = %d, want %d", h.Count(), want.Count())
+	}
+	if h.Mean() != want.Mean() {
+		t.Fatalf("Mean = %g, want %g", h.Mean(), want.Mean())
+	}
+	for _, p := range []float64{50, 90, 99} {
+		// Interior percentiles come from the same surviving buckets; the
+		// re-derived min/max only affect the outermost clamps.
+		if got, w := h.Percentile(p), want.Percentile(p); got != w {
+			t.Errorf("P%.0f = %d, want %d", p, got, w)
+		}
+	}
+	if h.Min() > want.Min() || h.Max() > want.Max() {
+		t.Errorf("re-derived min/max %d/%d exceed true %d/%d", h.Min(), h.Max(), want.Min(), want.Max())
+	}
+
+	// Subtracting an identical snapshot empties the window.
+	var a, b Hist
+	for i := uint64(0); i < 50; i++ {
+		a.Add(i)
+		b.Add(i)
+	}
+	a.Sub(&b)
+	if a.Count() != 0 || a.Percentile(99) != 0 {
+		t.Errorf("self-Sub left count=%d p99=%d", a.Count(), a.Percentile(99))
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"pabst/internal/fault"
 	"pabst/internal/mem"
 	"pabst/internal/qos"
+	"pabst/internal/qospolicy"
 	"pabst/internal/regulate"
 	"pabst/internal/soc"
 	"pabst/internal/stats"
@@ -66,6 +67,32 @@ func ParseMode(s string) (Mode, error) { return regulate.ParseMode(s) }
 
 // Modes returns every mode in presentation order.
 func Modes() []Mode { return regulate.Modes() }
+
+// PolicyInfo describes one registered QoS policy plugin: its registry
+// name, kind ("source" or "target"), one-line description, consumed
+// parameters, and paper citation.
+type PolicyInfo = qospolicy.Info
+
+// Policies returns every registered policy plugin — source policies
+// first, then target policies, each sorted by name.
+func Policies() []PolicyInfo { return qospolicy.Describe() }
+
+// SourcePolicies lists registered source-policy names, sorted.
+func SourcePolicies() []string { return qospolicy.SourceNames() }
+
+// TargetPolicies lists registered target-policy names, sorted.
+func TargetPolicies() []string { return qospolicy.TargetNames() }
+
+// ParsePolicyPair splits and validates a "source+target" selector.
+// Either half may be empty ("+dpq", "bankreg+") to override only one
+// side of the mode-derived default pair.
+func ParsePolicyPair(s string) (source, target string, err error) {
+	return qospolicy.ParsePair(s)
+}
+
+// PolicyPairForMode returns the (source, target) policy pair a legacy
+// regulation mode is sugar for.
+func PolicyPairForMode(m Mode) (source, target string) { return qospolicy.FromMode(m) }
 
 // ClassID identifies a QoS class.
 type ClassID = mem.ClassID
@@ -255,6 +282,21 @@ func WithFastForward(on bool) Option {
 // WithFaultPlan installs a fault-injection plan (nil injects nothing).
 func WithFaultPlan(p *FaultPlan) Option {
 	return func(b *Builder) { b.cfg.Faults = p }
+}
+
+// WithPolicy selects QoS mechanisms by registry name, overriding the
+// mode-derived defaults. An empty string keeps that side's default, so
+// WithPolicy("", "dpq") swaps only the target half. Unknown names
+// surface as errors at Build.
+func WithPolicy(source, target string) Option {
+	return func(b *Builder) {
+		if source != "" {
+			b.cfg.SourcePolicy = source
+		}
+		if target != "" {
+			b.cfg.TargetPolicy = target
+		}
+	}
 }
 
 // WithObserver arms epoch-boundary trace emission into o. A nil
@@ -479,8 +521,25 @@ func (s *System) GovernorMs() []uint64 {
 	return snap.GovernorMs()
 }
 
+// ClassTailLatency returns the p-th percentile (0 < p <= 100) of a
+// class's end-to-end L2-miss latency in cycles over the current
+// measurement window (histogram resolution ~6%).
+func (s *System) ClassTailLatency(class ClassID, p float64) uint64 {
+	return s.inner.ClassTailLatency(class, p)
+}
+
+// ClassLatencyHist returns a class's end-to-end L2-miss latency
+// distribution over the current measurement window.
+func (s *System) ClassLatencyHist(class ClassID) Hist {
+	return s.inner.ClassLatencyHist(class)
+}
+
 // Config returns the system's configuration.
 func (s *System) Config() SystemConfig { return s.inner.Config() }
 
 // Mode returns the regulation mode.
 func (s *System) Mode() Mode { return s.inner.Mode() }
+
+// PolicyPair returns the resolved (source, target) policy-plugin names
+// the system was wired with.
+func (s *System) PolicyPair() (source, target string) { return s.inner.Policies() }
