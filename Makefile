@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build check robust bench bench-parallel bench-obs bench-ckpt bench-hotpath bench-policies serve-smoke faults lint-deprecated lint-docs clean
+.PHONY: all build check robust bench bench-parallel bench-obs bench-ckpt bench-hotpath bench-policies bench-twin serve-smoke faults lint-deprecated lint-docs clean
 
 all: check
 
@@ -19,16 +19,19 @@ check: build lint-deprecated lint-docs
 # includes the fault-injection chaos sweeps, the parallel-kernel
 # determinism matrix, the golden-trace determinism test, and the sweep
 # service's chaos acceptance), plus the observability overhead,
-# checkpoint warm-start, hot-path, cross-policy Pareto, and
-# sweep-service smoke gates.
-robust: bench-obs bench-ckpt bench-hotpath bench-policies serve-smoke
+# checkpoint warm-start, hot-path, cross-policy Pareto, analytical-twin
+# divergence, and sweep-service smoke gates.
+robust: bench-obs bench-ckpt bench-hotpath bench-policies bench-twin serve-smoke
 	$(GO) test -race ./...
 
 # Deprecated-accessor gate: no in-repo caller may use the one-off System
 # observation accessors superseded by Snapshot(). pabst.go keeps the
 # shims themselves, trace_test.go deliberately pins shim-vs-snapshot
 # equivalence, and snap.GovernorMs( is the blessed Snapshot method of
-# the same name.
+# the same name. The second block bans the deprecated per-experiment
+# wrappers outside internal/exp: commands and examples must go through
+# the unified registry (exp.ExperimentByName / exp.RunExperimentScale).
+# bench_test.go deliberately pins the wrappers' behavior.
 lint-deprecated:
 	@matches=$$(grep -rnE '\.(ClassIPC|TileIPCs|ClassMissLatency|ClassMCReadLatency|SaturatedLastEpoch|MCUtilizations|L3OccupancyOf|GovernorState|GovernorMs|Share)\(' \
 		--include='*.go' cmd examples internal/exp policy *.go \
@@ -36,6 +39,14 @@ lint-deprecated:
 	if [ -n "$$matches" ]; then \
 		echo "$$matches"; \
 		echo 'lint-deprecated: use Snapshot() instead of the accessors above'; \
+		exit 1; \
+	fi
+	@matches=$$(grep -rnE 'exp\.(Fig1|Fig5|Fig7|Fig10|Fig11|ExtStatic|ExtSkew|ExtHetero|ExtNoC|Faults|RunRegulation|RunIsolationWorkload|RunPolicyPareto)\(' \
+		--include='*.go' cmd examples policy *.go \
+		| grep -v '^bench_test\.go:' | grep -v '^trace_test\.go:' || true); \
+	if [ -n "$$matches" ]; then \
+		echo "$$matches"; \
+		echo 'lint-deprecated: run experiments through the registry (exp.ExperimentByName + exp.RunExperimentScale) instead of the deprecated wrappers'; \
 		exit 1; \
 	fi
 
@@ -86,6 +97,15 @@ serve-smoke:
 # BENCH_policies.json; see EXPERIMENTS.md "Cross-policy Pareto sweep".
 bench-policies:
 	$(GO) run ./cmd/pabstsweep -policies -scale quick -parallel 6 -workers 2 -out BENCH_policies.json
+
+# Analytical-twin divergence gate. Simulates the fig1/fig5 regulation
+# points and the full cross-policy Pareto grid, predicts each with the
+# M/G/1-style twin (internal/twin), and fails if the mean share, p99, or
+# utilization error breaches the tolerances declared in
+# internal/exp/twinbench.go. Writes BENCH_twin.json; see DESIGN.md
+# "Analytical twin".
+bench-twin:
+	$(GO) run ./cmd/pabstsweep -twin -scale quick -parallel 6 -workers 2 -out BENCH_twin.json
 
 # Documentation gate. Validates intra-repo markdown links, requires a
 # package comment on every internal package, and fails if a registered

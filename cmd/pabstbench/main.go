@@ -31,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -198,15 +199,19 @@ func kernelGroup(rep *Report, group string, warmup, cycles uint64,
 }
 
 // sweepGroup times the Figure 7 regulation grid with and without
-// sweep-level concurrency.
+// sweep-level concurrency, through the experiment registry. The cache
+// stays nil: each parallel setting must pay for every simulation or the
+// timing comparison is meaningless.
 func sweepGroup(rep *Report) {
+	e, err := exp.ExperimentByName("fig7")
+	check(err)
 	var baseJSON []byte
 	var baseWall float64
 	for i, parallel := range []int{1, 4} {
 		scale := exp.Quick()
 		scale.Parallel = parallel
 		start := time.Now()
-		tbl, _, err := exp.Fig7(scale)
+		tbl, _, _, err := exp.RunExperimentScale(context.Background(), e, scale, nil)
 		check(err)
 		wall := time.Since(start).Seconds()
 		j, err := tbl.JSON()

@@ -1,5 +1,5 @@
 // Command pabstdocs is the documentation gate behind `make lint-docs`.
-// It keeps the prose honest in three ways:
+// It keeps the prose honest in four ways:
 //
 //   - every intra-repo markdown link must resolve to a file that exists
 //     (external http/mailto links and pure #anchors are not checked);
@@ -7,7 +7,10 @@
 //     `go doc` has something to say about each subsystem;
 //   - docs/POLICIES.md must be exactly the reference generated from the
 //     live QoS policy registry — a mechanism registered in code but
-//     missing from (or stale in) the docs fails the gate.
+//     missing from (or stale in) the docs fails the gate;
+//   - every experiment in the unified registry must appear by name in
+//     EXPERIMENTS.md, so `pabstsweep -list-experiments` never knows
+//     about an experiment the book of results does not.
 //
 // Usage:
 //
@@ -27,6 +30,7 @@ import (
 	"strings"
 
 	"pabst"
+	"pabst/internal/exp"
 )
 
 const policiesDoc = "docs/POLICIES.md"
@@ -51,6 +55,7 @@ func main() {
 	findings = append(findings, lintLinks()...)
 	findings = append(findings, lintPackageDocs()...)
 	findings = append(findings, lintPolicyReference()...)
+	findings = append(findings, lintExperimentDocs()...)
 	if len(findings) > 0 {
 		for _, f := range findings {
 			fmt.Fprintln(os.Stderr, "pabstdocs: "+f)
@@ -188,6 +193,25 @@ func lintPolicyReference() []string {
 		return []string{fmt.Sprintf("%s is stale; run `go run ./cmd/pabstdocs -write`", policiesDoc)}
 	}
 	return nil
+}
+
+// lintExperimentDocs requires every experiment in the unified registry
+// to be mentioned by name in EXPERIMENTS.md.
+func lintExperimentDocs() []string {
+	const doc = "EXPERIMENTS.md"
+	body, err := os.ReadFile(doc)
+	if err != nil {
+		return []string{fmt.Sprintf("%s missing (%v)", doc, err)}
+	}
+	var findings []string
+	for _, e := range exp.Experiments() {
+		if !strings.Contains(string(body), e.Name()) {
+			findings = append(findings, fmt.Sprintf(
+				"%s: registered experiment %q undocumented (pabstsweep -list-experiments shows the registry)",
+				doc, e.Name()))
+		}
+	}
+	return findings
 }
 
 // policyReference renders the registry as markdown. Deterministic:

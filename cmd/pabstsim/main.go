@@ -25,10 +25,16 @@
 // -resume makes a checkpoint miss an error.
 //
 // Experiments: table3, fig1, fig5, fig6, fig7, fig8, fig9, fig10, fig11,
-// fig12, all.
+// fig12, all. The figure grids (fig1/7/10/11/12, the ext-* extensions,
+// faults) run through the unified experiment registry (see pabstsweep
+// -list-experiments); one process-wide result cache dedups shared
+// simulations, so fig10 and fig12 run their common grid once. table3 and
+// the trajectory experiments (fig5/6/8/9), which need per-epoch series
+// the seam does not carry, stay on bespoke paths.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -141,15 +147,13 @@ func main() {
 		}
 	}
 
-	// fig10 and fig12 share the same simulations; run them once.
-	var isolation *exp.IsolationResult
-	getIsolation := func() *exp.IsolationResult {
-		if isolation == nil {
-			r, err := exp.Fig10(scale, workloads)
-			check(err)
-			isolation = r
-		}
-		return isolation
+	// One cache across every registry experiment in this invocation:
+	// fig10 and fig12 emit the same specs, so their shared grid runs once.
+	cache := exp.NewRunCache()
+	runRegistry := func(e exp.Experiment) *exp.Table {
+		tbl, _, _, err := exp.RunExperimentScale(context.Background(), e, scale, cache)
+		check(err)
+		return tbl
 	}
 
 	emit := func(tables ...*exp.Table) {
@@ -171,12 +175,8 @@ func main() {
 			fmt.Print(exp.Table3(pabst.Default32Config()))
 			fmt.Println()
 			fmt.Print(exp.Table3(pabst.Scaled8Config()))
-		case "fig1":
-			tbl, _, err := exp.Fig1(scale)
-			check(err)
-			emit(tbl)
 		case "fig5":
-			r, err := exp.Fig5(scale)
+			r, err := exp.Fig5Series(scale)
 			check(err)
 			tbl := r.Table("Figure 5: proportional allocation 7:3 (two 16-core stream classes)")
 			tbl.Rows = append(tbl.Rows, exp.Row{
@@ -194,10 +194,6 @@ func main() {
 			if *series {
 				printSeries(r.Series)
 			}
-		case "fig7":
-			tbl, _, err := exp.Fig7(scale)
-			check(err)
-			emit(tbl)
 		case "fig8":
 			r, err := exp.Fig8(scale)
 			check(err)
@@ -206,34 +202,11 @@ func main() {
 			r, err := exp.Fig9(scale)
 			check(err)
 			emit(r.Table())
-		case "fig10":
-			emit(getIsolation().SlowdownTable())
-		case "fig11":
-			cells, err := exp.Fig11(scale, workloads)
+		case "fig1", "fig7", "fig10", "fig11", "fig12",
+			"ext-static", "ext-skew", "ext-hetero", "ext-noc", "faults":
+			e, err := registryExperiment(name, workloads, *faults)
 			check(err)
-			emit(exp.Fig11Table(cells))
-		case "fig12":
-			emit(getIsolation().EfficiencyTable())
-		case "ext-static":
-			r, err := exp.ExtStatic(scale)
-			check(err)
-			emit(r.Table())
-		case "ext-skew":
-			r, err := exp.ExtSkew(scale)
-			check(err)
-			emit(r.Table())
-		case "ext-hetero":
-			r, err := exp.ExtHetero(scale)
-			check(err)
-			emit(r.Table())
-		case "ext-noc":
-			r, err := exp.ExtNoC(scale)
-			check(err)
-			emit(r.Table())
-		case "faults":
-			r, err := exp.Faults(scale, *faults)
-			check(err)
-			emit(r.Table())
+			emit(runRegistry(e))
 		default:
 			fatalf("unknown experiment %q; try -list", name)
 		}
@@ -241,6 +214,28 @@ func main() {
 			fmt.Printf("[%s: %.1fs]\n\n", name, time.Since(start).Seconds())
 		}
 	}
+}
+
+// registryExperiment resolves a registry-routed experiment, honoring the
+// -spec workload subset (fig10/11/12 are workload-parameterized) and the
+// -faults plan; everything else comes from the registry as registered.
+func registryExperiment(name string, workloads []string, faultPlan string) (exp.Experiment, error) {
+	if len(workloads) > 0 {
+		switch name {
+		case "fig10":
+			return exp.NewIsolationExperiment("fig10",
+				"weighted slowdown of each SPEC proxy vs a 16-core stream aggressor", workloads, false), nil
+		case "fig12":
+			return exp.NewIsolationExperiment("fig12",
+				"memory efficiency under QoS for each SPEC proxy vs the aggressor", workloads, true), nil
+		case "fig11":
+			return exp.NewFig11Experiment(workloads), nil
+		}
+	}
+	if name == "faults" {
+		return exp.NewFaultsExperiment(faultPlan), nil
+	}
+	return exp.ExperimentByName(name)
 }
 
 // printPolicies renders the QoS policy registry: every mechanism's

@@ -16,6 +16,10 @@
 //
 //	pabstsweep [-scale quick|full] [-param name] [-parallel n] [-workers n]
 //	pabstsweep -policies [-out BENCH_policies.json] [-csv policies.csv]
+//	pabstsweep -screen [-out BENCH_screen.json]
+//	pabstsweep -twin [-out BENCH_twin.json]
+//	pabstsweep -experiment name
+//	pabstsweep -list-experiments
 //
 // By default every sweep point runs one after another. -parallel n runs
 // up to n points concurrently (each on its own isolated system) and
@@ -31,6 +35,19 @@
 // utilization axis, and the tool reports each load's Pareto frontier on
 // (share fidelity, hi-class p99 latency), optionally serializing the
 // points with -out (JSON) and -csv.
+//
+// -screen runs the same comparison surrogate-first: the analytical twin
+// (internal/twin) predicts every grid point, only points near the
+// predicted frontier or with low model confidence go to the cycle
+// simulator, and every skip is journaled with its justification. -twin
+// validates that surrogate against the simulator across the fig1/fig5
+// regulation points and the full Pareto grid, writing the per-metric
+// divergence and exiting non-zero if it breaches the declared
+// tolerances (the BENCH_twin.json gate `make bench-twin` enforces).
+//
+// -experiment runs any experiment from the unified registry (the same
+// seam pabstsim's figures and the sweep service execute through);
+// -list-experiments prints the registry.
 package main
 
 import (
@@ -85,9 +102,20 @@ func main() {
 	resume := flag.Bool("resume", false, "require a stored checkpoint for every point (a miss is an error); implies -ckpt")
 	policy := flag.String("policy", "", "QoS policy pair `src+tgt` for every sweep point (empty halves keep mode defaults)")
 	policies := flag.Bool("policies", false, "run the cross-policy Pareto comparison instead of parameter sweeps")
-	outJSON := flag.String("out", "", "with -policies: write the sweep points as JSON to this `file`")
+	screen := flag.Bool("screen", false, "surrogate-screened Pareto comparison: the analytical twin picks which grid points simulate")
+	twin := flag.Bool("twin", false, "validate the analytical twin against the simulator; exit 1 if outside tolerance")
+	experiment := flag.String("experiment", "", "run this registered experiment through the unified seam (see -list-experiments)")
+	listExperiments := flag.Bool("list-experiments", false, "list the experiment registry and exit")
+	outJSON := flag.String("out", "", "write the result JSON (-policies, -screen, -twin) to this `file`")
 	outCSV := flag.String("csv", "", "with -policies: write the sweep points as CSV to this `file`")
 	flag.Parse()
+
+	if *listExperiments {
+		for _, e := range exp.Experiments() {
+			fmt.Printf("%-12s %s\n", e.Name(), e.Desc())
+		}
+		return
+	}
 
 	if _, err := exp.ScaleByName(*scaleName); err != nil {
 		fmt.Fprintf(os.Stderr, "pabstsweep: unknown scale %q\n", *scaleName)
@@ -97,14 +125,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pabstsweep: -resume needs -ckpt <dir>")
 		os.Exit(1)
 	}
-	if _, _, err := pabst.ParsePolicyPair(*policy); err != nil {
+	src, tgt, err := pabst.ParsePolicyPair(*policy)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "pabstsweep: %v\n", err)
 		os.Exit(1)
 	}
 	ex := exp.Exec{Workers: *workers, FastForward: *ff, Ckpt: *ckptDir, Resume: *resume}
+	sc, _ := exp.ScaleByName(*scaleName)
+	sc.Workers, sc.FastForward = *workers, *ff
+	sc.Ckpt, sc.Resume = *ckptDir, *resume
+	sc.Parallel = *parallel
+	sc.SourcePolicy, sc.TargetPolicy = src, tgt
 
-	if *policies {
-		if err := runPolicies(*scaleName, *parallel, ex, *outJSON, *outCSV); err != nil {
+	switch {
+	case *twin:
+		if err := runTwin(sc, *outJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "pabstsweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case *screen:
+		if err := runScreen(sc, *outJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "pabstsweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case *experiment != "":
+		e, err := exp.ExperimentByName(*experiment)
+		if err == nil {
+			var tbl *exp.Table
+			tbl, _, _, err = exp.RunExperimentScale(context.Background(), e, sc, nil)
+			if err == nil {
+				fmt.Print(tbl.String())
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pabstsweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case *policies:
+		if err := runPolicies(sc, *outJSON, *outCSV); err != nil {
 			fmt.Fprintf(os.Stderr, "pabstsweep: %v\n", err)
 			os.Exit(1)
 		}
@@ -162,19 +223,20 @@ func main() {
 	}
 }
 
-// runPolicies executes the cross-policy Pareto comparison: every
-// registered mechanism pair across the utilization axis, printed as a
-// table and optionally serialized to JSON/CSV files.
-func runPolicies(scaleName string, parallel int, ex exp.Exec, outJSON, outCSV string) error {
-	sc, err := exp.ScaleByName(scaleName)
+// runPolicies executes the cross-policy Pareto comparison through the
+// registry's "pareto" experiment: every registered mechanism pair
+// across the utilization axis, printed as a table and optionally
+// serialized to JSON/CSV files.
+func runPolicies(sc exp.Scale, outJSON, outCSV string) error {
+	e, err := exp.ExperimentByName("pareto")
 	if err != nil {
 		return err
 	}
-	sc.Workers, sc.FastForward = ex.Workers, ex.FastForward
-	sc.Ckpt, sc.Resume = ex.Ckpt, ex.Resume
-	sc.Parallel = parallel
-
-	table, points, err := exp.RunPolicyPareto(sc)
+	table, specs, results, err := exp.RunExperimentScale(context.Background(), e, sc, nil)
+	if err != nil {
+		return err
+	}
+	points, err := exp.ParetoFromRuns(specs, results)
 	if err != nil {
 		return err
 	}
@@ -207,6 +269,77 @@ func runPolicies(scaleName string, parallel int, ex exp.Exec, outJSON, outCSV st
 			return err
 		}
 		fmt.Printf("wrote %s (%d points)\n", outCSV, len(points))
+	}
+	return nil
+}
+
+// runTwin validates the analytical twin against the cycle simulator and
+// gates the divergence: non-nil error (and a non-zero exit) when any
+// mean metric error breaches its declared tolerance.
+func runTwin(sc exp.Scale, outJSON string) error {
+	b, err := exp.RunTwinBench(sc)
+	if err != nil {
+		return err
+	}
+	s := b.Summary
+	fmt.Printf("twin validation @ %s: %d operating points\n", b.Scale, s.Points)
+	fmt.Printf("  share |err|   mean %.4f  max %.4f  (gate: mean <= %.2f)\n",
+		s.MeanShareAbsErr, s.MaxShareAbsErr, b.Tolerance.MeanShareAbsErr)
+	fmt.Printf("  p99 rel err   mean %.3f   max %.3f   (gate: mean <= %.2f)\n",
+		s.MeanP99RelErr, s.MaxP99RelErr, b.Tolerance.MeanP99RelErr)
+	fmt.Printf("  util rel err  mean %.3f   max %.3f   (gate: mean <= %.2f)\n",
+		s.MeanUtilRelErr, s.MaxUtilRelErr, b.Tolerance.MeanUtilRelErr)
+	if outJSON != "" {
+		f, err := os.Create(outJSON)
+		if err != nil {
+			return err
+		}
+		if err := exp.WriteTwinJSON(f, b); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outJSON)
+	}
+	if !b.Pass {
+		return fmt.Errorf("twin divergence exceeds tolerance")
+	}
+	fmt.Println("twin within tolerance")
+	return nil
+}
+
+// runScreen executes the surrogate-screened cross-policy sweep and
+// journals every skipped point with the twin's justification.
+func runScreen(sc exp.Scale, outJSON string) error {
+	rep, table, err := exp.ScreenedPolicyPareto(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("surrogate screen @ %s: %d grid points, %d simulated, %d skipped\n",
+		rep.Scale, rep.Total, rep.Simulated, rep.Skipped)
+	for _, d := range rep.Decisions {
+		verdict := "sim "
+		if !d.Simulate {
+			verdict = "skip"
+		}
+		fmt.Printf("  %s %-14s load=%-3d conf=%.2f  %s\n", verdict, d.Pair, d.Load, d.Confidence, d.Reason)
+	}
+	fmt.Print(table.String())
+	if outJSON != "" {
+		f, err := os.Create(outJSON)
+		if err != nil {
+			return err
+		}
+		if err := exp.WriteScreenJSON(f, rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outJSON)
 	}
 	return nil
 }

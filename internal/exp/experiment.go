@@ -1,0 +1,190 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"pabst/internal/config"
+)
+
+// Experiment is the single seam every reproduction experiment runs
+// through: a named, self-describing mapping from a scale name to the
+// RunSpecs it needs, plus a pure reduction from those specs' results to
+// a paper-style table. Because the specs are the canonical serializable
+// run descriptions, every consumer — the CLI table printers, the sweep
+// service, the surrogate screener, a result cache — schedules, dedups,
+// and distributes experiment work the same way, and two experiments
+// that share a spec (fig10 and fig12, faults and fig5) share its
+// simulation.
+type Experiment interface {
+	// Name is the registry key (also the CLI selector).
+	Name() string
+	// Desc is a one-line description for listings.
+	Desc() string
+	// Spec returns the runs the experiment needs at the named scale, in
+	// a deterministic order. Reduce receives results in the same order.
+	Spec(scale string) []RunSpec
+	// Reduce folds the executed specs' results into the experiment's
+	// table. It must be pure: no simulation, no I/O.
+	Reduce(specs []RunSpec, results []RunResult) (*Table, error)
+}
+
+var (
+	expMu       sync.RWMutex
+	experiments = map[string]Experiment{}
+)
+
+// RegisterExperiment adds an experiment to the registry. Double
+// registration of a name is a programming error.
+func RegisterExperiment(e Experiment) {
+	expMu.Lock()
+	defer expMu.Unlock()
+	if _, dup := experiments[e.Name()]; dup {
+		panic(fmt.Sprintf("exp: duplicate experiment %q", e.Name()))
+	}
+	experiments[e.Name()] = e
+}
+
+// Experiments lists the registered experiments sorted by name.
+func Experiments() []Experiment {
+	expMu.RLock()
+	defer expMu.RUnlock()
+	out := make([]Experiment, 0, len(experiments))
+	for _, e := range experiments {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// ExperimentByName looks an experiment up; the error is terminal and
+// lists the registry.
+func ExperimentByName(name string) (Experiment, error) {
+	expMu.RLock()
+	defer expMu.RUnlock()
+	if e, ok := experiments[name]; ok {
+		return e, nil
+	}
+	names := make([]string, 0, len(experiments))
+	for n := range experiments {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return nil, Terminal(fmt.Errorf("%w: unknown experiment %q (have %v)",
+		config.ErrInvalid, name, names))
+}
+
+// RunCache memoizes RunResults by spec fingerprint. Specs are
+// deterministic — equal fingerprints mean bit-identical outcomes — so a
+// cache shared across experiments in one process never changes an
+// answer, only skips re-simulating it (fig10 and fig12 share a whole
+// grid; faults' clean arm is fig5's machine).
+type RunCache struct {
+	mu sync.Mutex
+	m  map[string]RunResult
+}
+
+// NewRunCache returns an empty cache.
+func NewRunCache() *RunCache { return &RunCache{m: map[string]RunResult{}} }
+
+// Get returns the cached result for a fingerprint.
+func (c *RunCache) Get(fp string) (RunResult, bool) {
+	if c == nil {
+		return RunResult{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[fp]
+	return r, ok
+}
+
+// Put stores a result under a fingerprint.
+func (c *RunCache) Put(fp string, r RunResult) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[fp] = r
+}
+
+// Len reports how many results the cache holds.
+func (c *RunCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// RunExperiment executes an experiment end to end: resolve its specs at
+// the named scale, run them (at most parallel at once, consulting and
+// filling cache when non-nil), and reduce. The specs and their results
+// are returned alongside the table so callers can persist or re-reduce
+// them.
+func RunExperiment(ctx context.Context, e Experiment, scale string, ex Exec, parallel int, cache *RunCache) (*Table, []RunSpec, []RunResult, error) {
+	specs := e.Spec(scale)
+	if len(specs) == 0 {
+		return nil, nil, nil, Terminal(fmt.Errorf("%w: experiment %q produced no specs", config.ErrInvalid, e.Name()))
+	}
+	results := make([]RunResult, len(specs))
+	err := ForEachCtx(ctx, parallel, len(specs), func(i int) error {
+		fp := specs[i].Fingerprint()
+		if r, ok := cache.Get(fp); ok {
+			results[i] = r
+			return nil
+		}
+		r, err := specs[i].Run(ctx, ex, RunIO{})
+		if err != nil {
+			return fmt.Errorf("%s spec %d (%s): %w", e.Name(), i, specs[i].Bench, err)
+		}
+		results[i] = r
+		cache.Put(fp, r)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	t, err := e.Reduce(specs, results)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return t, specs, results, nil
+}
+
+// execFor adapts a fully-resolved Scale into the (Exec, scale-name)
+// pair the seam consumes — the bridge the deprecated wrappers and
+// single-scale CLI paths use. The scale registers under its own name
+// ("custom" when anonymous), so specs resolve back to exactly it.
+func execFor(sc Scale) (Exec, string) {
+	name := sc.Name
+	if name == "" {
+		name = "custom"
+	}
+	ex := Exec{
+		Workers:     sc.Workers,
+		FastForward: sc.FastForward,
+		Ckpt:        sc.Ckpt,
+		Resume:      sc.Resume,
+		Scales:      map[string]Scale{name: sc},
+	}
+	return ex, name
+}
+
+// RunExperimentScale runs an experiment under one resolved Scale —
+// the single-machine CLI path. Parallelism comes from the scale; cache
+// may be shared across experiments in one process (fig10 and fig12
+// then run their common grid once) or nil to skip caching entirely.
+func RunExperimentScale(ctx context.Context, e Experiment, sc Scale, cache *RunCache) (*Table, []RunSpec, []RunResult, error) {
+	ex, name := execFor(sc)
+	return RunExperiment(ctx, e, name, ex, sc.Parallel, cache)
+}
+
+// runExperimentScale is the deprecated wrappers' path: background
+// context, per-call cache so intra-experiment spec overlap still dedups.
+func runExperimentScale(e Experiment, sc Scale) (*Table, []RunSpec, []RunResult, error) {
+	return RunExperimentScale(context.Background(), e, sc, NewRunCache())
+}

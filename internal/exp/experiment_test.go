@@ -1,0 +1,194 @@
+package exp
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestExperimentRegistry: every ported experiment resolves by name, the
+// listing is sorted, and unknown names produce a terminal error naming
+// the registry.
+func TestExperimentRegistry(t *testing.T) {
+	want := []string{
+		"ext-hetero", "ext-noc", "ext-skew", "ext-static",
+		"faults", "fig1", "fig10", "fig11", "fig12", "fig5", "fig7", "pareto",
+	}
+	for _, name := range want {
+		e, err := ExperimentByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if e.Name() != name {
+			t.Errorf("%s resolved to %q", name, e.Name())
+		}
+		if e.Desc() == "" {
+			t.Errorf("%s has no description", name)
+		}
+	}
+	var got []string
+	for _, e := range Experiments() {
+		got = append(got, e.Name())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry order %v, want sorted %v", got, want)
+		}
+	}
+	if _, err := ExperimentByName("fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	} else if c := Classify(err); c != FailTerminal {
+		t.Errorf("unknown experiment classified %v, want terminal", c)
+	}
+}
+
+// TestExperimentSpecsValid: every registered experiment emits a
+// non-empty, Validate-clean spec list at both built-in scales.
+func TestExperimentSpecsValid(t *testing.T) {
+	for _, e := range Experiments() {
+		for _, scale := range []string{"quick", "full"} {
+			specs := e.Spec(scale)
+			if len(specs) == 0 {
+				t.Errorf("%s: no specs at %s", e.Name(), scale)
+			}
+			for i, rs := range specs {
+				if err := rs.Validate(); err != nil {
+					t.Errorf("%s spec %d: %v", e.Name(), i, err)
+				}
+				if rs.Scale != scale {
+					t.Errorf("%s spec %d carries scale %q, want %q", e.Name(), i, rs.Scale, scale)
+				}
+			}
+		}
+	}
+}
+
+// TestSpecValidateNewFields: the redesigned RunSpec rejects malformed
+// values of the new fields with terminal errors.
+func TestSpecValidateNewFields(t *testing.T) {
+	base := RunSpec{Bench: BenchStreams, Scale: "quick"}
+	for name, mut := range map[string]func(*RunSpec){
+		"bad mode":          func(rs *RunSpec) { rs.Mode = "sideways" },
+		"load too high":     func(rs *RunSpec) { rs.Load = 17 },
+		"load negative":     func(rs *RunSpec) { rs.Load = -1 },
+		"spurious workload": func(rs *RunSpec) { rs.Workload = "mcf" },
+		"bad fault":         func(rs *RunSpec) { rs.Fault = "not-a-plan" },
+		"bad policy":        func(rs *RunSpec) { rs.Policy = "nope+nada" },
+	} {
+		rs := base
+		mut(&rs)
+		if err := rs.Validate(); err == nil {
+			t.Errorf("%s: accepted %+v", name, rs)
+		}
+	}
+	if err := (RunSpec{Bench: BenchSpecIso, Scale: "quick"}).Validate(); err == nil {
+		t.Error("workload bench accepted without a workload")
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("base spec rejected: %v", err)
+	}
+}
+
+// TestSpecFingerprintNewFieldsAppendOnly: zero-valued new fields leave
+// the historical fingerprint untouched; set fields change it.
+func TestSpecFingerprintNewFieldsAppendOnly(t *testing.T) {
+	base := RunSpec{Bench: BenchStreams, Scale: "quick"}
+	fp := base.Fingerprint()
+	for name, mut := range map[string]func(*RunSpec){
+		"mode":     func(rs *RunSpec) { rs.Mode = "pabst" },
+		"load":     func(rs *RunSpec) { rs.Load = 8 },
+		"fault":    func(rs *RunSpec) { rs.Fault = "sat-drop" },
+		"workload": func(rs *RunSpec) { rs.Workload = "mcf" },
+	} {
+		rs := base
+		mut(&rs)
+		if rs.Fingerprint() == fp {
+			t.Errorf("setting %s did not change the fingerprint", name)
+		}
+	}
+}
+
+// TestExperimentSharedCacheDedup: fig10 and fig12 emit the same specs,
+// so a shared cache runs the grid once; and re-running an experiment
+// against a warm cache performs no new simulations.
+func TestExperimentSharedCacheDedup(t *testing.T) {
+	fig10, _ := ExperimentByName("fig10")
+	fig12, _ := ExperimentByName("fig12")
+	fps := func(specs []RunSpec) map[string]bool {
+		m := map[string]bool{}
+		for _, rs := range specs {
+			m[rs.Fingerprint()] = true
+		}
+		return m
+	}
+	a, b := fps(fig10.Spec("quick")), fps(fig12.Spec("quick"))
+	if len(a) != len(b) {
+		t.Fatalf("fig10 has %d unique specs, fig12 %d", len(a), len(b))
+	}
+	for fp := range a {
+		if !b[fp] {
+			t.Fatalf("fig10 spec %s missing from fig12", fp)
+		}
+	}
+
+	// Live dedup on the cheapest experiment: one spec, run twice.
+	sc := tinyGoldenScale()
+	ex, name := execFor(sc)
+	e, err := ExperimentByName("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewRunCache()
+	t1, _, r1, err := RunExperiment(context.Background(), e, name, ex, 1, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d results after first run, want 1", cache.Len())
+	}
+	t2, _, r2, err := RunExperiment(context.Background(), e, name, ex, 1, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache grew to %d on a warm re-run", cache.Len())
+	}
+	if r1[0].Fingerprint != r2[0].Fingerprint {
+		t.Fatal("cached re-run returned a different result")
+	}
+	if t1.String() != t2.String() {
+		t.Fatal("cached re-run produced a different table")
+	}
+	if !strings.Contains(t1.Title, "Figure 5") {
+		t.Fatalf("unexpected table title %q", t1.Title)
+	}
+}
+
+// TestRunExperimentMatchesWrapper: the registry path and the deprecated
+// wrapper produce identical tables for the regulation grid — the
+// wrapper really is a thin adapter over the same seam.
+func TestRunExperimentMatchesWrapper(t *testing.T) {
+	sc := tinyGoldenScale()
+	sc.Parallel = 4
+	e, err := ExperimentByName("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tReg, _, _, err := runExperimentScale(e, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tWrap, cells, err := Fig1(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tReg.String() != tWrap.String() {
+		t.Fatalf("registry table:\n%s\nwrapper table:\n%s", tReg, tWrap)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("fig1 wrapper returned %d cells, want 4", len(cells))
+	}
+}

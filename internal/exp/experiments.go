@@ -1,0 +1,475 @@
+package exp
+
+import (
+	"fmt"
+
+	"pabst"
+	"pabst/internal/config"
+)
+
+// expDef is the table-driven Experiment implementation all the built-in
+// experiments use.
+type expDef struct {
+	name   string
+	desc   string
+	spec   func(scale string) []RunSpec
+	reduce func(specs []RunSpec, results []RunResult) (*Table, error)
+}
+
+func (e *expDef) Name() string             { return e.name }
+func (e *expDef) Desc() string             { return e.desc }
+func (e *expDef) Spec(sc string) []RunSpec { return e.spec(sc) }
+func (e *expDef) Reduce(s []RunSpec, r []RunResult) (*Table, error) {
+	return e.reduce(s, r)
+}
+
+// modeNames is the paper's comparison order, as ParseMode selectors.
+var modeNames = []string{"none", "source-only", "target-only", "pabst"}
+
+// regulationMixes maps the Figure 1 benches to their legacy mix labels.
+var regulationMixes = []struct {
+	bench string
+	label string
+}{
+	{BenchWStreams31, "stream+stream"},
+	{BenchChaser, "chaser+stream"},
+}
+
+// shareErrorAt is the Figure 1 allocation-error metric generalized to
+// any entitlement: the mean relative error of the two observed shares
+// against (entitled, 1-entitled), in percent.
+func shareErrorAt(entitled, hi, lo float64) float64 {
+	eHi := abs(hi-entitled) / entitled
+	eLo := abs(lo-(1-entitled)) / (1 - entitled)
+	return (eHi + eLo) / 2 * 100
+}
+
+// regulationSpecs builds the Figure 1/7 grid: each mix under each mode.
+func regulationSpecs(scale string, modes []string) []RunSpec {
+	var specs []RunSpec
+	for _, mix := range regulationMixes {
+		for _, mode := range modes {
+			specs = append(specs, RunSpec{Bench: mix.bench, Scale: scale, Mode: mode})
+		}
+	}
+	return specs
+}
+
+// regulationReduce renders the grid in the legacy Figure 1 layout.
+func regulationReduce(title string) func([]RunSpec, []RunResult) (*Table, error) {
+	return func(specs []RunSpec, results []RunResult) (*Table, error) {
+		t := &Table{
+			Title:   title,
+			Columns: []string{"share-hi", "share-lo", "err-%", "total-B/cyc"},
+		}
+		for i, rs := range specs {
+			mix := rs.Bench
+			for _, m := range regulationMixes {
+				if m.bench == rs.Bench {
+					mix = m.label
+				}
+			}
+			r := results[i]
+			t.Rows = append(t.Rows, Row{
+				Label: fmt.Sprintf("%s / %s", mix, rs.Mode),
+				Values: map[string]float64{
+					"share-hi":    r.Shares[0],
+					"share-lo":    r.Shares[1],
+					"err-%":       shareErrorAt(BenchEntitledHi(rs.Bench), r.Shares[0], r.Shares[1]),
+					"total-B/cyc": r.TotalBPC,
+				},
+			})
+		}
+		return t, nil
+	}
+}
+
+// isolationSpecs builds the Figure 10/12 grid: per workload, the
+// isolated reference plus every mode against the aggressor (five specs
+// per workload, iso first).
+func isolationSpecs(scale string, workloads []string) []RunSpec {
+	var specs []RunSpec
+	for _, w := range workloads {
+		specs = append(specs, RunSpec{Bench: BenchSpecIso, Scale: scale, Workload: w, Mode: "none"})
+		for _, mode := range modeNames {
+			specs = append(specs, RunSpec{Bench: BenchSpecMix, Scale: scale, Workload: w, Mode: mode})
+		}
+	}
+	return specs
+}
+
+// isolationFromRuns reconstructs the legacy IsolationResult from an
+// executed isolationSpecs grid.
+func isolationFromRuns(specs []RunSpec, results []RunResult) (*IsolationResult, error) {
+	per := 1 + len(modeNames)
+	if len(specs)%per != 0 || len(specs) != len(results) {
+		return nil, Terminal(fmt.Errorf("%w: isolation grid of %d specs is not %d per workload",
+			config.ErrInvalid, len(specs), per))
+	}
+	res := &IsolationResult{
+		Cells:              make(map[string]map[pabst.Mode]IsolationCell),
+		IsolatedIPC:        make(map[string][]float64),
+		IsolatedEfficiency: make(map[string]float64),
+	}
+	for g := 0; g < len(specs); g += per {
+		w := specs[g].Workload
+		iso := results[g]
+		res.Workloads = append(res.Workloads, w)
+		res.IsolatedIPC[w] = iso.TileIPCHi
+		res.IsolatedEfficiency[w] = iso.Efficiency
+		cells := make(map[pabst.Mode]IsolationCell)
+		for k, name := range modeNames {
+			mode, err := pabst.ParseMode(name)
+			if err != nil {
+				return nil, Terminal(err)
+			}
+			co := results[g+1+k]
+			cells[mode] = IsolationCell{
+				Workload:         w,
+				Mode:             mode,
+				WeightedSlowdown: weightedSlowdown(iso.TileIPCHi, co.TileIPCHi),
+				Efficiency:       co.Efficiency,
+				SpecShare:        co.ShareHi,
+			}
+		}
+		res.Cells[w] = cells
+	}
+	return res, nil
+}
+
+// NewIsolationExperiment builds a Figure 10 (weighted slowdown) or
+// Figure 12 (memory efficiency) experiment over the given workloads
+// (nil means every SPEC proxy). Both variants emit the same specs, so a
+// shared RunCache runs the grid once for the pair.
+func NewIsolationExperiment(name, desc string, workloads []string, efficiency bool) Experiment {
+	return &expDef{
+		name: name,
+		desc: desc,
+		spec: func(scale string) []RunSpec {
+			w := workloads
+			if len(w) == 0 {
+				w = pabst.SpecNames()
+			}
+			return isolationSpecs(scale, w)
+		},
+		reduce: func(specs []RunSpec, results []RunResult) (*Table, error) {
+			r, err := isolationFromRuns(specs, results)
+			if err != nil {
+				return nil, err
+			}
+			if efficiency {
+				return r.EfficiencyTable(), nil
+			}
+			return r.SlowdownTable(), nil
+		},
+	}
+}
+
+// NewFaultsExperiment builds the clean-vs-faulted comparison under the
+// named fault plan (a preset or a JSON path).
+func NewFaultsExperiment(plan string) Experiment {
+	return &expDef{
+		name: "faults",
+		desc: "robustness: 7:3 allocation under an injected fault plan vs clean",
+		spec: func(scale string) []RunSpec {
+			return []RunSpec{
+				{Bench: BenchStreams, Scale: scale},
+				{Bench: BenchStreams, Scale: scale, Fault: plan},
+			}
+		},
+		reduce: func(specs []RunSpec, results []RunResult) (*Table, error) {
+			r, err := faultsFromRuns(specs, results)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+	}
+}
+
+// NewFig11Experiment builds the IaaS consolidation experiment over the
+// given workloads (nil means every SPEC proxy): per workload, a
+// work-conserving 4x25% machine against a static quarter-bandwidth one.
+func NewFig11Experiment(workloads []string) Experiment {
+	return &expDef{
+		name: "fig11",
+		desc: "work-conserving IaaS consolidation vs a static 25% allocation",
+		spec: func(scale string) []RunSpec {
+			w := workloads
+			if len(w) == 0 {
+				w = pabst.SpecNames()
+			}
+			var specs []RunSpec
+			for _, name := range w {
+				specs = append(specs,
+					RunSpec{Bench: BenchIaaS, Scale: scale, Workload: name},
+					RunSpec{Bench: BenchIaaSStatic, Scale: scale, Workload: name, Mode: "none"})
+			}
+			return specs
+		},
+		reduce: func(specs []RunSpec, results []RunResult) (*Table, error) {
+			cells, err := fig11FromRuns(specs, results)
+			if err != nil {
+				return nil, err
+			}
+			return Fig11Table(cells), nil
+		},
+	}
+}
+
+// faultsFromRuns reconstructs the legacy FaultsResult from the two-arm
+// spec list ([clean, faulted]). Report.Injected stays nil — the seam
+// carries the scalar counters (RunResult.Faults), which is all the
+// table and the robustness gates consume.
+func faultsFromRuns(specs []RunSpec, results []RunResult) (*FaultsResult, error) {
+	if len(specs) != 2 || len(results) != 2 || specs[1].Fault == "" {
+		return nil, Terminal(fmt.Errorf("%w: faults experiment wants [clean, faulted] arms", config.ErrInvalid))
+	}
+	arm := func(r RunResult) FaultsRun {
+		fr := FaultsRun{Shares: []float64{r.Shares[0], r.Shares[1]}, BpcSum: r.TotalBPC}
+		if fr.Shares[1] > 0 {
+			fr.AllocErr = abs(fr.Shares[0]/fr.Shares[1]-7.0/3.0) / (7.0 / 3.0)
+		}
+		return fr
+	}
+	res := &FaultsResult{
+		Plan:    specs[1].Fault,
+		Clean:   arm(results[0]),
+		Faulted: arm(results[1]),
+	}
+	if f := results[1].Faults; f != nil {
+		res.FaultsInjected = f.Injected
+		res.Report = pabst.FaultReport{
+			Active:           true,
+			StaleIntervals:   f.StaleIntervals,
+			Decays:           f.Decays,
+			ResyncEpochs:     f.ResyncEpochs,
+			DivergenceMax:    f.DivergenceMax,
+			DivergedEpochs:   f.DivergedEpochs,
+			ReconvergeEpochs: f.ReconvergeEpochs,
+			Diverged:         f.DivergedEpochs > 0,
+		}
+	}
+	return res, nil
+}
+
+// paretoSpecs is the cross-policy grid: every ParetoPairs mechanism at
+// every ParetoLoads utilization, on the 7:3 write-stream mix.
+func paretoSpecs(scale string) []RunSpec {
+	var specs []RunSpec
+	for _, pair := range ParetoPairs() {
+		for _, load := range ParetoLoads() {
+			specs = append(specs, RunSpec{
+				Bench:  BenchWStreams,
+				Scale:  scale,
+				Policy: pair.String(),
+				Load:   load,
+			})
+		}
+	}
+	return specs
+}
+
+// ParetoFromRuns converts executed paretoSpecs results into the
+// ParetoPoint form (frontier marked), for the JSON/CSV writers and the
+// surrogate screener's soundness checks.
+func ParetoFromRuns(specs []RunSpec, results []RunResult) ([]ParetoPoint, error) {
+	points := make([]ParetoPoint, len(specs))
+	for i, rs := range specs {
+		src, tgt, err := pabst.ParsePolicyPair(rs.Policy)
+		if err != nil {
+			return nil, Terminal(err)
+		}
+		r := results[i]
+		points[i] = ParetoPoint{
+			Source:   src,
+			Target:   tgt,
+			Load:     rs.load(),
+			ShareHi:  r.ShareHi,
+			ShareErr: abs(r.ShareHi-paretoEntitledHi) / paretoEntitledHi * 100,
+			P99Hi:    r.P99Hi,
+			P99Lo:    r.P99Lo,
+			BusUtil:  r.BusUtil,
+			TotalBPC: r.TotalBPC,
+		}
+	}
+	markFrontier(points)
+	return points, nil
+}
+
+// paretoTable renders points in the legacy RunPolicyPareto layout.
+func paretoTable(points []ParetoPoint) *Table {
+	t := &Table{
+		Title:   "Cross-policy Pareto: share fidelity vs p99 tail latency (7:3 streams)",
+		Columns: []string{"load", "share-hi", "err-%", "p99-hi", "bus-util", "frontier"},
+	}
+	for _, p := range points {
+		front := 0.0
+		if p.Frontier {
+			front = 1
+		}
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("%s+%s", p.Source, p.Target),
+			Values: map[string]float64{
+				"load":     float64(p.Load),
+				"share-hi": p.ShareHi,
+				"err-%":    p.ShareErr,
+				"p99-hi":   float64(p.P99Hi),
+				"bus-util": p.BusUtil,
+				"frontier": front,
+			},
+		})
+	}
+	return t
+}
+
+func init() {
+	RegisterExperiment(&expDef{
+		name: "fig1",
+		desc: "source- vs target-only regulation on both mixes (3:1 allocation)",
+		spec: func(scale string) []RunSpec {
+			return regulationSpecs(scale, []string{"source-only", "target-only"})
+		},
+		reduce: regulationReduce("Figure 1: source- vs target-only regulation (3:1 allocation)"),
+	})
+	RegisterExperiment(&expDef{
+		name: "fig7",
+		desc: "PABST vs source-only vs target-only on both mixes (3:1 allocation)",
+		spec: func(scale string) []RunSpec {
+			return regulationSpecs(scale, []string{"source-only", "target-only", "pabst"})
+		},
+		reduce: regulationReduce("Figure 7: PABST vs source-only vs target-only (3:1 allocation)"),
+	})
+	RegisterExperiment(&expDef{
+		name: "fig5",
+		desc: "steady 7:3 split between two 16-core stream classes under PABST",
+		spec: func(scale string) []RunSpec {
+			return []RunSpec{{Bench: BenchStreams, Scale: scale}}
+		},
+		reduce: func(specs []RunSpec, results []RunResult) (*Table, error) {
+			r := results[0]
+			t := &Table{
+				Title:   "Figure 5: steady-state 7:3 proportional allocation",
+				Columns: []string{"steady-share", "entitled"},
+			}
+			t.Rows = append(t.Rows,
+				Row{Label: "70%-class", Values: map[string]float64{"steady-share": r.Shares[0], "entitled": 0.7}},
+				Row{Label: "30%-class", Values: map[string]float64{"steady-share": r.Shares[1], "entitled": 0.3}},
+			)
+			return t, nil
+		},
+	})
+	RegisterExperiment(NewIsolationExperiment("fig10",
+		"weighted slowdown of each SPEC proxy vs a 16-core stream aggressor", nil, false))
+	RegisterExperiment(NewIsolationExperiment("fig12",
+		"memory efficiency under QoS for each SPEC proxy vs the aggressor", nil, true))
+	RegisterExperiment(NewFig11Experiment(nil))
+	RegisterExperiment(&expDef{
+		name: "ext-static",
+		desc: "work conservation vs a static source limiter on the periodic mix",
+		spec: func(scale string) []RunSpec {
+			return []RunSpec{
+				{Bench: BenchPeriodic, Scale: scale, Mode: "static-source"},
+				{Bench: BenchPeriodic, Scale: scale},
+			}
+		},
+		reduce: func(specs []RunSpec, results []RunResult) (*Table, error) {
+			cfg := pabst.Default32Config()
+			r := &ExtStaticResult{
+				StaticBpc: results[0].BPC[1],
+				PABSTBpc:  results[1].BPC[1],
+				PeakBpc:   cfg.PeakBytesPerCycle(),
+			}
+			return r.Table(), nil
+		},
+	})
+	RegisterExperiment(&expDef{
+		name: "ext-skew",
+		desc: "global wired-OR vs per-MC governors under channel-skewed traffic",
+		spec: func(scale string) []RunSpec {
+			return []RunSpec{
+				{Bench: BenchSkew, Scale: scale},
+				{Bench: BenchSkew, Scale: scale, Params: map[string]uint64{"permc": 1}},
+			}
+		},
+		reduce: func(specs []RunSpec, results []RunResult) (*Table, error) {
+			r := &ExtSkewResult{GlobalUtil: results[0].MCUtil, PerMCUtil: results[1].MCUtil}
+			return r.Table(), nil
+		},
+	})
+	RegisterExperiment(&expDef{
+		name: "ext-hetero",
+		desc: "even vs demand-feedback intra-class splits for one busy thread of 16",
+		spec: func(scale string) []RunSpec {
+			return []RunSpec{
+				{Bench: BenchHetero, Scale: scale},
+				{Bench: BenchHetero, Scale: scale, Params: map[string]uint64{"hetero": 1}},
+			}
+		},
+		reduce: func(specs []RunSpec, results []RunResult) (*Table, error) {
+			r := &ExtHeteroResult{EvenBpc: results[0].BPC[0], HeteroBpc: results[1].BPC[0]}
+			return r.Table(), nil
+		},
+	})
+	RegisterExperiment(&expDef{
+		name: "ext-noc",
+		desc: "7:3 allocation under latency-only, provisioned, and starved fabrics",
+		spec: func(scale string) []RunSpec {
+			return []RunSpec{
+				{Bench: BenchStreams, Scale: scale},
+				{Bench: BenchStreams, Scale: scale, Params: map[string]uint64{"noc": 1}},
+				{Bench: BenchStreams, Scale: scale, Params: map[string]uint64{"noc": 1, "nocflits": 64}},
+			}
+		},
+		reduce: func(specs []RunSpec, results []RunResult) (*Table, error) {
+			labels := []string{"latency-only (paper)", "modeled, 16 B/cyc links", "modeled, 1 B/cyc links"}
+			var r ExtNoCResult
+			for i, res := range results {
+				r.Rows = append(r.Rows, ExtNoCRow{Label: labels[i], ShareHi: res.ShareHi, TotalBpc: res.TotalBPC})
+			}
+			return r.Table(), nil
+		},
+	})
+	RegisterExperiment(NewFaultsExperiment("sat-partition"))
+	RegisterExperiment(&expDef{
+		name: "pareto",
+		desc: "cross-policy share fidelity vs p99 tail latency, frontier marked",
+		spec: paretoSpecs,
+		reduce: func(specs []RunSpec, results []RunResult) (*Table, error) {
+			points, err := ParetoFromRuns(specs, results)
+			if err != nil {
+				return nil, err
+			}
+			return paretoTable(points), nil
+		},
+	})
+}
+
+// fig11FromRuns reconstructs the Figure 11 cells from the
+// [shared, static] spec pairs.
+func fig11FromRuns(specs []RunSpec, results []RunResult) ([]Fig11Cell, error) {
+	if len(specs)%2 != 0 || len(specs) != len(results) {
+		return nil, Terminal(fmt.Errorf("%w: fig11 grid wants [shared, static] pairs", config.ErrInvalid))
+	}
+	var cells []Fig11Cell
+	for g := 0; g < len(specs); g += 2 {
+		shared := results[g]
+		var mean float64
+		for _, ipc := range shared.IPC {
+			mean += ipc
+		}
+		if len(shared.IPC) > 0 {
+			mean /= float64(len(shared.IPC))
+		}
+		cell := Fig11Cell{
+			Workload:  specs[g].Workload,
+			SharedIPC: mean,
+			StaticIPC: results[g+1].IPC[0],
+		}
+		if cell.StaticIPC > 0 {
+			cell.Improvement = (cell.SharedIPC/cell.StaticIPC - 1) * 100
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}

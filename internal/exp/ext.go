@@ -8,7 +8,20 @@ import (
 // discussion-section design points this library also implements:
 // the non-work-conserving static limiter baseline (Related Work), the
 // per-controller saturation alternative (Section III-C1), and the
-// heterogeneous intra-class allocation extension (Section V-B).
+// heterogeneous intra-class allocation extension (Section V-B). Each is
+// a registry experiment ("ext-static", "ext-skew", "ext-noc",
+// "ext-hetero"); the wrappers below keep the legacy result shapes.
+
+// extRun executes one registry experiment's specs under a resolved
+// scale and hands back its results for legacy reassembly.
+func extRun(name string, scale Scale) ([]RunSpec, []RunResult, error) {
+	e, err := ExperimentByName(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	_, specs, results, err := runExperimentScale(e, scale)
+	return specs, results, err
+}
 
 // ExtStaticResult compares PABST against the static source limiter on
 // the Figure 6 workload: same guarantees, opposite behavior during the
@@ -20,35 +33,20 @@ type ExtStaticResult struct {
 }
 
 // ExtStatic runs the comparison.
+//
+// Deprecated: run the "ext-static" registry experiment; this wrapper
+// only adapts its output to the legacy result type.
 func ExtStatic(scale Scale) (*ExtStaticResult, error) {
-	run := func(mode pabst.Mode) (float64, float64, error) {
-		cfg := scale.Apply(pabst.Default32Config())
-		b := pabst.NewBuilder(cfg, mode, scale.Options()...)
-		per := b.AddClass("periodic-70", 7, cfg.L3Ways/2)
-		con := b.AddClass("constant-30", 3, cfg.L3Ways/2)
-		phase := 60 * scale.Epoch
-		for i := 0; i < 16; i++ {
-			cached := pabst.Region{Base: pabst.TileRegion(i).Base + (128 << 20), Size: 128 << 10}
-			b.Attach(i, per, pabst.Periodic("periodic", pabst.TileRegion(i), cached, phase, phase))
-		}
-		attachStreams(b, con, 16, 32, false)
-		sys, err := WarmedSystem(scale, b)
-		if err != nil {
-			return 0, 0, err
-		}
-		defer sys.Close()
-		sys.Run(4 * phase)
-		return sys.Metrics().BytesPerCycle(con), cfg.PeakBytesPerCycle(), nil
-	}
-	st, peak, err := run(pabst.ModeStaticSource)
+	_, results, err := extRun("ext-static", scale)
 	if err != nil {
 		return nil, err
 	}
-	pb, _, err := run(pabst.ModePABST)
-	if err != nil {
-		return nil, err
-	}
-	return &ExtStaticResult{StaticBpc: st, PABSTBpc: pb, PeakBpc: peak}, nil
+	cfg := pabst.Default32Config()
+	return &ExtStaticResult{
+		StaticBpc: results[0].BPC[1],
+		PABSTBpc:  results[1].BPC[1],
+		PeakBpc:   cfg.PeakBytesPerCycle(),
+	}, nil
 }
 
 // Table renders the comparison.
@@ -73,56 +71,15 @@ type ExtSkewResult struct {
 
 // ExtSkew runs the comparison: half the tiles stream traffic hashed
 // entirely to channel 0, half stream uniformly.
+//
+// Deprecated: run the "ext-skew" registry experiment; this wrapper only
+// adapts its output to the legacy result type.
 func ExtSkew(scale Scale) (*ExtSkewResult, error) {
-	run := func(perMC bool) ([]float64, error) {
-		cfg := scale.Apply(pabst.Default32Config())
-		cfg.PABST.PerMCGovernors = perMC
-		b := pabst.NewBuilder(cfg, pabst.ModePABST, scale.Options()...)
-		hot := b.AddClass("hot", 1, cfg.L3Ways/2)
-		uni := b.AddClass("uniform", 1, cfg.L3Ways/2)
-		// The builder needs the system to exist before the filter can
-		// consult the channel hash, so build with placeholder uniform
-		// streams first is not possible; instead attach the filtered
-		// streams lazily through a closure over the built system.
-		var sys *pabst.System
-		for i := 0; i < 16; i++ {
-			r := pabst.TileRegion(i)
-			b.Attach(i, hot, pabst.FilteredStream("hot", r, 128, false, func(a pabst.Addr) bool {
-				return sys.MCForAddr(a) == 0
-			}))
-		}
-		for i := 16; i < 32; i++ {
-			b.Attach(i, uni, pabst.Stream("uni", pabst.TileRegion(i), 128, false))
-		}
-		built, err := b.Build()
-		if err != nil {
-			return nil, err
-		}
-		sys = built
-		defer sys.Close()
-		// The filtered streams above are closures over the built system, so
-		// this machine has no checkpointable description; it always warms
-		// cold (WarmedSystem would reach the same outcome via its
-		// ErrCkptUnsupported fallback, but the store lookup needs a built
-		// system first — which this experiment constructs by hand anyway).
-		sys.Warmup(scale.Warmup)
-		sys.Run(scale.Measure)
-		snap := sys.Snapshot()
-		util := make([]float64, len(snap.MCs))
-		for i := range snap.MCs {
-			util[i] = snap.MCs[i].Utilization
-		}
-		return util, nil
-	}
-	g, err := run(false)
+	_, results, err := extRun("ext-skew", scale)
 	if err != nil {
 		return nil, err
 	}
-	p, err := run(true)
-	if err != nil {
-		return nil, err
-	}
-	return &ExtSkewResult{GlobalUtil: g, PerMCUtil: p}, nil
+	return &ExtSkewResult{GlobalUtil: results[0].MCUtil, PerMCUtil: results[1].MCUtil}, nil
 }
 
 // Table renders per-channel utilizations.
@@ -166,45 +123,18 @@ type ExtNoCRow struct {
 }
 
 // ExtNoC runs the fabric comparison.
+//
+// Deprecated: run the "ext-noc" registry experiment; this wrapper only
+// adapts its output to the legacy result type.
 func ExtNoC(scale Scale) (*ExtNoCResult, error) {
-	run := func(label string, mut func(*pabst.SystemConfig)) (ExtNoCRow, error) {
-		cfg := scale.Apply(pabst.Default32Config())
-		mut(&cfg)
-		b := pabst.NewBuilder(cfg, pabst.ModePABST, scale.Options()...)
-		hi := b.AddClass("hi", 7, cfg.L3Ways/2)
-		lo := b.AddClass("lo", 3, cfg.L3Ways/2)
-		attachStreams(b, hi, 0, 16, false)
-		attachStreams(b, lo, 16, 32, false)
-		sys, err := WarmedSystem(scale, b)
-		if err != nil {
-			return ExtNoCRow{}, err
-		}
-		defer sys.Close()
-		sys.Run(scale.Measure)
-		m := sys.Metrics()
-		return ExtNoCRow{
-			Label:    label,
-			ShareHi:  m.ShareOf(hi),
-			TotalBpc: m.BytesPerCycle(hi) + m.BytesPerCycle(lo),
-		}, nil
+	_, results, err := extRun("ext-noc", scale)
+	if err != nil {
+		return nil, err
 	}
+	labels := []string{"latency-only (paper)", "modeled, 16 B/cyc links", "modeled, 1 B/cyc links"}
 	var res ExtNoCResult
-	for _, c := range []struct {
-		label string
-		mut   func(*pabst.SystemConfig)
-	}{
-		{"latency-only (paper)", func(c *pabst.SystemConfig) {}},
-		{"modeled, 16 B/cyc links", func(c *pabst.SystemConfig) { c.ModelNoC = true }},
-		{"modeled, 1 B/cyc links", func(c *pabst.SystemConfig) {
-			c.ModelNoC = true
-			c.NoCNet.DataFlits = 64
-		}},
-	} {
-		row, err := run(c.label, c.mut)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+	for i, r := range results {
+		res.Rows = append(res.Rows, ExtNoCRow{Label: labels[i], ShareHi: r.ShareHi, TotalBpc: r.TotalBPC})
 	}
 	return &res, nil
 }
@@ -232,36 +162,15 @@ type ExtHeteroResult struct {
 }
 
 // ExtHetero runs the comparison.
+//
+// Deprecated: run the "ext-hetero" registry experiment; this wrapper
+// only adapts its output to the legacy result type.
 func ExtHetero(scale Scale) (*ExtHeteroResult, error) {
-	run := func(hetero bool) (float64, error) {
-		cfg := scale.Apply(pabst.Default32Config())
-		cfg.PABST.HeterogeneousThreads = hetero
-		b := pabst.NewBuilder(cfg, pabst.ModePABST, scale.Options()...)
-		mixed := b.AddClass("mixed", 1, cfg.L3Ways/2)
-		busy := b.AddClass("busy", 1, cfg.L3Ways/2)
-		b.Attach(0, mixed, pabst.Stream("hot", pabst.TileRegion(0), 128, false))
-		for i := 1; i < 16; i++ {
-			quiet := pabst.Region{Base: pabst.TileRegion(i).Base, Size: 64 << 10}
-			b.Attach(i, mixed, pabst.Stream("quiet", quiet, 128, false))
-		}
-		attachStreams(b, busy, 16, 32, false)
-		sys, err := WarmedSystem(scale, b)
-		if err != nil {
-			return 0, err
-		}
-		defer sys.Close()
-		sys.Run(scale.Measure)
-		return sys.Metrics().BytesPerCycle(mixed), nil
-	}
-	even, err := run(false)
+	_, results, err := extRun("ext-hetero", scale)
 	if err != nil {
 		return nil, err
 	}
-	het, err := run(true)
-	if err != nil {
-		return nil, err
-	}
-	return &ExtHeteroResult{EvenBpc: even, HeteroBpc: het}, nil
+	return &ExtHeteroResult{EvenBpc: results[0].BPC[0], HeteroBpc: results[1].BPC[0]}, nil
 }
 
 // Table renders the comparison.

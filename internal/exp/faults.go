@@ -23,71 +23,27 @@ type FaultsRun struct {
 type FaultsResult struct {
 	Plan           string
 	Clean, Faulted FaultsRun
+	// Report carries the degradation counters. When the result comes
+	// back through the experiment seam, only the scalar counters are
+	// populated — Report.Injected stays nil (use FaultsInjected).
 	Report         pabst.FaultReport
 	FaultsInjected uint64
-}
-
-func runFaultsArm(scale Scale, plan *pabst.FaultPlan) (FaultsRun, pabst.FaultReport, error) {
-	cfg := scale.Apply(pabst.Default32Config())
-	opts := scale.Options()
-	if plan != nil {
-		cfg.PABST = cfg.PABST.WithDegradation()
-		opts = append(opts, pabst.WithFaultPlan(plan))
-	}
-	b := pabst.NewBuilder(cfg, pabst.ModePABST, opts...)
-	hi := b.AddClass("70%-class", 7, cfg.L3Ways/2)
-	lo := b.AddClass("30%-class", 3, cfg.L3Ways/2)
-	attachStreams(b, hi, 0, 16, false)
-	attachStreams(b, lo, 16, 32, false)
-	sys, err := WarmedSystem(scale, b)
-	if err != nil {
-		return FaultsRun{}, pabst.FaultReport{}, err
-	}
-	defer sys.Close()
-	sys.Run(scale.Measure)
-	m := sys.Metrics()
-	run := FaultsRun{
-		Shares: []float64{m.ShareOf(hi), m.ShareOf(lo)},
-		BpcSum: m.BytesPerCycle(hi) + m.BytesPerCycle(lo),
-	}
-	if run.Shares[1] > 0 {
-		run.AllocErr = abs(run.Shares[0]/run.Shares[1]-7.0/3.0) / (7.0 / 3.0)
-	}
-	return run, sys.FaultReport(), nil
 }
 
 // Faults runs the Figure 5 scenario clean and under the named fault
 // plan (a preset or a JSON path) and reports shares, allocation error,
 // injected-fault counts, and the governors' degradation activity.
+//
+// Deprecated: run the "faults" registry experiment (or
+// NewFaultsExperiment for a non-default plan); this wrapper only adapts
+// its output to the legacy result type.
 func Faults(scale Scale, planName string) (*FaultsResult, error) {
-	plan, err := pabst.LoadFaultPlan(planName)
+	e := NewFaultsExperiment(planName)
+	_, specs, results, err := runExperimentScale(e, scale)
 	if err != nil {
 		return nil, err
 	}
-	// The two arms are independent simulations; the scale's pool may run
-	// them side by side.
-	arms := []*pabst.FaultPlan{nil, plan}
-	runs := make([]FaultsRun, len(arms))
-	var rep pabst.FaultReport
-	err = ForEach(scale.Parallel, len(arms), func(i int) error {
-		run, r, err := runFaultsArm(scale, arms[i])
-		if err != nil {
-			return err
-		}
-		runs[i] = run
-		if arms[i] != nil {
-			rep = r
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	res := &FaultsResult{Plan: planName, Clean: runs[0], Faulted: runs[1], Report: rep}
-	if rep.Injected != nil {
-		res.FaultsInjected = rep.Injected.Total()
-	}
-	return res, nil
+	return faultsFromRuns(specs, results)
 }
 
 // Table renders the clean-vs-faulted comparison plus the degradation

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"pabst"
@@ -24,6 +25,14 @@ func (m MixKind) String() string {
 	return "chaser+stream"
 }
 
+// bench maps the mix to its registry benchmark.
+func (m MixKind) bench() string {
+	if m == MixStreamStream {
+		return BenchWStreams31
+	}
+	return BenchChaser
+}
+
 // RegulationResult is one (mix, mode) cell: the observed split of memory
 // bandwidth against the intended 3:1 allocation.
 type RegulationResult struct {
@@ -36,52 +45,51 @@ type RegulationResult struct {
 	TotalBpc         float64 // delivered bandwidth, bytes/cycle
 }
 
-// RunRegulation runs one (mix, mode) cell of the Figure 1/7 experiment:
-// 16 cores of the high-share class against 16 cores of write stream with
-// a 3:1 allocation.
-func RunRegulation(scale Scale, mix MixKind, mode pabst.Mode) (RegulationResult, error) {
-	cfg := scale.Apply(pabst.Default32Config())
-	b := pabst.NewBuilder(cfg, mode, scale.Options()...)
-	hi := b.AddClass("hi", 3, cfg.L3Ways/2)
-	lo := b.AddClass("lo", 1, cfg.L3Ways/2)
-
-	switch mix {
-	case MixStreamStream:
-		attachStreams(b, hi, 0, 16, true)
-	case MixChaserStream:
-		attachChasers(b, hi, 0, 16)
-	default:
-		return RegulationResult{}, fmt.Errorf("exp: unknown mix %d", mix)
+// regulationResult converts one executed grid spec into the legacy cell.
+func regulationResult(rs RunSpec, r RunResult) (RegulationResult, error) {
+	mix := MixStreamStream
+	if rs.Bench == BenchChaser {
+		mix = MixChaserStream
 	}
-	attachStreams(b, lo, 16, 32, true)
-
-	sys, err := WarmedSystem(scale, b)
+	mode, err := rs.mode()
 	if err != nil {
 		return RegulationResult{}, err
 	}
-	defer sys.Close()
-	sys.Run(scale.Measure)
-	m := sys.Metrics()
-
-	r := RegulationResult{
+	out := RegulationResult{
 		Mix:        mix,
 		Mode:       mode,
-		ShareHi:    m.ShareOf(hi),
-		ShareLo:    m.ShareOf(lo),
-		EntitledHi: 0.75,
-		TotalBpc:   m.BytesPerCycle(hi) + m.BytesPerCycle(lo),
+		ShareHi:    r.Shares[0],
+		ShareLo:    r.Shares[1],
+		EntitledHi: BenchEntitledHi(rs.Bench),
+		TotalBpc:   r.TotalBPC,
 	}
-	r.Error = shareError(r.ShareHi, r.ShareLo)
-	return r, nil
+	out.Error = shareErrorAt(out.EntitledHi, out.ShareHi, out.ShareLo)
+	return out, nil
+}
+
+// RunRegulation runs one (mix, mode) cell of the Figure 1/7 experiment:
+// 16 cores of the high-share class against 16 cores of write stream with
+// a 3:1 allocation.
+//
+// Deprecated: build a RunSpec on the mix's bench (BenchWStreams31 or
+// BenchChaser) and call RunSpec.Run, or run the "fig1"/"fig7" registry
+// experiment (ExperimentByName) for the whole grid.
+func RunRegulation(scale Scale, mix MixKind, mode pabst.Mode) (RegulationResult, error) {
+	if mix != MixStreamStream && mix != MixChaserStream {
+		return RegulationResult{}, fmt.Errorf("exp: unknown mix %d", mix)
+	}
+	ex, name := execFor(scale)
+	rs := RunSpec{Bench: mix.bench(), Scale: name, Mode: mode.String()}
+	r, err := rs.Run(context.Background(), ex, RunIO{})
+	if err != nil {
+		return RegulationResult{}, err
+	}
+	return regulationResult(rs, r)
 }
 
 // shareError is the mean relative error of the observed shares against
 // the 3:1 entitlement, in percent (the Figure 1 allocation-error metric).
-func shareError(hi, lo float64) float64 {
-	eHi := abs(hi-0.75) / 0.75
-	eLo := abs(lo-0.25) / 0.25
-	return (eHi + eLo) / 2 * 100
-}
+func shareError(hi, lo float64) float64 { return shareErrorAt(0.75, hi, lo) }
 
 func abs(v float64) float64 {
 	if v < 0 {
@@ -92,57 +100,38 @@ func abs(v float64) float64 {
 
 // Fig1 reproduces Figure 1: source-only and target-only regulation on
 // both mixes, exposing each scheme's blind spot.
+//
+// Deprecated: run the "fig1" registry experiment (ExperimentByName +
+// RunExperiment); this wrapper only adapts its output to the legacy
+// result type.
 func Fig1(scale Scale) (*Table, []RegulationResult, error) {
-	return regulationTable(scale, "Figure 1: source- vs target-only regulation (3:1 allocation)",
-		[]pabst.Mode{pabst.ModeSourceOnly, pabst.ModeTargetOnly})
+	return regulationWrapper("fig1", scale)
 }
 
 // Fig7 reproduces the Section IV-C comparison: the Figure 1 grid plus
 // PABST, which must track the better regulator on both mixes.
+//
+// Deprecated: run the "fig7" registry experiment (ExperimentByName +
+// RunExperiment); this wrapper only adapts its output to the legacy
+// result type.
 func Fig7(scale Scale) (*Table, []RegulationResult, error) {
-	return regulationTable(scale, "Figure 7: PABST vs source-only vs target-only (3:1 allocation)",
-		[]pabst.Mode{pabst.ModeSourceOnly, pabst.ModeTargetOnly, pabst.ModePABST})
+	return regulationWrapper("fig7", scale)
 }
 
-func regulationTable(scale Scale, title string, modes []pabst.Mode) (*Table, []RegulationResult, error) {
-	type cell struct {
-		mix  MixKind
-		mode pabst.Mode
-	}
-	var cells []cell
-	for _, mix := range []MixKind{MixStreamStream, MixChaserStream} {
-		for _, mode := range modes {
-			cells = append(cells, cell{mix, mode})
-		}
-	}
-	// Each (mix, mode) cell is an independent simulation; run them on the
-	// scale's bounded pool and assemble the table in grid order after.
-	results := make([]RegulationResult, len(cells))
-	err := ForEach(scale.Parallel, len(cells), func(i int) error {
-		r, err := RunRegulation(scale, cells[i].mix, cells[i].mode)
-		if err != nil {
-			return err
-		}
-		results[i] = r
-		return nil
-	})
+func regulationWrapper(name string, scale Scale) (*Table, []RegulationResult, error) {
+	e, err := ExperimentByName(name)
 	if err != nil {
 		return nil, nil, err
 	}
-	t := &Table{
-		Title:   title,
-		Columns: []string{"share-hi", "share-lo", "err-%", "total-B/cyc"},
+	t, specs, results, err := runExperimentScale(e, scale)
+	if err != nil {
+		return nil, nil, err
 	}
-	for _, r := range results {
-		t.Rows = append(t.Rows, Row{
-			Label: fmt.Sprintf("%s / %s", r.Mix, r.Mode),
-			Values: map[string]float64{
-				"share-hi":    r.ShareHi,
-				"share-lo":    r.ShareLo,
-				"err-%":       r.Error,
-				"total-B/cyc": r.TotalBpc,
-			},
-		})
+	cells := make([]RegulationResult, len(specs))
+	for i := range specs {
+		if cells[i], err = regulationResult(specs[i], results[i]); err != nil {
+			return nil, nil, err
+		}
 	}
-	return t, results, nil
+	return t, cells, nil
 }

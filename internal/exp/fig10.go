@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"pabst"
 )
 
@@ -28,71 +30,16 @@ type IsolationResult struct {
 
 // RunIsolationWorkload measures one SPEC workload: the isolated reference
 // run plus every regulation mode against the aggressor.
+//
+// Deprecated: run the "fig10"/"fig12" registry experiments (or
+// NewIsolationExperiment for a custom workload list); this wrapper runs
+// the one-workload grid through the same seam.
 func RunIsolationWorkload(scale Scale, name string) (map[pabst.Mode]IsolationCell, []float64, float64, error) {
-	// Isolated reference: 16 SPEC tiles alone with the same (limited)
-	// cache allocation.
-	isoB, err := buildSpecMix(scale, name, false, pabst.ModeNone)
+	res, err := runIsolation(scale, []string{name})
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	isoSys, err := WarmedSystem(scale, isoB)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	isoSys.Run(scale.Measure)
-	isoIPC := specTileIPCs(isoSys)
-	isoEff := isoSys.Metrics().Efficiency
-	isoSys.Close()
-
-	cells := make(map[pabst.Mode]IsolationCell)
-	for _, mode := range modeList() {
-		b, err := buildSpecMix(scale, name, true, mode)
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		sys, err := WarmedSystem(scale, b)
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		sys.Run(scale.Measure)
-		m := sys.Metrics()
-		coIPC := specTileIPCs(sys)
-		sys.Close()
-		cells[mode] = IsolationCell{
-			Workload:         name,
-			Mode:             mode,
-			WeightedSlowdown: weightedSlowdown(isoIPC, coIPC),
-			Efficiency:       m.Efficiency,
-			SpecShare:        m.ShareOf(0),
-		}
-	}
-	return cells, isoIPC, isoEff, nil
-}
-
-// buildSpecMix describes 16 SPEC tiles (class 0) and optionally 16 stream
-// aggressor tiles (class 1) at a 32:1 share ratio.
-func buildSpecMix(scale Scale, name string, aggressor bool, mode pabst.Mode) (*pabst.Builder, error) {
-	cfg := scale.Apply(pabst.Default32Config())
-	b := pabst.NewBuilder(cfg, mode, scale.Options()...)
-	spec := b.AddClass("spec", 32, cfg.L3Ways/2)
-	agg := b.AddClass("aggressor", 1, cfg.L3Ways/2)
-	if err := attachSpec(b, spec, name, 0, 16); err != nil {
-		return nil, err
-	}
-	if aggressor {
-		attachStreams(b, agg, 16, 32, false)
-	}
-	return b, nil
-}
-
-// specTileIPCs reads the SPEC class's per-tile IPCs (class 0 in every
-// buildSpecMix machine) from a coherent snapshot.
-func specTileIPCs(sys *pabst.System) []float64 {
-	snap := sys.Snapshot()
-	if c := snap.Class(0); c != nil {
-		return c.TileIPCs
-	}
-	return nil
+	return res.Cells[name], res.IsolatedIPC[name], res.IsolatedEfficiency[name], nil
 }
 
 func weightedSlowdown(iso, co []float64) float64 {
@@ -111,44 +58,37 @@ func weightedSlowdown(iso, co []float64) float64 {
 	return float64(n) / speedup
 }
 
-// Fig10 reproduces Figure 10 (weighted slowdown per workload and mode)
-// and collects the Figure 12 efficiency data alongside.
-func Fig10(scale Scale, workloads []string) (*IsolationResult, error) {
+// runIsolation executes the isolation grid for a workload list under
+// one resolved scale and reassembles the legacy result.
+func runIsolation(scale Scale, workloads []string) (*IsolationResult, error) {
 	if len(workloads) == 0 {
 		workloads = pabst.SpecNames()
 	}
-	res := &IsolationResult{
-		Workloads:          workloads,
-		Cells:              make(map[string]map[pabst.Mode]IsolationCell),
-		IsolatedIPC:        make(map[string][]float64),
-		IsolatedEfficiency: make(map[string]float64),
-	}
-	// One workload = five simulations (isolated + four modes); workloads
-	// are independent of each other, so fan them out on the scale's pool
-	// and fill the maps in suite order afterwards.
-	type wres struct {
-		cells  map[pabst.Mode]IsolationCell
-		isoIPC []float64
-		isoEff float64
-	}
-	measured := make([]wres, len(workloads))
-	err := ForEach(scale.Parallel, len(workloads), func(i int) error {
-		cells, isoIPC, isoEff, err := RunIsolationWorkload(scale, workloads[i])
+	ex, name := execFor(scale)
+	specs := isolationSpecs(name, workloads)
+	results := make([]RunResult, len(specs))
+	err := ForEach(scale.Parallel, len(specs), func(i int) error {
+		r, err := specs[i].Run(context.Background(), ex, RunIO{})
 		if err != nil {
 			return err
 		}
-		measured[i] = wres{cells: cells, isoIPC: isoIPC, isoEff: isoEff}
+		results[i] = r
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for i, w := range workloads {
-		res.Cells[w] = measured[i].cells
-		res.IsolatedIPC[w] = measured[i].isoIPC
-		res.IsolatedEfficiency[w] = measured[i].isoEff
-	}
-	return res, nil
+	return isolationFromRuns(specs, results)
+}
+
+// Fig10 reproduces Figure 10 (weighted slowdown per workload and mode)
+// and collects the Figure 12 efficiency data alongside.
+//
+// Deprecated: run the "fig10" registry experiment (share a RunCache
+// with "fig12" to reuse the grid); this wrapper only adapts its output
+// to the legacy result type.
+func Fig10(scale Scale, workloads []string) (*IsolationResult, error) {
+	return runIsolation(scale, workloads)
 }
 
 // SlowdownTable renders the Figure 10 grid.

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"pabst"
 )
 
@@ -18,79 +20,33 @@ type Fig11Cell struct {
 // 25% classes (8 CPUs each, all running the same SPEC proxy) compared to
 // a static allocation approximated by an isolated 8-CPU run at DDR/4
 // frequency. Work conservation should deliver a 15-90% improvement.
+//
+// Deprecated: run the "fig11" registry experiment; this wrapper only
+// adapts its output to the legacy result type.
 func Fig11(scale Scale, workloads []string) ([]Fig11Cell, error) {
 	if len(workloads) == 0 {
 		workloads = pabst.SpecNames()
 	}
-	// Each workload's shared/static pair is independent of every other
-	// workload; fan out on the scale's pool, keeping suite order.
-	out := make([]Fig11Cell, len(workloads))
-	err := ForEach(scale.Parallel, len(workloads), func(i int) error {
-		w := workloads[i]
-		shared, err := runFig11Shared(scale, w)
+	ex, name := execFor(scale)
+	var specs []RunSpec
+	for _, w := range workloads {
+		specs = append(specs,
+			RunSpec{Bench: BenchIaaS, Scale: name, Workload: w},
+			RunSpec{Bench: BenchIaaSStatic, Scale: name, Workload: w, Mode: "none"})
+	}
+	results := make([]RunResult, len(specs))
+	err := ForEach(scale.Parallel, len(specs), func(i int) error {
+		r, err := specs[i].Run(context.Background(), ex, RunIO{})
 		if err != nil {
 			return err
 		}
-		static, err := runFig11Static(scale, w)
-		if err != nil {
-			return err
-		}
-		cell := Fig11Cell{Workload: w, SharedIPC: shared, StaticIPC: static}
-		if static > 0 {
-			cell.Improvement = (shared/static - 1) * 100
-		}
-		out[i] = cell
+		results[i] = r
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return out, nil
-}
-
-func runFig11Shared(scale Scale, name string) (float64, error) {
-	cfg := scale.Apply(pabst.Default32Config())
-	b := pabst.NewBuilder(cfg, pabst.ModePABST, scale.Options()...)
-	var classes []pabst.ClassID
-	for c := 0; c < 4; c++ {
-		classes = append(classes, b.AddClass(vmName(c), 1, cfg.L3Ways/4))
-	}
-	for c := 0; c < 4; c++ {
-		if err := attachSpec(b, classes[c], name, c*8, c*8+8); err != nil {
-			return 0, err
-		}
-	}
-	sys, err := WarmedSystem(scale, b)
-	if err != nil {
-		return 0, err
-	}
-	defer sys.Close()
-	sys.Run(scale.Measure)
-	snap := sys.Snapshot()
-	var sum float64
-	for _, cls := range classes {
-		sum += snap.Class(cls).IPC
-	}
-	return sum / 4, nil
-}
-
-func runFig11Static(scale Scale, name string) (float64, error) {
-	// 8 CPUs alone on a machine whose DRAM runs at quarter frequency,
-	// with the same quarter L3 allocation.
-	cfg := scale.Apply(pabst.Default32Config()).ScaleDRAM(4)
-	b := pabst.NewBuilder(cfg, pabst.ModeNone, scale.Options()...)
-	cls := b.AddClass("vm-static", 1, cfg.L3Ways/4)
-	if err := attachSpec(b, cls, name, 0, 8); err != nil {
-		return 0, err
-	}
-	sys, err := WarmedSystem(scale, b)
-	if err != nil {
-		return 0, err
-	}
-	defer sys.Close()
-	sys.Run(scale.Measure)
-	snap := sys.Snapshot()
-	return snap.Class(cls).IPC, nil
+	return fig11FromRuns(specs, results)
 }
 
 func vmName(i int) string {

@@ -1,12 +1,11 @@
 package exp
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
-
-	"pabst"
 )
 
 // PolicyPair names one source+target mechanism combination from the
@@ -68,90 +67,45 @@ type ParetoPoint struct {
 
 // RunPolicyPoint measures one policy pair at one load: `load` tiles of a
 // weight-7 stream class against `load` tiles of a weight-3 stream class.
+// One point of the "pareto" registry experiment, via the same seam.
 func RunPolicyPoint(scale Scale, pair PolicyPair, load int) (ParetoPoint, error) {
 	if load < 1 || load > 16 {
 		return ParetoPoint{}, fmt.Errorf("exp: pareto load %d outside [1,16]", load)
 	}
-	cfg := scale.Apply(pabst.Default32Config())
-	cfg.SourcePolicy, cfg.TargetPolicy = pair.Source, pair.Target
-	b := pabst.NewBuilder(cfg, pabst.ModePABST, scale.Options()...)
-	hi := b.AddClass("hi", 7, cfg.L3Ways/2)
-	lo := b.AddClass("lo", 3, cfg.L3Ways/2)
-	attachStreams(b, hi, 0, load, true)
-	attachStreams(b, lo, 16, 16+load, true)
-
-	sys, err := WarmedSystem(scale, b)
+	ex, name := execFor(scale)
+	rs := RunSpec{Bench: BenchWStreams, Scale: name, Policy: pair.String(), Load: load}
+	r, err := rs.Run(context.Background(), ex, RunIO{})
 	if err != nil {
 		return ParetoPoint{}, err
 	}
-	defer sys.Close()
-	sys.Run(scale.Measure)
-	m := sys.Metrics()
-
-	p := ParetoPoint{
-		Source:   pair.Source,
-		Target:   pair.Target,
-		Load:     load,
-		ShareHi:  m.ShareOf(hi),
-		P99Hi:    sys.ClassTailLatency(hi, 99),
-		P99Lo:    sys.ClassTailLatency(lo, 99),
-		BusUtil:  m.BusUtilization,
-		TotalBPC: m.BytesPerCycle(hi) + m.BytesPerCycle(lo),
+	points, err := ParetoFromRuns([]RunSpec{rs}, []RunResult{r})
+	if err != nil {
+		return ParetoPoint{}, err
 	}
-	p.ShareErr = abs(p.ShareHi-paretoEntitledHi) / paretoEntitledHi * 100
+	p := points[0]
+	p.Frontier = false // meaningful only within a full sweep
 	return p, nil
 }
 
 // RunPolicyPareto sweeps every ParetoPairs mechanism across the
 // ParetoLoads utilization axis and marks each load's Pareto frontier on
-// (share fidelity, hi-class p99 tail latency). Points are independent
-// simulations, run on the scale's bounded pool.
+// (share fidelity, hi-class p99 tail latency).
+//
+// Deprecated: run the "pareto" registry experiment (RunExperiment +
+// ParetoFromRuns); this wrapper only adapts its output to the legacy
+// (table, points) pair.
 func RunPolicyPareto(scale Scale) (*Table, []ParetoPoint, error) {
-	pairs, loads := ParetoPairs(), ParetoLoads()
-	type cell struct {
-		pair PolicyPair
-		load int
-	}
-	var cells []cell
-	for _, pair := range pairs {
-		for _, load := range loads {
-			cells = append(cells, cell{pair, load})
-		}
-	}
-	points := make([]ParetoPoint, len(cells))
-	err := ForEach(scale.Parallel, len(cells), func(i int) error {
-		p, err := RunPolicyPoint(scale, cells[i].pair, cells[i].load)
-		if err != nil {
-			return fmt.Errorf("%s load=%d: %w", cells[i].pair, cells[i].load, err)
-		}
-		points[i] = p
-		return nil
-	})
+	e, err := ExperimentByName("pareto")
 	if err != nil {
 		return nil, nil, err
 	}
-	markFrontier(points)
-
-	t := &Table{
-		Title:   "Cross-policy Pareto: share fidelity vs p99 tail latency (7:3 streams)",
-		Columns: []string{"load", "share-hi", "err-%", "p99-hi", "bus-util", "frontier"},
+	t, specs, results, err := runExperimentScale(e, scale)
+	if err != nil {
+		return nil, nil, err
 	}
-	for _, p := range points {
-		front := 0.0
-		if p.Frontier {
-			front = 1
-		}
-		t.Rows = append(t.Rows, Row{
-			Label: fmt.Sprintf("%s+%s", p.Source, p.Target),
-			Values: map[string]float64{
-				"load":     float64(p.Load),
-				"share-hi": p.ShareHi,
-				"err-%":    p.ShareErr,
-				"p99-hi":   float64(p.P99Hi),
-				"bus-util": p.BusUtil,
-				"frontier": front,
-			},
-		})
+	points, err := ParetoFromRuns(specs, results)
+	if err != nil {
+		return nil, nil, err
 	}
 	return t, points, nil
 }

@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestScreeningSoundness: the surrogate-screened sweep must simulate
+// strictly fewer points than the exhaustive grid while reporting the
+// identical Pareto frontier. The test runs the exhaustive grid once,
+// takes the twin's (simulation-free) screening decisions, and replays
+// the screened sweep from the exhaustive results — determinism makes
+// that identical to simulating the subset directly, without paying for
+// the grid twice.
+func TestScreeningSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("12 quick-scale simulations")
+	}
+	sc := Quick()
+	sc.Parallel = 6
+	ex, name := execFor(sc)
+	specs := paretoSpecs(name)
+	results := make([]RunResult, len(specs))
+	err := ForEach(sc.Parallel, len(specs), func(i int) error {
+		r, err := specs[i].Run(context.Background(), ex, RunIO{})
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhaustive, err := ParetoFromRuns(specs, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := ScreenDecisions(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != len(specs) {
+		t.Fatalf("screening produced %d decisions for %d specs", len(ds), len(specs))
+	}
+	var simSpecs []RunSpec
+	var simResults []RunResult
+	for i, d := range ds {
+		if d.Spec.Fingerprint() != specs[i].Fingerprint() {
+			t.Fatalf("decision %d covers a different spec than the grid", i)
+		}
+		t.Logf("%s load=%d: simulate=%v (%s)", d.Pair, d.Load, d.Simulate, d.Reason)
+		if d.Simulate {
+			simSpecs = append(simSpecs, specs[i])
+			simResults = append(simResults, results[i])
+		}
+	}
+	if len(simSpecs) >= len(specs) {
+		t.Fatalf("screening simulated all %d points — no surrogate saving", len(specs))
+	}
+	if len(simSpecs) == 0 {
+		t.Fatal("screening simulated nothing")
+	}
+	screened, err := ParetoFromRuns(simSpecs, simResults)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	key := func(p ParetoPoint) string { return fmt.Sprintf("%s+%s@%d", p.Source, p.Target, p.Load) }
+	wantFrontier := map[string]bool{}
+	for _, p := range exhaustive {
+		if p.Frontier {
+			wantFrontier[key(p)] = true
+		}
+	}
+	gotFrontier := map[string]bool{}
+	for _, p := range screened {
+		if p.Frontier {
+			gotFrontier[key(p)] = true
+		}
+	}
+	for k := range wantFrontier {
+		if !gotFrontier[k] {
+			t.Errorf("true frontier point %s missing from the screened frontier", k)
+		}
+	}
+	for k := range gotFrontier {
+		if !wantFrontier[k] {
+			t.Errorf("screened frontier claims %s, which the exhaustive frontier rejects", k)
+		}
+	}
+	t.Logf("screened %d/%d points, frontier %d/%d", len(simSpecs), len(specs), len(gotFrontier), len(wantFrontier))
+}
+
+// TestScreenDecisionsAreSimulationFree is a design guard: decisions for
+// a full-scale grid come back instantly because the twin never runs the
+// simulator. (A simulated full-scale point takes minutes; the test
+// budget would blow immediately if screening regressed to simulating.)
+func TestScreenDecisionsAreSimulationFree(t *testing.T) {
+	ds, err := ScreenDecisions(Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != len(ParetoPairs())*len(ParetoLoads()) {
+		t.Fatalf("got %d decisions", len(ds))
+	}
+	for _, d := range ds {
+		if d.Reason == "" {
+			t.Errorf("%s load=%d: decision carries no justification", d.Pair, d.Load)
+		}
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"pabst"
 	"pabst/internal/config"
 	"pabst/internal/dram"
+	"pabst/internal/soc"
+	"pabst/internal/twin"
 )
 
 // paramDef is one named, serializable configuration override. The
@@ -51,6 +53,14 @@ var paramRegistry = map[string]paramDef{
 		func(c *pabst.SystemConfig, v uint64) { c.DRAM.BankQueueDepth = int(v) }},
 	"inertia": {"epochs of stability before the gain grows",
 		func(c *pabst.SystemConfig, v uint64) { c.PABST.Inertia = int(v) }},
+	"permc": {"per-MC governors (0 = global wired-OR SAT, 1 = per-controller)",
+		func(c *pabst.SystemConfig, v uint64) { c.PABST.PerMCGovernors = v == 1 }},
+	"hetero": {"heterogeneous intra-class thread allocation (Section V-B demand feedback)",
+		func(c *pabst.SystemConfig, v uint64) { c.PABST.HeterogeneousThreads = v == 1 }},
+	"noc": {"contention-modeled router mesh (0 = latency-only fabric)",
+		func(c *pabst.SystemConfig, v uint64) { c.ModelNoC = v == 1 }},
+	"nocflits": {"flits per data message on the modeled mesh (link provisioning)",
+		func(c *pabst.SystemConfig, v uint64) { c.NoCNet.DataFlits = int(v) }},
 }
 
 // ParamNames lists the sweepable parameter names, sorted.
@@ -127,15 +137,285 @@ func (ex Exec) Scale(name string) (Scale, error) {
 	return sc, nil
 }
 
-// Benchmark names understood by RunSpec.
+// Benchmark names understood by RunSpec (see benchRegistry for the full
+// catalog, including the workload-parameterized SPEC benches).
 const (
 	// BenchStreams is the canonical 7:3 allocation between two 16-core
-	// stream classes under full PABST.
+	// read-stream classes (the Figure 5 machine).
 	BenchStreams = "streams"
 	// BenchChaser gives a 3:1 high share to latency-sensitive pointer
-	// chasers against a background stream class.
+	// chasers against a background write-stream class.
 	BenchChaser = "chaser"
+	// BenchWStreams is the 7:3 write-stream mix of the cross-policy
+	// Pareto harness; Load sets the active tiles per class.
+	BenchWStreams = "wstreams"
+	// BenchWStreams31 is the Figure 1 stream+stream cell: two
+	// write-stream classes at a 3:1 allocation.
+	BenchWStreams31 = "wstreams31"
+	// BenchPeriodic is the Figure 6 work-conservation workload: a
+	// periodic 70% class against a constant 30% streamer. The phase is
+	// half the measure window, so a run covers one full
+	// streaming+cache-resident period.
+	BenchPeriodic = "periodic"
+	// BenchSkew hashes half the tiles' traffic entirely onto channel 0
+	// (the Section III-C1 per-MC governor scenario).
+	BenchSkew = "skew"
+	// BenchHetero gives one class a single busy thread among 15 quiet
+	// ones (the Section V-B heterogeneous-thread scenario).
+	BenchHetero = "hetero"
+	// BenchSpecIso runs 16 tiles of one SPEC proxy alone (Workload
+	// selects the proxy) — the Figure 10/12 isolated reference.
+	BenchSpecIso = "spec-iso"
+	// BenchSpecMix co-runs the SPEC proxy with a 16-tile stream
+	// aggressor at a 32:1 share ratio.
+	BenchSpecMix = "spec-mix"
+	// BenchIaaS consolidates four equal-share 8-CPU classes of one SPEC
+	// proxy (the Figure 11 shared machine).
+	BenchIaaS = "iaas"
+	// BenchIaaSStatic is Figure 11's static baseline: 8 CPUs isolated
+	// on a DDR/4 machine.
+	BenchIaaSStatic = "iaas-static"
 )
+
+// benchDef describes one named benchmark: how to build its machine, its
+// entitled high-class share, and (when the mix has a closed-form
+// demand description) its analytical-twin class loads.
+type benchDef struct {
+	desc string
+	// entitledHi is classes[0]'s entitled share of DRAM bandwidth (0
+	// when the bench has no share-fidelity reading).
+	entitledHi float64
+	// workload: the bench requires RunSpec.Workload (a SPEC proxy name).
+	workload bool
+	// build assembles the machine; classes[0] is the high-weight class
+	// whose share the result reports. opts carries scale options plus
+	// any fault plan.
+	build func(rs RunSpec, cfg pabst.SystemConfig, mode pabst.Mode, opts []pabst.Option) (*pabst.Builder, []pabst.ClassID, error)
+	// loads describes the mix to the analytical twin; nil marks the
+	// bench as having no closed-form model (PredictSpec errors).
+	loads func(rs RunSpec, cfg pabst.SystemConfig) []twin.ClassLoad
+}
+
+// load returns the active tiles per class (default 16).
+func (rs RunSpec) load() int {
+	if rs.Load == 0 {
+		return 16
+	}
+	return rs.Load
+}
+
+// mode returns the parsed regulation mode (default ModePABST).
+func (rs RunSpec) mode() (pabst.Mode, error) {
+	if rs.Mode == "" {
+		return pabst.ModePABST, nil
+	}
+	return pabst.ParseMode(rs.Mode)
+}
+
+// streamMLP is the effective per-tile miss-level parallelism a paced
+// stream generator sustains, for the twin's demand model: about half
+// the MSHR budget once pacing and the in-order miss window bite.
+func streamMLP(cfg pabst.SystemConfig) float64 { return float64(cfg.MaxMSHRs) / 2 }
+
+// twoClassStreams describes the symmetric two-stream-class mixes to the
+// twin.
+func twoClassStreams(rs RunSpec, cfg pabst.SystemConfig, wHi, wLo int, writeFactor float64) []twin.ClassLoad {
+	tiles := rs.load()
+	mlp := streamMLP(cfg)
+	return []twin.ClassLoad{
+		{Name: "hi", Weight: wHi, Tiles: tiles, MLP: mlp, WriteFactor: writeFactor, Duty: 1},
+		{Name: "lo", Weight: wLo, Tiles: tiles, MLP: mlp, WriteFactor: writeFactor, Duty: 1},
+	}
+}
+
+var benchRegistry = map[string]benchDef{
+	BenchStreams: {
+		desc:       "7:3 read-stream classes, Load tiles each (Figure 5 machine)",
+		entitledHi: 0.7,
+		build: func(rs RunSpec, cfg pabst.SystemConfig, mode pabst.Mode, opts []pabst.Option) (*pabst.Builder, []pabst.ClassID, error) {
+			b := pabst.NewBuilder(cfg, mode, opts...)
+			hi := b.AddClass("hi", 7, cfg.L3Ways/2)
+			lo := b.AddClass("lo", 3, cfg.L3Ways/2)
+			attachStreams(b, hi, 0, rs.load(), false)
+			attachStreams(b, lo, 16, 16+rs.load(), false)
+			return b, []pabst.ClassID{hi, lo}, nil
+		},
+		loads: func(rs RunSpec, cfg pabst.SystemConfig) []twin.ClassLoad {
+			return twoClassStreams(rs, cfg, 7, 3, 1)
+		},
+	},
+	BenchChaser: {
+		desc:       "3:1 pointer chasers vs a background write-stream class",
+		entitledHi: 0.75,
+		build: func(rs RunSpec, cfg pabst.SystemConfig, mode pabst.Mode, opts []pabst.Option) (*pabst.Builder, []pabst.ClassID, error) {
+			b := pabst.NewBuilder(cfg, mode, opts...)
+			hi := b.AddClass("chaser", 3, cfg.L3Ways/2)
+			lo := b.AddClass("stream", 1, cfg.L3Ways/2)
+			for i := 0; i < rs.load(); i++ {
+				b.Attach(i, hi, pabst.Chaser("chaser", pabst.TileRegion(i), 8, uint64(i)+1))
+				b.Attach(16+i, lo, pabst.Stream("stream", pabst.TileRegion(16+i), 128, true))
+			}
+			return b, []pabst.ClassID{hi, lo}, nil
+		},
+		loads: func(rs RunSpec, cfg pabst.SystemConfig) []twin.ClassLoad {
+			return []twin.ClassLoad{
+				{Name: "chaser", Weight: 3, Tiles: rs.load(), MLP: 8, WriteFactor: 1, Duty: 1},
+				{Name: "stream", Weight: 1, Tiles: rs.load(), MLP: streamMLP(cfg), WriteFactor: 2, Duty: 1},
+			}
+		},
+	},
+	BenchWStreams: {
+		desc:       "7:3 write-stream classes, Load tiles each (Pareto harness mix)",
+		entitledHi: 0.7,
+		build: func(rs RunSpec, cfg pabst.SystemConfig, mode pabst.Mode, opts []pabst.Option) (*pabst.Builder, []pabst.ClassID, error) {
+			b := pabst.NewBuilder(cfg, mode, opts...)
+			hi := b.AddClass("hi", 7, cfg.L3Ways/2)
+			lo := b.AddClass("lo", 3, cfg.L3Ways/2)
+			attachStreams(b, hi, 0, rs.load(), true)
+			attachStreams(b, lo, 16, 16+rs.load(), true)
+			return b, []pabst.ClassID{hi, lo}, nil
+		},
+		loads: func(rs RunSpec, cfg pabst.SystemConfig) []twin.ClassLoad {
+			return twoClassStreams(rs, cfg, 7, 3, 2)
+		},
+	},
+	BenchWStreams31: {
+		desc:       "3:1 write-stream classes (Figure 1 stream+stream cell)",
+		entitledHi: 0.75,
+		build: func(rs RunSpec, cfg pabst.SystemConfig, mode pabst.Mode, opts []pabst.Option) (*pabst.Builder, []pabst.ClassID, error) {
+			b := pabst.NewBuilder(cfg, mode, opts...)
+			hi := b.AddClass("hi", 3, cfg.L3Ways/2)
+			lo := b.AddClass("lo", 1, cfg.L3Ways/2)
+			attachStreams(b, hi, 0, rs.load(), true)
+			attachStreams(b, lo, 16, 16+rs.load(), true)
+			return b, []pabst.ClassID{hi, lo}, nil
+		},
+		loads: func(rs RunSpec, cfg pabst.SystemConfig) []twin.ClassLoad {
+			return twoClassStreams(rs, cfg, 3, 1, 2)
+		},
+	},
+	BenchPeriodic: {
+		// The generator's phase is scale-derived, which this config-only
+		// signature cannot express; buildFor routes to buildPeriodic.
+		desc: "periodic 70% class vs constant 30% streamer (Figure 6 work conservation)",
+		build: func(rs RunSpec, cfg pabst.SystemConfig, mode pabst.Mode, opts []pabst.Option) (*pabst.Builder, []pabst.ClassID, error) {
+			return nil, nil, Terminal(fmt.Errorf("%w: periodic bench built only through RunSpec", config.ErrInvalid))
+		},
+	},
+	BenchSkew: {
+		desc: "half the tiles stream to channel 0 only, half uniformly (per-MC SAT scenario)",
+		build: func(rs RunSpec, cfg pabst.SystemConfig, mode pabst.Mode, opts []pabst.Option) (*pabst.Builder, []pabst.ClassID, error) {
+			b := pabst.NewBuilder(cfg, mode, opts...)
+			hot := b.AddClass("hot", 1, cfg.L3Ways/2)
+			uni := b.AddClass("uniform", 1, cfg.L3Ways/2)
+			numMCs := cfg.NumMCs
+			for i := 0; i < 16; i++ {
+				r := pabst.TileRegion(i)
+				b.Attach(i, hot, pabst.FilteredStream("hot", r, 128, false, func(a pabst.Addr) bool {
+					return soc.MCIndex(a, numMCs) == 0
+				}))
+			}
+			for i := 16; i < 32; i++ {
+				b.Attach(i, uni, pabst.Stream("uni", pabst.TileRegion(i), 128, false))
+			}
+			return b, []pabst.ClassID{hot, uni}, nil
+		},
+	},
+	BenchHetero: {
+		desc: "one busy thread of 16 in a class vs a fully-busy class (Section V-B)",
+		build: func(rs RunSpec, cfg pabst.SystemConfig, mode pabst.Mode, opts []pabst.Option) (*pabst.Builder, []pabst.ClassID, error) {
+			b := pabst.NewBuilder(cfg, mode, opts...)
+			mixed := b.AddClass("mixed", 1, cfg.L3Ways/2)
+			busy := b.AddClass("busy", 1, cfg.L3Ways/2)
+			b.Attach(0, mixed, pabst.Stream("hot", pabst.TileRegion(0), 128, false))
+			for i := 1; i < 16; i++ {
+				quiet := pabst.Region{Base: pabst.TileRegion(i).Base, Size: 64 << 10}
+				b.Attach(i, mixed, pabst.Stream("quiet", quiet, 128, false))
+			}
+			attachStreams(b, busy, 16, 32, false)
+			return b, []pabst.ClassID{mixed, busy}, nil
+		},
+	},
+	BenchSpecIso: {
+		desc:     "16 tiles of one SPEC proxy alone (Figure 10/12 isolated reference)",
+		workload: true,
+		build: func(rs RunSpec, cfg pabst.SystemConfig, mode pabst.Mode, opts []pabst.Option) (*pabst.Builder, []pabst.ClassID, error) {
+			return buildSpecBench(rs, cfg, mode, opts, false)
+		},
+	},
+	BenchSpecMix: {
+		desc:     "SPEC proxy vs 16-tile stream aggressor at 32:1 shares (Figure 10/12)",
+		workload: true,
+		build: func(rs RunSpec, cfg pabst.SystemConfig, mode pabst.Mode, opts []pabst.Option) (*pabst.Builder, []pabst.ClassID, error) {
+			return buildSpecBench(rs, cfg, mode, opts, true)
+		},
+	},
+	BenchIaaS: {
+		desc:     "four equal-share 8-CPU classes of one SPEC proxy (Figure 11 shared)",
+		workload: true,
+		build: func(rs RunSpec, cfg pabst.SystemConfig, mode pabst.Mode, opts []pabst.Option) (*pabst.Builder, []pabst.ClassID, error) {
+			b := pabst.NewBuilder(cfg, mode, opts...)
+			var classes []pabst.ClassID
+			for c := 0; c < 4; c++ {
+				classes = append(classes, b.AddClass(vmName(c), 1, cfg.L3Ways/4))
+			}
+			for c := 0; c < 4; c++ {
+				if err := attachSpec(b, classes[c], rs.Workload, c*8, c*8+8); err != nil {
+					return nil, nil, err
+				}
+			}
+			return b, classes, nil
+		},
+	},
+	BenchIaaSStatic: {
+		desc:     "8 CPUs of one SPEC proxy isolated at DDR/4 (Figure 11 static baseline)",
+		workload: true,
+		build: func(rs RunSpec, cfg pabst.SystemConfig, mode pabst.Mode, opts []pabst.Option) (*pabst.Builder, []pabst.ClassID, error) {
+			cfg = cfg.ScaleDRAM(4)
+			b := pabst.NewBuilder(cfg, mode, opts...)
+			cls := b.AddClass("vm-static", 1, cfg.L3Ways/4)
+			if err := attachSpec(b, cls, rs.Workload, 0, 8); err != nil {
+				return nil, nil, err
+			}
+			return b, []pabst.ClassID{cls}, nil
+		},
+	},
+}
+
+// buildSpecBench reproduces the Figure 10/12 machine: 16 SPEC tiles
+// (class 0) and optionally 16 stream-aggressor tiles (class 1) at 32:1.
+func buildSpecBench(rs RunSpec, cfg pabst.SystemConfig, mode pabst.Mode, opts []pabst.Option, aggressor bool) (*pabst.Builder, []pabst.ClassID, error) {
+	b := pabst.NewBuilder(cfg, mode, opts...)
+	spec := b.AddClass("spec", 32, cfg.L3Ways/2)
+	agg := b.AddClass("aggressor", 1, cfg.L3Ways/2)
+	if err := attachSpec(b, spec, rs.Workload, 0, 16); err != nil {
+		return nil, nil, err
+	}
+	if aggressor {
+		attachStreams(b, agg, 16, 32, false)
+	}
+	return b, []pabst.ClassID{spec, agg}, nil
+}
+
+// BenchNames lists the registered benchmark names, sorted.
+func BenchNames() []string {
+	names := make([]string, 0, len(benchRegistry))
+	for n := range benchRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BenchDesc describes a benchmark; ok is false for unknown names.
+func BenchDesc(name string) (desc string, ok bool) {
+	d, ok := benchRegistry[name]
+	return d.desc, ok
+}
+
+// BenchEntitledHi returns the bench's entitled high-class share (0 when
+// the bench has no share-fidelity reading).
+func BenchEntitledHi(name string) float64 { return benchRegistry[name].entitledHi }
 
 // RunSpec is a serializable, self-contained description of one canonical
 // benchmark run — the unit of work for the sweep service and the CLI
@@ -144,7 +424,7 @@ const (
 // at-least-once job execution safe: re-running a requeued spec cannot
 // change its answer.
 type RunSpec struct {
-	// Bench selects the workload mix: BenchStreams or BenchChaser.
+	// Bench selects the workload mix (see BenchNames).
 	Bench string `json:"bench"`
 	// Scale names the experiment scale ("quick" or "full", or a name the
 	// executing environment registered).
@@ -156,15 +436,26 @@ type RunSpec struct {
 	// default). Empty means the bench's standard PABST pair, and is
 	// fingerprint-compatible with specs from before the field existed.
 	Policy string `json:"policy,omitempty"`
+	// Mode optionally selects a legacy regulation mode by name ("none",
+	// "source-only", "target-only", "pabst", "static-source"). Empty
+	// means full PABST — the historical behavior.
+	Mode string `json:"mode,omitempty"`
+	// Load sets the active tiles per class on the benches that take a
+	// utilization axis (0 means the default 16).
+	Load int `json:"load,omitempty"`
+	// Workload names the SPEC proxy for the spec/iaas benches.
+	Workload string `json:"workload,omitempty"`
+	// Fault optionally names a fault plan (preset or JSON path); the run
+	// arms the degradation knobs and reports RunResult.Faults.
+	Fault string `json:"fault,omitempty"`
 }
 
 // Validate rejects malformed specs with terminal errors.
 func (rs RunSpec) Validate() error {
-	switch rs.Bench {
-	case BenchStreams, BenchChaser:
-	default:
-		return Terminal(fmt.Errorf("%w: unknown bench %q (%s or %s)",
-			config.ErrInvalid, rs.Bench, BenchStreams, BenchChaser))
+	def, ok := benchRegistry[rs.Bench]
+	if !ok {
+		return Terminal(fmt.Errorf("%w: unknown bench %q (have %v)",
+			config.ErrInvalid, rs.Bench, BenchNames()))
 	}
 	if rs.Scale == "" {
 		return Terminal(fmt.Errorf("%w: empty scale name", config.ErrInvalid))
@@ -177,6 +468,24 @@ func (rs RunSpec) Validate() error {
 	}
 	if rs.Policy != "" {
 		if _, _, err := pabst.ParsePolicyPair(rs.Policy); err != nil {
+			return Terminal(fmt.Errorf("%w: %w", config.ErrInvalid, err))
+		}
+	}
+	if _, err := rs.mode(); err != nil {
+		return Terminal(fmt.Errorf("%w: %w", config.ErrInvalid, err))
+	}
+	if rs.Load < 0 || rs.Load > 16 {
+		return Terminal(fmt.Errorf("%w: load %d outside [0,16]", config.ErrInvalid, rs.Load))
+	}
+	if def.workload && rs.Workload == "" {
+		return Terminal(fmt.Errorf("%w: bench %q requires a workload (have %v)",
+			config.ErrInvalid, rs.Bench, pabst.SpecNames()))
+	}
+	if !def.workload && rs.Workload != "" {
+		return Terminal(fmt.Errorf("%w: bench %q takes no workload", config.ErrInvalid, rs.Bench))
+	}
+	if rs.Fault != "" {
+		if _, err := pabst.LoadFaultPlan(rs.Fault); err != nil {
 			return Terminal(fmt.Errorf("%w: %w", config.ErrInvalid, err))
 		}
 	}
@@ -197,12 +506,37 @@ func (rs RunSpec) Fingerprint() string {
 	for _, n := range names {
 		s += fmt.Sprintf(" %s=%d", n, rs.Params[n])
 	}
-	// Appended only when set, so pre-policy specs keep their historical
-	// fingerprints (the dedup keys of already-persisted sweep results).
+	// Optional fields are appended only when set, so pre-existing specs
+	// keep their historical fingerprints (the dedup keys of
+	// already-persisted sweep results).
 	if rs.Policy != "" {
 		s += fmt.Sprintf(" policy=%s", rs.Policy)
 	}
+	if rs.Mode != "" {
+		s += fmt.Sprintf(" mode=%s", rs.Mode)
+	}
+	if rs.Load != 0 {
+		s += fmt.Sprintf(" load=%d", rs.Load)
+	}
+	if rs.Workload != "" {
+		s += fmt.Sprintf(" workload=%s", rs.Workload)
+	}
+	if rs.Fault != "" {
+		s += fmt.Sprintf(" fault=%s", rs.Fault)
+	}
 	return fmt.Sprintf("%x", sha256.Sum256([]byte(s)))
+}
+
+// RunFaults carries the fault-injection and governor-degradation
+// counters of a faulted run (RunSpec.Fault set).
+type RunFaults struct {
+	Injected         uint64 `json:"injected"`
+	StaleIntervals   uint64 `json:"stale_intervals"`
+	Decays           uint64 `json:"decays"`
+	ResyncEpochs     uint64 `json:"resync_epochs"`
+	DivergenceMax    uint64 `json:"divergence_max"`
+	DivergedEpochs   uint64 `json:"diverged_epochs"`
+	ReconvergeEpochs uint64 `json:"reconverge_epochs"`
 }
 
 // RunResult is the measured outcome of a completed spec.
@@ -214,6 +548,24 @@ type RunResult struct {
 	// P99Hi is the high-weight class's p99 end-to-end miss latency in
 	// cycles over the measurement window.
 	P99Hi uint64 `json:"p99_hi,omitempty"`
+	// P99Lo is the second class's p99 miss latency (0 for one class).
+	P99Lo uint64 `json:"p99_lo,omitempty"`
+	// Shares, BPC, and IPC report per-class DRAM-traffic share, bytes
+	// per cycle, and instructions per cycle, in class order.
+	Shares []float64 `json:"shares,omitempty"`
+	BPC    []float64 `json:"bpc,omitempty"`
+	IPC    []float64 `json:"ipc,omitempty"`
+	// TileIPCHi is the high-weight class's per-tile IPC vector (the
+	// Figure 10 slowdown input).
+	TileIPCHi []float64 `json:"tile_ipc_hi,omitempty"`
+	// MCUtil is each channel's data-bus utilization.
+	MCUtil []float64 `json:"mc_util,omitempty"`
+	// BusUtil and Efficiency report whole-machine bus utilization and
+	// memory efficiency (busy/pending).
+	BusUtil    float64 `json:"bus_util,omitempty"`
+	Efficiency float64 `json:"efficiency,omitempty"`
+	// Faults carries injection/degradation counters for faulted runs.
+	Faults *RunFaults `json:"faults,omitempty"`
 	// Fingerprint hashes the run's full observable statistics; equal
 	// specs produce equal fingerprints regardless of workers,
 	// fast-forward, warm starts, or checkpoint-resumed execution.
@@ -245,6 +597,53 @@ type RunIO struct {
 	// (cycles done, cycles total) — the supervisor's wedge detector. It
 	// also fires during a cold warmup with done == 0, pure liveness.
 	Beat func(done, total uint64)
+}
+
+// buildFor assembles the spec's machine under a resolved scale: mode,
+// fault plan, and the bench's builder. classes[0] is the high-weight
+// class whose share the result reports.
+func (rs RunSpec) buildFor(cfg pabst.SystemConfig, sc Scale) (*pabst.Builder, []pabst.ClassID, error) {
+	mode, err := rs.mode()
+	if err != nil {
+		return nil, nil, Terminal(err) // unreachable past Validate
+	}
+	opts := sc.Options()
+	if rs.Fault != "" {
+		plan, ferr := pabst.LoadFaultPlan(rs.Fault)
+		if ferr != nil {
+			return nil, nil, Terminal(ferr)
+		}
+		cfg.PABST = cfg.PABST.WithDegradation()
+		opts = append(opts, pabst.WithFaultPlan(plan))
+	}
+	if rs.Bench == BenchPeriodic {
+		// The periodic generator's phase is scale-derived, which the
+		// registry's config-only build signature cannot express.
+		return buildPeriodic(rs, cfg, mode, sc, opts)
+	}
+	return benchRegistry[rs.Bench].build(rs, cfg, mode, opts)
+}
+
+// buildPeriodic is the Figure 6 machine. The phase is half the measure
+// window: the window then covers exactly one full streaming+cached
+// period, so the time average is unbiased regardless of how warmup
+// aligns with the phase boundaries, while each phase stays long enough
+// (tens of epochs) for the governors to re-converge after a toggle —
+// the work-conservation uplift IS that converged idle-phase grab.
+func buildPeriodic(rs RunSpec, cfg pabst.SystemConfig, mode pabst.Mode, sc Scale, opts []pabst.Option) (*pabst.Builder, []pabst.ClassID, error) {
+	b := pabst.NewBuilder(cfg, mode, opts...)
+	per := b.AddClass("periodic-70", 7, cfg.L3Ways/2)
+	con := b.AddClass("constant-30", 3, cfg.L3Ways/2)
+	phase := sc.Measure / 2
+	if phase == 0 {
+		phase = 1
+	}
+	for i := 0; i < 16; i++ {
+		cached := pabst.Region{Base: pabst.TileRegion(i).Base + (128 << 20), Size: 128 << 10}
+		b.Attach(i, per, pabst.Periodic("periodic", pabst.TileRegion(i), cached, phase, phase))
+	}
+	attachStreams(b, con, 16, 32, false)
+	return b, []pabst.ClassID{per, con}, nil
 }
 
 // Run executes the spec under ctx and the given environment. The warmup
@@ -284,7 +683,10 @@ func (rs RunSpec) Run(ctx context.Context, ex Exec, rio RunIO) (RunResult, error
 		cfg.SourcePolicy, cfg.TargetPolicy = src, tgt
 	}
 
-	b, classes := rs.build(cfg, sc)
+	b, classes, err := rs.buildFor(cfg, sc)
+	if err != nil {
+		return RunResult{}, err
+	}
 	var sys *pabst.System
 	if rio.Resume != nil {
 		// A stale or damaged partial checkpoint is retryable by
@@ -344,41 +746,59 @@ func (rs RunSpec) Run(ctx context.Context, ex Exec, rio RunIO) (RunResult, error
 		}
 	}
 
-	m := sys.Metrics()
-	res := RunResult{
-		ShareHi: m.ShareOf(classes[0]),
-		P99Hi:   sys.ClassTailLatency(classes[0], 99),
-		Cycles:  done - start,
-	}
-	for _, c := range classes {
-		res.TotalBPC += m.BytesPerCycle(c)
-	}
-	res.Fingerprint = resultFingerprint(sys, classes)
+	res := collectResult(rs, sys, classes)
+	res.Cycles = done - start
 	return res, nil
 }
 
-// build assembles the benchmark's builder; classes[0] is the high-weight
-// class whose share the result reports.
-func (rs RunSpec) build(cfg pabst.SystemConfig, sc Scale) (*pabst.Builder, []pabst.ClassID) {
-	b := pabst.NewBuilder(cfg, pabst.ModePABST, sc.Options()...)
-	switch rs.Bench {
-	case BenchChaser:
-		hi := b.AddClass("chaser", 3, cfg.L3Ways/2)
-		lo := b.AddClass("stream", 1, cfg.L3Ways/2)
-		for i := 0; i < 16; i++ {
-			b.Attach(i, hi, pabst.Chaser("chaser", pabst.TileRegion(i), 8, uint64(i)+1))
-			b.Attach(16+i, lo, pabst.Stream("stream", pabst.TileRegion(16+i), 128, true))
-		}
-		return b, []pabst.ClassID{hi, lo}
-	default: // BenchStreams; Validate already rejected anything else
-		hi := b.AddClass("hi", 7, cfg.L3Ways/2)
-		lo := b.AddClass("lo", 3, cfg.L3Ways/2)
-		for i := 0; i < 16; i++ {
-			b.Attach(i, hi, pabst.Stream("stream", pabst.TileRegion(i), 128, false))
-			b.Attach(16+i, lo, pabst.Stream("stream", pabst.TileRegion(16+i), 128, false))
-		}
-		return b, []pabst.ClassID{hi, lo}
+// collectResult reads the measured metrics off a finished system.
+func collectResult(rs RunSpec, sys *pabst.System, classes []pabst.ClassID) RunResult {
+	m := sys.Metrics()
+	snap := sys.Snapshot()
+	res := RunResult{
+		ShareHi:    m.ShareOf(classes[0]),
+		P99Hi:      sys.ClassTailLatency(classes[0], 99),
+		BusUtil:    m.BusUtilization,
+		Efficiency: m.Efficiency,
+		Shares:     make([]float64, len(classes)),
+		BPC:        make([]float64, len(classes)),
+		IPC:        make([]float64, len(classes)),
 	}
+	if len(classes) > 1 {
+		res.P99Lo = sys.ClassTailLatency(classes[1], 99)
+	}
+	for i, c := range classes {
+		res.Shares[i] = m.ShareOf(c)
+		res.BPC[i] = m.BytesPerCycle(c)
+		res.TotalBPC += res.BPC[i]
+		if cs := snap.Class(c); cs != nil {
+			res.IPC[i] = cs.IPC
+		}
+	}
+	if cs := snap.Class(classes[0]); cs != nil {
+		res.TileIPCHi = append([]float64(nil), cs.TileIPCs...)
+	}
+	res.MCUtil = make([]float64, len(snap.MCs))
+	for i := range snap.MCs {
+		res.MCUtil[i] = snap.MCs[i].Utilization
+	}
+	if rs.Fault != "" {
+		rep := sys.FaultReport()
+		rf := &RunFaults{
+			StaleIntervals:   rep.StaleIntervals,
+			Decays:           rep.Decays,
+			ResyncEpochs:     rep.ResyncEpochs,
+			DivergenceMax:    rep.DivergenceMax,
+			DivergedEpochs:   rep.DivergedEpochs,
+			ReconvergeEpochs: rep.ReconvergeEpochs,
+		}
+		if rep.Injected != nil {
+			rf.Injected = rep.Injected.Total()
+		}
+		res.Faults = rf
+	}
+	res.Fingerprint = resultFingerprint(sys, classes)
+	return res
 }
 
 // resultFingerprint hashes a run's observable statistics — window

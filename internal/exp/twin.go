@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+
+	"pabst"
+	"pabst/internal/config"
+	"pabst/internal/twin"
+)
+
+// TwinPrediction is the analytical twin's answer for one RunSpec, in
+// the same units the simulated RunResult reports.
+type TwinPrediction struct {
+	// ShareHi predicts the high class's DRAM-traffic share;
+	// ShareErrPct is its relative error against the bench's entitled
+	// share, in percent (0 when the bench declares no entitlement).
+	ShareHi     float64 `json:"share_hi"`
+	ShareErrPct float64 `json:"share_err_pct"`
+	// P99Hi / P99Lo are tail-latency proxies in cycles.
+	P99Hi float64 `json:"p99_hi"`
+	P99Lo float64 `json:"p99_lo"`
+	// Util is predicted DRAM data-bus utilization; TotalBPC predicted
+	// delivered bytes per cycle.
+	Util     float64 `json:"util"`
+	TotalBPC float64 `json:"total_bpc"`
+	// Confidence in [0,1]; 0 means "simulate this, do not trust me"
+	// (unhooked policy, non-convergence). Converged reports the fixed
+	// point's status.
+	Confidence float64 `json:"confidence"`
+	Converged  bool    `json:"converged"`
+}
+
+// PredictSpec runs the analytical twin on a RunSpec: microseconds of
+// fixed-point arithmetic instead of a cycle simulation. Benches without
+// a closed-form demand description (SPEC proxies, phase-driven and
+// filtered generators) return a terminal error — the twin predicts only
+// what it can parameterize, everything else must simulate.
+func PredictSpec(rs RunSpec, ex Exec) (TwinPrediction, error) {
+	if err := rs.Validate(); err != nil {
+		return TwinPrediction{}, err
+	}
+	def := benchRegistry[rs.Bench]
+	if def.loads == nil {
+		return TwinPrediction{}, Terminal(fmt.Errorf("%w: bench %q has no analytical load model",
+			config.ErrInvalid, rs.Bench))
+	}
+	sc, err := ex.Scale(rs.Scale)
+	if err != nil {
+		return TwinPrediction{}, err
+	}
+	cfg := sc.Apply(pabst.Default32Config())
+	for _, n := range ParamNames() {
+		if v, ok := rs.Params[n]; ok {
+			if err := SetParam(&cfg, n, v); err != nil {
+				return TwinPrediction{}, err
+			}
+		}
+	}
+
+	// Policy resolution mirrors the simulation path exactly: the mode
+	// picks the default mechanism pair, then the scale's cross-policy
+	// axis overrides, then the spec's own pair (empty halves keep the
+	// previous layer, like pabst.WithPolicy).
+	mode, err := rs.mode()
+	if err != nil {
+		return TwinPrediction{}, Terminal(err)
+	}
+	source, target := pabst.PolicyPairForMode(mode)
+	if sc.SourcePolicy != "" {
+		source = sc.SourcePolicy
+	}
+	if sc.TargetPolicy != "" {
+		target = sc.TargetPolicy
+	}
+	if rs.Policy != "" {
+		s, t, perr := pabst.ParsePolicyPair(rs.Policy)
+		if perr != nil {
+			return TwinPrediction{}, Terminal(perr)
+		}
+		if s != "" {
+			source = s
+		}
+		if t != "" {
+			target = t
+		}
+	}
+
+	p, err := twin.New(cfg).Solve(source, target, def.loads(rs, cfg))
+	if err != nil {
+		return TwinPrediction{}, Terminal(err)
+	}
+	out := TwinPrediction{
+		ShareHi:    p.Shares[0],
+		P99Hi:      p.P99Lat[0],
+		Util:       p.Util,
+		TotalBPC:   p.TotalBPC,
+		Confidence: p.Confidence,
+		Converged:  p.Converged,
+	}
+	if len(p.Shares) > 1 {
+		out.P99Lo = p.P99Lat[1]
+	}
+	if e := def.entitledHi; e > 0 {
+		out.ShareErrPct = abs(out.ShareHi-e) / e * 100
+	}
+	return out, nil
+}

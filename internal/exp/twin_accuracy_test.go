@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"context"
+	"testing"
+)
+
+// TestTwinAccuracyRegulationPoints: the analytical twin's share
+// predictions track the cycle simulator across the Figure 1 grid and
+// the Figure 5 steady state at quick scale, within the declared
+// tolerance. This is the in-tree slice of `make bench-twin` (which adds
+// the 12-point Pareto grid).
+func TestTwinAccuracyRegulationPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five quick-scale simulations")
+	}
+	sc := Quick()
+	sc.Parallel = 5
+	ex, name := execFor(sc)
+	specs := regulationSpecs(name, []string{"source-only", "target-only"})
+	specs = append(specs, RunSpec{Bench: BenchStreams, Scale: name})
+
+	type point struct {
+		sim  RunResult
+		pred TwinPrediction
+	}
+	points := make([]point, len(specs))
+	err := ForEach(sc.Parallel, len(specs), func(i int) error {
+		sim, err := specs[i].Run(context.Background(), ex, RunIO{})
+		if err != nil {
+			return err
+		}
+		pred, err := PredictSpec(specs[i], ex)
+		if err != nil {
+			return err
+		}
+		points[i] = point{sim, pred}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mean float64
+	for i, p := range points {
+		e := abs(p.pred.ShareHi - p.sim.ShareHi)
+		mean += e
+		t.Logf("%s mode=%q: sim share %.3f, twin %.3f (|err| %.3f, conf %.2f)",
+			specs[i].Bench, specs[i].Mode, p.sim.ShareHi, p.pred.ShareHi, e, p.pred.Confidence)
+		if !p.pred.Converged {
+			t.Errorf("%s mode=%q: twin fixed point did not converge", specs[i].Bench, specs[i].Mode)
+		}
+	}
+	mean /= float64(len(points))
+	if mean > TwinShareTol {
+		t.Fatalf("mean twin share error %.4f exceeds tolerance %.2f", mean, TwinShareTol)
+	}
+}
+
+// TestPredictSpecPolicyResolution: the twin resolves policies through
+// the same mode -> scale -> spec layering the simulator uses, and
+// refuses benches it has no load model for.
+func TestPredictSpecPolicyResolution(t *testing.T) {
+	ex := Exec{}
+	// Feedback pair predicts entitlement exactly on the saturated mix.
+	p, err := PredictSpec(RunSpec{Bench: BenchWStreams, Scale: "quick", Policy: "pabst+pabst", Load: 16}, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abs(p.ShareHi-0.7) > 1e-6 {
+		t.Errorf("pabst+pabst at load 16 predicted %.4f, want the 0.7 entitlement", p.ShareHi)
+	}
+	if p.Confidence <= 0 {
+		t.Errorf("hooked policy pair predicted with confidence %.2f", p.Confidence)
+	}
+	// A bench without a load model is a terminal refusal.
+	if _, err := PredictSpec(RunSpec{Bench: BenchSkew, Scale: "quick"}, ex); err == nil {
+		t.Error("skew bench accepted by the twin despite having no load model")
+	}
+	// Unregulated demand split on a symmetric mode-none machine.
+	p, err = PredictSpec(RunSpec{Bench: BenchStreams, Scale: "quick", Mode: "none"}, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abs(p.ShareHi-0.5) > 0.02 {
+		t.Errorf("mode none predicted share %.3f, want the ~0.5 demand split", p.ShareHi)
+	}
+}

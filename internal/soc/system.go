@@ -598,7 +598,16 @@ func (s *System) sliceOf(addr mem.Addr) int {
 // mcOf hashes a line to its memory controller. A different mix constant
 // decorrelates it from slice selection.
 func (s *System) mcOf(addr mem.Addr) int {
-	return int(mix(addr.LineID()^0xABCD1234DEADBEEF) % uint64(len(s.mcs)))
+	return MCIndex(addr, len(s.mcs))
+}
+
+// MCIndex is the channel hash as a pure function of address and channel
+// count: the same mapping mcOf applies inside a built system. Exposing
+// it lets experiments and workload filters target a specific channel
+// from configuration alone, without a circular dependency on the built
+// system.
+func MCIndex(addr mem.Addr, numMCs int) int {
+	return int(mix(addr.LineID()^0xABCD1234DEADBEEF) % uint64(numMCs))
 }
 
 // MCForAddr exposes the channel hash so that experiments can construct
