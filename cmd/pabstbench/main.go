@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"pabst"
+	"pabst/internal/cliflags"
 	"pabst/internal/exp"
 )
 
@@ -76,16 +77,26 @@ type Report struct {
 }
 
 func main() {
-	suite := flag.String("suite", "parallel", "benchmark suite: parallel, obs, ckpt, or hotpath")
+	suite := flag.String("suite", "parallel", "benchmark suite: parallel, obs, ckpt, hotpath, or scale")
 	cycles := flag.Uint64("cycles", 500_000, "measured cycles per kernel run")
 	warmup := flag.Uint64("warmup", 200_000, "warmup cycles per kernel run")
 	out := flag.String("out", "", "output path (default BENCH_<suite>.json)")
+	common := cliflags.Register(flag.CommandLine)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	defer profiles(*cpuprofile, *memprofile)()
+	if _, _, err := common.Validate(); err != nil {
+		check(err)
+	}
 
 	switch *suite {
+	case "scale":
+		if *out == "" {
+			*out = "BENCH_scale.json"
+		}
+		scaleSuite(*cycles, true, *out)
+		return
 	case "obs":
 		if *out == "" {
 			*out = "BENCH_obs.json"
@@ -109,7 +120,7 @@ func main() {
 			*out = "BENCH_parallel.json"
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "pabstbench: unknown -suite %q (want parallel, obs, ckpt, or hotpath)\n", *suite)
+		fmt.Fprintf(os.Stderr, "pabstbench: unknown -suite %q (want parallel, obs, ckpt, hotpath, or scale)\n", *suite)
 		os.Exit(2)
 	}
 

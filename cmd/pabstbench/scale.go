@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"pabst"
+)
+
+// ScaleRun is one timed (mesh size, kernel) cell of the scaling study.
+type ScaleRun struct {
+	Tiles       int     `json:"tiles"`
+	Kernel      string  `json:"kernel"`
+	Workers     int     `json:"workers,omitempty"`
+	Cycles      uint64  `json:"cycles"`
+	Skipped     uint64  `json:"skipped_cycles,omitempty"`
+	WallSeconds float64 `json:"wall_seconds"`
+	NsPerCycle  float64 `json:"ns_per_cycle"`
+	// Speedup is the event kernel's wall-clock gain over the cycle
+	// kernel at the same mesh size (1.0 on the cycle rows).
+	Speedup float64 `json:"speedup"`
+	// Identical reports whether the run's statistics matched the
+	// size's cycle-kernel baseline byte-for-byte.
+	Identical bool `json:"identical"`
+}
+
+// ScaleReport is the BENCH_scale.json document: the event-kernel
+// scaling study over idle-heavy meshes, cycle vs event at each size.
+type ScaleReport struct {
+	Host struct {
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GoMaxProcs int    `json:"gomaxprocs"`
+	} `json:"host"`
+	Cycles uint64     `json:"cycles"`
+	Runs   []ScaleRun `json:"runs"`
+	// Speedup1024 is the event-over-cycle gain at the 1024-tile mesh
+	// (the headline scaling number), Regression64 the event kernel's
+	// slowdown at the paper-scale 64-tile mesh (gate: <= 1.10).
+	Speedup1024  float64 `json:"speedup_1024"`
+	Regression64 float64 `json:"regression_64"`
+}
+
+// scaleMesh builds the idle-heavy big-mesh scenario: every tile runs
+// short clustered bursts separated by long idle gaps (the workload
+// shape the event kernel exists for), under hierarchical SAT gossip.
+// Gaps are staggered per tile so bursts desynchronize — aggregate
+// demand stays far below the memory system's capacity, but at 1024
+// tiles some tile is almost always active, which is precisely the
+// regime where whole-machine fast-forward cannot engage and
+// per-component skipping can.
+func scaleMesh(cols, rows int, kernel string, workers int) (*pabst.System, []pabst.ClassID) {
+	cfg := pabst.MeshScaledConfig(cols, rows)
+	cfg.PABST.EpochCycles = 10_000
+	cfg.BWWindow = 10_000
+	b := pabst.NewBuilder(cfg, pabst.ModePABST,
+		pabst.WithKernel(kernel), pabst.WithWorkers(workers))
+	c := b.AddClass("bursty", 1, cfg.L3Ways)
+	for i := 0; i < cfg.NumTiles(); i++ {
+		gap := 15_000 + (i*977)%10_000
+		b.Attach(i, c, pabst.BurstyTraffic("b", pabst.TileRegion(i), 16, gap, uint64(i)+1))
+	}
+	sys, err := b.Build()
+	check(err)
+	return sys, []pabst.ClassID{c}
+}
+
+// scaleSuite times cycle vs event dispatch on 64-, 256-, and 1024-tile
+// meshes, verifies the kernels stay bit-identical at every size, and
+// gates on the 64-tile no-regression bound. The measured run is short in
+// cycles but large in components, which is exactly the regime the study
+// is about.
+func scaleSuite(cycles uint64, gate bool, out string) {
+	var rep ScaleReport
+	rep.Host.GOOS = runtime.GOOS
+	rep.Host.GOARCH = runtime.GOARCH
+	rep.Host.NumCPU = runtime.NumCPU()
+	rep.Host.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.Cycles = cycles
+
+	sizes := []struct{ cols, rows int }{{8, 8}, {16, 16}, {32, 32}}
+	for _, sz := range sizes {
+		tiles := sz.cols * sz.rows
+		var baseFP string
+		var baseWall float64
+		for _, kernel := range []string{"cycle", "event"} {
+			sys, classes := scaleMesh(sz.cols, sz.rows, kernel, 0)
+			start := time.Now()
+			sys.Run(cycles)
+			wall := time.Since(start).Seconds()
+			fp := fingerprint(sys, classes)
+			skipped := sys.SkippedCycles()
+			sys.Close()
+			if kernel == "cycle" {
+				baseFP, baseWall = fp, wall
+			}
+			rep.Runs = append(rep.Runs, ScaleRun{
+				Tiles:       tiles,
+				Kernel:      kernel,
+				Cycles:      cycles,
+				Skipped:     skipped,
+				WallSeconds: wall,
+				NsPerCycle:  wall * 1e9 / float64(cycles),
+				Speedup:     baseWall / wall,
+				Identical:   fp == baseFP,
+			})
+		}
+	}
+
+	for _, r := range rep.Runs {
+		if r.Kernel != "event" {
+			continue
+		}
+		switch r.Tiles {
+		case 1024:
+			rep.Speedup1024 = r.Speedup
+		case 64:
+			rep.Regression64 = 1 / r.Speedup
+		}
+	}
+
+	b, err := json.MarshalIndent(&rep, "", "  ")
+	check(err)
+	check(os.WriteFile(out, append(b, '\n'), 0o644))
+	fmt.Printf("wrote %s\n", out)
+	for _, r := range rep.Runs {
+		same := "identical"
+		if !r.Identical {
+			same = "OUTPUT DIVERGED"
+		}
+		fmt.Printf("tiles=%-5d %-6s %9.1f ns/cyc  %5.2fx  %s\n",
+			r.Tiles, r.Kernel, r.NsPerCycle, r.Speedup, same)
+	}
+	fmt.Printf("event kernel: %.1fx at 1024 tiles, %.2fx overhead at 64 tiles\n",
+		rep.Speedup1024, rep.Regression64)
+
+	if gate {
+		for _, r := range rep.Runs {
+			if !r.Identical {
+				check(fmt.Errorf("scale suite: tiles=%d kernel=%s diverged from the cycle baseline", r.Tiles, r.Kernel))
+			}
+		}
+		// No-regression bound at the paper-scale mesh: the event kernel
+		// may not cost more than 10% over cycle dispatch at 64 tiles.
+		if rep.Regression64 > 1.10 {
+			check(fmt.Errorf("scale suite: event kernel regressed %.2fx at 64 tiles (gate 1.10x)", rep.Regression64))
+		}
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"pabst"
+	"pabst/internal/cliflags"
 	"pabst/internal/exp"
 )
 
@@ -72,17 +73,13 @@ func main() {
 	scaleName := flag.String("scale", "full", "experiment scale: quick or full")
 	list := flag.Bool("list", false, "list experiments and exit")
 	listPolicies := flag.Bool("list-policies", false, "list registered QoS policy mechanisms and exit")
-	policy := flag.String("policy", "", "QoS policy pair `src+tgt` for every system built (empty halves keep mode defaults)")
 	series := flag.Bool("series", false, "print full time series for fig5/fig6")
 	jsonOut := flag.Bool("json", false, "emit result tables as JSON instead of text")
 	specs := flag.String("spec", "", "comma-separated SPEC proxy subset for fig10-12 (default: all)")
 	faults := flag.String("faults", "sat-partition",
 		"fault plan for the faults experiment: a preset ("+strings.Join(pabst.FaultPresets(), ", ")+") or a JSON file")
-	workers := flag.Int("workers", 0, "worker goroutines per simulation (0/1 = sequential tick); results are bit-identical at any setting")
+	common := cliflags.Register(flag.CommandLine)
 	parallel := flag.Int("parallel", 0, "concurrent simulations in multi-run experiments (0/1 = one at a time)")
-	ff := flag.Bool("ff", false, "fast-forward provably idle cycles (bit-identical; helps bursty workloads)")
-	ckptDir := flag.String("ckpt", "", "directory for post-warmup checkpoints; repeat runs restore instead of re-warming (bit-identical)")
-	resume := flag.Bool("resume", false, "require a stored checkpoint (a miss is an error); implies -ckpt")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -112,19 +109,10 @@ func main() {
 	default:
 		fatalf("unknown scale %q (want quick or full)", *scaleName)
 	}
-	scale.Workers = *workers
-	scale.Parallel = *parallel
-	scale.FastForward = *ff
-	scale.Ckpt = *ckptDir
-	scale.Resume = *resume
-	if scale.Resume && scale.Ckpt == "" {
-		fatalf("-resume needs -ckpt <dir>")
-	}
-	src, tgt, err := pabst.ParsePolicyPair(*policy)
-	if err != nil {
+	if err := common.Apply(&scale); err != nil {
 		fatalf("%v", err)
 	}
-	scale.SourcePolicy, scale.TargetPolicy = src, tgt
+	scale.Parallel = *parallel
 
 	var workloads []string
 	if *specs != "" {

@@ -57,7 +57,7 @@ import (
 	"math"
 	"os"
 
-	"pabst"
+	"pabst/internal/cliflags"
 	"pabst/internal/exp"
 )
 
@@ -96,11 +96,7 @@ func main() {
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	param := flag.String("param", "", "sweep only this parameter")
 	parallel := flag.Int("parallel", 0, "concurrent sweep points (0/1 = sequential)")
-	workers := flag.Int("workers", 0, "worker goroutines per simulation (0/1 = sequential tick)")
-	ff := flag.Bool("ff", false, "fast-forward provably idle cycles")
-	ckptDir := flag.String("ckpt", "", "directory for post-warmup checkpoints; repeat runs restore instead of re-warming (bit-identical)")
-	resume := flag.Bool("resume", false, "require a stored checkpoint for every point (a miss is an error); implies -ckpt")
-	policy := flag.String("policy", "", "QoS policy pair `src+tgt` for every sweep point (empty halves keep mode defaults)")
+	common := cliflags.Register(flag.CommandLine)
 	policies := flag.Bool("policies", false, "run the cross-policy Pareto comparison instead of parameter sweeps")
 	screen := flag.Bool("screen", false, "surrogate-screened Pareto comparison: the analytical twin picks which grid points simulate")
 	twin := flag.Bool("twin", false, "validate the analytical twin against the simulator; exit 1 if outside tolerance")
@@ -121,21 +117,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pabstsweep: unknown scale %q\n", *scaleName)
 		os.Exit(1)
 	}
-	if *resume && *ckptDir == "" {
-		fmt.Fprintln(os.Stderr, "pabstsweep: -resume needs -ckpt <dir>")
-		os.Exit(1)
-	}
-	src, tgt, err := pabst.ParsePolicyPair(*policy)
+	ex, err := common.Exec()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pabstsweep: %v\n", err)
 		os.Exit(1)
 	}
-	ex := exp.Exec{Workers: *workers, FastForward: *ff, Ckpt: *ckptDir, Resume: *resume}
 	sc, _ := exp.ScaleByName(*scaleName)
-	sc.Workers, sc.FastForward = *workers, *ff
-	sc.Ckpt, sc.Resume = *ckptDir, *resume
+	if err := common.Apply(&sc); err != nil {
+		fmt.Fprintf(os.Stderr, "pabstsweep: %v\n", err)
+		os.Exit(1)
+	}
 	sc.Parallel = *parallel
-	sc.SourcePolicy, sc.TargetPolicy = src, tgt
 
 	switch {
 	case *twin:
@@ -191,14 +183,14 @@ func main() {
 		results := make([]res, len(s.values))
 		err := exp.ForEach(*parallel, len(s.values), func(i int) error {
 			params := map[string]uint64{s.param: s.values[i]}
-			spec := exp.RunSpec{Bench: exp.BenchStreams, Scale: *scaleName, Params: params, Policy: *policy}
+			spec := exp.RunSpec{Bench: exp.BenchStreams, Scale: *scaleName, Params: params, Policy: common.Policy}
 			r, err := spec.Run(context.Background(), ex, exp.RunIO{})
 			if err != nil {
 				return err
 			}
 			results[i] = res{shHi: r.ShareHi, bpc: r.TotalBPC}
 			if s.chaser {
-				cspec := exp.RunSpec{Bench: exp.BenchChaser, Scale: *scaleName, Params: params, Policy: *policy}
+				cspec := exp.RunSpec{Bench: exp.BenchChaser, Scale: *scaleName, Params: params, Policy: common.Policy}
 				cr, err := cspec.Run(context.Background(), ex, exp.RunIO{})
 				if err != nil {
 					return err

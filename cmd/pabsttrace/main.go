@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"pabst"
+	"pabst/internal/cliflags"
 )
 
 func main() {
@@ -32,13 +33,12 @@ func main() {
 	wHi := flag.Uint64("whi", 7, "high class weight")
 	wLo := flag.Uint64("wlo", 3, "low class weight")
 	format := flag.String("format", "csv", "output format: jsonl or csv")
-	events := flag.String("events", "", "comma-separated event kinds to keep (default all): epoch,governor,arbiter,dram,fault")
+	events := flag.String("events", "", "comma-separated event kinds to keep (default all): epoch,governor,arbiter,dram,fault,kernel")
 	tile := flag.Int("tile", -1, "restrict governor events to one tile (-1 = all)")
-	workers := flag.Int("workers", 1, "parallel tick workers (1 = sequential; output is identical either way)")
-	policy := flag.String("policy", "", "QoS policy pair `src+tgt` from the plugin registry (empty halves keep PABST defaults)")
+	common := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	srcPol, tgtPol, err := pabst.ParsePolicyPair(*policy)
+	opts, err := common.Options()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pabsttrace: %v\n", err)
 		os.Exit(2)
@@ -67,8 +67,7 @@ func main() {
 	cfg.BWWindow = *epoch
 
 	b := pabst.NewBuilder(cfg, pabst.ModePABST,
-		pabst.WithWorkers(*workers), pabst.WithObserver(observer),
-		pabst.WithPolicy(srcPol, tgtPol))
+		append(opts, pabst.WithObserver(observer))...)
 	hi := b.AddClass("hi", *wHi, cfg.L3Ways/2)
 	lo := b.AddClass("lo", *wLo, cfg.L3Ways/2)
 	for i := 0; i < 16; i++ {

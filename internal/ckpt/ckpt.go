@@ -40,8 +40,10 @@ import (
 // walk-order or encoding change; restore refuses other versions.
 //
 // History: v1 was the initial format; v2 added the per-tile and
-// per-class-baseline latency histograms to the soc walk.
-const Version uint32 = 2
+// per-class-baseline latency histograms to the soc walk; v3 sharded the
+// fault injector's NoC stream into per-tile/per-MC cursors and made the
+// NoC fabric's inject-fail counter per-router.
+const Version uint32 = 3
 
 var magic = [8]byte{'P', 'A', 'B', 'S', 'T', 'C', 'K', 'P'}
 

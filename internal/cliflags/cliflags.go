@@ -1,0 +1,98 @@
+// Package cliflags defines the execution-knob flags shared by every
+// pabst binary (-workers, -ff, -kernel, -policy, -ckpt, -resume), so a
+// new knob lands in one place instead of four near-identical flag
+// blocks. The knobs are exactly the settings that change wall-clock
+// behavior but never a simulated outcome — plus the QoS policy pair,
+// which every binary threads to the systems it builds.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+
+	"pabst"
+	"pabst/internal/exp"
+)
+
+// Common holds the parsed values of the shared execution-knob flags.
+type Common struct {
+	Workers     int
+	FastForward bool
+	Kernel      string
+	Policy      string
+	Ckpt        string
+	Resume      bool
+}
+
+// Register installs the shared flag set on fs and returns the struct
+// the values land in after fs.Parse. Binaries pass flag.CommandLine and
+// add their own flags around the call.
+func Register(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.IntVar(&c.Workers, "workers", 0,
+		"worker goroutines per simulation (0/1 = sequential tick); results are bit-identical at any setting")
+	fs.BoolVar(&c.FastForward, "ff", false,
+		"fast-forward provably idle cycles (bit-identical; helps bursty workloads)")
+	fs.StringVar(&c.Kernel, "kernel", "",
+		"scheduling kernel: cycle (default) or event (per-component event queues; bit-identical, faster on idle-heavy machines)")
+	fs.StringVar(&c.Policy, "policy", "",
+		"QoS policy pair `src+tgt` from the plugin registry (empty halves keep mode defaults)")
+	fs.StringVar(&c.Ckpt, "ckpt", "",
+		"directory for post-warmup checkpoints; repeat runs restore instead of re-warming (bit-identical; ignored by binaries without a warmup phase)")
+	fs.BoolVar(&c.Resume, "resume", false,
+		"require a stored checkpoint (a miss is an error); implies -ckpt")
+	return c
+}
+
+// Validate checks cross-flag constraints and resolves the policy pair.
+func (c *Common) Validate() (source, target string, err error) {
+	if c.Resume && c.Ckpt == "" {
+		return "", "", fmt.Errorf("-resume needs -ckpt <dir>")
+	}
+	return pabst.ParsePolicyPair(c.Policy)
+}
+
+// Apply validates the knobs and stamps them onto a Scale.
+func (c *Common) Apply(s *exp.Scale) error {
+	src, tgt, err := c.Validate()
+	if err != nil {
+		return err
+	}
+	s.Workers = c.Workers
+	s.FastForward = c.FastForward
+	s.Kernel = c.Kernel
+	s.Ckpt = c.Ckpt
+	s.Resume = c.Resume
+	s.SourcePolicy, s.TargetPolicy = src, tgt
+	return nil
+}
+
+// Exec validates the knobs and returns them as a spec-runner
+// environment.
+func (c *Common) Exec() (exp.Exec, error) {
+	if _, _, err := c.Validate(); err != nil {
+		return exp.Exec{}, err
+	}
+	return exp.Exec{
+		Workers:     c.Workers,
+		FastForward: c.FastForward,
+		Kernel:      c.Kernel,
+		Ckpt:        c.Ckpt,
+		Resume:      c.Resume,
+	}, nil
+}
+
+// Options validates the knobs and returns them as builder options, for
+// binaries that construct systems directly rather than through a Scale.
+func (c *Common) Options() ([]pabst.Option, error) {
+	src, tgt, err := c.Validate()
+	if err != nil {
+		return nil, err
+	}
+	return []pabst.Option{
+		pabst.WithWorkers(c.Workers),
+		pabst.WithFastForward(c.FastForward),
+		pabst.WithKernel(c.Kernel),
+		pabst.WithPolicy(src, tgt),
+	}, nil
+}

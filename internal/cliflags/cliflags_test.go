@@ -1,0 +1,109 @@
+package cliflags
+
+import (
+	"flag"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pabst/internal/exp"
+)
+
+func parse(t *testing.T, args ...string) *Common {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestApplyStampsEveryKnob(t *testing.T) {
+	c := parse(t, "-workers", "4", "-ff", "-kernel", "event",
+		"-policy", "bankreg+dpq", "-ckpt", "/tmp/ck", "-resume")
+	var s exp.Scale
+	if err := c.Apply(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Workers != 4 || !s.FastForward || s.Kernel != "event" ||
+		s.Ckpt != "/tmp/ck" || !s.Resume {
+		t.Errorf("Apply lost a knob: %+v", s)
+	}
+	if s.SourcePolicy != "bankreg" || s.TargetPolicy != "dpq" {
+		t.Errorf("policy pair = %q+%q", s.SourcePolicy, s.TargetPolicy)
+	}
+}
+
+func TestExecMatchesApply(t *testing.T) {
+	c := parse(t, "-workers", "2", "-kernel", "event", "-ckpt", "/tmp/ck")
+	ex, err := c.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s exp.Scale
+	if err := c.Apply(&s); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ex.Scale("quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Workers != s.Workers || sc.FastForward != s.FastForward ||
+		sc.Kernel != s.Kernel || sc.Ckpt != s.Ckpt || sc.Resume != s.Resume {
+		t.Errorf("Exec and Apply disagree:\nexec  %+v\napply %+v", sc, s)
+	}
+}
+
+func TestResumeRequiresCkpt(t *testing.T) {
+	c := parse(t, "-resume")
+	if _, _, err := c.Validate(); err == nil {
+		t.Error("Validate accepted -resume without -ckpt")
+	}
+}
+
+func TestBadPolicyRejected(t *testing.T) {
+	c := parse(t, "-policy", "nosuch+pair")
+	if _, _, err := c.Validate(); err == nil {
+		t.Error("Validate accepted an unknown policy pair")
+	}
+}
+
+func TestOptionsBuildable(t *testing.T) {
+	c := parse(t, "-workers", "2", "-kernel", "event")
+	opts, err := c.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 4 {
+		t.Errorf("Options returned %d options, want 4", len(opts))
+	}
+}
+
+// TestEveryBinaryAcceptsCommonFlags is the cross-binary contract: each
+// command registers the shared execution-knob set, so a knob like
+// -kernel works identically everywhere. The -h usage dump lists every
+// defined flag, which is exactly the acceptance we need to check.
+func TestEveryBinaryAcceptsCommonFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the command binaries")
+	}
+	want := []string{"-workers", "-ff", "-kernel", "-policy", "-ckpt", "-resume"}
+	root := filepath.Join("..", "..")
+	for _, bin := range []string{"pabstsim", "pabstsweep", "pabstbench", "pabsttrace"} {
+		bin := bin
+		t.Run(bin, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "pabst/cmd/"+bin, "-h")
+			cmd.Dir = root
+			out, _ := cmd.CombinedOutput() // -h exits non-zero by design
+			usage := string(out)
+			for _, f := range want {
+				if !strings.Contains(usage, f+" ") && !strings.Contains(usage, f+"\n") &&
+					!strings.Contains(usage, f+"=") {
+					t.Errorf("%s usage is missing %s:\n%s", bin, f, usage)
+				}
+			}
+		})
+	}
+}

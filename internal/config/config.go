@@ -82,21 +82,27 @@ type System struct {
 	Seed     uint64
 
 	// Execution knobs. These change only wall-clock speed, never any
-	// simulated outcome: every run is bit-identical for any Workers and
-	// FastForward setting (DESIGN.md, "Parallel deterministic kernel").
+	// simulated outcome: every run is bit-identical for any Workers,
+	// FastForward, and Kernel setting (DESIGN.md, "Parallel
+	// deterministic kernel" and "Event-driven kernel").
 	//
 	// Workers shards per-cycle work (tile, L3-slice, and controller
 	// ticks) across a fixed goroutine pool; 0 or 1 keeps the sequential
-	// kernel. With a modeled NoC or an active fault plan the kernel
-	// falls back to sequential ticking (shared router state and the
-	// per-domain fault RNG streams must be consulted in canonical
-	// order), but sweep-level concurrency still applies.
+	// kernel. Fault plans and the modeled NoC are sharded
+	// deterministically (per-entity fault streams, router-local
+	// injection), so the parallel tick never falls back to sequential.
 	//
 	// FastForward lets the kernel jump the clock over cycles in which
 	// every tile, queue, and controller reports no pending event,
 	// instead of spinning through them.
-	Workers     int  `json:",omitempty"`
-	FastForward bool `json:",omitempty"`
+	//
+	// Kernel selects the scheduling mode: KernelCycle (default, the
+	// frozen reference — every component visited every cycle) or
+	// KernelEvent (per-component event queues; only components with due
+	// work are visited, and FastForward is subsumed).
+	Workers     int    `json:",omitempty"`
+	FastForward bool   `json:",omitempty"`
+	Kernel      string `json:",omitempty"`
 
 	// SourcePolicy/TargetPolicy select QoS mechanisms by registry name
 	// (see internal/qospolicy). Empty fields keep the defaults derived
@@ -105,6 +111,19 @@ type System struct {
 	SourcePolicy string `json:",omitempty"`
 	TargetPolicy string `json:",omitempty"`
 }
+
+// Kernel scheduling modes.
+const (
+	// KernelCycle is the cycle-stepped reference kernel: every component
+	// is visited every cycle (with optional whole-machine fast-forward).
+	KernelCycle = "cycle"
+	// KernelEvent is the event-driven kernel: per-component event queues,
+	// dispatch visits only components with due work.
+	KernelEvent = "event"
+)
+
+// EventKernel reports whether the event-driven kernel is selected.
+func (s *System) EventKernel() bool { return s.Kernel == KernelEvent }
 
 // NumTiles returns the tile (= core = L3 slice) count.
 func (s *System) NumTiles() int { return s.MeshCols * s.MeshRows }
@@ -168,6 +187,36 @@ func Scaled8() System {
 	s.NoC.Cols, s.NoC.Rows, s.NoC.NumMCs = 4, 2, 1
 	s.NumMCs = 1
 	s.DRAM.AddrShift = 0
+	return s
+}
+
+// MeshScaled returns a big-machine variant of the paper's tile: a
+// cols×rows mesh with the same per-tile cache hierarchy, memory channels
+// scaled with the tile count (one DDR4 channel per 8 tiles, capped at 16
+// — edge-attached, as in large tiled parts), and hierarchical SAT gossip
+// (fanout 4) so the heartbeat does not assume a single-hop broadcast at
+// mesh scale. cols and rows must be positive; cols*rows/8 (capped) must
+// be a power of two so the channel interleave stays a bit slice.
+func MeshScaled(cols, rows int) System {
+	s := Default32()
+	tiles := cols * rows
+	s.Name = fmt.Sprintf("pabst-%dcore", tiles)
+	s.MeshCols, s.MeshRows = cols, rows
+	mcs := tiles / 8
+	if mcs < 1 {
+		mcs = 1
+	}
+	if mcs > 16 {
+		mcs = 16
+	}
+	s.NumMCs = mcs
+	s.NoC.Cols, s.NoC.Rows, s.NoC.NumMCs = cols, rows, mcs
+	shift := uint(0)
+	for 1<<shift < mcs {
+		shift++
+	}
+	s.DRAM.AddrShift = shift
+	s.PABST.GossipFanout = 4
 	return s
 }
 
@@ -243,6 +292,12 @@ func (s *System) Validate() error {
 	}
 	if s.Workers < 0 {
 		return fmt.Errorf("config: Workers: negative worker count %d: %w", s.Workers, ErrInvalid)
+	}
+	switch s.Kernel {
+	case "", KernelCycle, KernelEvent:
+	default:
+		return fmt.Errorf("config: Kernel: unknown kernel %q (want %q or %q): %w",
+			s.Kernel, KernelCycle, KernelEvent, ErrInvalid)
 	}
 	if s.SourcePolicy != "" && !qospolicy.ValidSource(s.SourcePolicy) {
 		return fmt.Errorf("config: SourcePolicy: unknown policy %q (have %v): %w",

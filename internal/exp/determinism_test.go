@@ -23,8 +23,11 @@ func render(v any) string {
 }
 
 // TestDeterminismMatrix asserts the PR's headline guarantee at the
-// experiment level: for the fig1, fig5, and faults presets, every worker
-// count produces byte-identical results, with and without fast-forward.
+// experiment level: for the fig1, fig5, and faults presets, every cell
+// of the (workers × fast-forward × kernel) matrix produces
+// byte-identical results. The faults preset runs the full matrix too —
+// fault streams are sharded per sender, so neither the parallel tick
+// nor the event kernel degrades under an active plan.
 func TestDeterminismMatrix(t *testing.T) {
 	presets := []struct {
 		name string
@@ -44,9 +47,6 @@ func TestDeterminismMatrix(t *testing.T) {
 			}
 			return render(r), nil
 		}},
-		// The faults preset exercises the sequential-fallback contract:
-		// with an active plan the Workers/FastForward knobs must be
-		// ignored, not merely tolerated.
 		{"faults", func(s Scale) (string, error) {
 			r, err := Faults(s, "sat-drop")
 			if err != nil {
@@ -64,17 +64,20 @@ func TestDeterminismMatrix(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, workers := range []int{1, 2, 4, 8} {
-				s := tinyScale()
-				s.Workers = workers
-				s.FastForward = workers%2 == 0 // cover both settings across the matrix
-				got, err := p.run(s)
-				if err != nil {
-					t.Fatalf("workers=%d: %v", workers, err)
-				}
-				if got != want {
-					t.Errorf("workers=%d diverged from sequential output\n--- sequential\n%s\n--- workers=%d\n%s",
-						workers, want, workers, got)
+			for _, kernel := range []string{"cycle", "event"} {
+				for _, workers := range []int{1, 2, 4, 8} {
+					s := tinyScale()
+					s.Kernel = kernel
+					s.Workers = workers
+					s.FastForward = workers%2 == 0 // cover both settings across the matrix
+					got, err := p.run(s)
+					if err != nil {
+						t.Fatalf("kernel=%s workers=%d: %v", kernel, workers, err)
+					}
+					if got != want {
+						t.Errorf("kernel=%s workers=%d diverged from sequential output\n--- sequential\n%s\n--- kernel=%s workers=%d\n%s",
+							kernel, workers, want, kernel, workers, got)
+					}
 				}
 			}
 		})

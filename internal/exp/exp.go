@@ -31,6 +31,11 @@ type Scale struct {
 	FastForward bool
 	Parallel    int
 
+	// Kernel selects the scheduling kernel ("cycle" or "event"; empty
+	// means cycle). Like Workers/FastForward it is an execution knob:
+	// both kernels produce bit-identical simulated outcomes.
+	Kernel string
+
 	// SourcePolicy/TargetPolicy select QoS mechanisms by registry name
 	// for every system the experiment builds; empty strings keep the
 	// mode-derived defaults. Unlike the execution knobs these DO change
@@ -73,6 +78,7 @@ func (s Scale) Options() []pabst.Option {
 	return []pabst.Option{
 		pabst.WithWorkers(s.Workers),
 		pabst.WithFastForward(s.FastForward),
+		pabst.WithKernel(s.Kernel),
 		pabst.WithPolicy(s.SourcePolicy, s.TargetPolicy),
 	}
 }

@@ -111,6 +111,9 @@ func ScaleByName(name string) (Scale, error) {
 type Exec struct {
 	Workers     int
 	FastForward bool
+	// Kernel selects the scheduling kernel ("cycle" or "event"; empty
+	// means cycle). Bit-identical either way (see Scale).
+	Kernel string
 	// Ckpt names the warm-start store directory ("" disables); Resume
 	// turns a store miss into an error (see Scale).
 	Ckpt   string
@@ -132,6 +135,7 @@ func (ex Exec) Scale(name string) (Scale, error) {
 	}
 	sc.Workers = ex.Workers
 	sc.FastForward = ex.FastForward
+	sc.Kernel = ex.Kernel
 	sc.Ckpt = ex.Ckpt
 	sc.Resume = ex.Resume
 	return sc, nil

@@ -1,14 +1,32 @@
 package fault
 
-import "pabst/internal/ckpt"
+import (
+	"fmt"
 
-// SaveState implements ckpt.Saver: the three per-domain RNG cursors and
-// the injected-fault counters. The plan itself is structural (part of
-// the config fingerprint — an injector exists iff the plan is active).
+	"pabst/internal/ckpt"
+)
+
+// SaveState implements ckpt.Saver: the per-domain RNG cursors, the
+// sharded per-entity NoC streams with their unfolded tallies, and the
+// injected-fault counters (folded first so the snapshot is internally
+// consistent). The plan itself is structural (part of the config
+// fingerprint — an injector exists iff the plan is active), as is the
+// shard count.
 func (in *Injector) SaveState(w *ckpt.Writer) {
+	in.foldNoC()
 	in.satRNG.SaveState(w)
 	in.dramRNG.SaveState(w)
 	in.nocRNG.SaveState(w)
+	w.Int(len(in.nocTile))
+	for i := range in.nocTile {
+		in.nocTile[i].save(w)
+	}
+	w.Int(len(in.nocMC))
+	for i := range in.nocMC {
+		in.nocMC[i].save(w)
+	}
+	w.U64(in.foldedD)
+	w.U64(in.foldedL)
 	in.counters.SaveState(w)
 }
 
@@ -17,5 +35,33 @@ func (in *Injector) RestoreState(r *ckpt.Reader) {
 	in.satRNG.RestoreState(r)
 	in.dramRNG.RestoreState(r)
 	in.nocRNG.RestoreState(r)
+	if c := r.Int(); c != len(in.nocTile) {
+		r.Fail(fmt.Errorf("%w: injector has %d tile shards, checkpoint has %d", ckpt.ErrMismatch, len(in.nocTile), c))
+		return
+	}
+	for i := range in.nocTile {
+		in.nocTile[i].restore(r)
+	}
+	if c := r.Int(); c != len(in.nocMC) {
+		r.Fail(fmt.Errorf("%w: injector has %d MC shards, checkpoint has %d", ckpt.ErrMismatch, len(in.nocMC), c))
+		return
+	}
+	for i := range in.nocMC {
+		in.nocMC[i].restore(r)
+	}
+	in.foldedD = r.U64()
+	in.foldedL = r.U64()
 	in.counters.RestoreState(r)
+}
+
+func (sh *nocShard) save(w *ckpt.Writer) {
+	sh.rng.SaveState(w)
+	w.U64(sh.dropped)
+	w.U64(sh.delayed)
+}
+
+func (sh *nocShard) restore(r *ckpt.Reader) {
+	sh.rng.RestoreState(r)
+	sh.dropped = r.U64()
+	sh.delayed = r.U64()
 }

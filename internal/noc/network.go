@@ -33,10 +33,12 @@ type Network struct {
 	queueCap int
 	dataFlit int // link cycles per data-bearing message
 
-	// Stats.
-	Delivered   uint64
-	TotalHops   uint64
-	InjectFails uint64
+	// Stats. Delivered/TotalHops are written only by Tick (sequential);
+	// inject failures are tallied per router (see router.injectFails) so
+	// concurrent senders attached to different routers never share a
+	// counter word.
+	Delivered uint64
+	TotalHops uint64
 }
 
 const (
@@ -56,10 +58,15 @@ type netMsg struct {
 }
 
 type router struct {
-	x, y   int
-	in     [numPorts]sim.Ring[netMsg]
-	busy   [numPorts]uint64 // output port busy-until cycle
-	rrNext int
+	x, y        int
+	in          [numPorts]sim.Ring[netMsg]
+	busy        [numPorts]uint64 // output port busy-until cycle
+	rrNext      int
+	injectFails uint64
+	// inFlight counts messages currently queued at this router. Kept
+	// per router (senders inject concurrently at distinct routers) and
+	// summed on demand by Pending/NextEventAt.
+	inFlight int
 }
 
 // NetParams tunes the modeled network.
@@ -152,11 +159,15 @@ func (n *Network) flitsOf(pkt *mem.Packet, toMem bool) int {
 
 // TrySend injects a message at src's local port. It returns false when
 // the local input queue is full (the sender must retry), providing the
-// backpressure that makes link bandwidth a real resource.
+// backpressure that makes link bandwidth a real resource. TrySend only
+// touches src's own router, so senders attached to distinct routers may
+// inject concurrently (the parallel tick relies on this: each tile and
+// its co-located L3 slice inject at their own router, in different
+// phases).
 func (n *Network) TrySend(pkt *mem.Packet, src, dst int, carriesData bool) bool {
 	r := &n.routers[n.nodeRouter[src]]
 	if r.in[portLocal].Len() >= n.queueCap {
-		n.InjectFails++
+		r.injectFails++
 		return false
 	}
 	flits := 1
@@ -164,6 +175,7 @@ func (n *Network) TrySend(pkt *mem.Packet, src, dst int, carriesData bool) bool 
 		flits = n.dataFlit
 	}
 	r.in[portLocal].PushBack(netMsg{pkt: pkt, dst: dst, flits: flits})
+	r.inFlight++
 	return true
 }
 
@@ -231,6 +243,7 @@ func (n *Network) Tick(now uint64) {
 			if out == portLocal {
 				// Ejection: unbounded, the endpoint absorbs it.
 				q.PopFront()
+				r.inFlight--
 				n.Delivered++
 				n.deliver(msg.pkt, msg.dst, now)
 				continue
@@ -244,10 +257,12 @@ func (n *Network) Tick(now uint64) {
 				continue // backpressure
 			}
 			q.PopFront()
+			r.inFlight--
 			granted[out] = true
 			r.busy[out] = now + hop*uint64(msg.flits)
 			msg.readyAt = now + hop*uint64(msg.flits)
 			next.in[inPort].PushBack(msg)
+			next.inFlight++
 			n.TotalHops++
 		}
 		r.rrNext = (r.rrNext + 1) % numPorts
@@ -269,13 +284,45 @@ func oppositePort(p int) int {
 	}
 }
 
+// InjectFailures sums the per-router inject-failure tallies. Call from
+// sequential contexts only.
+func (n *Network) InjectFailures() uint64 {
+	var total uint64
+	for ri := range n.routers {
+		total += n.routers[ri].injectFails
+	}
+	return total
+}
+
 // Pending returns the number of messages currently inside the fabric.
 func (n *Network) Pending() int {
 	total := 0
 	for ri := range n.routers {
-		for p := 0; p < numPorts; p++ {
-			total += n.routers[ri].in[p].Len()
-		}
+		total += n.routers[ri].inFlight
 	}
 	return total
+}
+
+// NextEventAt implements the kernel's sleep contract for the fabric: a
+// network with any message in flight must tick every cycle (queue
+// progress, backpressure, and link occupancy all evolve per cycle); an
+// empty fabric has no event of its own — its next work arrives with the
+// next injection, which the injector announces.
+func (n *Network) NextEventAt(from uint64) uint64 {
+	if n.Pending() > 0 {
+		return from
+	}
+	return sim.NoEvent
+}
+
+// FastForward accounts for skipped cycles on an empty fabric: a tick
+// with no messages does nothing but advance every router's round-robin
+// pointer, so replay exactly that. (busy windows need no catch-up — they
+// are absolute cycle numbers that simply expire.)
+func (n *Network) FastForward(from, to uint64) {
+	span := int((to - from) % numPorts)
+	for ri := range n.routers {
+		r := &n.routers[ri]
+		r.rrNext = (r.rrNext + span) % numPorts
+	}
 }

@@ -83,8 +83,8 @@ func TestNetworkBackpressure(t *testing.T) {
 	if n.TrySend(&mem.Packet{Addr: 0x400}, 0, 7, true) {
 		t.Fatal("send above queue capacity accepted")
 	}
-	if n.InjectFails != 1 {
-		t.Fatalf("InjectFails = %d", n.InjectFails)
+	if n.InjectFailures() != 1 {
+		t.Fatalf("InjectFailures = %d", n.InjectFailures())
 	}
 }
 

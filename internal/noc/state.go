@@ -30,10 +30,10 @@ func (n *Network) SaveState(w *ckpt.Writer) {
 			w.U64(r.busy[p])
 		}
 		w.Int(r.rrNext)
+		w.U64(r.injectFails)
 	}
 	w.U64(n.Delivered)
 	w.U64(n.TotalHops)
-	w.U64(n.InjectFails)
 }
 
 // RestoreState implements ckpt.Restorer onto a fabric with identical
@@ -68,8 +68,12 @@ func (n *Network) RestoreState(r *ckpt.Reader) {
 			rt.busy[p] = r.U64()
 		}
 		rt.rrNext = r.Int()
+		rt.injectFails = r.U64()
+		rt.inFlight = 0
+		for p := 0; p < numPorts; p++ {
+			rt.inFlight += rt.in[p].Len()
+		}
 	}
 	n.Delivered = r.U64()
 	n.TotalHops = r.U64()
-	n.InjectFails = r.U64()
 }

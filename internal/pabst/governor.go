@@ -191,6 +191,15 @@ func (g *Governor) WatchdogTick(now uint64) {
 	g.pacer.SetPeriod(RatePeriod(m, g.reg.Stride(g.class), g.reg.Threads(g.class), g.params.ScaleF))
 }
 
+// WatchdogNextAt implements regulate.Watchdog: the armed deadline is
+// one WatchdogCycles interval past the latest heartbeat (or the latest
+// expiry, which resets the measurement base).
+func (g *Governor) WatchdogNextAt() uint64 { return g.lastBeat + g.params.WatchdogCycles }
+
+// NextIssueAt implements regulate.IssueSchedule: the single global
+// pacer's grant time, regardless of channel.
+func (g *Governor) NextIssueAt(from uint64, mc int) uint64 { return g.pacer.NextAllowedAt(from) }
+
 // CanIssue reports whether this tile's L2 may inject a miss now. The
 // target controller is irrelevant to the global governor.
 func (g *Governor) CanIssue(now uint64, mc int) bool { return g.pacer.CanIssue(now) }

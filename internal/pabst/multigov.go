@@ -124,6 +124,16 @@ func (g *MultiGovernor) ProbeState() (m, dm, period uint64, multi bool) {
 	return g.monitors[0].M(), g.monitors[0].DM(), g.pacers[0].Period(), true
 }
 
+// WatchdogNextAt implements regulate.Watchdog: the armed deadline is
+// one WatchdogCycles interval past the latest heartbeat.
+func (g *MultiGovernor) WatchdogNextAt() uint64 { return g.lastBeat + g.params.WatchdogCycles }
+
+// NextIssueAt implements regulate.IssueSchedule for the pacer of
+// channel mc.
+func (g *MultiGovernor) NextIssueAt(from uint64, mc int) uint64 {
+	return g.pacers[mc].NextAllowedAt(from)
+}
+
 // CanIssue implements regulate.Source for the pacer of channel mc.
 func (g *MultiGovernor) CanIssue(now uint64, mc int) bool {
 	return g.pacers[mc].CanIssue(now)

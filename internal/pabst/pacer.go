@@ -42,6 +42,18 @@ func (p *Pacer) CanIssue(now uint64) bool {
 	return p.cNext <= int64(now)
 }
 
+// NextAllowedAt reports the earliest cycle >= from at which CanIssue
+// will hold, assuming no intervening charges or refunds. C_next moves
+// only on the owning tile's own actions (issue, response corrections),
+// so the event kernel may sleep the tile until this cycle without
+// missing a grant.
+func (p *Pacer) NextAllowedAt(from uint64) uint64 {
+	if p.cNext <= int64(from) {
+		return from
+	}
+	return uint64(p.cNext)
+}
+
 // OnIssue charges one request issued at cycle now. The caller must have
 // checked CanIssue. Credit is bounded: C_next never falls more than
 // burst×period behind C_now, so at most `burst` requests can issue

@@ -45,6 +45,17 @@ type Params struct {
 	// with PerMCGovernors.
 	HeterogeneousThreads bool
 
+	// GossipFanout selects hierarchical SAT-heartbeat distribution: the
+	// epoch signal propagates down a GossipFanout-ary tree over the tiles
+	// instead of reaching all of them in one broadcast hop, and each
+	// tile's delivery lags by its tree depth times the mesh hop latency.
+	// This models what a heartbeat physically costs on a big mesh — a
+	// 1024-tile machine cannot assume a single-cycle global wire — while
+	// staying within the paper's Section III-D relaxation (lags are a few
+	// tens of cycles against a 20k-cycle epoch). Values < 2 keep the
+	// paper's flat broadcast.
+	GossipFanout int `json:",omitempty"`
+
 	// EpochJitter is the maximum per-tile lag, in cycles, between the
 	// epoch heartbeat and its arrival at a tile's governor — modeling
 	// the Section III-D relaxation that "lockstep" need only hold at a
@@ -130,6 +141,9 @@ func (p Params) Validate() error {
 	}
 	if p.EpochJitter >= p.EpochCycles {
 		return fmt.Errorf("pabst: epoch jitter %d must be well under the epoch length %d", p.EpochJitter, p.EpochCycles)
+	}
+	if p.GossipFanout < 0 {
+		return fmt.Errorf("pabst: negative gossip fanout")
 	}
 	if p.HeterogeneousThreads && p.PerMCGovernors {
 		return fmt.Errorf("pabst: heterogeneous thread allocation is not implemented for per-MC governors")

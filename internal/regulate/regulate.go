@@ -136,6 +136,23 @@ type Probe interface {
 // conservative rate instead of free-running on the last multiplier.
 type Watchdog interface {
 	WatchdogTick(now uint64)
+	// WatchdogNextAt reports the earliest cycle at which WatchdogTick
+	// would act (the armed deadline). The deadline only moves later —
+	// heartbeats push it forward — so the event kernel may sleep the
+	// tile until this cycle; a heartbeat arriving meanwhile just turns
+	// the scheduled wake into a no-op tick.
+	WatchdogNextAt() uint64
+}
+
+// IssueSchedule is implemented by sources whose throttle state exposes
+// the next cycle CanIssue(_, mc) could turn true. The reported cycle
+// must only move earlier through actions taken during the owning
+// tile's own tick (issue charges, response-carried corrections), so
+// the event kernel can sleep a tile with queued misses until the next
+// grant. Sources without a computable grant time simply do not
+// implement the interface and are polled every cycle.
+type IssueSchedule interface {
+	NextIssueAt(from uint64, mc int) uint64
 }
 
 // Unthrottled is a Source that never throttles.

@@ -1,0 +1,344 @@
+package sim
+
+import "sort"
+
+// This file implements the kernel's event-driven scheduling mode: the
+// generalization of the whole-machine Sleeper seam to per-component
+// event queues. In cycle mode (kernel.go) every registered Ticker is
+// visited every cycle and the clock can only jump when the entire
+// machine is idle. In event mode each component is registered
+// individually with its own next-event time, the kernel keeps one small
+// indexed min-heap per dispatch class, and a cycle visits only the
+// components with due work. A component whose NextEventAt lies in the
+// future is provably a no-op if ticked (the Sleeper contract), so
+// skipping it is invisible in every simulated outcome — the same
+// argument that makes whole-machine fast-forward bit-identical, applied
+// per component.
+//
+// Ordering. Bit-identity requires that the components ticked on a given
+// cycle run in exactly the order the cycle-stepped kernel would have run
+// them. The kernel models this as dispatch classes drained in ascending
+// class order; within a class the due set is handed to the dispatcher
+// sorted by registration id, and the dispatcher applies any
+// cycle-dependent permutation itself (the SoC rotates its L3-slice
+// order). Same-cycle wakes may only target classes that have not yet
+// drained this cycle — the SoC's dataflow (epoch → network → memory
+// controllers → slices → tiles, with every backward edge carrying at
+// least one cycle of modeled latency) guarantees this; the kernel counts
+// any violation in LateWakes rather than diverging silently.
+//
+// Accounting. Components are fast-forwarded lazily: each tracks the
+// cycle through which it has accounted (ticked or fast-forwarded), and
+// is caught up immediately before it is next ticked. Periodic hooks are
+// synchronization barriers — every component is caught up and re-keyed
+// before a hook fires — so epoch-boundary reads (saturation windows,
+// governor probes, metrics) observe exactly the state the cycle-stepped
+// kernel would have produced.
+
+// eventComp is one registered component's scheduling state.
+type eventComp struct {
+	s      Sleeper
+	class  int
+	key    uint64 // scheduled next-event cycle (heap key)
+	pos    int    // position in its class heap; -1 while popped for dispatch
+	synced uint64 // cycles < synced are accounted (ticked or fast-forwarded)
+}
+
+// events is the kernel's event-mode state.
+type events struct {
+	comps    []eventComp
+	heaps    [][]int // per class: ids keyed by comps[id].key, ties by id
+	due      []int   // per-cycle scratch
+	dispatch func(now uint64, class int, due []int)
+
+	lateWakes uint64
+}
+
+// SetEventMode switches the kernel to event-driven scheduling with the
+// given number of dispatch classes. dispatch receives each cycle's due
+// components one class at a time, in ascending class order, sorted by
+// registration id; it must tick every component it is handed (skipping
+// one would silently drop its work). A nil dispatch ticks due components
+// directly. Call before RegisterEvent; incompatible with Register.
+func (k *Kernel) SetEventMode(classes int, dispatch func(now uint64, class int, due []int)) {
+	if len(k.tickers) > 0 {
+		panic("sim: SetEventMode after Register")
+	}
+	k.ev = &events{
+		heaps:    make([][]int, classes),
+		dispatch: dispatch,
+	}
+}
+
+// EventDriven reports whether the kernel is in event mode.
+func (k *Kernel) EventDriven() bool { return k.ev != nil }
+
+// RegisterEvent adds a component under a dispatch class and returns its
+// id (the Wake handle). Registration order within a class defines the
+// canonical intra-class dispatch order.
+func (k *Kernel) RegisterEvent(class int, s Sleeper) int {
+	ev := k.ev
+	if ev == nil {
+		panic("sim: RegisterEvent before SetEventMode")
+	}
+	if class < 0 || class >= len(ev.heaps) {
+		panic("sim: RegisterEvent class out of range")
+	}
+	id := len(ev.comps)
+	ev.comps = append(ev.comps, eventComp{s: s, class: class, pos: -1, synced: k.now})
+	ev.push(id, s.NextEventAt(k.now))
+	return id
+}
+
+// Wake tells the kernel a component may have work at cycle `at` —
+// called at every cross-component push site, because a sleeping
+// component is never re-polled. NextEventAt remains authoritative:
+// waking an idle component early is a harmless no-op tick, and a
+// component's own new work is re-read after every dispatch. Wakes are
+// clamped to cycles the component has not yet accounted; a clamped wake
+// at or before the current cycle is counted in LateWakes.
+func (k *Kernel) Wake(id int, at uint64) {
+	ev := k.ev
+	if ev == nil {
+		return
+	}
+	ec := &ev.comps[id]
+	if at < ec.synced {
+		if at <= k.now {
+			ev.lateWakes++
+		}
+		at = ec.synced
+	}
+	if ec.pos < 0 || at >= ec.key {
+		// Mid-dispatch (re-keyed from NextEventAt afterwards) or not an
+		// improvement.
+		return
+	}
+	ec.key = at
+	ev.siftUp(ec.class, ec.pos)
+}
+
+// LateWakes returns how many wakes targeted an already-dispatched cycle
+// (a violation of the forward-only same-cycle dataflow contract; always
+// zero for the SoC's component graph).
+func (k *Kernel) LateWakes() uint64 {
+	if k.ev == nil {
+		return 0
+	}
+	return k.ev.lateWakes
+}
+
+// ResyncEvents re-derives every component's heap key and accounting
+// horizon from its current state at the kernel clock. Call after a
+// checkpoint restore has overlaid component state.
+func (k *Kernel) ResyncEvents() {
+	ev := k.ev
+	if ev == nil {
+		return
+	}
+	for id := range ev.comps {
+		ev.comps[id].synced = k.now
+	}
+	k.rekeyAll(k.now)
+}
+
+// runEvents is the event-mode Run loop.
+func (k *Kernel) runEvents(end uint64) {
+	ev := k.ev
+	// Re-derive every key on entry: callers may mutate component state
+	// between Run calls (warmups, stat resets, test scaffolding) without
+	// issuing wakes. O(components) once per Run, not per cycle.
+	k.rekeyAll(k.now)
+	for k.now < end {
+		now := k.now
+		if k.hookDue(now) {
+			// Hooks are synchronization barriers: catch every component
+			// up and re-key from ground truth, so hook-driven state
+			// changes (heartbeats, injected faults) reschedule sleepers.
+			k.syncAll(now)
+			for i := range k.hooks {
+				h := &k.hooks[i]
+				if now >= h.phase && (now-h.phase)%h.period == 0 {
+					h.fn(now)
+				}
+			}
+			k.rekeyAll(now)
+		}
+		for c := range ev.heaps {
+			due := ev.popDue(c, now)
+			if len(due) == 0 {
+				continue
+			}
+			for _, id := range due {
+				ev.catchUp(id, now)
+			}
+			if ev.dispatch != nil {
+				ev.dispatch(now, c, due)
+			} else {
+				for _, id := range due {
+					ev.comps[id].s.Tick(now)
+				}
+			}
+			for _, id := range due {
+				ec := &ev.comps[id]
+				ec.synced = now + 1
+				ev.push(id, ec.s.NextEventAt(now+1))
+			}
+		}
+		k.now++
+		if k.now >= end {
+			break
+		}
+		// Jump the clock to the earliest scheduled event or hook.
+		t := end
+		for c := range ev.heaps {
+			if len(ev.heaps[c]) > 0 {
+				if key := ev.comps[ev.heaps[c][0]].key; key < t {
+					t = key
+				}
+			}
+		}
+		if h := k.nextHookAt(k.now); h < t {
+			t = h
+		}
+		if t > k.now {
+			k.skipped += t - k.now
+			k.now = t
+		}
+	}
+	// Leave every component accounted through the end of the run, so
+	// cycle-derived statistics (IPC, utilization windows) are exact.
+	k.syncAll(end)
+}
+
+// hookDue reports whether any periodic hook fires at cycle now.
+func (k *Kernel) hookDue(now uint64) bool {
+	for i := range k.hooks {
+		h := &k.hooks[i]
+		if now >= h.phase && (now-h.phase)%h.period == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// syncAll fast-forwards every component's accounting through cycle `to`.
+func (k *Kernel) syncAll(to uint64) {
+	ev := k.ev
+	for id := range ev.comps {
+		ev.catchUp(id, to)
+	}
+}
+
+// rekeyAll re-derives every heap key from NextEventAt at cycle `from`.
+func (k *Kernel) rekeyAll(from uint64) {
+	ev := k.ev
+	for c := range ev.heaps {
+		ev.heaps[c] = ev.heaps[c][:0]
+	}
+	for id := range ev.comps {
+		ev.comps[id].pos = -1
+		ev.push(id, ev.comps[id].s.NextEventAt(from))
+	}
+}
+
+// catchUp accounts component id for the unticked cycles before `to`.
+func (ev *events) catchUp(id int, to uint64) {
+	ec := &ev.comps[id]
+	if ec.synced < to {
+		ec.s.FastForward(ec.synced, to)
+		ec.synced = to
+	}
+}
+
+// push (re)inserts component id with the given next-event cycle. Keys
+// are clamped to the component's accounting horizon so a conservative
+// NextEventAt can never schedule an already-accounted cycle.
+func (ev *events) push(id int, at uint64) {
+	ec := &ev.comps[id]
+	if at < ec.synced {
+		at = ec.synced
+	}
+	ec.key = at
+	h := ev.heaps[ec.class]
+	h = append(h, id)
+	ev.heaps[ec.class] = h
+	ec.pos = len(h) - 1
+	ev.siftUp(ec.class, ec.pos)
+}
+
+// popDue removes every component of class c due at or before `now`,
+// returning them sorted by registration id (the canonical intra-class
+// order).
+func (ev *events) popDue(c int, now uint64) []int {
+	due := ev.due[:0]
+	for len(ev.heaps[c]) > 0 {
+		top := ev.heaps[c][0]
+		if ev.comps[top].key > now {
+			break
+		}
+		ev.popTop(c)
+		due = append(due, top)
+	}
+	if len(due) > 1 {
+		sort.Ints(due)
+	}
+	ev.due = due[:0] // retain capacity; the returned slice stays valid this cycle
+	return due
+}
+
+// less orders the heap by (key, id): earliest event first, registration
+// order breaking ties deterministically.
+func (ev *events) less(a, b int) bool {
+	ka, kb := ev.comps[a].key, ev.comps[b].key
+	return ka < kb || (ka == kb && a < b)
+}
+
+func (ev *events) siftUp(c, i int) {
+	h := ev.heaps[c]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !ev.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		ev.comps[h[i]].pos = i
+		ev.comps[h[parent]].pos = parent
+		i = parent
+	}
+}
+
+func (ev *events) popTop(c int) {
+	h := ev.heaps[c]
+	top := h[0]
+	ev.comps[top].pos = -1
+	last := len(h) - 1
+	if last > 0 {
+		h[0] = h[last]
+		ev.comps[h[0]].pos = 0
+	}
+	ev.heaps[c] = h[:last]
+	ev.siftDown(c, 0)
+}
+
+func (ev *events) siftDown(c, i int) {
+	h := ev.heaps[c]
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && ev.less(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < n && ev.less(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		ev.comps[h[i]].pos = i
+		ev.comps[h[smallest]].pos = smallest
+		i = smallest
+	}
+}

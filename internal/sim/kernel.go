@@ -51,6 +51,10 @@ type Kernel struct {
 	ff       bool
 	sleepers []Sleeper // non-nil parallel to tickers when all implement Sleeper
 	skipped  uint64
+
+	// Event-driven mode (events.go): non-nil after SetEventMode. Replaces
+	// the tickers loop with per-component event heaps.
+	ev *events
 }
 
 // Now returns the current cycle. The first cycle executed by Run is 0.
@@ -59,7 +63,13 @@ func (k *Kernel) Now() uint64 { return k.now }
 // Register appends a component to the tick order. Components registered
 // earlier observe state produced by later components one cycle delayed,
 // so registration order is part of the model and must be deterministic.
-func (k *Kernel) Register(t Ticker) { k.tickers = append(k.tickers, t) }
+// In event mode use RegisterEvent instead.
+func (k *Kernel) Register(t Ticker) {
+	if k.ev != nil {
+		panic("sim: Register after SetEventMode")
+	}
+	k.tickers = append(k.tickers, t)
+}
 
 // Every schedules fn to run at every cycle c where c >= phase and
 // (c-phase) is a multiple of period, before the tickers for that cycle.
@@ -97,6 +107,10 @@ func (k *Kernel) Skipped() uint64 { return k.skipped }
 // Run advances the clock by cycles steps.
 func (k *Kernel) Run(cycles uint64) {
 	end := k.now + cycles
+	if k.ev != nil {
+		k.runEvents(end)
+		return
+	}
 	for k.now < end {
 		now := k.now
 		for i := range k.hooks {

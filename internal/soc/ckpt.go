@@ -252,6 +252,11 @@ func (s *System) RestoreState(r *ckpt.Reader) {
 		r.Section("faults")
 		s.faults.RestoreState(r)
 	}
+
+	// Event mode: re-derive every component's heap key and accounting
+	// horizon from the overlaid state at the restored clock (no-op for
+	// the cycle kernel).
+	s.kernel.ResyncEvents()
 }
 
 func saveSnapshot(w *ckpt.Writer, sn *snapshot) {

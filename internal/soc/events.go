@@ -1,0 +1,370 @@
+package soc
+
+import (
+	"pabst/internal/sim"
+)
+
+// This file wires the SoC onto the kernel's event-driven mode
+// (internal/sim/events.go): instead of one whole-machine systemTicker,
+// every component registers individually with its own next-event time,
+// and per-cycle dispatch visits only the components with due work.
+//
+// Dispatch classes mirror the sequential tick's canonical order — the
+// epoch-queue drain, then the modeled network, then front doors +
+// memory controllers, then L3 slices (in the cycle's rotated order),
+// then tiles — so the components that do run on a given cycle run in
+// exactly the order the cycle-stepped kernel would have run them.
+// Cross-component pushes announce new work through the wake helpers
+// below; a component's own state is re-read by the kernel after every
+// dispatch, so self-scheduling needs no announcements.
+const (
+	evClassEpoch = iota // delayed heartbeat deliveries
+	evClassNet          // modeled NoC fabric + MC response injection
+	evClassMC           // front doors + memory controllers
+	evClassSlice        // L3 slices
+	evClassTile         // tiles
+	evNumClasses
+)
+
+// registerEventComps switches the kernel into event mode and registers
+// one component per machine entity. Registration order within a class is
+// ascending entity index — the canonical intra-class order.
+func (s *System) registerEventComps() {
+	s.kernel.SetEventMode(evNumClasses, s.dispatchEvents)
+	s.evEntity = s.evEntity[:0]
+	reg := func(class, entity int, c sim.Sleeper) int {
+		id := s.kernel.RegisterEvent(class, c)
+		for len(s.evEntity) <= id {
+			s.evEntity = append(s.evEntity, -1)
+		}
+		s.evEntity[id] = entity
+		return id
+	}
+	s.evEpochID = reg(evClassEpoch, 0, epochComp{s})
+	s.evNetID = -1
+	if s.net != nil {
+		s.evNetID = reg(evClassNet, 0, netComp{s})
+	}
+	s.evMCID = make([]int, len(s.mcs))
+	for i := range s.mcs {
+		s.evMCID[i] = reg(evClassMC, i, mcComp{s, i})
+	}
+	s.evSliceID = make([]int, len(s.slices))
+	for i := range s.slices {
+		s.evSliceID[i] = reg(evClassSlice, i, sliceComp{s, i})
+	}
+	s.evTileID = make([]int, len(s.tiles))
+	for i, t := range s.tiles {
+		s.evTileID[i] = -1
+		if t != nil {
+			s.evTileID[i] = reg(evClassTile, i, tileComp{s, i})
+		}
+	}
+	s.evOn = true
+}
+
+// Wake helpers: no-ops in cycle mode, decrease-key hints in event mode.
+// `at` is the cycle the target should run; callers pushing to a
+// component whose class has already drained this cycle clamp to now+1
+// themselves (see nextCycle), matching when the cycle-stepped kernel
+// would have serviced the push.
+
+func (s *System) wakeTile(i int, at uint64) {
+	if s.evOn {
+		s.kernel.Wake(s.evTileID[i], at)
+	}
+}
+
+func (s *System) wakeSlice(i int, at uint64) {
+	if s.evOn {
+		s.kernel.Wake(s.evSliceID[i], at)
+	}
+}
+
+func (s *System) wakeMC(i int, at uint64) {
+	if s.evOn {
+		s.kernel.Wake(s.evMCID[i], at)
+	}
+}
+
+func (s *System) wakeNet(at uint64) {
+	if s.evOn {
+		s.kernel.Wake(s.evNetID, at)
+	}
+}
+
+// nextCycle clamps a ready time to the next cycle for pushes whose
+// target class has already run this cycle (tile→slice, slice→door,
+// anyone→net): the cycle-stepped kernel would service those on the next
+// tick too, so the clamp changes nothing except avoiding a same-cycle
+// backward wake.
+func (s *System) nextCycle(at uint64) uint64 {
+	if now := s.kernel.Now(); at <= now {
+		return now + 1
+	}
+	return at
+}
+
+// --- component adapters ------------------------------------------------
+
+// epochComp drains delayed heartbeat deliveries (epoch jitter, gossip
+// lag, injected SAT delays).
+type epochComp struct{ s *System }
+
+func (c epochComp) Tick(now uint64) { c.s.drainEpochQ(now) }
+func (c epochComp) NextEventAt(from uint64) uint64 {
+	if _, at, ok := c.s.epochQ.Peek(); ok {
+		if at <= from {
+			return from
+		}
+		return at
+	}
+	return sim.NoEvent
+}
+func (c epochComp) FastForward(from, to uint64) {}
+
+// netComp advances the modeled fabric and injects completed MC
+// responses. A fabric with messages in flight ticks every cycle; an
+// empty one wakes on the next mcOut completion or sender injection.
+type netComp struct{ s *System }
+
+func (c netComp) Tick(now uint64) { c.s.netTick(now) }
+func (c netComp) NextEventAt(from uint64) uint64 {
+	next := c.s.net.NextEventAt(from)
+	if next <= from {
+		return from
+	}
+	for i := range c.s.mcOut {
+		if _, at, ok := c.s.mcOut[i].Peek(); ok {
+			if at <= from {
+				return from
+			}
+			if at < next {
+				next = at
+			}
+		}
+	}
+	return next
+}
+func (c netComp) FastForward(from, to uint64) { c.s.net.FastForward(from, to) }
+
+// mcComp pairs one memory controller with its front door (they tick
+// together, door first, exactly as the sequential path interleaves them).
+type mcComp struct {
+	s  *System
+	mc int
+}
+
+func (c mcComp) Tick(now uint64) {
+	c.s.doors[c.mc].tick(now)
+	c.s.mcs[c.mc].Tick(now)
+}
+func (c mcComp) NextEventAt(from uint64) uint64 {
+	d := c.s.doors[c.mc]
+	if d.readCount > 0 || d.writes.Len() > 0 {
+		return from
+	}
+	next := c.s.mcs[c.mc].NextEventAt(from)
+	if next <= from {
+		return from
+	}
+	if _, at, ok := d.inbox.Peek(); ok {
+		if at <= from {
+			return from
+		}
+		if at < next {
+			next = at
+		}
+	}
+	return next
+}
+func (c mcComp) FastForward(from, to uint64) { c.s.mcs[c.mc].FastForward(from, to) }
+
+// sliceComp is one L3 slice.
+type sliceComp struct {
+	s  *System
+	id int
+}
+
+func (c sliceComp) Tick(now uint64) { c.s.slices[c.id].tick(now) }
+func (c sliceComp) NextEventAt(from uint64) uint64 {
+	sl := c.s.slices[c.id]
+	next := sim.NoEvent
+	if _, at, ok := sl.inbox.Peek(); ok {
+		if at <= from {
+			return from
+		}
+		next = at
+	}
+	if c.s.net != nil {
+		if _, at, ok := sl.out.Peek(); ok {
+			if at <= from {
+				return from
+			}
+			if at < next {
+				next = at
+			}
+		}
+	}
+	return next
+}
+func (c sliceComp) FastForward(from, to uint64) {}
+
+// tileComp is one attached tile (core + caches + source regulator).
+type tileComp struct {
+	s  *System
+	id int
+}
+
+func (c tileComp) Tick(now uint64) { c.s.tiles[c.id].tick(now) }
+func (c tileComp) NextEventAt(from uint64) uint64 {
+	t := c.s.tiles[c.id]
+	next := sim.NoEvent
+	if t.wd != nil {
+		// The watchdog is a pure deadline check: before the deadline
+		// every WatchdogTick is a no-op, so the tile only has to be
+		// awake at the deadline cycle itself. Heartbeats push the
+		// deadline later, never earlier, so a stale scheduled wake is
+		// just a no-op tick.
+		at := t.wd.WatchdogNextAt()
+		if at <= from {
+			return from
+		}
+		next = at
+	}
+	if t.queued > 0 {
+		// Queued misses wait on their channel pacers. With a grant
+		// schedule the tile sleeps until the earliest grant among
+		// channels that actually hold work; without one the pacer must
+		// be polled every cycle.
+		if t.sched == nil {
+			return from
+		}
+		for mc := range t.missQ {
+			if t.missQ[mc].Len() == 0 {
+				continue
+			}
+			at := t.sched.NextIssueAt(from, mc)
+			if at <= from {
+				return from
+			}
+			if at < next {
+				next = at
+			}
+		}
+	}
+	if at := t.core.NextEventAt(from); at <= from {
+		return from
+	} else if at < next {
+		next = at
+	}
+	if _, at, ok := t.inbox.Peek(); ok {
+		if at <= from {
+			return from
+		}
+		if at < next {
+			next = at
+		}
+	}
+	return next
+}
+func (c tileComp) FastForward(from, to uint64) {
+	c.s.tiles[c.id].core.FastForward(from, to)
+}
+
+// --- dispatch ----------------------------------------------------------
+
+// dispatchEvents runs one class's due components for one cycle. The due
+// list arrives sorted by registration id (= ascending entity index); the
+// slice class re-sorts into the cycle's rotated order, and the MC/slice/
+// tile classes route through the stage/commit machinery when the worker
+// pool is armed.
+func (s *System) dispatchEvents(now uint64, class int, due []int) {
+	switch class {
+	case evClassEpoch:
+		s.drainEpochQ(now)
+	case evClassNet:
+		s.netTick(now)
+	case evClassMC:
+		s.evTickMCs(now, due)
+	case evClassSlice:
+		s.evTickSlices(now, due)
+	case evClassTile:
+		s.evTickTiles(now, due)
+	}
+}
+
+func (s *System) evTickMCs(now uint64, due []int) {
+	if s.par && len(due) > 1 {
+		s.stage = s.parStage
+		s.pool.Run(len(due), func(k int) {
+			i := s.evEntity[due[k]]
+			s.doors[i].tick(now)
+			s.mcs[i].Tick(now)
+		})
+		s.stage = nil
+		for _, id := range due {
+			s.commitMCStage(s.evEntity[id])
+		}
+		return
+	}
+	for _, id := range due {
+		i := s.evEntity[id]
+		s.doors[i].tick(now)
+		s.mcs[i].Tick(now)
+	}
+}
+
+func (s *System) evTickSlices(now uint64, due []int) {
+	// Rotate the due set into the cycle's canonical slice order: the
+	// sequential kernel services slice (now+k)%n at position k, so due
+	// slices sort by their rotation offset.
+	n := uint64(len(s.slices))
+	start := now % n
+	rot := s.evRot[:0]
+	for _, id := range due {
+		rot = append(rot, s.evEntity[id])
+	}
+	offset := func(i int) uint64 { return (uint64(i) + n - start) % n }
+	for i := 1; i < len(rot); i++ {
+		v := rot[i]
+		j := i - 1
+		for j >= 0 && offset(rot[j]) > offset(v) {
+			rot[j+1] = rot[j]
+			j--
+		}
+		rot[j+1] = v
+	}
+	s.evRot = rot
+	if s.par && len(rot) > 1 {
+		s.stage = s.parStage
+		s.pool.Run(len(rot), func(k int) {
+			s.slices[rot[k]].tick(now)
+		})
+		s.stage = nil
+		for _, i := range rot {
+			s.commitSliceStage(i)
+		}
+		return
+	}
+	for _, i := range rot {
+		s.slices[i].tick(now)
+	}
+}
+
+func (s *System) evTickTiles(now uint64, due []int) {
+	if s.par && len(due) > 1 {
+		s.stage = s.parStage
+		s.pool.Run(len(due), func(k int) {
+			s.tiles[s.evEntity[due[k]]].tick(now)
+		})
+		s.stage = nil
+		for _, id := range due {
+			s.commitTileStage(s.evEntity[id])
+		}
+		return
+	}
+	for _, id := range due {
+		s.tiles[s.evEntity[id]].tick(now)
+	}
+}

@@ -73,3 +73,46 @@ func TestModeledNoCDeterministic(t *testing.T) {
 		t.Fatalf("modeled-NoC runs diverged:\n%+v\n%+v", a, b)
 	}
 }
+
+// TestModeledNoCAcrossKernels pins the fabric under every execution
+// configuration: router state is per-router (injection failures,
+// in-flight counts), so the modeled NoC neither forces a sequential
+// fallback nor diverges under the event kernel.
+func TestModeledNoCAcrossKernels(t *testing.T) {
+	run := func(kernel string, workers int, ff bool) string {
+		cfg := testCfg()
+		cfg.ModelNoC = true
+		cfg.Kernel = kernel
+		cfg.Workers = workers
+		cfg.FastForward = ff
+		sys, hi, lo := twoClassStreams(t, cfg, regulate.ModePABST, 7, 3, 8, 8)
+		defer sys.Close()
+		if workers > 1 && !sys.par {
+			t.Fatalf("parallel tick disabled for the modeled NoC (kernel=%s)", kernel)
+		}
+		sys.Run(60_000)
+		if sys.SeqFallbacks() != 0 {
+			t.Fatalf("%d sequential-fallback cycles (kernel=%s workers=%d)", sys.SeqFallbacks(), kernel, workers)
+		}
+		if lw := sys.LateWakes(); lw != 0 {
+			t.Fatalf("%d late wakes (kernel=%s workers=%d)", lw, kernel, workers)
+		}
+		return fingerprint(sys, hi.ID, lo.ID)
+	}
+	want := run("cycle", 0, false)
+	for _, c := range []struct {
+		kernel  string
+		workers int
+		ff      bool
+	}{
+		{"cycle", 4, false},
+		{"cycle", 4, true},
+		{"event", 0, false},
+		{"event", 4, false},
+	} {
+		if got := run(c.kernel, c.workers, c.ff); got != want {
+			t.Errorf("kernel=%s workers=%d ff=%v diverged:\n--- baseline\n%s--- variant\n%s",
+				c.kernel, c.workers, c.ff, want, got)
+		}
+	}
+}

@@ -135,6 +135,16 @@ func (s *System) emitEpoch(now uint64, sat bool) {
 			s.obs.Emit(&e)
 		}
 	}
+
+	// Kernel health: both counters are structurally zero, so this channel
+	// is silent unless a fallback or a late wake has regressed.
+	fb := s.seqFallbacks - s.obsFallbacks
+	s.obsFallbacks = s.seqFallbacks
+	if lw := s.kernel.LateWakes(); fb != 0 || lw != 0 {
+		e = obs.Event{Kind: obs.KindKernel, Cycle: now, Epoch: s.epochs, Unit: -1,
+			Fallbacks: fb, LateWakes: lw}
+		s.obs.Emit(&e)
+	}
 }
 
 // buildMetricRegistry wires the pull-style gauge set over the live
@@ -154,6 +164,12 @@ func (s *System) buildMetricRegistry() *obs.Registry {
 	})
 	r.Register("pabst_fastforward_skipped_cycles_total", func() float64 {
 		return float64(s.kernel.Skipped())
+	})
+	r.Register("pabst_seq_fallback_cycles_total", func() float64 {
+		return float64(s.seqFallbacks)
+	})
+	r.Register("pabst_event_late_wakes_total", func() float64 {
+		return float64(s.kernel.LateWakes())
 	})
 
 	for _, c := range s.reg.Classes() {

@@ -24,11 +24,13 @@ import (
 // insertion order reproduces every downstream pop — which is why the
 // parallel path is bit-identical to workers=1 at any worker count.
 //
-// The path is enabled only on the latency-only fabric with no fault
-// plan: a modeled NoC makes injection outcomes depend on shared router
-// state mid-compute, and fault injection draws from per-domain RNG
-// streams whose draw order is part of the simulated behavior. Both fall
-// back to the sequential tick (sweep-level concurrency still applies).
+// The path now covers every configuration: the modeled NoC's injection
+// points are router-local (tiles and slices inject at their own router,
+// MC responses are injected by the sequential network phase), and fault
+// draws come from per-sender RNG streams (fault.Injector.ShardNoC) —
+// so neither forces a sequential fallback anymore. The event-driven
+// kernel (events.go) reuses the same stage/commit machinery per due
+// set, via the commit*Stage helpers below.
 
 // stagedOpKind discriminates deferred cross-shard effects.
 type stagedOpKind uint8
@@ -46,11 +48,6 @@ const (
 	// phase). The probe itself must run at commit time because it
 	// mutates shared replacement state.
 	opL2Writeback
-	// opDoorWB materializes an L3 dirty-victim writeback at commit: the
-	// slice phase records only (addr, class, door, at) and the commit
-	// draws the packet from the shared writeback pool, which slice
-	// shards must not touch mid-compute.
-	opDoorWB
 )
 
 // stagedOp is one deferred cross-shard effect.
@@ -105,14 +102,7 @@ func (s *System) tickParallel(now uint64) {
 	})
 	s.stage = nil
 	for i := range s.mcs {
-		for _, op := range st.mc[i] {
-			s.tiles[op.pkt.SrcTile].inbox.Push(op.pkt, op.at)
-		}
-		st.mc[i] = st.mc[i][:0]
-		for _, pkt := range st.wbRel[i] {
-			s.wbPool.Put(pkt)
-		}
-		st.wbRel[i] = st.wbRel[i][:0]
+		s.commitMCStage(i)
 	}
 
 	// --- Phase 2: L3 slices, in the cycle's rotated order ------------
@@ -124,24 +114,7 @@ func (s *System) tickParallel(now uint64) {
 	})
 	s.stage = nil
 	for k := 0; k < n; k++ {
-		i := (start + k) % n
-		for _, op := range st.slice[i] {
-			switch op.kind {
-			case opPushDoor:
-				s.doors[op.dst].inbox.Push(op.pkt, op.at)
-			case opPushTile:
-				s.tiles[op.dst].inbox.Push(op.pkt, op.at)
-			case opDoorWB:
-				pkt := s.wbPool.Get()
-				pkt.Addr = op.addr.Line()
-				pkt.Kind = mem.Writeback
-				pkt.Class = op.class
-				pkt.SrcTile = i
-				pkt.MC = op.dst
-				s.doors[op.dst].inbox.Push(pkt, op.at)
-			}
-		}
-		st.slice[i] = st.slice[i][:0]
+		s.commitSliceStage((start + k) % n)
 	}
 
 	// --- Phase 3: tiles ----------------------------------------------
@@ -156,22 +129,64 @@ func (s *System) tickParallel(now uint64) {
 		if s.tiles[i] == nil {
 			continue
 		}
-		ts := &st.tile[i]
-		for _, op := range ts.ops {
-			switch op.kind {
-			case opPushSlice:
-				s.slices[op.dst].inbox.Push(op.pkt, op.at)
-			case opL2Writeback:
-				s.l2Writeback(op.addr, op.class, op.at)
-			}
+		s.commitTileStage(i)
+	}
+}
+
+// commitMCStage replays one controller's staged effects: responses into
+// tile inboxes (in generation order) and served-writeback releases back
+// to their origin slices' pools.
+func (s *System) commitMCStage(i int) {
+	st := s.parStage
+	for _, op := range st.mc[i] {
+		s.tiles[op.pkt.SrcTile].inbox.Push(op.pkt, op.at)
+		s.wakeTile(op.pkt.SrcTile, op.at)
+	}
+	st.mc[i] = st.mc[i][:0]
+	for _, pkt := range st.wbRel[i] {
+		s.slices[pkt.SrcTile].wbPool.Put(pkt)
+	}
+	st.wbRel[i] = st.wbRel[i][:0]
+}
+
+// commitSliceStage replays one slice's staged sends: misses and
+// writebacks to front doors, hits back to tile inboxes.
+func (s *System) commitSliceStage(i int) {
+	st := s.parStage
+	for _, op := range st.slice[i] {
+		switch op.kind {
+		case opPushDoor:
+			s.doors[op.dst].inbox.Push(op.pkt, op.at)
+			s.wakeMC(op.dst, s.nextCycle(op.at))
+		case opPushTile:
+			s.tiles[op.dst].inbox.Push(op.pkt, op.at)
+			s.wakeTile(op.dst, op.at)
 		}
-		ts.ops = ts.ops[:0]
-		for c := range ts.e2eSum {
-			s.e2eLatSum[c] += ts.e2eSum[c]
-			s.e2eLatCnt[c] += ts.e2eCnt[c]
-			ts.e2eSum[c] = 0
-			ts.e2eCnt[c] = 0
+	}
+	st.slice[i] = st.slice[i][:0]
+}
+
+// commitTileStage replays one tile's staged effects — paced injections
+// into slice inboxes and deferred L2 writebacks — and merges its
+// latency counters into the shared accumulators.
+func (s *System) commitTileStage(i int) {
+	st := s.parStage
+	ts := &st.tile[i]
+	for _, op := range ts.ops {
+		switch op.kind {
+		case opPushSlice:
+			s.slices[op.dst].inbox.Push(op.pkt, op.at)
+			s.wakeSlice(op.dst, s.nextCycle(op.at))
+		case opL2Writeback:
+			s.l2Writeback(op.addr, op.class, op.at)
 		}
+	}
+	ts.ops = ts.ops[:0]
+	for c := range ts.e2eSum {
+		s.e2eLatSum[c] += ts.e2eSum[c]
+		s.e2eLatCnt[c] += ts.e2eCnt[c]
+		ts.e2eSum[c] = 0
+		ts.e2eCnt[c] = 0
 	}
 }
 
@@ -240,6 +255,27 @@ func (s *System) nextEventAt(from uint64) uint64 {
 			}
 			consider(at)
 		}
+		if s.net != nil {
+			if _, at, ok := sl.out.Peek(); ok {
+				if at <= from {
+					return from
+				}
+				consider(at)
+			}
+		}
+	}
+	if s.net != nil {
+		if s.net.Pending() > 0 {
+			return from
+		}
+		for i := range s.mcOut {
+			if _, at, ok := s.mcOut[i].Peek(); ok {
+				if at <= from {
+					return from
+				}
+				consider(at)
+			}
+		}
 	}
 	if _, at, ok := s.epochQ.Peek(); ok {
 		if at <= from {
@@ -262,5 +298,8 @@ func (s *System) fastForwardTo(from, to uint64) {
 	}
 	for _, mc := range s.mcs {
 		mc.FastForward(from, to)
+	}
+	if s.net != nil {
+		s.net.FastForward(from, to)
 	}
 }

@@ -99,11 +99,93 @@ func TestFastForwardEquivalence(t *testing.T) {
 	t.Logf("fast-forward skipped %d of 120000 cycles", skipped)
 }
 
-// TestParallelFallsBackWithFaults exercises the fallback contract: an
-// active fault plan forces the sequential tick (the per-domain fault RNG
-// streams must be drawn in canonical order), so a faulted run is
-// bit-identical regardless of the Workers and FastForward settings.
-func TestParallelFallsBackWithFaults(t *testing.T) {
+// TestEventKernelBitIdentical asserts the event-kernel tentpole at the
+// system level: per-component event dispatch produces byte-identical
+// statistics to the frozen cycle-stepped kernel, at every worker count,
+// with and without fast-forward semantics in the baseline.
+func TestEventKernelBitIdentical(t *testing.T) {
+	run := func(kernel string, workers int, ff bool) string {
+		cfg := testCfg()
+		cfg.Kernel = kernel
+		cfg.Workers = workers
+		cfg.FastForward = ff
+		sys, hi, lo := twoClassStreams(t, cfg, regulate.ModePABST, 7, 3, 8, 8)
+		defer sys.Close()
+		sys.Warmup(10000)
+		sys.Run(40000)
+		return fingerprint(sys, hi.ID, lo.ID)
+	}
+	want := run("cycle", 0, false)
+	for _, workers := range []int{0, 2, 4} {
+		if got := run("event", workers, false); got != want {
+			t.Errorf("event kernel workers=%d diverged from cycle kernel:\n--- cycle\n%s--- event\n%s", workers, want, got)
+		}
+	}
+	// FastForward is subsumed by event dispatch; setting it must stay a
+	// no-op rather than double-skipping.
+	if got := run("event", 0, true); got != want {
+		t.Errorf("event kernel with FastForward set diverged:\n--- cycle\n%s--- event\n%s", want, got)
+	}
+}
+
+// TestEventKernelBursty pins the event kernel on the idle-heavy shape it
+// exists for: identical statistics to the spinning cycle kernel, with a
+// meaningful share of cycles skipped.
+func TestEventKernelBursty(t *testing.T) {
+	run := func(kernel string) (string, uint64) {
+		cfg := testCfg()
+		cfg.Kernel = kernel
+		sys, c := burstySystem(t, cfg)
+		defer sys.Close()
+		sys.Run(120000)
+		return fingerprint(sys, c), sys.SkippedCycles()
+	}
+	spin, _ := run("cycle")
+	ev, skipped := run("event")
+	if spin != ev {
+		t.Errorf("event kernel diverged on bursty workload:\n--- cycle\n%s--- event\n%s", spin, ev)
+	}
+	if skipped == 0 {
+		t.Errorf("bursty workload skipped no cycles — event kernel never jumped the clock")
+	}
+	t.Logf("event kernel skipped %d of 120000 cycles", skipped)
+}
+
+// TestEventKernelWithFaults runs the event kernel under an active fault
+// plan: per-sender fault streams must draw identically under event
+// dispatch, and no wake may target an already-drained class.
+func TestEventKernelWithFaults(t *testing.T) {
+	run := func(kernel string, workers int) string {
+		cfg := testCfg()
+		cfg.Kernel = kernel
+		cfg.Workers = workers
+		cfg.Faults = &fault.Plan{
+			SAT:  fault.SATPlan{DropProb: 0.1, DelayCycles: 500, DelayJitter: 1000},
+			DRAM: fault.DRAMPlan{StallProb: 0.05, StallCycles: 1000},
+			NoC:  fault.NoCPlan{DelayProb: 0.01, DelayCycles: 100},
+		}
+		sys, hi, lo := twoClassStreams(t, cfg, regulate.ModePABST, 7, 3, 8, 8)
+		defer sys.Close()
+		sys.Run(40000)
+		if lw := sys.LateWakes(); lw != 0 {
+			t.Fatalf("%d late wakes with kernel=%s workers=%d", lw, kernel, workers)
+		}
+		return fingerprint(sys, hi.ID, lo.ID)
+	}
+	want := run("cycle", 0)
+	for _, workers := range []int{0, 4} {
+		if got := run("event", workers); got != want {
+			t.Errorf("faulted event run (workers=%d) diverged:\n--- cycle\n%s--- event\n%s", workers, want, got)
+		}
+	}
+}
+
+// TestParallelStaysOnWithFaults pins the no-fallback contract: fault
+// draws come from per-sender streams, so an active fault plan no longer
+// forces the sequential tick — the parallel path stays enabled, runs
+// zero fallback cycles, and remains bit-identical to the sequential
+// kernel at every Workers/FastForward setting.
+func TestParallelStaysOnWithFaults(t *testing.T) {
 	run := func(workers int, ff bool) string {
 		cfg := testCfg()
 		cfg.Workers = workers
@@ -115,12 +197,12 @@ func TestParallelFallsBackWithFaults(t *testing.T) {
 		}
 		sys, hi, lo := twoClassStreams(t, cfg, regulate.ModePABST, 7, 3, 8, 8)
 		defer sys.Close()
-		if sys.par {
-			t.Fatal("parallel tick enabled despite an active fault plan")
+		if workers > 1 && !sys.par {
+			t.Fatal("parallel tick disabled despite sharded fault streams")
 		}
 		sys.Run(40000)
-		if sys.SkippedCycles() != 0 {
-			t.Fatal("fast-forward engaged despite an active fault plan")
+		if sys.SeqFallbacks() != 0 {
+			t.Fatalf("%d sequential-fallback cycles with workers=%d", sys.SeqFallbacks(), workers)
 		}
 		return fingerprint(sys, hi.ID, lo.ID)
 	}

@@ -22,6 +22,14 @@ type Slice struct {
 	// slice's array access latency.
 	out sim.DelayQueue[outMsg]
 
+	// wbPool recycles this slice's writeback packets (L2 and L3 dirty
+	// victims routed through it). Per-slice so the parallel slice phase
+	// allocates without touching shared state; controllers stage their
+	// releases back to it (see System.releaseWB). Pool identity is
+	// invisible to simulated outcomes — packets are zeroed on release
+	// and fully rewritten on reuse.
+	wbPool mem.Pool
+
 	// Stats.
 	Hits, Misses uint64
 	// WBByClass counts demand-eviction writebacks by the class billed
@@ -63,6 +71,7 @@ func (sl *Slice) sendToMC(pkt *mem.Packet, now uint64) {
 	pkt.MC = mc
 	if sl.sys.net != nil {
 		sl.out.Push(outMsg{pkt: pkt, dst: sl.sys.net.MCNode(mc), data: pkt.Kind == mem.Writeback}, now)
+		sl.sys.wakeSlice(sl.id, sl.sys.nextCycle(now))
 		return
 	}
 	lat := uint64(sl.sys.mesh.TileToMC(sl.id, mc))
@@ -73,6 +82,7 @@ func (sl *Slice) sendToMC(pkt *mem.Packet, now uint64) {
 		return
 	}
 	sl.sys.doors[mc].inbox.Push(pkt, now+lat)
+	sl.sys.wakeMC(mc, sl.sys.nextCycle(now+lat))
 }
 
 // respond returns a serviced request to its source tile.
@@ -80,6 +90,7 @@ func (sl *Slice) respond(pkt *mem.Packet, now uint64) {
 	pkt.Resp = true
 	if sl.sys.net != nil {
 		sl.out.Push(outMsg{pkt: pkt, dst: sl.sys.net.TileNode(pkt.SrcTile), data: true}, now+uint64(sl.sys.cfg.L3HitLat))
+		sl.sys.wakeSlice(sl.id, sl.sys.nextCycle(now+uint64(sl.sys.cfg.L3HitLat)))
 		return
 	}
 	lat := uint64(sl.sys.cfg.L3HitLat) + uint64(sl.sys.mesh.TileToTile(sl.id, pkt.SrcTile))
@@ -88,6 +99,7 @@ func (sl *Slice) respond(pkt *mem.Packet, now uint64) {
 		return
 	}
 	sl.sys.tiles[pkt.SrcTile].inbox.Push(pkt, now+lat)
+	sl.sys.wakeTile(pkt.SrcTile, now+lat)
 }
 
 // drainOut injects ready outbox messages into the modeled network,
@@ -101,6 +113,7 @@ func (sl *Slice) drainOut(now uint64) {
 		if !sl.sys.net.TrySend(msg.pkt, sl.sys.net.TileNode(sl.id), msg.dst, msg.data) {
 			return
 		}
+		sl.sys.wakeNet(sl.sys.nextCycle(now))
 		sl.out.Pop(now)
 	}
 }
@@ -142,18 +155,11 @@ func (sl *Slice) tick(now uint64) {
 }
 
 // sendWB forwards a dirty-victim writeback to the owning controller's
-// front door. During the parallel slice phase the writeback is staged as
-// plain data (opDoorWB) and a pooled packet is materialized at commit —
-// the shared writeback pool must not be touched from a slice shard. On
-// sequential paths it draws from the pool directly.
+// front door. The packet comes from this slice's own pool, which is
+// safe on every path — including mid-compute in the parallel slice
+// phase, where the send itself is then staged by sendToMC.
 func (sl *Slice) sendWB(addr mem.Addr, class mem.ClassID, now uint64) {
-	if st := sl.sys.stage; st != nil && sl.sys.net == nil {
-		mc := sl.sys.mcOf(addr)
-		lat := uint64(sl.sys.mesh.TileToMC(sl.id, mc))
-		st.slice[sl.id] = append(st.slice[sl.id], stagedOp{kind: opDoorWB, dst: mc, at: now + lat, addr: addr, class: class})
-		return
-	}
-	pkt := sl.sys.wbPool.Get()
+	pkt := sl.wbPool.Get()
 	pkt.Addr = addr.Line()
 	pkt.Kind = mem.Writeback
 	pkt.Class = class

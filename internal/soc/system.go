@@ -75,11 +75,25 @@ type System struct {
 	parStage *parStage
 	stage    *parStage
 
-	// wbPool recycles writeback packets (L2 and L3 dirty victims). They
-	// are allocated and released only at sequential points of the tick —
-	// the parallel path stages both the allocation (opDoorWB) and the
-	// controller's release (parStage.wbRel) for its commit phases.
-	wbPool mem.Pool
+	// Event-kernel state (see events.go): per-entity component ids so
+	// push sites can wake their targets. evOn gates the wake helpers, so
+	// cycle-mode paths pay one bool check per push.
+	evOn      bool
+	evEpochID int
+	evNetID   int
+	evMCID    []int
+	evSliceID []int
+	evTileID  []int
+	evEntity  []int // component id -> entity index within its class
+	evRot     []int // scratch: due slices in the cycle's rotated order
+
+	// seqFallbacks counts cycles a multi-worker configuration executed
+	// the sequential tick path. Always zero now that fault injection and
+	// the modeled NoC are sharded; the counter (surfaced as a metric and
+	// a KindKernel trace event) is the tripwire that catches any new
+	// feature quietly reintroducing a fallback.
+	seqFallbacks uint64
+	obsFallbacks uint64 // fallback cycles at last trace emission
 
 	// Degradation observability (tracked only when faults are active):
 	// per-epoch governor divergence and re-convergence bookkeeping.
@@ -186,6 +200,12 @@ func New(cfg config.System, reg *qos.Registry, mode regulate.Mode) (*System, err
 		s.net = net
 		s.mcOut = make([]sim.DelayQueue[*mem.Packet], cfg.NumMCs)
 	}
+	if s.faults != nil {
+		// Per-sender NoC fault streams: each tile and each controller
+		// draws from its own RNG, so the draw order is independent of
+		// tick interleaving and the parallel path needs no fallback.
+		s.faults.ShardNoC(cfg.NumTiles(), cfg.NumMCs)
+	}
 	return s, nil
 }
 
@@ -196,13 +216,16 @@ func New(cfg config.System, reg *qos.Registry, mode regulate.Mode) (*System, err
 func (s *System) netDeliver(pkt *mem.Packet, dst int, now uint64) {
 	if mc := dst - s.cfg.NumTiles(); mc >= 0 {
 		s.doors[mc].park(pkt)
+		s.wakeMC(mc, now) // ejection (net class) precedes the MC class
 		return
 	}
 	if pkt.Resp {
 		s.tiles[dst].inbox.Push(pkt, now)
+		s.wakeTile(dst, now)
 		return
 	}
 	s.slices[dst].inbox.Push(pkt, now)
+	s.wakeSlice(dst, now)
 }
 
 // Config returns the system configuration.
@@ -277,22 +300,28 @@ func (s *System) Finalize() error {
 	s.metrics = s.buildMetricRegistry()
 	s.kernel.Every(ep, ep, s.epochTick)
 	s.kernel.Every(s.cfg.BWWindow, s.cfg.BWWindow, s.sampleTick)
-	s.kernel.Register(systemTicker{s})
 
-	// The parallel tick and idle fast-forward require the latency-only
-	// fabric and a clean machine: a modeled NoC couples shards through
-	// router state, and fault injection draws from shared per-domain RNG
-	// streams whose draw order is part of the simulated behavior. Either
-	// way the outputs are bit-identical — these knobs only change
-	// wall-clock speed (see parallel.go).
-	clean := !s.cfg.ModelNoC && s.faults == nil
-	if s.cfg.Workers > 1 && clean {
+	// Both acceleration knobs now apply to every configuration: NoC fault
+	// draws come from per-sender streams (see New), router inject-failure
+	// tallies are per router, and the modeled fabric exposes its own
+	// next-event time — so neither a fault plan nor ModelNoC forces the
+	// sequential path anymore. Outputs are bit-identical either way;
+	// these knobs only change wall-clock speed (see parallel.go).
+	if s.cfg.Workers > 1 {
 		s.par = true
 		s.pool = sim.NewPool(s.cfg.Workers)
 		s.parStage = newParStage(len(s.tiles), len(s.slices), len(s.mcs))
 	}
-	if s.cfg.FastForward && clean {
-		s.kernel.SetFastForward(true)
+	if s.cfg.EventKernel() {
+		// Event mode replaces the whole-machine ticker with one component
+		// per entity; fast-forward is intrinsic (the kernel jumps to the
+		// earliest scheduled event, per component).
+		s.registerEventComps()
+	} else {
+		s.kernel.Register(systemTicker{s})
+		if s.cfg.FastForward {
+			s.kernel.SetFastForward(true)
+		}
 	}
 	s.finalized = true
 	return nil
@@ -363,6 +392,11 @@ func (s *System) epochTick(now uint64) {
 	}
 
 	jitter := s.cfg.PABST.EpochJitter
+	fanout := s.cfg.PABST.GossipFanout
+	hop := uint64(s.cfg.NoC.RouterDelay + s.cfg.NoC.LinkDelay)
+	if hop == 0 {
+		hop = 1
+	}
 	for id, t := range s.tiles {
 		if t == nil {
 			continue
@@ -374,6 +408,13 @@ func (s *System) epochTick(now uint64) {
 				continue // lost heartbeat; the governor's watchdog copes
 			}
 			tileSat, lag = out, faultLag
+		}
+		if fanout >= 2 {
+			// Hierarchical distribution: the heartbeat hops down a
+			// fanout-ary tree rooted at tile 0, so a tile's delivery lags
+			// by its tree depth times the mesh hop latency (a few tens of
+			// cycles on 1024 tiles, well inside the Section III-D slack).
+			lag += gossipDepth(id, fanout) * hop
 		}
 		if jitter > 0 {
 			lag += mix(uint64(id)+s.cfg.Seed) % (jitter + 1)
@@ -442,9 +483,9 @@ func (s *System) sampleTick(now uint64) {
 	s.series.Observe(now, &cum)
 }
 
-// tick advances every component one cycle, back to front so responses
-// travel with their modeled latencies.
-func (s *System) tick(now uint64) {
+// drainEpochQ delivers due delayed heartbeats (epoch jitter, gossip
+// lag, injected SAT delays).
+func (s *System) drainEpochQ(now uint64) {
 	for {
 		msg, ok := s.epochQ.Pop(now)
 		if !ok {
@@ -457,26 +498,44 @@ func (s *System) tick(now uint64) {
 			})
 		}
 	}
-	if s.net != nil {
-		s.net.Tick(now)
-		// Inject completed MC responses; retry next cycle on injection
-		// backpressure.
-		for i := range s.mcOut {
-			for {
-				pkt, at, ok := s.mcOut[i].Peek()
-				if !ok || at > now {
-					break
-				}
-				if !s.net.TrySend(pkt, s.net.MCNode(i), s.net.TileNode(pkt.SrcTile), true) {
-					break
-				}
-				s.mcOut[i].Pop(now)
+}
+
+// netTick advances the modeled fabric one cycle and injects completed MC
+// responses, retrying next cycle on injection backpressure.
+func (s *System) netTick(now uint64) {
+	s.net.Tick(now)
+	for i := range s.mcOut {
+		for {
+			pkt, at, ok := s.mcOut[i].Peek()
+			if !ok || at > now {
+				break
 			}
+			if !s.net.TrySend(pkt, s.net.MCNode(i), s.net.TileNode(pkt.SrcTile), true) {
+				break
+			}
+			s.mcOut[i].Pop(now)
 		}
+	}
+}
+
+// tick advances every component one cycle, back to front so responses
+// travel with their modeled latencies. (Cycle mode only; event mode
+// dispatches per component — see events.go.)
+func (s *System) tick(now uint64) {
+	s.drainEpochQ(now)
+	if s.net != nil {
+		s.netTick(now)
 	}
 	if s.par {
 		s.tickParallel(now)
 		return
+	}
+	if s.cfg.Workers > 1 {
+		// Tripwire: with fault draws and the modeled NoC sharded there is
+		// no sequential fallback left, so a multi-worker configuration
+		// can only land here if a new feature quietly reintroduced one.
+		// Count it loudly instead of silently running slow.
+		s.seqFallbacks++
 	}
 	for i, mc := range s.mcs {
 		s.doors[i].tick(now)
@@ -497,17 +556,17 @@ func (s *System) tick(now uint64) {
 	}
 }
 
-// releaseWB returns a served writeback packet to the pool. A controller
-// serves writes mid-Tick; on the parallel path that is inside phase-1
-// compute, so the release is staged per controller and drained at the
-// phase-1 commit in ascending controller order — the pool's LIFO order
-// stays identical at every worker count.
+// releaseWB returns a served writeback packet to its origin slice's
+// pool. A controller serves writes mid-Tick; on the parallel path that
+// is inside phase-1 compute where two controllers may retire writebacks
+// from the same slice, so the release is staged per controller and
+// drained at the phase-1 commit in ascending controller order.
 func (s *System) releaseWB(pkt *mem.Packet, mcID int) {
 	if st := s.stage; st != nil {
 		st.wbRel[mcID] = append(st.wbRel[mcID], pkt)
 		return
 	}
-	s.wbPool.Put(pkt)
+	s.slices[pkt.SrcTile].wbPool.Put(pkt)
 }
 
 // deliverResponse routes a completed read from MC mc back to its source
@@ -517,14 +576,16 @@ func (s *System) deliverResponse(pkt *mem.Packet, mcID int, doneAt uint64) {
 	pkt.Resp = true
 	if s.net != nil {
 		s.mcOut[mcID].Push(pkt, doneAt)
+		s.wakeNet(s.nextCycle(doneAt)) // MC class follows the net class
 		return
 	}
 	lat := uint64(s.mesh.TileToMC(pkt.SrcTile, mcID))
 	if s.faults != nil {
 		// On the latency-only fabric both NoC fault classes appear as
 		// extra response latency: a spike directly, a drop as the
-		// retransmission round trip.
-		if drop, delay := s.faults.NoCSend(); drop {
+		// retransmission round trip. The draw comes from this
+		// controller's own stream, so concurrent MC shards never race.
+		if drop, delay := s.faults.NoCSendMC(mcID); drop {
 			lat += 2 * uint64(s.mesh.TileToMC(pkt.SrcTile, mcID))
 		} else {
 			lat += delay
@@ -537,6 +598,7 @@ func (s *System) deliverResponse(pkt *mem.Packet, mcID int, doneAt uint64) {
 		return
 	}
 	s.tiles[pkt.SrcTile].inbox.Push(pkt, doneAt+lat)
+	s.wakeTile(pkt.SrcTile, doneAt+lat)
 }
 
 // Run advances the system by cycles. Finalize must have been called.
@@ -642,6 +704,26 @@ func (s *System) MCUtilizations() []float64 {
 		out[i] = float64(mc.Stats.BusBusyCycles-base) / float64(cycles)
 	}
 	return out
+}
+
+// SeqFallbacks returns how many cycles a multi-worker configuration ran
+// the sequential tick path (always zero; see the tripwire in tick).
+func (s *System) SeqFallbacks() uint64 { return s.seqFallbacks }
+
+// LateWakes returns the event kernel's count of same-cycle wakes that
+// targeted an already-drained class (always zero for this component
+// graph; nonzero means a push site lost its nextCycle clamp).
+func (s *System) LateWakes() uint64 { return s.kernel.LateWakes() }
+
+// gossipDepth returns a tile's depth in the fanout-ary heartbeat
+// distribution tree rooted at tile 0.
+func gossipDepth(id, fanout int) uint64 {
+	var d uint64
+	for id > 0 {
+		id = (id - 1) / fanout
+		d++
+	}
+	return d
 }
 
 func mix(x uint64) uint64 {

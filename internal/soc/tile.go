@@ -31,6 +31,11 @@ type Tile struct {
 	// one nil check per cycle.
 	wd regulate.Watchdog
 
+	// sched is non-nil when the source regulator exposes its next grant
+	// time; the event kernel uses it to sleep a tile with queued misses
+	// until the pacer could actually clear one.
+	sched regulate.IssueSchedule
+
 	inbox sim.DelayQueue[*mem.Packet]
 
 	// mshr maps an outstanding miss line to the core op tokens waiting
@@ -100,6 +105,7 @@ func newTile(s *System, id int, class mem.ClassID, gen workload.Generator) (*Til
 	if wd, ok := t.src.(regulate.Watchdog); ok && s.cfg.PABST.WatchdogCycles > 0 {
 		t.wd = wd
 	}
+	t.sched, _ = t.src.(regulate.IssueSchedule)
 	core, err := cpu.New(id, s.cfg.Core, gen, t)
 	if err != nil {
 		return nil, err
@@ -275,7 +281,9 @@ func (t *Tile) tick(now uint64) {
 			if t.sys.faults != nil {
 				// An injected drop refuses this cycle's injection; the
 				// miss retries next cycle like any backpressured send.
-				drop, delay := t.sys.faults.NoCSend()
+				// The draw comes from this tile's own stream, so the
+				// parallel tile phase never races on the injector.
+				drop, delay := t.sys.faults.NoCSendTile(t.id)
 				if drop {
 					break
 				}
@@ -287,6 +295,7 @@ func (t *Tile) tick(now uint64) {
 				if !t.sys.net.TrySend(pkt, t.sys.net.TileNode(t.id), t.sys.net.TileNode(slice), false) {
 					break
 				}
+				t.sys.wakeNet(t.sys.nextCycle(now))
 			} else if st := t.sys.stage; st != nil {
 				lat := uint64(t.sys.mesh.TileToTile(t.id, slice)) + faultLat
 				ts := &st.tile[t.id]
@@ -294,6 +303,7 @@ func (t *Tile) tick(now uint64) {
 			} else {
 				lat := uint64(t.sys.mesh.TileToTile(t.id, slice)) + faultLat
 				t.sys.slices[slice].inbox.Push(pkt, now+lat)
+				t.sys.wakeSlice(slice, t.sys.nextCycle(now+lat))
 			}
 			q.PopFront()
 			t.queued--
@@ -316,8 +326,8 @@ func (s *System) l2Writeback(addr mem.Addr, class mem.ClassID, now uint64) {
 		return
 	}
 	// Only ever reached sequentially (directly, or replayed at the tile
-	// phase's commit), so the shared writeback pool is safe here.
-	pkt := s.wbPool.Get()
+	// phase's commit), so the target slice's pool is safe here.
+	pkt := slice.wbPool.Get()
 	pkt.Addr = addr.Line()
 	pkt.Kind = mem.Writeback
 	pkt.Class = class

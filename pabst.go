@@ -122,6 +122,13 @@ func Default32Config() SystemConfig { return config.Default32() }
 // memcached experiment.
 func Scaled8Config() SystemConfig { return config.Scaled8() }
 
+// MeshScaledConfig returns a big-machine variant of the paper's tile: a
+// cols×rows mesh with the same per-tile hierarchy, memory channels
+// scaled with the tile count, and hierarchical SAT gossip so the epoch
+// heartbeat does not assume a single-hop broadcast at mesh scale. It is
+// the scaling-study configuration behind `make bench-scale`.
+func MeshScaledConfig(cols, rows int) SystemConfig { return config.MeshScaled(cols, rows) }
+
 // LoadConfig reads and validates a JSON system configuration.
 func LoadConfig(path string) (SystemConfig, error) { return config.Load(path) }
 
@@ -279,6 +286,15 @@ func WithFastForward(on bool) Option {
 	return func(b *Builder) { b.cfg.FastForward = on }
 }
 
+// WithKernel selects the scheduling kernel: "cycle" visits every
+// component every cycle (the default, also selected by ""), "event"
+// keeps per-component event queues and visits only components with due
+// work — bit-identical outcomes, much faster on idle-heavy machines.
+// Unknown names surface as errors at Build.
+func WithKernel(kernel string) Option {
+	return func(b *Builder) { b.cfg.Kernel = kernel }
+}
+
 // WithFaultPlan installs a fault-injection plan (nil injects nothing).
 func WithFaultPlan(p *FaultPlan) Option {
 	return func(b *Builder) { b.cfg.Faults = p }
@@ -396,30 +412,11 @@ func (s *System) Series() *Series { return s.inner.Series() }
 
 // Snapshot captures the system's observable state — window metrics plus
 // per-class, per-tile, and per-controller detail — in one coherent
-// value. It subsumes the per-facet accessors below.
+// value. It replaces the per-facet accessors (ClassIPC, TileIPCs,
+// Share, ClassMissLatency, ClassMCReadLatency, SaturatedLastEpoch,
+// MCUtilizations, L3OccupancyOf, GovernorState, GovernorMs) that
+// earlier versions exposed individually.
 func (s *System) Snapshot() Snapshot { return s.inner.Snapshot() }
-
-// ClassIPC averages core IPC over a class's tiles.
-//
-// Deprecated: use Snapshot().Class(class).IPC.
-func (s *System) ClassIPC(class ClassID) float64 {
-	snap := s.Snapshot()
-	if c := snap.Class(class); c != nil {
-		return c.IPC
-	}
-	return 0
-}
-
-// TileIPCs returns per-tile IPCs of a class.
-//
-// Deprecated: use Snapshot().Class(class).TileIPCs.
-func (s *System) TileIPCs(class ClassID) []float64 {
-	snap := s.Snapshot()
-	if c := snap.Class(class); c != nil {
-		return c.TileIPCs
-	}
-	return nil
-}
 
 // SetWeight changes a class's proportional share at run time (the
 // software policy knob); governors and arbiters honor it at the next
@@ -428,98 +425,14 @@ func (s *System) SetWeight(class ClassID, weight uint64) error {
 	return s.reg.SetWeight(class, weight)
 }
 
-// Share returns a class's entitled proportional share (Eq. 1).
-//
-// Deprecated: use Snapshot().Class(class).EntitledShare.
-func (s *System) Share(class ClassID) float64 { return s.reg.Share(class) }
-
-// ClassMissLatency returns a class's mean end-to-end L2-miss latency in
-// cycles (network injection to response arrival, including L3 hits).
-//
-// Deprecated: use Snapshot().Class(class).MissLatency.
-func (s *System) ClassMissLatency(class ClassID) float64 {
-	snap := s.Snapshot()
-	if c := snap.Class(class); c != nil {
-		return c.MissLatency
-	}
-	return 0
-}
-
-// ClassMCReadLatency returns a class's mean memory-controller read
-// latency in cycles (front-end enqueue to last data beat).
-//
-// Deprecated: use Snapshot().Class(class).MCReadLatency.
-func (s *System) ClassMCReadLatency(class ClassID) float64 {
-	snap := s.Snapshot()
-	if c := snap.Class(class); c != nil {
-		return c.MCReadLatency
-	}
-	return 0
-}
-
-// SaturatedLastEpoch reports the most recent wired-OR SAT signal.
-//
-// Deprecated: use Snapshot().Sat.
-func (s *System) SaturatedLastEpoch() bool { return s.inner.SATLast() }
-
 // MCForAddr returns the memory controller serving addr under the
 // system's channel hash.
 func (s *System) MCForAddr(addr Addr) int { return s.inner.MCForAddr(addr) }
-
-// MCUtilizations returns each channel's data-bus utilization over the
-// current measurement window.
-//
-// Deprecated: use Snapshot().MCs[i].Utilization.
-func (s *System) MCUtilizations() []float64 {
-	snap := s.Snapshot()
-	out := make([]float64, len(snap.MCs))
-	for i := range snap.MCs {
-		out[i] = snap.MCs[i].Utilization
-	}
-	return out
-}
-
-// L3OccupancyOf returns the shared-cache bytes a class currently holds
-// (the Section II-B LLC occupancy monitor). It walks the cache arrays;
-// use it for sampling, not per-cycle.
-//
-// Deprecated: use Snapshot().Class(class).L3OccupancyBytes.
-func (s *System) L3OccupancyOf(class ClassID) uint64 {
-	snap := s.Snapshot()
-	if c := snap.Class(class); c != nil {
-		return c.L3OccupancyBytes
-	}
-	return 0
-}
-
-// GovernorState reports a tile's regulator internals for tracing: the
-// throttle multiplier M, the current step δM, and the installed pacing
-// period. ok is false for idle tiles or modes without a governor.
-//
-// Deprecated: use Snapshot().Tile(tile).Governor.
-func (s *System) GovernorState(tile int) (m, dm, period uint64, ok bool) {
-	snap := s.Snapshot()
-	t := snap.Tile(tile)
-	if t == nil || !t.Governor.OK {
-		return 0, 0, 0, false
-	}
-	return t.Governor.M, t.Governor.DM, t.Governor.Period, true
-}
 
 // FaultReport returns the fault-injection and degradation summary for
 // the system lifetime (zero-valued with Active=false when no plan is
 // configured).
 func (s *System) FaultReport() FaultReport { return s.inner.FaultReport() }
-
-// GovernorMs returns every adaptive governor's current throttle
-// multiplier M in tile order — the raw material for lockstep and
-// divergence assertions.
-//
-// Deprecated: use Snapshot().GovernorMs.
-func (s *System) GovernorMs() []uint64 {
-	snap := s.Snapshot()
-	return snap.GovernorMs()
-}
 
 // ClassTailLatency returns the p-th percentile (0 < p <= 100) of a
 // class's end-to-end L2-miss latency in cycles over the current

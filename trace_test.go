@@ -87,7 +87,8 @@ func TestObserverDoesNotPerturb(t *testing.T) {
 		}
 		defer sys.Close()
 		sys.Run(50_000)
-		return fmt.Sprintf("%+v gov=%v", sys.Metrics(), sys.GovernorMs())
+		snap := sys.Snapshot()
+		return fmt.Sprintf("%+v gov=%v", sys.Metrics(), snap.GovernorMs())
 	}
 	off := run(nil)
 	on := run(pabst.NewObserver(64))
@@ -118,9 +119,10 @@ func TestDisabledProbesZeroAlloc(t *testing.T) {
 	}
 }
 
-// TestSnapshotMatchesDeprecatedAccessors pins the consolidation: every
-// deprecated accessor and its Snapshot field report the same value.
-func TestSnapshotMatchesDeprecatedAccessors(t *testing.T) {
+// TestSnapshotConsistency pins the Snapshot contract now that the
+// per-facet accessors are gone: one Snapshot call captures a coherent
+// view whose facets agree with each other and with the live system.
+func TestSnapshotConsistency(t *testing.T) {
 	cfg := traceConfig()
 	b := pabst.NewBuilder(cfg, pabst.ModePABST)
 	hi := b.AddClass("hi", 7, cfg.L3Ways/2)
@@ -140,52 +142,69 @@ func TestSnapshotMatchesDeprecatedAccessors(t *testing.T) {
 	if snap.Cycle != sys.Now() {
 		t.Errorf("Cycle = %d, want %d", snap.Cycle, sys.Now())
 	}
-	if snap.Sat != sys.SaturatedLastEpoch() {
-		t.Error("Sat mismatch")
+	if got, want := snap.Window, sys.Metrics(); fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+		t.Errorf("Window %+v != live Metrics %+v", got, want)
 	}
 	for _, c := range []pabst.ClassID{hi, lo} {
 		cs := snap.Class(c)
 		if cs == nil {
 			t.Fatalf("class %d missing from snapshot", c)
 		}
-		if cs.IPC != sys.ClassIPC(c) {
-			t.Errorf("class %d IPC %v != %v", c, cs.IPC, sys.ClassIPC(c))
+		if len(cs.TileIPCs) != 8 {
+			t.Errorf("class %d TileIPCs length %d, want 8 (one per attached tile)", c, len(cs.TileIPCs))
 		}
-		if cs.MissLatency != sys.ClassMissLatency(c) {
-			t.Errorf("class %d MissLatency %v != %v", c, cs.MissLatency, sys.ClassMissLatency(c))
+		// The class IPC is defined as the mean over the class's tiles.
+		var sum float64
+		for _, v := range cs.TileIPCs {
+			sum += v
 		}
-		if cs.MCReadLatency != sys.ClassMCReadLatency(c) {
-			t.Errorf("class %d MCReadLatency %v != %v", c, cs.MCReadLatency, sys.ClassMCReadLatency(c))
+		if mean := sum / float64(len(cs.TileIPCs)); cs.IPC != mean {
+			t.Errorf("class %d IPC %v != mean(TileIPCs) %v", c, cs.IPC, mean)
 		}
-		if cs.L3OccupancyBytes != sys.L3OccupancyOf(c) {
-			t.Errorf("class %d L3 occupancy %v != %v", c, cs.L3OccupancyBytes, sys.L3OccupancyOf(c))
+		if cs.IPC <= 0 {
+			t.Errorf("class %d IPC %v, want > 0 after a loaded run", c, cs.IPC)
 		}
-		if cs.EntitledShare != sys.Share(c) {
-			t.Errorf("class %d entitled share %v != %v", c, cs.EntitledShare, sys.Share(c))
+		if cs.MissLatency <= 0 || cs.MCReadLatency <= 0 {
+			t.Errorf("class %d latencies (%v, %v), want > 0", c, cs.MissLatency, cs.MCReadLatency)
 		}
-		if got, want := cs.TileIPCs, sys.TileIPCs(c); len(got) != len(want) {
-			t.Errorf("class %d TileIPCs length %d != %d", c, len(got), len(want))
-		}
-	}
-	utils := sys.MCUtilizations()
-	if len(snap.MCs) != len(utils) {
-		t.Fatalf("MCs length %d != %d", len(snap.MCs), len(utils))
-	}
-	for i := range utils {
-		if snap.MCs[i].Utilization != utils[i] {
-			t.Errorf("MC %d utilization %v != %v", i, snap.MCs[i].Utilization, utils[i])
+		if cs.L3OccupancyBytes == 0 {
+			t.Errorf("class %d L3 occupancy 0 after a streaming run", c)
 		}
 	}
-	m, dm, period, ok := sys.GovernorState(0)
+	// Entitled shares derive from the 7:3 weights regardless of traffic.
+	if got := snap.Class(hi).EntitledShare; got != 0.7 {
+		t.Errorf("hi entitled share %v, want 0.7", got)
+	}
+	if got := snap.Class(lo).EntitledShare; got != 0.3 {
+		t.Errorf("lo entitled share %v, want 0.3", got)
+	}
+	if len(snap.MCs) != cfg.NumMCs {
+		t.Fatalf("MCs length %d != NumMCs %d", len(snap.MCs), cfg.NumMCs)
+	}
+	for i := range snap.MCs {
+		if u := snap.MCs[i].Utilization; u < 0 || u > 1 {
+			t.Errorf("MC %d utilization %v outside [0,1]", i, u)
+		}
+	}
+	// GovernorMs mirrors the per-tile governor facet, in tile order.
+	gm := snap.GovernorMs()
+	var want []uint64
+	for i := 0; i < cfg.NumTiles(); i++ {
+		if ts := snap.Tile(i); ts != nil && ts.Governor.OK {
+			want = append(want, ts.Governor.M)
+		}
+	}
+	if len(gm) != len(want) {
+		t.Fatalf("GovernorMs length %d != %d governed tiles", len(gm), len(want))
+	}
+	for i := range gm {
+		if gm[i] != want[i] {
+			t.Errorf("GovernorMs[%d] = %d != Tile governor M %d", i, gm[i], want[i])
+		}
+	}
 	ts := snap.Tile(0)
-	if !ok || ts == nil || !ts.Governor.OK {
+	if ts == nil || !ts.Governor.OK {
 		t.Fatal("tile 0 governor missing")
-	}
-	if ts.Governor.M != m || ts.Governor.DM != dm || ts.Governor.Period != period {
-		t.Errorf("tile 0 governor %+v != (%d,%d,%d)", ts.Governor, m, dm, period)
-	}
-	if gm := snap.GovernorMs(); len(gm) != len(sys.GovernorMs()) {
-		t.Errorf("GovernorMs length %d != %d", len(gm), len(sys.GovernorMs()))
 	}
 	if snap.Tile(10) != nil {
 		t.Error("idle tile 10 present in snapshot")
