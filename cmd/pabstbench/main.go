@@ -81,6 +81,7 @@ func main() {
 	cycles := flag.Uint64("cycles", 500_000, "measured cycles per kernel run")
 	warmup := flag.Uint64("warmup", 200_000, "warmup cycles per kernel run")
 	out := flag.String("out", "", "output path (default BENCH_<suite>.json)")
+	quick := flag.Bool("quick", false, "scale suite: 64-tile meshes only, skip the full-suite speedup gates")
 	common := cliflags.Register(flag.CommandLine)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -95,7 +96,7 @@ func main() {
 		if *out == "" {
 			*out = "BENCH_scale.json"
 		}
-		scaleSuite(*cycles, true, *out)
+		scaleSuite(*cycles, true, *quick, *out)
 		return
 	case "obs":
 		if *out == "" {

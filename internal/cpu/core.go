@@ -15,6 +15,13 @@ type Config struct {
 	// IssueWidth is the number of ready ops the core may send to its
 	// cache per cycle.
 	IssueWidth int
+	// SleepWhileBlocked lets NextEventAt report the core idle while its
+	// head-of-line op is refused with AccessBlocked, so the event kernel
+	// can sleep the tile until the freeing response arrives. Only safe
+	// when a blocked retry is a pure probe (the tile sets this from
+	// config.System.StrictMSHRs); under the legacy optimistic-allocation
+	// model a blocked retry mutates cache state and the core must poll.
+	SleepWhileBlocked bool `json:",omitempty"`
 }
 
 // Validate reports configuration errors.
@@ -90,6 +97,13 @@ type Core struct {
 	readyQ sim.Ring[uint64]       // seqs ready to issue, FIFO
 
 	outstanding int // issued, not yet done
+
+	// mshrBlocked records that the last issue attempt saw the head-of-line
+	// op refused with AccessBlocked. Re-derived on every issue(), so it is
+	// never stale across ticks; losing it (checkpoint restore) merely costs
+	// one conservative poll. Consulted by NextEventAt only under
+	// SleepWhileBlocked.
+	mshrBlocked bool
 
 	// Cumulative counters.
 	instsRetired uint64
@@ -200,6 +214,7 @@ func (c *Core) wake(now uint64) {
 }
 
 func (c *Core) issue(now uint64) {
+	c.mshrBlocked = false
 	issued := 0
 	for issued < c.cfg.IssueWidth && c.readyQ.Len() > 0 {
 		seq, _ := c.readyQ.Front()
@@ -210,6 +225,7 @@ func (c *Core) issue(now uint64) {
 		}
 		status, doneAt := c.port.Access(s.op.Addr, s.op.Write, now, seq)
 		if status == AccessBlocked {
+			c.mshrBlocked = true
 			return // head-of-line retry next cycle
 		}
 		c.readyQ.PopFront()
@@ -283,8 +299,17 @@ func (c *Core) retire(now uint64) {
 // generator), or retire; otherwise the next event is the earliest gap
 // expiry or the head op's completion. Ops waiting on in-flight misses
 // wake through CompleteMiss, which the tile's inbox accounts for.
+//
+// Under SleepWhileBlocked, ready ops behind a blocked head-of-line op do
+// not count as work: nothing can issue until a response frees an MSHR
+// (which wakes the tile through its inbox), retiring is covered by the
+// head op's doneAt, and gap expiries merely append to the ready queue in
+// an order a batched catch-up reproduces exactly.
 func (c *Core) NextEventAt(from uint64) uint64 {
-	if c.readyQ.Len() > 0 || c.tail-c.head < uint64(len(c.slots)) {
+	if c.tail-c.head < uint64(len(c.slots)) {
+		return from
+	}
+	if c.readyQ.Len() > 0 && !(c.cfg.SleepWhileBlocked && c.mshrBlocked) {
 		return from
 	}
 	next := ^uint64(0)

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"testing"
+
+	"pabst"
 )
 
 // tinyScale keeps the determinism matrix fast: the assertion is
@@ -79,6 +81,49 @@ func TestDeterminismMatrix(t *testing.T) {
 							kernel, workers, want, kernel, workers, got)
 					}
 				}
+			}
+		})
+	}
+}
+
+// TestPolicyKernelDeterminism pins the policy × kernel slice of the
+// determinism matrix: every registered source policy must produce
+// bit-identical outcomes under the event kernel. The issue-schedule
+// seam (regulate.IssueSchedule) now covers the whole zoo — pacer-based
+// static and lmsar, token-based bankreg, the pass-through for none —
+// so no policy may degrade event dispatch into divergence, and no run
+// may record a late wake (a wake targeting an already-drained class
+// would mean the policy added a backward edge to the wake graph).
+func TestPolicyKernelDeterminism(t *testing.T) {
+	for _, src := range []string{"none", "static", "pabst", "bankreg", "lmsar"} {
+		src := src
+		t.Run(src, func(t *testing.T) {
+			run := func(kernel string) string {
+				sc := tinyScale()
+				sc.Kernel = kernel
+				sc.SourcePolicy = src
+				cfg := sc.Apply(pabst.Scaled8Config())
+				b := pabst.NewBuilder(cfg, pabst.ModePABST, sc.Options()...)
+				hi := b.AddClass("hi", 3, cfg.L3Ways/2)
+				lo := b.AddClass("lo", 1, cfg.L3Ways/2)
+				attachStreams(b, hi, 0, cfg.NumTiles()/2, true)
+				attachStreams(b, lo, cfg.NumTiles()/2, cfg.NumTiles(), true)
+				sys, err := b.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sys.Close()
+				sys.Warmup(sc.Warmup)
+				sys.Run(sc.Measure)
+				if lw := sys.Snapshot().LateWakes; lw != 0 {
+					t.Errorf("source=%s kernel=%s: LateWakes = %d, want 0", src, kernel, lw)
+				}
+				return resultFingerprint(sys, []pabst.ClassID{hi, lo})
+			}
+			want := run("cycle")
+			if got := run("event"); got != want {
+				t.Errorf("source policy %q: event kernel diverged from cycle kernel\n--- cycle\n%s\n--- event\n%s",
+					src, want, got)
 			}
 		})
 	}

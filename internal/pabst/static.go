@@ -59,6 +59,12 @@ func (s *StaticLimiter) Pacer() *Pacer { return s.pacer }
 // CanIssue implements regulate.Source.
 func (s *StaticLimiter) CanIssue(now uint64, mc int) bool { return s.pacer.CanIssue(now) }
 
+// NextIssueAt implements regulate.IssueSchedule: the single pacer's
+// next credit. Epoch reweights change the period but never move the
+// already-accumulated C_next earlier, so a sleeping tile's grant time
+// stays valid across heartbeats.
+func (s *StaticLimiter) NextIssueAt(from uint64, mc int) uint64 { return s.pacer.NextAllowedAt(from) }
+
 // OnIssue implements regulate.Source.
 func (s *StaticLimiter) OnIssue(now uint64, mc int) { s.pacer.OnIssue(now) }
 

@@ -73,6 +73,18 @@ func (b *bankRegulator) replenish() {
 // while its destination channel's bucket holds tokens.
 func (b *bankRegulator) CanIssue(now uint64, mc int) bool { return b.tokens[mc] > 0 }
 
+// NextIssueAt implements regulate.IssueSchedule. A channel with tokens
+// can issue immediately; an exhausted bucket has no self-scheduled
+// refill — the next grant comes only from an epoch replenish, which
+// reaches the tile as a heartbeat delivery and wakes it — so it reports
+// NeverIssue rather than guessing the epoch boundary.
+func (b *bankRegulator) NextIssueAt(from uint64, mc int) uint64 {
+	if b.tokens[mc] > 0 {
+		return from
+	}
+	return regulate.NeverIssue
+}
+
 // OnIssue implements regulate.Source.
 func (b *bankRegulator) OnIssue(now uint64, mc int) { b.tokens[mc]-- }
 

@@ -23,6 +23,10 @@ import (
 // request (bandwidth fairness), DPQ prioritizes on arrival time alone
 // (latency bounds): the two occupy different points of the
 // fairness/predictability trade-off and share only the EDF front end.
+//
+// DPQ is target-only: its source half is the unthrottled pass-through,
+// whose trivial issue schedule (regulate.Unthrottled.NextIssueAt) keeps
+// event-kernel tiles from polling under none+dpq pairs.
 type dpqArbiter struct {
 	reg *qos.Registry
 	// scale converts a class stride into a deadline offset in cycles

@@ -141,6 +141,13 @@ func (l *lmsRegulator) Epoch(hb regulate.Heartbeat) {
 // CanIssue implements regulate.Source.
 func (l *lmsRegulator) CanIssue(now uint64, mc int) bool { return l.pacer.CanIssue(now) }
 
+// NextIssueAt implements regulate.IssueSchedule: the pacer's next
+// credit. The NLMS update at each prediction-window boundary (Epoch)
+// swaps the period but never moves the accumulated C_next earlier, and
+// response-carried refunds land during the owning tile's own tick, so
+// the schedule honors the sleep contract.
+func (l *lmsRegulator) NextIssueAt(from uint64, mc int) uint64 { return l.pacer.NextAllowedAt(from) }
+
 // OnIssue implements regulate.Source.
 func (l *lmsRegulator) OnIssue(now uint64, mc int) { l.pacer.OnIssue(now) }
 

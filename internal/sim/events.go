@@ -1,19 +1,33 @@
 package sim
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
 // This file implements the kernel's event-driven scheduling mode: the
 // generalization of the whole-machine Sleeper seam to per-component
 // event queues. In cycle mode (kernel.go) every registered Ticker is
 // visited every cycle and the clock can only jump when the entire
 // machine is idle. In event mode each component is registered
-// individually with its own next-event time, the kernel keeps one small
-// indexed min-heap per dispatch class, and a cycle visits only the
+// individually with its own next-event time and a cycle visits only the
 // components with due work. A component whose NextEventAt lies in the
 // future is provably a no-op if ticked (the Sleeper contract), so
 // skipping it is invisible in every simulated outcome — the same
 // argument that makes whole-machine fast-forward bit-identical, applied
 // per component.
+//
+// Scheduling structure. Each dispatch class keeps a timing wheel of
+// wheelW one-cycle buckets covering [now, now+wheelW): schedule,
+// decrease-key (wake), and per-cycle drain are all O(1) in the near
+// future, which is the overwhelmingly common case (DRAM latencies,
+// pacer grants, hop delays). Events at or beyond the wheel horizon —
+// watchdog deadlines, long idle gaps — land in an unsorted per-class
+// overflow ring with a lazily tracked minimum and are bulk-migrated
+// into the wheel when the clock window reaches them, so each far-future
+// event is touched O(1) amortized times. A per-wheel occupancy bitmap
+// makes the idle-jump scan O(wheelW/64) words instead of O(wheelW)
+// buckets.
 //
 // Ordering. Bit-identity requires that the components ticked on a given
 // cycle run in exactly the order the cycle-stepped kernel would have run
@@ -25,31 +39,76 @@ import "sort"
 // drained this cycle — the SoC's dataflow (epoch → network → memory
 // controllers → slices → tiles, with every backward edge carrying at
 // least one cycle of modeled latency) guarantees this; the kernel counts
-// any violation in LateWakes rather than diverging silently.
+// any violation in LateWakes rather than diverging silently, and a wake
+// landing on an already-drained class is deferred to the next cycle —
+// exactly when the per-class drain would first have seen it.
 //
 // Accounting. Components are fast-forwarded lazily: each tracks the
 // cycle through which it has accounted (ticked or fast-forwarded), and
 // is caught up immediately before it is next ticked. Periodic hooks are
-// synchronization barriers — every component is caught up and re-keyed
-// before a hook fires — so epoch-boundary reads (saturation windows,
-// governor probes, metrics) observe exactly the state the cycle-stepped
-// kernel would have produced.
+// synchronization barriers for *reads* — every component is caught up
+// before a hook fires, so epoch-boundary observations (saturation
+// windows, governor probes, metrics) see exactly the state the
+// cycle-stepped kernel would have produced. Hook *writes* that could
+// create earlier work for a sleeping component (heartbeat deliveries,
+// injected controller faults) are announced through DirtyEvent; only the
+// marked components are re-keyed after the hooks run, replacing the old
+// O(n log n) all-component rekey barrier with work proportional to what
+// the hooks actually touched.
+
+const (
+	wheelBits = 10
+	// wheelW is the timing-wheel horizon in cycles. Events scheduled
+	// within wheelW of the clock go to a bucket; later ones overflow.
+	wheelW    = 1 << wheelBits
+	wheelMask = wheelW - 1
+)
+
+// eventComp location sentinels (eventComp.where); non-negative values
+// are wheel bucket indices.
+const (
+	whereParked   = -1 // key == NoEvent: not queued anywhere
+	whereOverflow = -2 // in its class's overflow ring
+	whereDispatch = -3 // popped for this cycle's dispatch
+)
 
 // eventComp is one registered component's scheduling state.
 type eventComp struct {
 	s      Sleeper
 	class  int
-	key    uint64 // scheduled next-event cycle (heap key)
-	pos    int    // position in its class heap; -1 while popped for dispatch
+	key    uint64 // scheduled next-event cycle (NoEvent while parked)
+	where  int32  // bucket index, or a where* sentinel
+	pos    int32  // index within its bucket or overflow ring
 	synced uint64 // cycles < synced are accounted (ticked or fast-forwarded)
+	dirty  bool   // queued in dirtyList for the post-hook rekey
+}
+
+// classQ is one dispatch class's schedule: a timing wheel for the near
+// future plus an unsorted overflow ring for events past the horizon.
+type classQ struct {
+	buckets  [wheelW][]int32 // bucket b holds ids keyed to the unique in-window cycle ≡ b (mod wheelW)
+	bitmap   [wheelW / 64]uint64
+	bucketed int // live ids across all buckets
+
+	overflow []int32
+	ovMin    uint64 // lower bound on the overflow minimum key (exact after migrate)
+
+	registered int    // components registered under this class
+	visited    uint64 // cumulative component dispatches
 }
 
 // events is the kernel's event-mode state.
 type events struct {
-	comps    []eventComp
-	heaps    [][]int // per class: ids keyed by comps[id].key, ties by id
-	due      []int   // per-cycle scratch
-	dispatch func(now uint64, class int, due []int)
+	comps     []eventComp
+	classes   []classQ
+	due       []int // per-cycle scratch
+	dirtyList []int // hook-marked components awaiting rekey
+	dispatch  func(now uint64, class int, due []int)
+
+	// curClass is the class currently being drained this cycle (-1
+	// outside the drain loop): inserts at or before the current cycle
+	// targeting an already-drained class defer to the next cycle.
+	curClass int
 
 	lateWakes uint64
 }
@@ -65,8 +124,12 @@ func (k *Kernel) SetEventMode(classes int, dispatch func(now uint64, class int, 
 		panic("sim: SetEventMode after Register")
 	}
 	k.ev = &events{
-		heaps:    make([][]int, classes),
+		classes:  make([]classQ, classes),
 		dispatch: dispatch,
+		curClass: -1,
+	}
+	for c := range k.ev.classes {
+		k.ev.classes[c].ovMin = NoEvent
 	}
 }
 
@@ -81,12 +144,13 @@ func (k *Kernel) RegisterEvent(class int, s Sleeper) int {
 	if ev == nil {
 		panic("sim: RegisterEvent before SetEventMode")
 	}
-	if class < 0 || class >= len(ev.heaps) {
+	if class < 0 || class >= len(ev.classes) {
 		panic("sim: RegisterEvent class out of range")
 	}
 	id := len(ev.comps)
-	ev.comps = append(ev.comps, eventComp{s: s, class: class, pos: -1, synced: k.now})
-	ev.push(id, s.NextEventAt(k.now))
+	ev.comps = append(ev.comps, eventComp{s: s, class: class, key: NoEvent, where: whereParked, synced: k.now})
+	ev.classes[class].registered++
+	ev.pushClamped(id, s.NextEventAt(k.now), k.now)
 	return id
 }
 
@@ -109,13 +173,32 @@ func (k *Kernel) Wake(id int, at uint64) {
 		}
 		at = ec.synced
 	}
-	if ec.pos < 0 || at >= ec.key {
+	if ec.where == whereDispatch || at >= ec.key {
 		// Mid-dispatch (re-keyed from NextEventAt afterwards) or not an
 		// improvement.
 		return
 	}
-	ec.key = at
-	ev.siftUp(ec.class, ec.pos)
+	ev.remove(id)
+	ev.insert(id, at, k.now)
+}
+
+// DirtyEvent marks a component whose schedule-relevant state the
+// currently running periodic hook mutates (heartbeat deliveries that
+// refill issue tokens, injected controller freezes): it is re-keyed
+// from NextEventAt when the hook barrier finishes, so a sleeping
+// component learns about hook-created earlier work. Cheap and
+// idempotent. Outside hooks, use Wake.
+func (k *Kernel) DirtyEvent(id int) {
+	ev := k.ev
+	if ev == nil {
+		return
+	}
+	ec := &ev.comps[id]
+	if ec.dirty {
+		return
+	}
+	ec.dirty = true
+	ev.dirtyList = append(ev.dirtyList, id)
 }
 
 // LateWakes returns how many wakes targeted an already-dispatched cycle
@@ -128,7 +211,27 @@ func (k *Kernel) LateWakes() uint64 {
 	return k.ev.lateWakes
 }
 
-// ResyncEvents re-derives every component's heap key and accounting
+// EventClassStats reports, for each dispatch class, how many components
+// are registered under it and how many component dispatches it has run
+// in total. visited[c] / (Now() × registered[c]) is the class's dispatch
+// occupancy — the fraction of component-cycles the event kernel actually
+// paid for; the cycle kernel's is 1.0 by construction. Nil outside event
+// mode.
+func (k *Kernel) EventClassStats() (registered []int, visited []uint64) {
+	ev := k.ev
+	if ev == nil {
+		return nil, nil
+	}
+	registered = make([]int, len(ev.classes))
+	visited = make([]uint64, len(ev.classes))
+	for c := range ev.classes {
+		registered[c] = ev.classes[c].registered
+		visited[c] = ev.classes[c].visited
+	}
+	return registered, visited
+}
+
+// ResyncEvents re-derives every component's schedule and accounting
 // horizon from its current state at the kernel clock. Call after a
 // checkpoint restore has overlaid component state.
 func (k *Kernel) ResyncEvents() {
@@ -151,10 +254,12 @@ func (k *Kernel) runEvents(end uint64) {
 	k.rekeyAll(k.now)
 	for k.now < end {
 		now := k.now
+		ev.migrate(now)
 		if k.hookDue(now) {
-			// Hooks are synchronization barriers: catch every component
-			// up and re-key from ground truth, so hook-driven state
-			// changes (heartbeats, injected faults) reschedule sleepers.
+			// Hooks are synchronization barriers: every component is
+			// caught up before a hook reads, and the components a hook
+			// writes (DirtyEvent) are re-keyed from ground truth after,
+			// so hook-driven state changes reschedule sleepers.
 			k.syncAll(now)
 			for i := range k.hooks {
 				h := &k.hooks[i]
@@ -162,9 +267,10 @@ func (k *Kernel) runEvents(end uint64) {
 					h.fn(now)
 				}
 			}
-			k.rekeyAll(now)
+			ev.flushDirty(now)
 		}
-		for c := range ev.heaps {
+		for c := range ev.classes {
+			ev.curClass = c
 			due := ev.popDue(c, now)
 			if len(due) == 0 {
 				continue
@@ -182,21 +288,18 @@ func (k *Kernel) runEvents(end uint64) {
 			for _, id := range due {
 				ec := &ev.comps[id]
 				ec.synced = now + 1
-				ev.push(id, ec.s.NextEventAt(now+1))
+				ev.pushClamped(id, ec.s.NextEventAt(now+1), now)
 			}
 		}
+		ev.curClass = -1
 		k.now++
 		if k.now >= end {
 			break
 		}
 		// Jump the clock to the earliest scheduled event or hook.
 		t := end
-		for c := range ev.heaps {
-			if len(ev.heaps[c]) > 0 {
-				if key := ev.comps[ev.heaps[c][0]].key; key < t {
-					t = key
-				}
-			}
+		if m := ev.minKeyAll(k.now); m < t {
+			t = m
 		}
 		if h := k.nextHookAt(k.now); h < t {
 			t = h
@@ -230,16 +333,47 @@ func (k *Kernel) syncAll(to uint64) {
 	}
 }
 
-// rekeyAll re-derives every heap key from NextEventAt at cycle `from`.
+// rekeyAll rebuilds every component's schedule from NextEventAt at cycle
+// `from`. Run-entry and restore only; steady state uses dirty-set rekey.
 func (k *Kernel) rekeyAll(from uint64) {
 	ev := k.ev
-	for c := range ev.heaps {
-		ev.heaps[c] = ev.heaps[c][:0]
+	for c := range ev.classes {
+		q := &ev.classes[c]
+		for w, word := range q.bitmap {
+			for word != 0 {
+				b := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				q.buckets[b] = q.buckets[b][:0]
+			}
+			q.bitmap[w] = 0
+		}
+		q.bucketed = 0
+		q.overflow = q.overflow[:0]
+		q.ovMin = NoEvent
 	}
+	ev.curClass = -1
+	ev.dirtyList = ev.dirtyList[:0]
 	for id := range ev.comps {
-		ev.comps[id].pos = -1
-		ev.push(id, ev.comps[id].s.NextEventAt(from))
+		ec := &ev.comps[id]
+		ec.dirty = false
+		ec.where = whereParked
+		ec.key = NoEvent
+		ev.pushClamped(id, ec.s.NextEventAt(from), from)
 	}
+}
+
+// flushDirty re-keys the components the hooks marked, at cycle now.
+func (ev *events) flushDirty(now uint64) {
+	for _, id := range ev.dirtyList {
+		ec := &ev.comps[id]
+		ec.dirty = false
+		if ec.where == whereDispatch {
+			continue // being dispatched; re-keyed afterwards anyway
+		}
+		ev.remove(id)
+		ev.pushClamped(id, ec.s.NextEventAt(now), now)
+	}
+	ev.dirtyList = ev.dirtyList[:0]
 }
 
 // catchUp accounts component id for the unticked cycles before `to`.
@@ -251,94 +385,188 @@ func (ev *events) catchUp(id int, to uint64) {
 	}
 }
 
-// push (re)inserts component id with the given next-event cycle. Keys
-// are clamped to the component's accounting horizon so a conservative
-// NextEventAt can never schedule an already-accounted cycle.
-func (ev *events) push(id int, at uint64) {
+// pushClamped (re)schedules component id. Keys are clamped to the
+// component's accounting horizon so a conservative NextEventAt can
+// never schedule an already-accounted cycle.
+func (ev *events) pushClamped(id int, at, now uint64) {
 	ec := &ev.comps[id]
 	if at < ec.synced {
 		at = ec.synced
 	}
-	ec.key = at
-	h := ev.heaps[ec.class]
-	h = append(h, id)
-	ev.heaps[ec.class] = h
-	ec.pos = len(h) - 1
-	ev.siftUp(ec.class, ec.pos)
+	ev.insert(id, at, now)
 }
 
-// popDue removes every component of class c due at or before `now`,
-// returning them sorted by registration id (the canonical intra-class
-// order).
-func (ev *events) popDue(c int, now uint64) []int {
-	due := ev.due[:0]
-	for len(ev.heaps[c]) > 0 {
-		top := ev.heaps[c][0]
-		if ev.comps[top].key > now {
-			break
-		}
-		ev.popTop(c)
-		due = append(due, top)
+// insert queues component id for cycle `at`. Keys at or before the
+// current cycle go to the current cycle's bucket while the component's
+// class has not drained yet, and to the next cycle otherwise — exactly
+// when the per-class drain would first have seen the key.
+func (ev *events) insert(id int, at, now uint64) {
+	ec := &ev.comps[id]
+	if at == NoEvent {
+		ec.key = NoEvent
+		ec.where = whereParked
+		return
 	}
+	if at <= now {
+		if ec.class <= ev.curClass {
+			at = now + 1
+		} else {
+			at = now
+		}
+	}
+	ec.key = at
+	q := &ev.classes[ec.class]
+	if at-now < wheelW {
+		b := int32(at & wheelMask)
+		ec.where = b
+		ec.pos = int32(len(q.buckets[b]))
+		q.buckets[b] = append(q.buckets[b], int32(id))
+		q.bitmap[b>>6] |= 1 << uint(b&63)
+		q.bucketed++
+		return
+	}
+	ec.where = whereOverflow
+	ec.pos = int32(len(q.overflow))
+	q.overflow = append(q.overflow, int32(id))
+	if at < q.ovMin {
+		q.ovMin = at
+	}
+}
+
+// remove unqueues component id from its bucket or overflow ring (no-op
+// while parked), leaving it parked.
+func (ev *events) remove(id int) {
+	ec := &ev.comps[id]
+	q := &ev.classes[ec.class]
+	switch {
+	case ec.where >= 0:
+		b := ec.where
+		lst := q.buckets[b]
+		last := len(lst) - 1
+		moved := lst[last]
+		lst[ec.pos] = moved
+		ev.comps[moved].pos = ec.pos
+		q.buckets[b] = lst[:last]
+		if last == 0 {
+			q.bitmap[b>>6] &^= 1 << uint(b&63)
+		}
+		q.bucketed--
+	case ec.where == whereOverflow:
+		last := len(q.overflow) - 1
+		moved := q.overflow[last]
+		q.overflow[ec.pos] = moved
+		ev.comps[moved].pos = ec.pos
+		q.overflow = q.overflow[:last]
+		if last == 0 {
+			q.ovMin = NoEvent
+		}
+	}
+	ec.where = whereParked
+	ec.key = NoEvent
+}
+
+// migrate moves overflow events that have entered the wheel horizon into
+// their buckets. Runs once per executed cycle; the ovMin bound makes it
+// a two-word check when nothing is close.
+func (ev *events) migrate(now uint64) {
+	for c := range ev.classes {
+		q := &ev.classes[c]
+		if len(q.overflow) == 0 || q.ovMin >= now+wheelW {
+			continue
+		}
+		newMin := uint64(NoEvent)
+		kept := q.overflow[:0]
+		for _, id := range q.overflow {
+			ec := &ev.comps[id]
+			if ec.key-now < wheelW {
+				b := int32(ec.key & wheelMask)
+				ec.where = b
+				ec.pos = int32(len(q.buckets[b]))
+				q.buckets[b] = append(q.buckets[b], id)
+				q.bitmap[b>>6] |= 1 << uint(b&63)
+				q.bucketed++
+				continue
+			}
+			ec.pos = int32(len(kept))
+			kept = append(kept, id)
+			if ec.key < newMin {
+				newMin = ec.key
+			}
+		}
+		q.overflow = kept
+		q.ovMin = newMin
+	}
+}
+
+// popDue drains class c's bucket for cycle now, returning the due ids
+// sorted by registration id (the canonical intra-class order). Every id
+// in the bucket is keyed exactly to now: bucketed keys always lie in
+// [now, now+wheelW) — the clock never jumps past a scheduled key — and
+// within that window the bucket index determines the cycle uniquely.
+func (ev *events) popDue(c int, now uint64) []int {
+	q := &ev.classes[c]
+	b := int32(now & wheelMask)
+	lst := q.buckets[b]
+	if len(lst) == 0 {
+		return nil
+	}
+	due := ev.due[:0]
+	for _, id := range lst {
+		ev.comps[id].where = whereDispatch
+		due = append(due, int(id))
+	}
+	q.buckets[b] = lst[:0]
+	q.bitmap[b>>6] &^= 1 << uint(b&63)
+	q.bucketed -= len(due)
 	if len(due) > 1 {
 		sort.Ints(due)
 	}
+	q.visited += uint64(len(due))
 	ev.due = due[:0] // retain capacity; the returned slice stays valid this cycle
 	return due
 }
 
-// less orders the heap by (key, id): earliest event first, registration
-// order breaking ties deterministically.
-func (ev *events) less(a, b int) bool {
-	ka, kb := ev.comps[a].key, ev.comps[b].key
-	return ka < kb || (ka == kb && a < b)
+// minKeyAll returns the earliest scheduled key across all classes at or
+// after now (NoEvent when everything is parked). Overflow rings
+// contribute their lazy minimum — a lower bound, so the clock can only
+// undershoot, never skip work; the landing cycle's migrate tightens it.
+func (ev *events) minKeyAll(now uint64) uint64 {
+	min := uint64(NoEvent)
+	for c := range ev.classes {
+		q := &ev.classes[c]
+		if len(q.overflow) > 0 && q.ovMin < min {
+			min = q.ovMin
+		}
+		if q.bucketed > 0 {
+			if k := q.minBucketKey(now); k < min {
+				min = k
+			}
+		}
+	}
+	return min
 }
 
-func (ev *events) siftUp(c, i int) {
-	h := ev.heaps[c]
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !ev.less(h[i], h[parent]) {
-			break
+// minBucketKey scans the occupancy bitmap circularly from now's slot for
+// the first non-empty bucket; since all bucketed keys lie in
+// [now, now+wheelW), that bucket holds the class minimum.
+func (q *classQ) minBucketKey(now uint64) uint64 {
+	start := int(now & wheelMask)
+	w := start >> 6
+	word := q.bitmap[w] &^ (1<<uint(start&63) - 1)
+	for i := 0; i <= len(q.bitmap); i++ {
+		if word != 0 {
+			b := w<<6 + bits.TrailingZeros64(word)
+			d := b - start
+			if d < 0 {
+				d += wheelW
+			}
+			return now + uint64(d)
 		}
-		h[i], h[parent] = h[parent], h[i]
-		ev.comps[h[i]].pos = i
-		ev.comps[h[parent]].pos = parent
-		i = parent
+		w++
+		if w == len(q.bitmap) {
+			w = 0
+		}
+		word = q.bitmap[w]
 	}
-}
-
-func (ev *events) popTop(c int) {
-	h := ev.heaps[c]
-	top := h[0]
-	ev.comps[top].pos = -1
-	last := len(h) - 1
-	if last > 0 {
-		h[0] = h[last]
-		ev.comps[h[0]].pos = 0
-	}
-	ev.heaps[c] = h[:last]
-	ev.siftDown(c, 0)
-}
-
-func (ev *events) siftDown(c, i int) {
-	h := ev.heaps[c]
-	n := len(h)
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && ev.less(h[l], h[smallest]) {
-			smallest = l
-		}
-		if r < n && ev.less(h[r], h[smallest]) {
-			smallest = r
-		}
-		if smallest == i {
-			return
-		}
-		h[i], h[smallest] = h[smallest], h[i]
-		ev.comps[h[i]].pos = i
-		ev.comps[h[smallest]].pos = smallest
-		i = smallest
-	}
+	return NoEvent
 }

@@ -26,6 +26,23 @@ const (
 	evNumClasses
 )
 
+// evClassName labels a dispatch class for snapshots and metrics.
+func evClassName(c int) string {
+	switch c {
+	case evClassEpoch:
+		return "epoch"
+	case evClassNet:
+		return "net"
+	case evClassMC:
+		return "mc"
+	case evClassSlice:
+		return "slice"
+	case evClassTile:
+		return "tile"
+	}
+	return "unknown"
+}
+
 // registerEventComps switches the kernel into event mode and registers
 // one component per machine entity. Registration order within a class is
 // ascending entity index — the canonical intra-class order.
@@ -90,6 +107,31 @@ func (s *System) wakeMC(i int, at uint64) {
 func (s *System) wakeNet(at uint64) {
 	if s.evOn {
 		s.kernel.Wake(s.evNetID, at)
+	}
+}
+
+// Dirty helpers: no-ops in cycle mode, post-hook rekey marks in event
+// mode. The epoch hook calls these for every component whose schedule
+// it may move earlier — tiles receiving a synchronous heartbeat (token
+// refills, resync resets), controllers hit by an injected stall or
+// freeze (an idle controller becomes busy for the freeze window), and
+// the delayed-delivery queue itself.
+
+func (s *System) dirtyTile(i int) {
+	if s.evOn && s.evTileID[i] >= 0 {
+		s.kernel.DirtyEvent(s.evTileID[i])
+	}
+}
+
+func (s *System) dirtyMC(i int) {
+	if s.evOn {
+		s.kernel.DirtyEvent(s.evMCID[i])
+	}
+}
+
+func (s *System) dirtyEpochQ() {
+	if s.evOn {
+		s.kernel.DirtyEvent(s.evEpochID)
 	}
 }
 

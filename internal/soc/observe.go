@@ -172,6 +172,37 @@ func (s *System) buildMetricRegistry() *obs.Registry {
 		return float64(s.kernel.LateWakes())
 	})
 
+	// Per-dispatch-class scheduler load under the event kernel (all zero
+	// under the cycle kernel): registered components, cumulative
+	// component dispatches, and their ratio against elapsed
+	// component-cycles — the dispatch occupancy the event kernel's
+	// speedup comes from driving below 1.0.
+	for c := 0; c < evNumClasses; c++ {
+		c := c
+		label := fmt.Sprintf("{class=%q}", evClassName(c))
+		r.Register("pabst_event_class_registered"+label, func() float64 {
+			reg, _ := s.kernel.EventClassStats()
+			if reg == nil {
+				return 0
+			}
+			return float64(reg[c])
+		})
+		r.Register("pabst_event_class_visited_total"+label, func() float64 {
+			_, vis := s.kernel.EventClassStats()
+			if vis == nil {
+				return 0
+			}
+			return float64(vis[c])
+		})
+		r.Register("pabst_event_class_occupancy"+label, func() float64 {
+			reg, vis := s.kernel.EventClassStats()
+			if reg == nil || reg[c] == 0 || s.kernel.Now() == 0 {
+				return 0
+			}
+			return float64(vis[c]) / (float64(s.kernel.Now()) * float64(reg[c]))
+		})
+	}
+
 	for _, c := range s.reg.Classes() {
 		c := c
 		label := fmt.Sprintf("{class=%q}", c.Name)

@@ -20,6 +20,20 @@ type Snapshot struct {
 	// SkippedCycles counts idle cycles jumped by fast-forward.
 	SkippedCycles uint64
 
+	// LateWakes counts event-kernel wakes that targeted an
+	// already-dispatched cycle — violations of the forward-only
+	// same-cycle wake contract. Always zero for this system's component
+	// graph (and trivially zero under the cycle kernel); a nonzero value
+	// means a wake edge was added that can reorder work.
+	LateWakes uint64
+
+	// EventClasses reports per-dispatch-class scheduler load under the
+	// event kernel; nil under the cycle kernel. Kernel-diagnostic only:
+	// exclude it (and SkippedCycles/LateWakes) from cross-kernel
+	// identity comparisons, which must cover simulated outcomes, not
+	// scheduler internals.
+	EventClasses []EventClassSnapshot
+
 	// Window summarizes the current measurement window.
 	Window Metrics
 
@@ -28,6 +42,17 @@ type Snapshot struct {
 	Classes []ClassSnapshot
 	Tiles   []TileSnapshot
 	MCs     []MCSnapshot
+}
+
+// EventClassSnapshot is one event-kernel dispatch class's scheduler
+// load: Visited counts cumulative component dispatches, so
+// Visited/(Cycle×Registered) is the class's dispatch occupancy — the
+// fraction of component-cycles the event kernel actually paid for (the
+// cycle kernel's is 1.0 by construction).
+type EventClassSnapshot struct {
+	Class      string
+	Registered int
+	Visited    uint64
 }
 
 // ClassSnapshot is one QoS class's allocation and delivery state.
@@ -90,7 +115,17 @@ func (s *System) Snapshot() Snapshot {
 		Epochs:        s.epochs,
 		Sat:           s.satLast,
 		SkippedCycles: s.kernel.Skipped(),
+		LateWakes:     s.kernel.LateWakes(),
 		Window:        s.Metrics(),
+	}
+	if reg, vis := s.kernel.EventClassStats(); reg != nil {
+		for c := range reg {
+			snap.EventClasses = append(snap.EventClasses, EventClassSnapshot{
+				Class:      evClassName(c),
+				Registered: reg[c],
+				Visited:    vis[c],
+			})
+		}
 	}
 	for _, c := range s.reg.Classes() {
 		snap.Classes = append(snap.Classes, ClassSnapshot{

@@ -388,6 +388,9 @@ func (s *System) epochTick(now uint64) {
 			if freeze > 0 {
 				mc.Freeze(now + freeze)
 			}
+			if stall > 0 || freeze > 0 {
+				s.dirtyMC(i)
+			}
 		}
 	}
 
@@ -421,11 +424,16 @@ func (s *System) epochTick(now uint64) {
 		}
 		if lag == 0 {
 			t.src.Epoch(regulate.Heartbeat{Now: now, SatAny: tileSat, SatPerMC: perMC, Resync: resync, GossipM: gossip})
+			// The heartbeat may create earlier work for a sleeping tile
+			// (token refills, resync resets), so it must be re-keyed
+			// after the hook barrier.
+			s.dirtyTile(id)
 			continue
 		}
 		// The delayed message outlives this epoch while the scratch vector
 		// is rewritten at the next boundary, so it carries its own copy.
 		s.epochQ.Push(epochMsg{tile: id, sat: tileSat, perMC: append([]bool(nil), perMC...), resync: resync, gossip: gossip}, now+lag)
+		s.dirtyEpochQ()
 	}
 
 	s.emitEpoch(now, sat)
@@ -496,6 +504,11 @@ func (s *System) drainEpochQ(now uint64) {
 				Now: now, SatAny: msg.sat, SatPerMC: msg.perMC,
 				Resync: msg.resync, GossipM: msg.gossip,
 			})
+			// A delayed heartbeat can grant a sleeping tile new issue
+			// tokens; the epoch class drains before the tile class, so a
+			// same-cycle forward wake lands exactly when the sequential
+			// tick would service the refill.
+			s.wakeTile(msg.tile, now)
 		}
 	}
 }

@@ -106,7 +106,12 @@ func newTile(s *System, id int, class mem.ClassID, gen workload.Generator) (*Til
 		t.wd = wd
 	}
 	t.sched, _ = t.src.(regulate.IssueSchedule)
-	core, err := cpu.New(id, s.cfg.Core, gen, t)
+	coreCfg := s.cfg.Core
+	// Strict MSHR blocking makes a blocked retry a pure probe, so the
+	// core may sleep through the blocked window; the legacy optimistic
+	// model mutates cache state on retry and must keep polling.
+	coreCfg.SleepWhileBlocked = s.cfg.StrictMSHRs
+	core, err := cpu.New(id, coreCfg, gen, t)
 	if err != nil {
 		return nil, err
 	}
@@ -134,6 +139,16 @@ func (t *Tile) Access(addr mem.Addr, write bool, now uint64, token uint64) (cpu.
 	if e := t.mshr.lookup(lineID); e != nil {
 		e.addWaiter(token)
 		return cpu.AccessPending, 0
+	}
+
+	// Strict MSHR model: refuse a would-be miss before it touches any
+	// cache state, so the blocked window is a provable no-op (the event
+	// kernel sleeps the core until a response frees an entry). The
+	// legacy model below allocates the L1/L2 frames first and only then
+	// checks the table.
+	if t.sys.cfg.StrictMSHRs && t.mshr.len() >= t.sys.cfg.MaxMSHRs &&
+		!t.l1.Contains(line) && !t.l2.Contains(line) {
+		return cpu.AccessBlocked, 0
 	}
 
 	l1res := t.l1.Access(line, write, t.class)

@@ -177,30 +177,76 @@ func TestIdleTilesStayIdle(t *testing.T) {
 }
 
 func TestTileBlockedWhenMSHRsFull(t *testing.T) {
-	// A generator of all-distinct lines saturates the MSHRs; the core
-	// must observe AccessBlocked and keep outstanding <= MaxMSHRs at all
-	// times (checked via the mshr map size during execution).
-	cfg := testCfg8()
-	reg := qos.NewRegistry()
-	c := reg.MustAdd("c", 1, cfg.L3Ways)
-	sys, err := New(cfg, reg, regulate.ModeNone)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := sys.Attach(0, c.ID, workload.NewChaser("ch", tileRegion(0), 16, 5)); err != nil {
-		t.Fatal(err)
-	}
-	if err := sys.Finalize(); err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < 3000; i++ {
-		sys.Run(1)
-		if n := sys.tiles[0].mshr.len(); n > cfg.MaxMSHRs {
-			t.Fatalf("MSHR map %d > limit %d", n, cfg.MaxMSHRs)
+	// A pointer-chaser with more independent chains than MSHR entries
+	// saturates the miss table; the core must observe AccessBlocked and
+	// keep outstanding <= MaxMSHRs at all times (checked via the mshr
+	// map size during execution). Both MSHR-blocking models are pinned
+	// as a cycle-vs-event cross-kernel fingerprint at saturating depth:
+	// wake-on-completion (the strict model's sleeping core is unblocked
+	// only by the response that frees an entry) must never reorder miss
+	// completion.
+	const cycles = 3000
+	for _, strict := range []bool{false, true} {
+		name := "legacy"
+		if strict {
+			name = "strict"
 		}
-	}
-	if sys.tiles[0].core.Outstanding() == 0 {
-		t.Fatal("no outstanding misses generated")
+		t.Run(name, func(t *testing.T) {
+			var classID mem.ClassID
+			build := func(kernel string) (*System, int) {
+				cfg := testCfg8()
+				cfg.Kernel = kernel
+				cfg.StrictMSHRs = strict
+				reg := qos.NewRegistry()
+				c := reg.MustAdd("c", 1, cfg.L3Ways)
+				classID = c.ID
+				sys, err := New(cfg, reg, regulate.ModeNone)
+				if err != nil {
+					t.Fatal(err)
+				}
+				chains := 2 * cfg.MaxMSHRs // saturating depth
+				if err := sys.Attach(0, c.ID, workload.NewChaser("ch", tileRegion(0), chains, 5)); err != nil {
+					t.Fatal(err)
+				}
+				if err := sys.Finalize(); err != nil {
+					t.Fatal(err)
+				}
+				return sys, cfg.MaxMSHRs
+			}
+
+			// Cycle kernel, stepped one cycle at a time to watch the
+			// occupancy invariant mid-flight.
+			cyc, maxMSHRs := build("cycle")
+			for i := 0; i < cycles; i++ {
+				cyc.Run(1)
+				if n := cyc.tiles[0].mshr.len(); n > maxMSHRs {
+					t.Fatalf("MSHR map %d > limit %d", n, maxMSHRs)
+				}
+			}
+			if cyc.tiles[0].core.Outstanding() == 0 {
+				t.Fatal("no outstanding misses generated")
+			}
+			want := fingerprint(cyc, classID)
+
+			ev, _ := build("event")
+			ev.Run(cycles)
+			if got := fingerprint(ev, classID); got != want {
+				t.Errorf("event kernel diverged under MSHR saturation:\n--- cycle\n%s--- event\n%s", want, got)
+			}
+			if lw := ev.LateWakes(); lw != 0 {
+				t.Errorf("LateWakes = %d, want 0 (wake-on-completion must stay forward-only)", lw)
+			}
+			if strict {
+				// The strict model's contract: a blocked core sleeps, so
+				// the tile class is dispatched on strictly fewer cycles
+				// than it would be polled.
+				for _, ec := range ev.Snapshot().EventClasses {
+					if ec.Class == "tile" && ec.Visited >= cycles {
+						t.Errorf("tile class visited %d of %d cycles — blocked core never slept", ec.Visited, cycles)
+					}
+				}
+			}
+		})
 	}
 }
 
